@@ -1,0 +1,331 @@
+//! Out-of-core distributed group-by aggregation on FG.
+//!
+//! The paper closes by arguing that FG's multiple-pipeline extensions "would
+//! be suitable for the design of out-of-core algorithms other than sorting"
+//! (§VIII).  This module is such an algorithm: count the occurrences of
+//! every key in a dataset far larger than any node's memory, in **one
+//! pass**, using exactly the pass-1 shape of dsort (Figure 6):
+//!
+//! * the **send pipeline** `read → aggregate → send` streams the node's
+//!   local input; the aggregate stage pre-combines duplicate keys *within
+//!   each block* (a combiner, shrinking traffic for skewed inputs) and the
+//!   send stage routes each partial count to the key's owner
+//!   (`hash(key) mod P`) — unbalanced communication, hence disjoint
+//!   pipelines;
+//! * the **receive pipeline** `receive → merge` folds incoming partial
+//!   counts into the node's in-memory table (bounded by the number of
+//!   *distinct* keys it owns, not by the dataset size);
+//! * a final write stage spills each node's table to its disk, sorted by
+//!   key, as the output file.
+//!
+//! Records are the same `(u64 key, payload)` format as fg-sort's, so the
+//! same input generator, distributions, and disks are reused.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fg_cluster::{Cluster, ClusterCfg, ClusterError, Communicator};
+use fg_core::{map_stage, PipelineCfg, Program, Rounds, Stage, StageCtx};
+use fg_pdm::SimDisk;
+use fg_sort::chunks::{self, CHUNK_HEADER_BYTES};
+use fg_sort::config::SortConfig;
+use fg_sort::input::INPUT_FILE;
+use fg_sort::SortError;
+use parking_lot::Mutex;
+
+/// Message tag for group-by traffic.
+const TAG_GROUPBY: u64 = 0x6B0B_0001;
+const MSG_DATA: u8 = 0;
+const MSG_DONE: u8 = 1;
+
+/// Name of the per-node output file: `(key, count)` pairs sorted by key,
+/// 16 bytes each, holding the counts of the keys this node owns.
+pub const COUNTS_FILE: &str = "groupby_counts";
+
+/// Result of a group-by run.
+#[derive(Debug, Clone)]
+pub struct GroupByReport {
+    /// Max-across-nodes wall time of the single pass.
+    pub pass: Duration,
+    /// Distinct keys owned per node.
+    pub distinct_per_node: Vec<u64>,
+    /// Total records aggregated (must equal the input record count).
+    pub total_records: u64,
+}
+
+/// Which node owns a key.
+pub fn owner_of(key: u64, nodes: usize) -> usize {
+    // Multiplicative hash so consecutive keys spread across nodes.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % nodes
+}
+
+/// Run the one-pass distributed group-by-count over the provisioned disks
+/// (each holding fg-sort's `input` file per `cfg`); leaves each node's
+/// sorted `(key, count)` table in [`COUNTS_FILE`] on its disk.
+pub fn run_groupby(cfg: &SortConfig, disks: &[Arc<SimDisk>]) -> Result<GroupByReport, SortError> {
+    cfg.validate()?;
+    if disks.len() != cfg.nodes {
+        return Err(SortError::Config(format!(
+            "need {} disks, got {}",
+            cfg.nodes,
+            disks.len()
+        )));
+    }
+    let cfg = *cfg;
+    let disks_arc: Vec<Arc<SimDisk>> = disks.to_vec();
+
+    let run = Cluster::run(
+        ClusterCfg {
+            nodes: cfg.nodes,
+            net: cfg.net,
+        },
+        move |node| -> Result<(Duration, u64, u64), ClusterError> {
+            let rank = node.rank();
+            let comm = node.comm().clone();
+            let disk = Arc::clone(&disks_arc[rank]);
+            comm.barrier()?;
+            let t0 = Instant::now();
+            let (distinct, records) =
+                groupby_pass(&cfg, rank, &comm, &disk).map_err(ClusterError::from)?;
+            comm.barrier()?;
+            let nanos = comm.allreduce_max(t0.elapsed().as_nanos() as u64)?;
+            let total = comm.allreduce_sum(records)?;
+            Ok((Duration::from_nanos(nanos), distinct, total))
+        },
+    )
+    .map_err(|e| SortError::Comm(e.to_string()))?;
+
+    Ok(GroupByReport {
+        pass: run.results[0].0,
+        distinct_per_node: run.results.iter().map(|r| r.1).collect(),
+        total_records: run.results[0].2,
+    })
+}
+
+/// The single pass on one node.
+fn groupby_pass(
+    cfg: &SortConfig,
+    rank: usize,
+    comm: &Communicator,
+    disk: &Arc<SimDisk>,
+) -> Result<(u64, u64), SortError> {
+    let nodes = cfg.nodes;
+    let input_bytes = cfg.bytes_per_node() as usize;
+    let nblocks = input_bytes.div_ceil(cfg.block_bytes) as u64;
+    const PAIR: usize = 16; // (u64 key, u64 count)
+
+    let mut prog = Program::new(format!("groupby-n{rank}"));
+
+    // ---- send pipeline ----
+    let read_disk = Arc::clone(disk);
+    let block_bytes = cfg.block_bytes;
+    let read = prog.add_stage(
+        "read",
+        map_stage(move |buf, _ctx| {
+            let off = buf.round() * block_bytes as u64;
+            let want = block_bytes.min(input_bytes - off as usize);
+            read_disk
+                .read_at(INPUT_FILE, off, &mut buf.space_mut()[..want])
+                .map_err(SortError::from)?;
+            buf.set_filled(want);
+            Ok(())
+        }),
+    );
+
+    // Combiner: fold the block's records into per-destination (key, count)
+    // chunk lists; duplicates within a block collapse here.
+    let fmt = cfg.record;
+    let aggregate = prog.add_stage(
+        "aggregate",
+        map_stage(move |buf, _ctx| {
+            let mut partial: HashMap<u64, u64> = HashMap::new();
+            for rec in fmt.records(buf.filled()) {
+                *partial.entry(fmt.key(rec)).or_insert(0) += 1;
+            }
+            let mut groups: Vec<Vec<u8>> = vec![Vec::new(); nodes];
+            for (key, count) in partial {
+                let g = &mut groups[owner_of(key, nodes)];
+                g.extend_from_slice(&key.to_le_bytes());
+                g.extend_from_slice(&count.to_le_bytes());
+            }
+            let mut packed = Vec::with_capacity(
+                groups.iter().map(|g| g.len()).sum::<usize>() + nodes * CHUNK_HEADER_BYTES,
+            );
+            for (d, g) in groups.iter().enumerate() {
+                if !g.is_empty() {
+                    chunks::push_chunk(&mut packed, d as u64, 0, g);
+                }
+            }
+            debug_assert!(packed.len() <= buf.capacity(), "combiner output too large");
+            buf.copy_from(&packed);
+            Ok(())
+        }),
+    );
+
+    let comm_send = comm.clone();
+    let send = prog.add_stage(
+        "send",
+        Box::new(move |ctx: &mut StageCtx| {
+            while let Some(buf) = ctx.accept()? {
+                for chunk in chunks::iter_chunks(buf.filled()) {
+                    let chunk = chunk?;
+                    let mut payload = Vec::with_capacity(1 + chunk.data.len());
+                    payload.push(MSG_DATA);
+                    payload.extend_from_slice(chunk.data);
+                    comm_send
+                        .send(chunk.a as usize, TAG_GROUPBY, payload)
+                        .map_err(SortError::from)?;
+                }
+                ctx.convey(buf)?;
+            }
+            for dst in 0..nodes {
+                comm_send
+                    .send(dst, TAG_GROUPBY, vec![MSG_DONE])
+                    .map_err(SortError::from)?;
+            }
+            Ok(())
+        }) as Box<dyn Stage>,
+    );
+
+    // ---- receive pipeline ----
+    // The receive stage packs incoming partial counts into buffers; the
+    // merge stage folds them into the node's table.
+    let comm_recv = comm.clone();
+    let receive = prog.add_stage(
+        "receive",
+        Box::new(move |ctx: &mut StageCtx| {
+            let pid = ctx.pipelines().next().expect("receive pipeline");
+            let mut carry: Vec<u8> = Vec::new();
+            let mut dones = 0usize;
+            loop {
+                let mut buf = match ctx.accept()? {
+                    Some(b) => b,
+                    None => return Ok(()),
+                };
+                buf.clear();
+                while buf.remaining() > 0 {
+                    if !carry.is_empty() {
+                        let n = buf.append(&carry);
+                        carry.drain(..n);
+                        continue;
+                    }
+                    if dones == nodes {
+                        break;
+                    }
+                    let msg = comm_recv
+                        .recv(None, TAG_GROUPBY)
+                        .map_err(SortError::from)?;
+                    match msg.payload.first() {
+                        Some(&MSG_DONE) => dones += 1,
+                        Some(&MSG_DATA) => {
+                            let data = &msg.payload[1..];
+                            let n = buf.append(data);
+                            carry.extend_from_slice(&data[n..]);
+                        }
+                        _ => {
+                            return Err(
+                                SortError::Corrupt("empty group-by message".into()).into()
+                            )
+                        }
+                    }
+                }
+                if buf.is_empty() {
+                    ctx.discard(buf)?;
+                } else {
+                    ctx.convey(buf)?;
+                }
+                if dones == nodes && carry.is_empty() {
+                    ctx.stop(pid)?;
+                    return Ok(());
+                }
+            }
+        }) as Box<dyn Stage>,
+    );
+
+    let table = Arc::new(Mutex::new(HashMap::<u64, u64>::new()));
+    let t2 = Arc::clone(&table);
+    let merge = prog.add_stage(
+        "merge",
+        map_stage(move |buf, _ctx| {
+            let mut table = t2.lock();
+            for pair in buf.filled().chunks_exact(PAIR) {
+                let key = u64::from_le_bytes(pair[..8].try_into().expect("8"));
+                let count = u64::from_le_bytes(pair[8..].try_into().expect("8"));
+                *table.entry(key).or_insert(0) += count;
+            }
+            Ok(())
+        }),
+    );
+
+    // Pipelines: one buffer must fit a block's worth of combined pairs plus
+    // headers (a block of r records can produce at most r distinct keys).
+    // The send buffer first holds a raw input block (read stage), then the
+    // combined pairs + chunk headers (aggregate stage): size for both.
+    let send_buf = cfg
+        .block_bytes
+        .max(cfg.records_per_block() * PAIR)
+        + cfg.nodes * CHUNK_HEADER_BYTES
+        + 64;
+    // The receive buffer must be a whole number of pairs, or a pair would
+    // split across buffers and the merge stage would parse garbage.
+    let recv_buf = send_buf.max(cfg.block_bytes).next_multiple_of(PAIR);
+    prog.add_pipeline(
+        PipelineCfg::new("send", cfg.pipeline_buffers, send_buf).rounds(Rounds::Count(nblocks)),
+        &[read, aggregate, send],
+    )?;
+    prog.add_pipeline(
+        PipelineCfg::new("recv", cfg.pipeline_buffers, recv_buf).rounds(Rounds::UntilStopped),
+        &[receive, merge],
+    )?;
+    prog.run()?;
+
+    // Spill the table, sorted by key.
+    let table = Arc::try_unwrap(table)
+        .map_err(|_| SortError::Fg("table still shared after run".into()))?
+        .into_inner();
+    let mut pairs: Vec<(u64, u64)> = table.into_iter().collect();
+    pairs.sort_unstable();
+    let mut bytes = Vec::with_capacity(pairs.len() * PAIR);
+    let mut records = 0u64;
+    for (key, count) in &pairs {
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&count.to_le_bytes());
+        records += count;
+    }
+    disk.write_at(COUNTS_FILE, 0, &bytes)?;
+    Ok((pairs.len() as u64, records))
+}
+
+/// Read back a node's `(key, count)` table (verification helper).
+pub fn read_counts(disk: &Arc<SimDisk>) -> Vec<(u64, u64)> {
+    let bytes = disk.snapshot(COUNTS_FILE).unwrap_or_default();
+    bytes
+        .chunks_exact(16)
+        .map(|p| {
+            (
+                u64::from_le_bytes(p[..8].try_into().expect("8")),
+                u64::from_le_bytes(p[8..].try_into().expect("8")),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_covers_all_nodes() {
+        let mut seen = [false; 8];
+        for key in 0..10_000u64 {
+            seen[owner_of(key, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn owner_is_stable() {
+        assert_eq!(owner_of(12345, 7), owner_of(12345, 7));
+    }
+}

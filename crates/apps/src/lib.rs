@@ -1,0 +1,17 @@
+//! # fg-apps: out-of-core algorithms on FG beyond sorting
+//!
+//! The paper's conclusion (§VIII) argues FG's multiple-pipeline extensions
+//! "would be suitable for the design of out-of-core algorithms other than
+//! sorting" and solicits candidates.  This crate supplies one:
+//!
+//! * [`groupby`] — a one-pass distributed group-by-count aggregation built
+//!   from the same disjoint send/receive pipeline shape as dsort's pass 1,
+//!   with an in-block combiner and hash-partitioned merge tables.
+//! * [`transpose`] — out-of-core matrix transpose, the other classic PDM
+//!   workload: oblivious like csort, one balanced linear pipeline per node.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod groupby;
+pub mod transpose;

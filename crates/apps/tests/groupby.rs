@@ -1,0 +1,115 @@
+//! End-to-end tests for the distributed group-by aggregation.
+
+use std::collections::HashMap;
+
+use fg_apps::groupby::{owner_of, read_counts, run_groupby};
+use fg_sort::config::SortConfig;
+use fg_sort::input::{generate_node_input, provision};
+use fg_sort::keygen::KeyDist;
+
+/// Reference: count keys across all nodes' inputs sequentially.
+fn reference_counts(cfg: &SortConfig) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for rank in 0..cfg.nodes {
+        let bytes = generate_node_input(cfg, rank);
+        for rec in cfg.record.records(&bytes) {
+            *counts.entry(cfg.record.key(rec)).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+fn check_groupby(cfg: &SortConfig) {
+    let disks = provision(cfg);
+    let report = run_groupby(cfg, &disks).expect("groupby run");
+    assert_eq!(report.total_records, cfg.total_records() as u64);
+
+    let expect = reference_counts(cfg);
+    let mut got: HashMap<u64, u64> = HashMap::new();
+    for (rank, disk) in disks.iter().enumerate() {
+        let mut prev: Option<u64> = None;
+        for (key, count) in read_counts(disk) {
+            // Each node's table is sorted, disjoint, and owned by hash.
+            assert!(prev.map(|p| p < key).unwrap_or(true), "unsorted table");
+            prev = Some(key);
+            assert_eq!(owner_of(key, cfg.nodes), rank, "key on wrong node");
+            assert!(got.insert(key, count).is_none(), "key on two nodes");
+        }
+    }
+    assert_eq!(got, expect);
+    let distinct: u64 = report.distinct_per_node.iter().sum();
+    assert_eq!(distinct as usize, expect.len());
+}
+
+#[test]
+fn groupby_poisson_heavy_duplication() {
+    let mut cfg = SortConfig::test_default(4, 4096);
+    cfg.dist = KeyDist::Poisson; // ~10 distinct keys over 16k records
+    check_groupby(&cfg);
+}
+
+#[test]
+fn groupby_uniform_mostly_distinct() {
+    let cfg = SortConfig::test_default(4, 2048);
+    check_groupby(&cfg);
+}
+
+#[test]
+fn groupby_all_equal_single_hot_key() {
+    let mut cfg = SortConfig::test_default(4, 2048);
+    cfg.dist = KeyDist::AllEqual;
+    let disks = provision(&cfg);
+    let report = run_groupby(&cfg, &disks).expect("groupby");
+    // One distinct key in the whole dataset, owned by exactly one node.
+    let distinct: u64 = report.distinct_per_node.iter().sum();
+    assert_eq!(distinct, 1);
+    let total: u64 = disks
+        .iter()
+        .flat_map(read_counts)
+        .map(|(_, c)| c)
+        .sum();
+    assert_eq!(total, cfg.total_records() as u64);
+}
+
+#[test]
+fn groupby_hotkey_skew() {
+    let mut cfg = SortConfig::test_default(3, 1536);
+    cfg.dist = KeyDist::HotKey { hot_percent: 90 };
+    check_groupby(&cfg);
+}
+
+#[test]
+fn groupby_single_node() {
+    let mut cfg = SortConfig::test_default(1, 1024);
+    cfg.dist = KeyDist::Poisson;
+    check_groupby(&cfg);
+}
+
+#[test]
+fn groupby_with_cost_model() {
+    let mut cfg = SortConfig::experiment_default(4, 1024);
+    cfg.disk = fg_pdm::DiskCfg::new(std::time::Duration::from_micros(20), 8.0 * 1024.0 * 1024.0);
+    cfg.net = fg_cluster::NetCfg::new(std::time::Duration::from_micros(5), 32.0 * 1024.0 * 1024.0);
+    cfg.dist = KeyDist::Poisson;
+    check_groupby(&cfg);
+}
+
+#[test]
+fn groupby_64_byte_records() {
+    // Regression: the send buffer must hold a full input block even when
+    // the combined-pair representation is smaller than the block.
+    let mut cfg = SortConfig::test_default(3, 512);
+    cfg.record = fg_sort::record::RecordFormat::REC64;
+    cfg.block_bytes = 64 * 64;
+    cfg.run_bytes = 4 * cfg.block_bytes;
+    cfg.vertical_buf_bytes = 8 * 64;
+    cfg.dist = KeyDist::Poisson;
+    check_groupby(&cfg);
+}
+
+#[test]
+fn groupby_zipf_skew() {
+    let mut cfg = SortConfig::test_default(4, 4096);
+    cfg.dist = KeyDist::Zipf { n: 200 };
+    check_groupby(&cfg);
+}

@@ -1,0 +1,54 @@
+//! Criterion benches regenerating Figure 8: dsort and csort per
+//! (record size × distribution) cell, at bench scale.
+//!
+//! The `experiments` binary produces the paper-shaped tables at full
+//! simulated scale; these benches provide statistically sampled timings of
+//! the same code paths at a smaller scale suitable for regression
+//! tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fg_sort::config::SortConfig;
+use fg_sort::csort::run_csort;
+use fg_sort::dsort::run_dsort;
+use fg_sort::input::provision;
+use fg_sort::keygen::KeyDist;
+use fg_sort::record::RecordFormat;
+
+/// Small but non-trivial: 4 nodes, 64 KiB/node, mild cost model so the
+/// benches finish quickly while still exercising the simulated substrate.
+fn bench_config(record: RecordFormat, dist: KeyDist) -> SortConfig {
+    let mut cfg = SortConfig::experiment_default(4, (64 << 10) / record.record_bytes);
+    cfg.record = record;
+    cfg.dist = dist;
+    cfg.disk = fg_pdm::DiskCfg::new(std::time::Duration::from_micros(50), 24.0 * 1024.0 * 1024.0);
+    cfg.net = fg_cluster::NetCfg::new(std::time::Duration::from_micros(10), 100.0 * 1024.0 * 1024.0);
+    cfg
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for record in [RecordFormat::REC16, RecordFormat::REC64] {
+        for dist in KeyDist::figure8() {
+            let rec_name = format!("rec{}", record.record_bytes);
+            let cfg = bench_config(record, dist);
+            group.bench_function(format!("dsort/{rec_name}/{}", dist.label()), |b| {
+                b.iter(|| {
+                    let disks = provision(&cfg);
+                    run_dsort(&cfg, &disks).expect("dsort")
+                })
+            });
+            group.bench_function(format!("csort/{rec_name}/{}", dist.label()), |b| {
+                b.iter(|| {
+                    let disks = provision(&cfg);
+                    run_csort(&cfg, &disks).expect("csort")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,262 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p fg-bench --release --bin experiments -- all
+//! cargo run -p fg-bench --release --bin experiments -- fig8a [--quick]
+//! ```
+//!
+//! Subcommands (see DESIGN.md's experiment index):
+//! `fig8a`, `fig8b`, `ratio-table` (T1), `splitter-balance` (T2),
+//! `io-volume` (T3), `unbalanced` (T4), `ablation-linear` (A1),
+//! `ablation-virtual` (A2), `ablation-overlap` (A3), `buffer-sweep` (A4),
+//! `ablation-passes` (A5), `ablation-readahead` (A6), `all`.
+
+use std::time::Duration;
+
+use fg_bench::{
+    run_buffer_sweep, run_fig8_panel, run_io_volume, run_linear_ablation, run_splitter_balance,
+    run_unbalanced, run_virtual_ablation, Fig8Cell, Scale,
+};
+use fg_pdm::DiskCfg;
+use fg_sort::record::RecordFormat;
+
+fn secs(d: Duration) -> String {
+    format!("{:7.3}", d.as_secs_f64())
+}
+
+fn print_fig8(panel: &[Fig8Cell], title: &str) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<12} | {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7} | {:>7}",
+        "distribution",
+        "d.samp",
+        "d.p1",
+        "d.p2",
+        "dsort",
+        "c.p1",
+        "c.p2",
+        "c.p3",
+        "csort",
+        "d/c %"
+    );
+    println!("{}", "-".repeat(100));
+    for cell in panel {
+        let d = &cell.dsort;
+        let c = &cell.csort;
+        println!(
+            "{:<12} | {} {} {} {} | {} {} {} {} | {:6.2}%",
+            cell.dist.label(),
+            secs(d.sampling),
+            secs(d.pass1),
+            secs(d.pass2),
+            secs(d.total()),
+            secs(c.pass[0]),
+            secs(c.pass[1]),
+            secs(c.pass[2]),
+            secs(c.total),
+            100.0 * cell.ratio(),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper_scaled()
+    };
+    println!(
+        "scale: {} nodes x {} KiB/node{}",
+        scale.nodes,
+        scale.bytes_per_node >> 10,
+        if quick { " (quick)" } else { "" }
+    );
+
+    let run_all = cmd == "all";
+    let mut fig8a: Option<Vec<Fig8Cell>> = None;
+    let mut fig8b: Option<Vec<Fig8Cell>> = None;
+
+    if run_all || cmd == "fig8a" || cmd == "ratio-table" {
+        let panel = run_fig8_panel(scale, RecordFormat::REC16).expect("fig8a");
+        print_fig8(&panel, "Figure 8(a): 16-byte records, total & per-pass times (s)");
+        fig8a = Some(panel);
+    }
+    if run_all || cmd == "fig8b" || cmd == "ratio-table" {
+        let panel = run_fig8_panel(scale, RecordFormat::REC64).expect("fig8b");
+        print_fig8(&panel, "Figure 8(b): 64-byte records, total & per-pass times (s)");
+        fig8b = Some(panel);
+    }
+    if run_all || cmd == "ratio-table" {
+        println!("\n=== T1: dsort/csort total-time ratios (paper: 74.26%-85.06%) ===");
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for (name, panel) in [("16-byte", &fig8a), ("64-byte", &fig8b)] {
+            if let Some(panel) = panel {
+                for cell in panel {
+                    let r = 100.0 * cell.ratio();
+                    lo = lo.min(r);
+                    hi = hi.max(r);
+                    println!("{name:<8} {:<12} {r:6.2}%", cell.dist.label());
+                }
+            }
+        }
+        if lo <= hi {
+            println!("range: {lo:.2}% - {hi:.2}%");
+        }
+    }
+    if run_all || cmd == "splitter-balance" {
+        println!("\n=== T2: splitter balance, max partition / average (paper: <= 1.10) ===");
+        let oversamples = if quick { vec![4, 32] } else { vec![4, 16, 64] };
+        let rows = run_splitter_balance(scale, &oversamples).expect("splitter-balance");
+        println!("{:<12} {:>10} {:>12}", "distribution", "oversample", "max/avg");
+        for row in rows {
+            println!(
+                "{:<12} {:>10} {:>11.3}x",
+                row.dist.label(),
+                row.oversample,
+                row.max_over_avg
+            );
+        }
+    }
+    if run_all || cmd == "io-volume" {
+        println!("\n=== T3: data volume (paper: csort does ~50% more disk I/O) ===");
+        let rows = run_io_volume(scale).expect("io-volume");
+        println!(
+            "{:<8} {:>12} {:>12} {:>12}",
+            "program", "read MiB", "write MiB", "net MiB"
+        );
+        let mib = |b: u64| b as f64 / (1 << 20) as f64;
+        for r in &rows {
+            println!(
+                "{:<8} {:>12.2} {:>12.2} {:>12.2}",
+                r.program,
+                mib(r.bytes_read),
+                mib(r.bytes_written),
+                mib(r.net_bytes)
+            );
+        }
+        if rows.len() == 2 {
+            let dio = (rows[0].bytes_read + rows[0].bytes_written) as f64;
+            let cio = (rows[1].bytes_read + rows[1].bytes_written) as f64;
+            println!("csort/dsort disk-I/O ratio: {:.2}x (paper: ~1.5x)", cio / dio);
+        }
+    }
+    if run_all || cmd == "unbalanced" {
+        println!("\n=== T4: adversarial unbalanced-communication inputs ===");
+        let rows = run_unbalanced(scale).expect("unbalanced");
+        println!(
+            "{:<12} {:>9} {:>9} {:>8}",
+            "input", "dsort s", "csort s", "d/c %"
+        );
+        for r in rows {
+            println!(
+                "{:<12} {:>9.3} {:>9.3} {:>7.2}%",
+                r.label,
+                r.dsort.total().as_secs_f64(),
+                r.csort.total.as_secs_f64(),
+                100.0 * r.dsort.total().as_secs_f64() / r.csort.total.as_secs_f64()
+            );
+        }
+    }
+    if run_all || cmd == "ablation-linear" {
+        println!("\n=== A1: dsort (multiple pipelines) vs dsort-linear (single pipelines) ===");
+        let rows = run_linear_ablation(scale).expect("ablation-linear");
+        println!(
+            "{:<12} {:>9} {:>9} {:>9}",
+            "input", "dsort s", "linear s", "speedup"
+        );
+        for r in rows {
+            println!(
+                "{:<12} {:>9.3} {:>9.3} {:>8.2}x",
+                r.label,
+                r.dsort.total().as_secs_f64(),
+                r.linear.total().as_secs_f64(),
+                r.linear.total().as_secs_f64() / r.dsort.total().as_secs_f64()
+            );
+        }
+    }
+    if run_all || cmd == "ablation-virtual" {
+        println!("\n=== A2: virtual stages keep thread counts flat ===");
+        let run_kib = if quick {
+            vec![64, 16]
+        } else {
+            vec![256, 64, 16]
+        };
+        let rows = run_virtual_ablation(scale, &run_kib).expect("ablation-virtual");
+        println!(
+            "{:>12} {:>14} {:>12} {:>11} {:>10}",
+            "runs/node", "thr(virtual)", "thr(plain)", "t(virt) s", "t(plain) s"
+        );
+        for r in rows {
+            println!(
+                "{:>12} {:>14} {:>12} {:>11.3} {:>10.3}",
+                r.runs_per_node,
+                r.threads_virtual,
+                r.threads_plain,
+                r.time_virtual.as_secs_f64(),
+                r.time_plain.as_secs_f64()
+            );
+        }
+    }
+    if run_all || cmd == "ablation-overlap" {
+        println!("\n=== A3: pipeline overlap vs serial execution (single node) ===");
+        let disk = DiskCfg::new(Duration::from_micros(500), 200.0 * 1024.0 * 1024.0);
+        let (blocks, passes) = if quick { (64, 12) } else { (256, 12) };
+        let res = fg_bench::overlap::run_overlap(blocks, 64 << 10, disk, passes)
+            .expect("ablation-overlap");
+        println!(
+            "blocks: {}   pipelined: {:.3}s   serial: {:.3}s   speedup: {:.2}x",
+            res.blocks,
+            res.pipelined.as_secs_f64(),
+            res.serial.as_secs_f64(),
+            res.speedup()
+        );
+    }
+    if run_all || cmd == "ablation-passes" {
+        println!("\n=== A5: three-pass vs four-pass columnsort (the coalescing win) ===");
+        let row = fg_bench::run_csort_pass_ablation(scale).expect("ablation-passes");
+        println!(
+            "csort3: {:.3}s   csort4: {:.3}s   time ratio {:.2}x   I/O ratio {:.2}x (expected ~1.33x)",
+            row.csort3_total.as_secs_f64(),
+            row.csort4_total.as_secs_f64(),
+            row.ratio,
+            row.io_ratio
+        );
+    }
+    if run_all || cmd == "ablation-readahead" {
+        println!("\n=== A6: read-ahead depth on dsort's pass-2 run pipelines ===");
+        let depths = if quick { vec![1, 2] } else { vec![1, 2, 4, 8] };
+        let rows = fg_bench::run_readahead_ablation(scale, &depths).expect("ablation-readahead");
+        println!("{:>6} {:>10} {:>9}", "depth", "pass2 s", "total s");
+        for r in rows {
+            println!(
+                "{:>6} {:>10.3} {:>9.3}",
+                r.depth,
+                r.pass2.as_secs_f64(),
+                r.total.as_secs_f64()
+            );
+        }
+    }
+    if run_all || cmd == "buffer-sweep" {
+        println!("\n=== A4: buffer-size sweep ===");
+        let sizes = if quick { vec![16, 64] } else { vec![16, 32, 64, 128, 256] };
+        let rows = run_buffer_sweep(scale, &sizes).expect("buffer-sweep");
+        println!("{:>10} {:>9} {:>9}", "block KiB", "dsort s", "csort s");
+        for r in rows {
+            println!(
+                "{:>10} {:>9.3} {:>9.3}",
+                r.block_bytes >> 10,
+                r.dsort_total.as_secs_f64(),
+                r.csort_total.as_secs_f64()
+            );
+        }
+    }
+    println!("\ndone.");
+}

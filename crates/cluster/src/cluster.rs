@@ -1,0 +1,169 @@
+//! Launching a simulated cluster: one OS thread per node, message-passing
+//! only.
+//!
+//! The paper's platform is "a distributed-memory cluster in which each node
+//! can run multiple threads" (§I).  [`Cluster::run`] reproduces that: the
+//! node function receives a [`NodeCtx`] with its rank and communicator and
+//! typically builds FG [`Program`](fg_core::Program)s that spawn the node's
+//! stage threads.  Nodes share nothing except the communicator (enforced by
+//! `Send` bounds and the absence of any other shared handle in the API).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::comm::Communicator;
+use crate::cost::NetCfg;
+use crate::fabric::{Fabric, NodeTraffic};
+use crate::{ClusterError, CommError};
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterCfg {
+    /// Number of nodes (`P` in the paper).
+    pub nodes: usize,
+    /// Interconnect cost model.
+    pub net: NetCfg,
+}
+
+impl ClusterCfg {
+    /// A free-network cluster of `nodes` nodes (for tests).
+    pub fn zero_cost(nodes: usize) -> Self {
+        ClusterCfg {
+            nodes,
+            net: NetCfg::zero(),
+        }
+    }
+}
+
+/// Everything a node function gets: identity and connectivity.
+pub struct NodeCtx {
+    comm: Communicator,
+}
+
+impl NodeCtx {
+    /// This node's rank.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.comm.nodes()
+    }
+
+    /// The node's communicator (clone it into stages freely).
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+}
+
+/// Result of a cluster run: each node's return value plus traffic stats.
+#[derive(Debug)]
+pub struct ClusterRun<R> {
+    /// Per-node results, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-node traffic counters, indexed by rank.
+    pub traffic: Vec<NodeTraffic>,
+}
+
+/// A simulated distributed-memory cluster.
+pub struct Cluster;
+
+impl Cluster {
+    /// Run `f` on every node of a fresh cluster and collect the results.
+    ///
+    /// If any node returns an error or panics, the fabric is poisoned so
+    /// blocked receives on other nodes fail promptly, and the first error
+    /// is returned.
+    pub fn run<R, F>(cfg: ClusterCfg, f: F) -> Result<ClusterRun<R>, ClusterError>
+    where
+        R: Send + 'static,
+        F: Fn(NodeCtx) -> Result<R, ClusterError> + Send + Sync + 'static,
+    {
+        if cfg.nodes == 0 {
+            return Err(ClusterError::Config("cluster needs at least one node".into()));
+        }
+        let fabric = Fabric::new(cfg.nodes, cfg.net);
+        let f = Arc::new(f);
+
+        let mut handles = Vec::with_capacity(cfg.nodes);
+        for rank in 0..cfg.nodes {
+            let fabric = Arc::clone(&fabric);
+            let f = Arc::clone(&f);
+            let handle = std::thread::Builder::new()
+                .name(format!("node{rank}"))
+                .spawn(move || {
+                    let ctx = NodeCtx {
+                        comm: Communicator::new(Arc::clone(&fabric), rank),
+                    };
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(ctx)));
+                    match outcome {
+                        Ok(Ok(r)) => Ok(r),
+                        Ok(Err(e)) => {
+                            fabric.poison();
+                            Err(e)
+                        }
+                        Err(payload) => {
+                            fabric.poison();
+                            let message = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "<non-string panic payload>".into());
+                            Err(ClusterError::NodePanic { rank, message })
+                        }
+                    }
+                })
+                .map_err(|e| ClusterError::Config(format!("failed to spawn node: {e}")))?;
+            handles.push(handle);
+        }
+
+        let mut results = Vec::with_capacity(cfg.nodes);
+        let mut first_err: Option<ClusterError> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(r)) => results.push(Some(r)),
+                Ok(Err(e)) => {
+                    results.push(None);
+                    // Prefer a root-cause error over secondary ones (nodes
+                    // that merely observed the poisoned fabric or their FG
+                    // program being cancelled).
+                    if first_err.is_none()
+                        || (!is_secondary_err(&e)
+                            && first_err.as_ref().map(is_secondary_err).unwrap_or(false))
+                    {
+                        first_err = Some(e);
+                    }
+                }
+                Err(_) => {
+                    results.push(None);
+                    if first_err.is_none() {
+                        first_err = Some(ClusterError::Config(
+                            "node thread wrapper panicked".into(),
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let traffic = (0..cfg.nodes).map(|n| fabric.traffic(n)).collect();
+        Ok(ClusterRun {
+            results: results.into_iter().map(|r| r.expect("no error")).collect(),
+            traffic,
+        })
+    }
+}
+
+/// Whether an error is a downstream symptom of another node's failure
+/// rather than a root cause.
+fn is_secondary_err(e: &ClusterError) -> bool {
+    match e {
+        ClusterError::Comm(CommError::Poisoned) => true,
+        ClusterError::Node { message, .. } | ClusterError::NodePanic { message, .. } => {
+            message.contains("poisoned") || message.contains("cancelled")
+        }
+        _ => false,
+    }
+}

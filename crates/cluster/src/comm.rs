@@ -1,0 +1,304 @@
+//! The thread-safe, MPI-like communicator handed to every node.
+//!
+//! The paper's programs use ChaMPIon/Pro, a thread-safe commercial MPI: FG
+//! stages on different threads of one node send and receive concurrently.
+//! [`Communicator`] reproduces the subset dsort and csort need:
+//!
+//! * tagged point-to-point `send`/`recv` with `ANY_SOURCE` receives,
+//! * `sendrecv_replace`,
+//! * `alltoallv` (the generalized all-to-all of the even columnsort steps),
+//! * `broadcast`, `gather`, `allgather`, `barrier`, and u64 reductions.
+//!
+//! Point-to-point operations may be used concurrently from any number of
+//! threads per node.  Collectives follow the MPI contract: every node calls
+//! the same collectives in the same order (from one thread at a time per
+//! node); point-to-point traffic may interleave freely with them because
+//! collectives use a reserved tag space.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::fabric::{Fabric, NodeTraffic};
+use crate::CommError;
+
+/// Tags are user-chosen for point-to-point messages; collectives reserve
+/// tags with the top bit set.
+const COLLECTIVE_BIT: u64 = 1 << 63;
+/// Maximum user tag value.
+pub const MAX_USER_TAG: u64 = COLLECTIVE_BIT - 1;
+
+/// A node's handle to the cluster interconnect.  Cheap to clone; clones
+/// share the node's identity and collective sequence.
+#[derive(Clone)]
+pub struct Communicator {
+    fabric: Arc<Fabric>,
+    rank: usize,
+    /// Collective call sequence number; identical across nodes because all
+    /// nodes invoke collectives in the same order.
+    coll_seq: Arc<AtomicU64>,
+}
+
+/// A received message: its payload and the rank that sent it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sender's rank.
+    pub src: usize,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Communicator {
+    pub(crate) fn new(fabric: Arc<Fabric>, rank: usize) -> Self {
+        Communicator {
+            fabric,
+            rank,
+            coll_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// This node's rank in `0..nodes()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.fabric.nodes()
+    }
+
+    /// Traffic sent so far by `node`.
+    pub fn traffic(&self, node: usize) -> NodeTraffic {
+        self.fabric.traffic(node)
+    }
+
+    fn check_tag(tag: u64) -> Result<(), CommError> {
+        if tag > MAX_USER_TAG {
+            Err(CommError::BadTag(tag))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Send `payload` to `dst` with a user `tag`.  Buffered: completes
+    /// without waiting for the receiver (after charging the network cost).
+    pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
+        Self::check_tag(tag)?;
+        self.fabric.send(self.rank, dst, tag, payload)
+    }
+
+    /// Receive the next message with `tag` from `src` (or from any source
+    /// when `src` is `None`).  Blocks until one arrives.
+    pub fn recv(&self, src: Option<usize>, tag: u64) -> Result<Message, CommError> {
+        Self::check_tag(tag)?;
+        let env = self.fabric.recv(self.rank, src, tag)?;
+        Ok(Message {
+            src: env.src,
+            payload: env.payload,
+        })
+    }
+
+    /// MPI_Sendrecv_replace: send `payload` to `dst` while receiving a
+    /// same-tagged message from `src`; returns the received payload.
+    pub fn sendrecv_replace(
+        &self,
+        payload: Vec<u8>,
+        dst: usize,
+        src: usize,
+        tag: u64,
+    ) -> Result<Vec<u8>, CommError> {
+        Self::check_tag(tag)?;
+        self.fabric.send(self.rank, dst, tag, payload)?;
+        let env = self.fabric.recv(self.rank, Some(src), tag)?;
+        Ok(env.payload)
+    }
+
+    fn next_coll_tag(&self) -> u64 {
+        COLLECTIVE_BIT | self.coll_seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Synchronize all nodes.
+    pub fn barrier(&self) -> Result<(), CommError> {
+        let tag = self.next_coll_tag();
+        // Gather empty payloads at 0, then 0 releases everyone.
+        if self.rank == 0 {
+            for _ in 1..self.nodes() {
+                self.fabric.recv(0, None, tag)?;
+            }
+            for dst in 1..self.nodes() {
+                self.fabric.send(0, dst, tag, Vec::new())?;
+            }
+        } else {
+            self.fabric.send(self.rank, 0, tag, Vec::new())?;
+            self.fabric.recv(self.rank, Some(0), tag)?;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `data` from `root` to every node; returns the broadcast
+    /// payload on all nodes (`data` is ignored on non-roots).
+    pub fn broadcast(&self, root: usize, data: &[u8]) -> Result<Vec<u8>, CommError> {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            for dst in 0..self.nodes() {
+                if dst != root {
+                    self.fabric.send(root, dst, tag, data.to_vec())?;
+                }
+            }
+            Ok(data.to_vec())
+        } else {
+            Ok(self.fabric.recv(self.rank, Some(root), tag)?.payload)
+        }
+    }
+
+    /// Gather each node's `data` at `root`; returns `Some(parts)` (indexed
+    /// by rank) at the root and `None` elsewhere.
+    pub fn gather(&self, root: usize, data: Vec<u8>) -> Result<Option<Vec<Vec<u8>>>, CommError> {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let mut parts: Vec<Vec<u8>> = vec![Vec::new(); self.nodes()];
+            parts[root] = data;
+            for _ in 0..self.nodes() - 1 {
+                let env = self.fabric.recv(root, None, tag)?;
+                parts[env.src] = env.payload;
+            }
+            Ok(Some(parts))
+        } else {
+            self.fabric.send(self.rank, root, tag, data)?;
+            Ok(None)
+        }
+    }
+
+    /// All nodes contribute `data`; all nodes receive every node's
+    /// contribution, indexed by rank.
+    pub fn allgather(&self, data: Vec<u8>) -> Result<Vec<Vec<u8>>, CommError> {
+        // gather at 0 + broadcast of the length-prefixed concatenation.
+        let gathered = self.gather(0, data)?;
+        let packed = match gathered {
+            Some(parts) => pack_parts(&parts),
+            None => Vec::new(),
+        };
+        let bytes = self.broadcast(0, &packed)?;
+        unpack_parts(&bytes)
+    }
+
+    /// MPI_Alltoallv: send `parts[i]` to node `i` (including `parts[rank]`
+    /// to self, delivered locally for free); returns the parts received,
+    /// indexed by sender rank.
+    pub fn alltoallv(&self, mut parts: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, CommError> {
+        if parts.len() != self.nodes() {
+            return Err(CommError::BadShape(format!(
+                "alltoallv needs {} parts, got {}",
+                self.nodes(),
+                parts.len()
+            )));
+        }
+        let tag = self.next_coll_tag();
+        let mine = std::mem::take(&mut parts[self.rank]);
+        for (dst, part) in parts.iter_mut().enumerate() {
+            if dst != self.rank {
+                self.fabric.send(self.rank, dst, tag, std::mem::take(part))?;
+            }
+        }
+        let mut received: Vec<Vec<u8>> = vec![Vec::new(); self.nodes()];
+        received[self.rank] = mine;
+        for _ in 0..self.nodes() - 1 {
+            let env = self.fabric.recv(self.rank, None, tag)?;
+            received[env.src] = env.payload;
+        }
+        Ok(received)
+    }
+
+    /// Sum a u64 across all nodes (everyone gets the result).
+    pub fn allreduce_sum(&self, x: u64) -> Result<u64, CommError> {
+        Ok(self.allgather_u64(x)?.into_iter().sum())
+    }
+
+    /// Max of a u64 across all nodes (everyone gets the result).
+    pub fn allreduce_max(&self, x: u64) -> Result<u64, CommError> {
+        Ok(self.allgather_u64(x)?.into_iter().max().unwrap_or(0))
+    }
+
+    /// Allgather a single u64 per node; result indexed by rank.
+    pub fn allgather_u64(&self, x: u64) -> Result<Vec<u64>, CommError> {
+        let parts = self.allgather(x.to_le_bytes().to_vec())?;
+        parts
+            .into_iter()
+            .map(|p| {
+                p.as_slice()
+                    .try_into()
+                    .map(u64::from_le_bytes)
+                    .map_err(|_| CommError::BadShape("allgather_u64 payload".into()))
+            })
+            .collect()
+    }
+}
+
+/// Length-prefixed concatenation of parts.
+fn pack_parts(parts: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = parts.iter().map(|p| 8 + p.len()).sum();
+    let mut out = Vec::with_capacity(8 + total);
+    out.extend_from_slice(&(parts.len() as u64).to_le_bytes());
+    for p in parts {
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+fn unpack_parts(bytes: &[u8]) -> Result<Vec<Vec<u8>>, CommError> {
+    let bad = || CommError::BadShape("malformed packed parts".into());
+    let mut off = 0usize;
+    let take_u64 = |off: &mut usize| -> Result<u64, CommError> {
+        let end = *off + 8;
+        let v = bytes.get(*off..end).ok_or_else(bad)?;
+        *off = end;
+        Ok(u64::from_le_bytes(v.try_into().expect("8 bytes")))
+    };
+    let n = take_u64(&mut off)? as usize;
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = take_u64(&mut off)? as usize;
+        let end = off.checked_add(len).ok_or_else(bad)?;
+        parts.push(bytes.get(off..end).ok_or_else(bad)?.to_vec());
+        off = end;
+    }
+    if off != bytes.len() {
+        return Err(bad());
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let parts = vec![vec![1, 2, 3], vec![], vec![9; 100]];
+        assert_eq!(unpack_parts(&pack_parts(&parts)).unwrap(), parts);
+    }
+
+    #[test]
+    fn unpack_rejects_garbage() {
+        assert!(unpack_parts(&[1, 2, 3]).is_err());
+        // Claim one part of absurd length.
+        let mut bytes = 1u64.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(unpack_parts(&bytes).is_err());
+        // Trailing junk.
+        let mut ok = pack_parts(&[vec![1]]);
+        ok.push(0);
+        assert!(unpack_parts(&ok).is_err());
+    }
+
+    #[test]
+    fn user_tag_range_enforced() {
+        let fabric = Fabric::new(1, crate::NetCfg::zero());
+        let comm = Communicator::new(fabric, 0);
+        assert!(matches!(
+            comm.send(0, COLLECTIVE_BIT, vec![]),
+            Err(CommError::BadTag(_))
+        ));
+        assert!(comm.send(0, MAX_USER_TAG, vec![]).is_ok());
+    }
+}

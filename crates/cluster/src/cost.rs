@@ -1,0 +1,98 @@
+//! Network cost model.
+//!
+//! The paper's cluster connects 16 nodes with a 2 Gb/s Myrinet network and a
+//! thread-safe MPI.  We model the *property FG targets* — interprocessor
+//! communication is a high-latency blocking operation — by charging each
+//! message `latency + bytes / bandwidth` of real wall-clock sleep on the
+//! sending thread.  Other stage threads on the node keep running meanwhile,
+//! so FG's overlap is physically real in measurements.  Tests use
+//! [`NetCfg::zero`] and run at full speed.
+
+use std::time::Duration;
+
+/// Cost parameters of the simulated interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetCfg {
+    /// Fixed per-message latency.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second; `f64::INFINITY` disables the
+    /// per-byte cost.
+    pub bytes_per_sec: f64,
+}
+
+impl NetCfg {
+    /// A free network: no latency, infinite bandwidth (for tests).
+    pub fn zero() -> Self {
+        NetCfg {
+            latency: Duration::ZERO,
+            bytes_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// A network with the given latency and bandwidth.
+    pub fn new(latency: Duration, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        NetCfg {
+            latency,
+            bytes_per_sec,
+        }
+    }
+
+    /// Wall-clock cost of transferring `bytes`.
+    pub fn cost(&self, bytes: usize) -> Duration {
+        let transfer = if self.bytes_per_sec.is_finite() {
+            Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+        } else {
+            Duration::ZERO
+        };
+        self.latency + transfer
+    }
+
+    /// Charge the cost of transferring `bytes` to the calling thread.
+    pub fn charge(&self, bytes: usize) {
+        let d = self.cost(bytes);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+impl Default for NetCfg {
+    fn default() -> Self {
+        NetCfg::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_free() {
+        let c = NetCfg::zero();
+        assert_eq!(c.cost(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn cost_adds_latency_and_transfer() {
+        let c = NetCfg::new(Duration::from_millis(1), 1_000_000.0);
+        // 1ms latency + 500_000 bytes / 1 MB/s = 0.5s
+        let d = c.cost(500_000);
+        assert!((d.as_secs_f64() - 0.501).abs() < 1e-9, "{d:?}");
+    }
+
+    #[test]
+    fn infinite_bandwidth_charges_latency_only() {
+        let c = NetCfg {
+            latency: Duration::from_millis(2),
+            bytes_per_sec: f64::INFINITY,
+        };
+        assert_eq!(c.cost(usize::MAX), Duration::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = NetCfg::new(Duration::ZERO, 0.0);
+    }
+}

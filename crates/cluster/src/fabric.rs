@@ -1,0 +1,254 @@
+//! The message fabric connecting the simulated nodes: one mailbox per node,
+//! tag- and source-matched receives, poisoning on node failure.
+//!
+//! Mailboxes are unbounded (buffered sends complete without waiting for the
+//! receiver, like eager-mode MPI).  Real MPI switches to rendezvous flow
+//! control for large messages; at simulation scale the sorts bound in-flight
+//! data by their pipeline pools, so the simplification is safe, but extreme
+//! artificial skew can grow a receiver's inbox up to the in-flight dataset.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::cost::NetCfg;
+use crate::CommError;
+
+/// A message in flight.
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    pub(crate) src: usize,
+    pub(crate) tag: u64,
+    pub(crate) payload: Vec<u8>,
+}
+
+struct Mailbox {
+    inbox: Mutex<VecDeque<Envelope>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            inbox: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+        }
+    }
+}
+
+/// Per-node traffic counters.
+#[derive(Debug, Default)]
+pub(crate) struct TrafficCounters {
+    pub(crate) bytes_sent: AtomicU64,
+    pub(crate) msgs_sent: AtomicU64,
+}
+
+/// Snapshot of one node's traffic at the end of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    /// Payload bytes this node sent.
+    pub bytes_sent: u64,
+    /// Messages this node sent.
+    pub msgs_sent: u64,
+}
+
+pub(crate) struct Fabric {
+    mailboxes: Vec<Mailbox>,
+    pub(crate) counters: Vec<TrafficCounters>,
+    pub(crate) net: NetCfg,
+    poisoned: AtomicBool,
+}
+
+impl Fabric {
+    pub(crate) fn new(nodes: usize, net: NetCfg) -> Arc<Self> {
+        Arc::new(Fabric {
+            mailboxes: (0..nodes).map(|_| Mailbox::new()).collect(),
+            counters: (0..nodes).map(|_| TrafficCounters::default()).collect(),
+            net,
+            poisoned: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn nodes(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Mark the fabric broken (a node died) and wake every receiver.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        for mb in &self.mailboxes {
+            let _guard = mb.inbox.lock();
+            mb.arrived.notify_all();
+        }
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Deliver a message from `src` to `dst`, charging the network cost to
+    /// the calling (sending) thread *before* delivery.
+    pub(crate) fn send(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        payload: Vec<u8>,
+    ) -> Result<(), CommError> {
+        if dst >= self.mailboxes.len() {
+            return Err(CommError::BadRank(dst));
+        }
+        if self.is_poisoned() {
+            return Err(CommError::Poisoned);
+        }
+        // A node's message to itself is not interprocessor communication:
+        // it costs nothing and is excluded from traffic counters (matching
+        // collectives, whose self part never leaves the node).
+        if src != dst {
+            self.counters[src]
+                .bytes_sent
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            self.counters[src].msgs_sent.fetch_add(1, Ordering::Relaxed);
+            self.net.charge(payload.len());
+        }
+        let mb = &self.mailboxes[dst];
+        let mut inbox = mb.inbox.lock();
+        inbox.push_back(Envelope { src, tag, payload });
+        drop(inbox);
+        mb.arrived.notify_all();
+        Ok(())
+    }
+
+    /// Receive at `me` the first message matching `(src, tag)`.
+    /// `src = None` accepts any source.  Blocks until a match arrives.
+    /// Matching is FIFO among messages from the same source and tag.
+    pub(crate) fn recv(
+        &self,
+        me: usize,
+        src: Option<usize>,
+        tag: u64,
+    ) -> Result<Envelope, CommError> {
+        let mb = &self.mailboxes[me];
+        let mut inbox = mb.inbox.lock();
+        loop {
+            if let Some(pos) = inbox
+                .iter()
+                .position(|e| e.tag == tag && src.map(|s| s == e.src).unwrap_or(true))
+            {
+                return Ok(inbox.remove(pos).expect("position was valid"));
+            }
+            if self.is_poisoned() {
+                return Err(CommError::Poisoned);
+            }
+            mb.arrived.wait(&mut inbox);
+        }
+    }
+
+    pub(crate) fn traffic(&self, node: usize) -> NodeTraffic {
+        NodeTraffic {
+            bytes_sent: self.counters[node].bytes_sent.load(Ordering::Relaxed),
+            msgs_sent: self.counters[node].msgs_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let f = Fabric::new(2, NetCfg::zero());
+        f.send(0, 1, 7, vec![1, 2, 3]).unwrap();
+        let e = f.recv(1, Some(0), 7).unwrap();
+        assert_eq!(e.payload, vec![1, 2, 3]);
+        assert_eq!(e.src, 0);
+    }
+
+    #[test]
+    fn tag_matching_skips_other_tags() {
+        let f = Fabric::new(2, NetCfg::zero());
+        f.send(0, 1, 1, vec![1]).unwrap();
+        f.send(0, 1, 2, vec![2]).unwrap();
+        assert_eq!(f.recv(1, Some(0), 2).unwrap().payload, vec![2]);
+        assert_eq!(f.recv(1, Some(0), 1).unwrap().payload, vec![1]);
+    }
+
+    #[test]
+    fn any_source_matches_first_arrival() {
+        let f = Fabric::new(3, NetCfg::zero());
+        f.send(2, 0, 9, vec![2]).unwrap();
+        f.send(1, 0, 9, vec![1]).unwrap();
+        let e = f.recv(0, None, 9).unwrap();
+        assert_eq!(e.src, 2, "FIFO across sources for ANY_SOURCE");
+    }
+
+    #[test]
+    fn same_src_tag_is_fifo() {
+        let f = Fabric::new(2, NetCfg::zero());
+        for i in 0..10u8 {
+            f.send(0, 1, 5, vec![i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(f.recv(1, Some(0), 5).unwrap().payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let f = Fabric::new(2, NetCfg::zero());
+        let f2 = Arc::clone(&f);
+        let h = thread::spawn(move || f2.recv(1, Some(0), 3).unwrap().payload);
+        thread::sleep(Duration::from_millis(10));
+        f.send(0, 1, 3, vec![9]).unwrap();
+        assert_eq!(h.join().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn poison_wakes_receivers() {
+        let f = Fabric::new(2, NetCfg::zero());
+        let f2 = Arc::clone(&f);
+        let h = thread::spawn(move || f2.recv(1, Some(0), 3));
+        thread::sleep(Duration::from_millis(10));
+        f.poison();
+        assert_eq!(h.join().unwrap().unwrap_err(), CommError::Poisoned);
+        assert_eq!(f.send(0, 1, 0, vec![]).unwrap_err(), CommError::Poisoned);
+    }
+
+    #[test]
+    fn bad_rank_rejected() {
+        let f = Fabric::new(2, NetCfg::zero());
+        assert_eq!(f.send(0, 5, 0, vec![]).unwrap_err(), CommError::BadRank(5));
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let f = Fabric::new(2, NetCfg::zero());
+        f.send(0, 1, 0, vec![0; 100]).unwrap();
+        f.send(0, 1, 0, vec![0; 50]).unwrap();
+        let t = f.traffic(0);
+        assert_eq!(t.bytes_sent, 150);
+        assert_eq!(t.msgs_sent, 2);
+        assert_eq!(f.traffic(1), NodeTraffic::default());
+    }
+
+    #[test]
+    fn concurrent_receivers_different_tags() {
+        // Two threads on the same node wait on different tags; both are
+        // satisfied regardless of arrival order (thread-safe MPI property).
+        let f = Fabric::new(2, NetCfg::zero());
+        let fa = Arc::clone(&f);
+        let fb = Arc::clone(&f);
+        let ha = thread::spawn(move || fa.recv(1, None, 100).unwrap().payload);
+        let hb = thread::spawn(move || fb.recv(1, None, 200).unwrap().payload);
+        thread::sleep(Duration::from_millis(5));
+        f.send(0, 1, 200, vec![2]).unwrap();
+        f.send(0, 1, 100, vec![1]).unwrap();
+        assert_eq!(ha.join().unwrap(), vec![1]);
+        assert_eq!(hb.join().unwrap(), vec![2]);
+    }
+}

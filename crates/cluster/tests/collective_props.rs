@@ -1,0 +1,88 @@
+//! Property-based tests for the communicator's collectives with arbitrary
+//! payloads and cluster sizes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use fg_cluster::{Cluster, ClusterCfg};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// allgather returns every node's exact payload to every node.
+    #[test]
+    fn allgather_roundtrip(nodes in 1usize..6, payloads in vec(vec(any::<u8>(), 0..64), 6)) {
+        let payloads = std::sync::Arc::new(payloads);
+        let p2 = std::sync::Arc::clone(&payloads);
+        let run = Cluster::run(ClusterCfg::zero_cost(nodes), move |node| {
+            let mine = p2[node.rank() % p2.len()].clone();
+            Ok(node.comm().allgather(mine)?)
+        })
+        .unwrap();
+        for parts in run.results {
+            prop_assert_eq!(parts.len(), nodes);
+            for (rank, part) in parts.iter().enumerate() {
+                prop_assert_eq!(part, &payloads[rank % payloads.len()]);
+            }
+        }
+    }
+
+    /// alltoallv conserves every byte and routes it to the right place.
+    #[test]
+    fn alltoallv_conserves_bytes(nodes in 1usize..6, seed in any::<u64>()) {
+        let run = Cluster::run(ClusterCfg::zero_cost(nodes), move |node| {
+            // parts[dst] derived deterministically from (src, dst, seed).
+            let parts: Vec<Vec<u8>> = (0..node.nodes())
+                .map(|dst| {
+                    let len = ((seed ^ (node.rank() as u64) << 8 ^ dst as u64) % 32) as usize;
+                    vec![(node.rank() * 16 + dst) as u8; len]
+                })
+                .collect();
+            Ok(node.comm().alltoallv(parts)?)
+        })
+        .unwrap();
+        for (me, received) in run.results.iter().enumerate() {
+            for (src, part) in received.iter().enumerate() {
+                let len = ((seed ^ (src as u64) << 8 ^ me as u64) % 32) as usize;
+                prop_assert_eq!(part.len(), len, "node {} from {}", me, src);
+                prop_assert!(part.iter().all(|&b| b == (src * 16 + me) as u8));
+            }
+        }
+    }
+
+    /// broadcast delivers the root's exact payload regardless of root.
+    #[test]
+    fn broadcast_from_any_root(nodes in 1usize..6, root_pick in any::<usize>(), data in vec(any::<u8>(), 0..128)) {
+        let root = root_pick % nodes;
+        let data2 = data.clone();
+        let run = Cluster::run(ClusterCfg::zero_cost(nodes), move |node| {
+            let mine = if node.rank() == root { data2.clone() } else { vec![0xEE] };
+            Ok(node.comm().broadcast(root, &mine)?)
+        })
+        .unwrap();
+        for got in run.results {
+            prop_assert_eq!(&got, &data);
+        }
+    }
+
+    /// Reductions agree with the sequential fold for arbitrary inputs.
+    #[test]
+    fn reductions_match_fold(values in vec(any::<u64>(), 1..6)) {
+        let nodes = values.len();
+        let v2 = values.clone();
+        let run = Cluster::run(ClusterCfg::zero_cost(nodes), move |node| {
+            let x = v2[node.rank()];
+            Ok((
+                node.comm().allreduce_sum(x % (u64::MAX / nodes as u64))?,
+                node.comm().allreduce_max(x)?,
+            ))
+        })
+        .unwrap();
+        let sum: u64 = values.iter().map(|&x| x % (u64::MAX / nodes as u64)).sum();
+        let max = *values.iter().max().unwrap();
+        for (s, m) in run.results {
+            prop_assert_eq!(s, sum);
+            prop_assert_eq!(m, max);
+        }
+    }
+}

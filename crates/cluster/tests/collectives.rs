@@ -1,0 +1,276 @@
+//! Integration tests for the cluster: collectives, concurrency across stage
+//! threads, failure poisoning, and the cost model's effect on wall time.
+
+use std::time::{Duration, Instant};
+
+use fg_cluster::{Cluster, ClusterCfg, ClusterError, NetCfg};
+
+const P: usize = 8;
+
+#[test]
+fn barrier_synchronizes() {
+    // Without the barrier, node 0 would observe fewer than P-1 increments.
+    let run = Cluster::run(ClusterCfg::zero_cost(P), |node| {
+        // Everyone tells node 0 they reached phase 1, then barriers.
+        if node.rank() != 0 {
+            node.comm().send(0, 42, vec![node.rank() as u8])?;
+        }
+        node.comm().barrier()?;
+        if node.rank() == 0 {
+            // All P-1 messages must already be deliverable without blocking
+            // indefinitely: they were sent before the barrier.
+            let mut seen = 0;
+            for _ in 1..node.nodes() {
+                node.comm().recv(None, 42)?;
+                seen += 1;
+            }
+            return Ok(seen);
+        }
+        Ok(0)
+    })
+    .unwrap();
+    assert_eq!(run.results[0], P - 1);
+}
+
+#[test]
+fn broadcast_reaches_all() {
+    let run = Cluster::run(ClusterCfg::zero_cost(P), |node| {
+        let data = if node.rank() == 3 { b"splitters".to_vec() } else { vec![] };
+        let got = node.comm().broadcast(3, &data)?;
+        Ok(got)
+    })
+    .unwrap();
+    for r in run.results {
+        assert_eq!(r, b"splitters".to_vec());
+    }
+}
+
+#[test]
+fn gather_collects_by_rank() {
+    let run = Cluster::run(ClusterCfg::zero_cost(P), |node| {
+        let mine = vec![node.rank() as u8; node.rank()];
+        Ok(node.comm().gather(0, mine)?)
+    })
+    .unwrap();
+    let at_root = run.results[0].as_ref().expect("root gets parts");
+    for (rank, part) in at_root.iter().enumerate() {
+        assert_eq!(part, &vec![rank as u8; rank]);
+    }
+    for r in &run.results[1..] {
+        assert!(r.is_none());
+    }
+}
+
+#[test]
+fn allgather_everyone_sees_everything() {
+    let run = Cluster::run(ClusterCfg::zero_cost(P), |node| {
+        Ok(node.comm().allgather(vec![node.rank() as u8 * 10])?)
+    })
+    .unwrap();
+    for parts in run.results {
+        assert_eq!(parts.len(), P);
+        for (rank, part) in parts.iter().enumerate() {
+            assert_eq!(part, &vec![rank as u8 * 10]);
+        }
+    }
+}
+
+#[test]
+fn alltoallv_routes_parts() {
+    let run = Cluster::run(ClusterCfg::zero_cost(P), |node| {
+        // parts[dst] = [src, dst] repeated (src+1) times
+        let parts: Vec<Vec<u8>> = (0..node.nodes())
+            .map(|dst| {
+                std::iter::repeat_n([node.rank() as u8, dst as u8], node.rank() + 1)
+                    .flatten()
+                    .collect()
+            })
+            .collect();
+        Ok(node.comm().alltoallv(parts)?)
+    })
+    .unwrap();
+    for (me, received) in run.results.iter().enumerate() {
+        for (src, part) in received.iter().enumerate() {
+            let expect: Vec<u8> = std::iter::repeat_n([src as u8, me as u8], src + 1)
+                .flatten()
+                .collect();
+            assert_eq!(part, &expect, "node {me} part from {src}");
+        }
+    }
+}
+
+#[test]
+fn alltoallv_wrong_shape_is_error() {
+    let err = Cluster::run(ClusterCfg::zero_cost(2), |node| {
+        node.comm().alltoallv(vec![vec![]])?; // needs 2 parts
+        Ok(())
+    })
+    .unwrap_err();
+    assert!(matches!(err, ClusterError::Comm(_)), "got {err:?}");
+}
+
+#[test]
+fn sendrecv_replace_rotates_ring() {
+    let run = Cluster::run(ClusterCfg::zero_cost(P), |node| {
+        let right = (node.rank() + 1) % node.nodes();
+        let left = (node.rank() + node.nodes() - 1) % node.nodes();
+        let got = node
+            .comm()
+            .sendrecv_replace(vec![node.rank() as u8], right, left, 5)?;
+        Ok(got[0] as usize)
+    })
+    .unwrap();
+    for (me, got) in run.results.iter().enumerate() {
+        assert_eq!(*got, (me + P - 1) % P);
+    }
+}
+
+#[test]
+fn reductions() {
+    let run = Cluster::run(ClusterCfg::zero_cost(P), |node| {
+        let sum = node.comm().allreduce_sum(node.rank() as u64)?;
+        let max = node.comm().allreduce_max(node.rank() as u64)?;
+        let all = node.comm().allgather_u64(node.rank() as u64 * 2)?;
+        Ok((sum, max, all))
+    })
+    .unwrap();
+    let expect_sum = (0..P as u64).sum::<u64>();
+    for (sum, max, all) in run.results {
+        assert_eq!(sum, expect_sum);
+        assert_eq!(max, P as u64 - 1);
+        assert_eq!(all, (0..P as u64).map(|r| r * 2).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn concurrent_stage_threads_share_communicator() {
+    // Each node runs two threads: one streams data to the right neighbor,
+    // one receives from the left — the disjoint send/receive pipeline
+    // pattern, expressed directly against the communicator.
+    const MSGS: usize = 200;
+    let run = Cluster::run(ClusterCfg::zero_cost(4), |node| {
+        let right = (node.rank() + 1) % node.nodes();
+        let comm_tx = node.comm().clone();
+        let comm_rx = node.comm().clone();
+        let tx = std::thread::spawn(move || -> Result<(), ClusterError> {
+            for i in 0..MSGS {
+                comm_tx.send(right, 77, vec![(i % 251) as u8])?;
+            }
+            Ok(())
+        });
+        let rx = std::thread::spawn(move || -> Result<u64, ClusterError> {
+            let mut sum = 0u64;
+            for _ in 0..MSGS {
+                let m = comm_rx.recv(None, 77)?;
+                sum += m.payload[0] as u64;
+            }
+            Ok(sum)
+        });
+        tx.join().expect("tx thread")?;
+        let sum = rx.join().expect("rx thread")?;
+        Ok(sum)
+    })
+    .unwrap();
+    let expect: u64 = (0..MSGS).map(|i| (i % 251) as u64).sum();
+    for s in run.results {
+        assert_eq!(s, expect);
+    }
+}
+
+#[test]
+fn node_error_poisons_cluster() {
+    let err = Cluster::run(ClusterCfg::zero_cost(3), |node| {
+        if node.rank() == 1 {
+            return Err(ClusterError::Node {
+                rank: 1,
+                message: "synthetic".into(),
+            });
+        }
+        // Other nodes block on a message that will never come; poisoning
+        // must wake them.
+        node.comm().recv(Some(1), 9)?;
+        Ok(())
+    })
+    .unwrap_err();
+    match err {
+        ClusterError::Node { rank, .. } => assert_eq!(rank, 1),
+        other => panic!("expected root-cause node error, got {other:?}"),
+    }
+}
+
+#[test]
+fn node_panic_poisons_cluster() {
+    let err = Cluster::run(ClusterCfg::zero_cost(3), |node| {
+        if node.rank() == 2 {
+            panic!("synthetic node panic");
+        }
+        node.comm().recv(Some(2), 9)?;
+        Ok(())
+    })
+    .unwrap_err();
+    match err {
+        ClusterError::NodePanic { rank, message } => {
+            assert_eq!(rank, 2);
+            assert!(message.contains("synthetic"));
+        }
+        other => panic!("expected panic error, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_node_cluster_rejected() {
+    let err = Cluster::run(ClusterCfg::zero_cost(0), |_node| Ok(())).unwrap_err();
+    assert!(matches!(err, ClusterError::Config(_)));
+}
+
+#[test]
+fn single_node_cluster_works() {
+    let run = Cluster::run(ClusterCfg::zero_cost(1), |node| {
+        // Self-send via alltoallv local part.
+        let recv = node.comm().alltoallv(vec![vec![42]])?;
+        assert_eq!(recv, vec![vec![42]]);
+        node.comm().barrier()?;
+        Ok(node.comm().allreduce_sum(7)?)
+    })
+    .unwrap();
+    assert_eq!(run.results, vec![7]);
+}
+
+#[test]
+fn traffic_counters_reported() {
+    let run = Cluster::run(ClusterCfg::zero_cost(2), |node| {
+        if node.rank() == 0 {
+            node.comm().send(1, 1, vec![0; 1000])?;
+        } else {
+            node.comm().recv(Some(0), 1)?;
+        }
+        node.comm().barrier()?;
+        Ok(())
+    })
+    .unwrap();
+    assert!(run.traffic[0].bytes_sent >= 1000);
+    // Node 1 sent only barrier control traffic.
+    assert!(run.traffic[1].bytes_sent < 100);
+}
+
+#[test]
+fn network_cost_slows_transfers() {
+    let send_one = |net: NetCfg| {
+        let t0 = Instant::now();
+        Cluster::run(ClusterCfg { nodes: 2, net }, |node| {
+            if node.rank() == 0 {
+                node.comm().send(1, 1, vec![0; 100_000])?;
+            } else {
+                node.comm().recv(Some(0), 1)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        t0.elapsed()
+    };
+    let free = send_one(NetCfg::zero());
+    // 100 kB at 2 MB/s = 50 ms.
+    let slow = send_one(NetCfg::new(Duration::ZERO, 2_000_000.0));
+    assert!(slow >= Duration::from_millis(45), "slow run took {slow:?}");
+    assert!(free < slow, "free {free:?} vs slow {slow:?}");
+}

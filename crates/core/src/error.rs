@@ -1,0 +1,90 @@
+//! Error types for the FG runtime.
+
+use std::fmt;
+
+/// Errors produced while building or running an FG program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FgError {
+    /// The program graph was malformed (empty pipeline, unknown stage,
+    /// buffer conveyed to a pipeline the stage does not belong to, ...).
+    Config(String),
+    /// A stage returned an application-level error; the program was torn down.
+    Stage {
+        /// Name of the failing stage.
+        stage: String,
+        /// The message the stage reported.
+        message: String,
+    },
+    /// A stage panicked; the program was torn down.
+    Panic {
+        /// Name of the panicking stage.
+        stage: String,
+        /// Best-effort panic payload rendered to a string.
+        message: String,
+    },
+    /// The program is shutting down because some other stage failed; queue
+    /// operations in the remaining stages observe this error.
+    Cancelled,
+    /// A stage used the context incorrectly at runtime (e.g. called
+    /// `accept()` on a stage with several input pipelines).
+    Usage(String),
+}
+
+impl fmt::Display for FgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FgError::Config(m) => write!(f, "FG configuration error: {m}"),
+            FgError::Stage { stage, message } => {
+                write!(f, "stage `{stage}` failed: {message}")
+            }
+            FgError::Panic { stage, message } => {
+                write!(f, "stage `{stage}` panicked: {message}")
+            }
+            FgError::Cancelled => write!(f, "FG program cancelled"),
+            FgError::Usage(m) => write!(f, "FG usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FgError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, FgError>;
+
+impl FgError {
+    /// Build a [`FgError::Stage`] from any displayable error.
+    pub fn stage(stage: &str, err: impl fmt::Display) -> Self {
+        FgError::Stage {
+            stage: stage.to_string(),
+            message: err.to_string(),
+        }
+    }
+
+    /// True when this error is a secondary "shutting down" error rather than
+    /// the root cause of a failure.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, FgError::Cancelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = FgError::Config("bad".into());
+        assert!(e.to_string().contains("configuration"));
+        let e = FgError::stage("read", "io failed");
+        assert_eq!(
+            e,
+            FgError::Stage {
+                stage: "read".into(),
+                message: "io failed".into()
+            }
+        );
+        assert!(e.to_string().contains("read"));
+        assert!(FgError::Cancelled.is_cancelled());
+        assert!(!e.is_cancelled());
+    }
+}

@@ -1,0 +1,68 @@
+//! # FG: a pipeline-structured programming environment
+//!
+//! A Rust reproduction of the **FG** ("ABCDEFG" — *Asynchronous Buffered
+//! Computation Design and Engineering Framework Generator*) programming
+//! environment from Dartmouth (Davidson & Cormen, SPAA 2006; Natarajan,
+//! Cormen & Strange's companion paper on out-of-core distribution sort).
+//!
+//! FG mitigates the latency of disk I/O and interprocessor communication in
+//! out-of-core programs by composing programmer-written *synchronous* stage
+//! functions into *asynchronous* coarse-grained software pipelines:
+//!
+//! * each stage runs in its own thread, with bounded buffer queues between
+//!   consecutive stages;
+//! * an implicit **source** injects buffers (one per *round*) and an
+//!   implicit **sink** recycles them, so a fixed pool of buffers services an
+//!   arbitrarily long computation;
+//! * **disjoint pipelines** on a node support unbalanced communication
+//!   (send and receive pipelines progress at independent rates);
+//! * **intersecting pipelines** share a *common stage* (e.g. a k-way merge)
+//!   that accepts from an explicitly named predecessor pipeline;
+//! * **virtual stages** let k identical stages in separate pipelines share a
+//!   single thread and input queue — and their pipelines' sources and sinks
+//!   collapse too — so hundreds of pipelines don't need hundreds of threads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fg_core::{map_stage, PipelineCfg, Program, Rounds};
+//!
+//! let mut prog = Program::new("demo");
+//! let fill = prog.add_stage(
+//!     "fill",
+//!     map_stage(|buf, _ctx| {
+//!         let round = buf.round();
+//!         buf.space_mut()[0] = round as u8;
+//!         buf.set_filled(1);
+//!         Ok(())
+//!     }),
+//! );
+//! let check = prog.add_stage(
+//!     "check",
+//!     map_stage(|buf, _ctx| {
+//!         assert_eq!(buf.filled()[0] as u64, buf.round());
+//!         Ok(())
+//!     }),
+//! );
+//! let cfg = PipelineCfg::new("p", 2, 16).rounds(Rounds::Count(10));
+//! prog.add_pipeline(cfg, &[fill, check]).unwrap();
+//! let report = prog.run().unwrap();
+//! assert_eq!(report.stage("fill").unwrap().buffers_out, 10);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod buffer;
+mod error;
+mod program;
+mod queue;
+mod runtime;
+mod stage;
+mod stats;
+
+pub use buffer::{Buffer, PipelineId, StageId};
+pub use error::{FgError, Result};
+pub use program::{run_linear, PipelineCfg, Program};
+pub use stage::{map_stage, reorder_stage, MapStage, Rounds, Stage, StageCtx};
+pub use stats::{Report, Span, SpanKind, StageStats};

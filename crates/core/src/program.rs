@@ -1,0 +1,512 @@
+//! Declaring and running FG programs.
+//!
+//! A [`Program`] is a set of pipelines over a set of stages, all running on
+//! one node.  Declare stages with [`Program::add_stage`] (or
+//! [`Program::add_virtual_stage`]), declare pipelines with
+//! [`Program::add_pipeline`] giving each its chain of stages, then call
+//! [`Program::run`], which:
+//!
+//! * adds a **source** and a **sink** to every pipeline and a bounded queue
+//!   between each pair of consecutive stages,
+//! * allocates each pipeline's buffer pool and recycles buffers
+//!   sink → source so memory stays fixed (§II),
+//! * treats a stage appearing in several pipelines as the **common stage**
+//!   of intersecting pipelines (§IV),
+//! * collapses stages declared *virtual* — and, automatically, the sources
+//!   and sinks of their pipelines — onto single shared threads and a single
+//!   shared input queue (§IV, Figure 5(b)),
+//! * spawns one thread per (non-virtualized) stage, runs the program to
+//!   completion, and returns a timing [`Report`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::buffer::{PipelineId, StageId};
+use crate::error::{FgError, Result};
+use crate::queue::Queue;
+use crate::runtime;
+use crate::stage::{Port, Registry, ReplicaGroup, Rounds, Stage, StopFlag};
+use crate::stats::Report;
+
+/// Configuration of one pipeline: its buffer pool and round policy.
+#[derive(Debug, Clone)]
+pub struct PipelineCfg {
+    pub(crate) name: String,
+    pub(crate) buffers: usize,
+    pub(crate) buffer_size: usize,
+    pub(crate) rounds: Rounds,
+}
+
+impl PipelineCfg {
+    /// A pipeline with `buffers` buffers of `buffer_size` bytes each.
+    ///
+    /// The buffer size typically equals the block size of the high-latency
+    /// transfers the pipeline performs (§II).
+    pub fn new(name: impl Into<String>, buffers: usize, buffer_size: usize) -> Self {
+        PipelineCfg {
+            name: name.into(),
+            buffers,
+            buffer_size,
+            rounds: Rounds::UntilStopped,
+        }
+    }
+
+    /// Set how many rounds the source runs (default: until stopped).
+    pub fn rounds(mut self, rounds: Rounds) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Shorthand for `.rounds(Rounds::Count(n))`.
+    pub fn count(mut self, n: u64) -> Self {
+        self.rounds = Rounds::Count(n);
+        self
+    }
+}
+
+pub(crate) struct StageSlot {
+    pub(crate) name: String,
+    /// One object per replica (length 1 for ordinary stages).
+    pub(crate) stages: Vec<Box<dyn Stage>>,
+    pub(crate) is_virtual: bool,
+}
+
+pub(crate) struct PipeSpec {
+    pub(crate) name: String,
+    pub(crate) buffers: usize,
+    pub(crate) buffer_size: usize,
+    pub(crate) rounds: Rounds,
+    pub(crate) chain: Vec<StageId>,
+}
+
+/// A declared FG program: pipelines of stages on one node.
+pub struct Program {
+    name: String,
+    stages: Vec<StageSlot>,
+    pipelines: Vec<PipeSpec>,
+    trace: bool,
+}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            stages: Vec::new(),
+            pipelines: Vec::new(),
+            trace: false,
+        }
+    }
+
+    /// Record every stage's blocked intervals so the finished
+    /// [`Report`](crate::Report) can render a Gantt chart
+    /// ([`Report::render_gantt`](crate::Report::render_gantt)).  Off by
+    /// default (tracing allocates per blocked interval).
+    pub fn enable_tracing(&mut self) {
+        self.trace = true;
+    }
+
+    /// Program name (used in thread names and diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declare a stage.  The same [`StageId`] may be placed in several
+    /// pipelines' chains, making those pipelines intersect at this stage.
+    pub fn add_stage(&mut self, name: impl Into<String>, stage: Box<dyn Stage>) -> StageId {
+        self.push_stage(name.into(), stage, false)
+    }
+
+    /// Declare a *virtual* stage: if placed in k pipelines, FG creates one
+    /// thread and one shared input queue instead of k of each, and shares
+    /// the sources and sinks of those pipelines too.
+    pub fn add_virtual_stage(
+        &mut self,
+        name: impl Into<String>,
+        stage: Box<dyn Stage>,
+    ) -> StageId {
+        self.push_stage(name.into(), stage, true)
+    }
+
+    fn push_stage(&mut self, name: String, stage: Box<dyn Stage>, is_virtual: bool) -> StageId {
+        let id = StageId(self.stages.len() as u32);
+        self.stages.push(StageSlot {
+            name,
+            stages: vec![stage],
+            is_virtual,
+        });
+        id
+    }
+
+    /// Declare a *replicated* stage: `n` copies (built by `factory`) share
+    /// the stage's position in a pipeline, its input queue, and its output
+    /// queue, so buffers fan out to whichever replica is free and rejoin
+    /// downstream — FG's fork–join, used to parallelize a slow stage.
+    ///
+    /// Buffers rejoin *out of round order*; place a
+    /// [`reorder_stage`](crate::reorder_stage) downstream if order matters.
+    /// A replicated stage must belong to exactly one pipeline and cannot
+    /// be virtual.
+    pub fn add_replicated_stage<F>(
+        &mut self,
+        name: impl Into<String>,
+        replicas: usize,
+        factory: F,
+    ) -> StageId
+    where
+        F: Fn(usize) -> Box<dyn Stage>,
+    {
+        assert!(replicas > 0, "need at least one replica");
+        let id = StageId(self.stages.len() as u32);
+        self.stages.push(StageSlot {
+            name: name.into(),
+            stages: (0..replicas).map(factory).collect(),
+            is_virtual: false,
+        });
+        id
+    }
+
+    /// Declare a pipeline running `chain` (source and sink are implicit).
+    pub fn add_pipeline(&mut self, cfg: PipelineCfg, chain: &[StageId]) -> Result<PipelineId> {
+        if chain.is_empty() {
+            return Err(FgError::Config(format!(
+                "pipeline `{}` has an empty stage chain",
+                cfg.name
+            )));
+        }
+        if cfg.buffers == 0 {
+            return Err(FgError::Config(format!(
+                "pipeline `{}` must have at least one buffer",
+                cfg.name
+            )));
+        }
+        if cfg.buffer_size == 0 {
+            return Err(FgError::Config(format!(
+                "pipeline `{}` must have a positive buffer size",
+                cfg.name
+            )));
+        }
+        for (i, s) in chain.iter().enumerate() {
+            if s.index() >= self.stages.len() {
+                return Err(FgError::Config(format!(
+                    "pipeline `{}` references unknown {s}",
+                    cfg.name
+                )));
+            }
+            if chain[..i].contains(s) {
+                return Err(FgError::Config(format!(
+                    "pipeline `{}` lists stage `{}` twice",
+                    cfg.name,
+                    self.stages[s.index()].name
+                )));
+            }
+        }
+        let id = PipelineId(self.pipelines.len() as u32);
+        self.pipelines.push(PipeSpec {
+            name: cfg.name,
+            buffers: cfg.buffers,
+            buffer_size: cfg.buffer_size,
+            rounds: cfg.rounds,
+            chain: chain.to_vec(),
+        });
+        Ok(id)
+    }
+
+    /// Number of declared pipelines.
+    pub fn pipeline_count(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// Validate, wire, spawn, and run the program to completion.
+    pub fn run(mut self) -> Result<Report> {
+        self.validate()?;
+        let plan = self.wire()?;
+        runtime::execute(self.name, plan)
+    }
+
+    fn validate(&self) -> Result<()> {
+        for (i, slot) in self.stages.iter().enumerate() {
+            let used = self
+                .pipelines
+                .iter()
+                .any(|p| p.chain.contains(&StageId(i as u32)));
+            if !used {
+                return Err(FgError::Config(format!(
+                    "stage `{}` is not part of any pipeline",
+                    slot.name
+                )));
+            }
+        }
+        if self.pipelines.is_empty() {
+            return Err(FgError::Config("program has no pipelines".into()));
+        }
+        for (i, slot) in self.stages.iter().enumerate() {
+            if slot.stages.len() > 1 {
+                let memberships = self
+                    .pipelines
+                    .iter()
+                    .filter(|p| p.chain.contains(&StageId(i as u32)))
+                    .count();
+                if memberships != 1 {
+                    return Err(FgError::Config(format!(
+                        "replicated stage `{}` must belong to exactly one                          pipeline (found {memberships})",
+                        slot.name
+                    )));
+                }
+            }
+        }
+        // Pipelines sharing a virtual stage form a virtual group; their
+        // round counts must be known (the shared source retires lanes by
+        // count, not by stop()).
+        let groups = self.virtual_groups();
+        for (gi, members) in groups.iter().enumerate() {
+            if members.len() > 1 {
+                for &p in members {
+                    if !matches!(self.pipelines[p].rounds, Rounds::Count(_)) {
+                        return Err(FgError::Config(format!(
+                            "pipeline `{}` is in virtual group {gi} and must \
+                             use Rounds::Count",
+                            self.pipelines[p].name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Partition pipelines: pipelines sharing any virtual stage land in the
+    /// same group (union-find).  Returns disjoint member lists covering all
+    /// pipelines (singletons for ungrouped ones), in pipeline order.
+    fn virtual_groups(&self) -> Vec<Vec<usize>> {
+        let n = self.pipelines.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for (sid, slot) in self.stages.iter().enumerate() {
+            if !slot.is_virtual {
+                continue;
+            }
+            let members: Vec<usize> = self
+                .pipelines
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.chain.contains(&StageId(sid as u32)))
+                .map(|(i, _)| i)
+                .collect();
+            for w in members.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            by_root.entry(r).or_default().push(i);
+        }
+        let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+
+    /// Build every queue, port, source set, and sink set.
+    fn wire(&mut self) -> Result<runtime::Plan> {
+        let registry = Registry::new();
+        let groups = self.virtual_groups();
+        let group_of: HashMap<usize, usize> = groups
+            .iter()
+            .enumerate()
+            .flat_map(|(gi, ms)| ms.iter().map(move |&m| (m, gi)))
+            .collect();
+
+        let reg = |q: Arc<Queue>| {
+            registry.register(Arc::clone(&q));
+            q
+        };
+
+        // Per-group shared recycle and sink queues.
+        let mut recycle_q: Vec<Arc<Queue>> = Vec::new();
+        let mut sink_q: Vec<Arc<Queue>> = Vec::new();
+        for (gi, members) in groups.iter().enumerate() {
+            let cap: usize = members
+                .iter()
+                .map(|&m| self.pipelines[m].buffers + 1)
+                .sum();
+            recycle_q.push(reg(Queue::new(format!("recycle/g{gi}"), cap)));
+            sink_q.push(reg(Queue::new(format!("sink/g{gi}"), cap)));
+        }
+
+        // Stop flags per pipeline, attached to their (possibly shared)
+        // recycle queue.
+        let stops: Vec<Arc<StopFlag>> = (0..self.pipelines.len())
+            .map(|p| {
+                let f = StopFlag::new();
+                f.attach_recycle(Arc::clone(&recycle_q[group_of[&p]]));
+                f
+            })
+            .collect();
+
+        // Shared input queues for virtual stages.
+        let mut shared_in: HashMap<usize, Arc<Queue>> = HashMap::new();
+        for (sid, slot) in self.stages.iter().enumerate() {
+            if slot.is_virtual {
+                let members: Vec<usize> = self
+                    .pipelines
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.chain.contains(&StageId(sid as u32)))
+                    .map(|(i, _)| i)
+                    .collect();
+                let cap: usize = members
+                    .iter()
+                    .map(|&m| self.pipelines[m].buffers + 1)
+                    .sum();
+                shared_in.insert(
+                    sid,
+                    reg(Queue::new(format!("in/{}", slot.name), cap.max(1))),
+                );
+            }
+        }
+
+        // Queues along each pipeline.  into_q[p][i] feeds stage i of
+        // pipeline p; out of the last stage is the pipeline's sink queue.
+        let mut into_q: Vec<Vec<Arc<Queue>>> = Vec::new();
+        for (pi, pipe) in self.pipelines.iter().enumerate() {
+            let mut qs = Vec::with_capacity(pipe.chain.len());
+            for (pos, sid) in pipe.chain.iter().enumerate() {
+                let q = if self.stages[sid.index()].is_virtual {
+                    Arc::clone(&shared_in[&sid.index()])
+                } else {
+                    reg(Queue::new(
+                        format!("{}[{}]", pipe.name, pos),
+                        pipe.buffers + 1,
+                    ))
+                };
+                qs.push(q);
+            }
+            into_q.push(qs);
+            let _ = pi;
+        }
+
+        // Ports for every stage, in pipeline declaration order.
+        let mut ports: Vec<Vec<Port>> = (0..self.stages.len()).map(|_| Vec::new()).collect();
+        for (pi, pipe) in self.pipelines.iter().enumerate() {
+            let gi = group_of[&pi];
+            for (pos, sid) in pipe.chain.iter().enumerate() {
+                let is_virtual = self.stages[sid.index()].is_virtual;
+                let output = if pos + 1 < pipe.chain.len() {
+                    Arc::clone(&into_q[pi][pos + 1])
+                } else {
+                    Arc::clone(&sink_q[gi])
+                };
+                ports[sid.index()].push(Port {
+                    pipeline: PipelineId(pi as u32),
+                    input: if is_virtual {
+                        None
+                    } else {
+                        Some(Arc::clone(&into_q[pi][pos]))
+                    },
+                    output,
+                    recycle: Arc::clone(&recycle_q[gi]),
+                    rounds: pipe.rounds,
+                    stop: Arc::clone(&stops[pi]),
+                    eos: false,
+                    forwarded: false,
+                });
+            }
+        }
+
+        // Source and sink sets: one each per group.
+        let mut sources = Vec::new();
+        let mut sinks = Vec::new();
+        for (gi, members) in groups.iter().enumerate() {
+            let pipes = members
+                .iter()
+                .map(|&m| runtime::SourcePipe {
+                    pipeline: PipelineId(m as u32),
+                    first: Arc::clone(&into_q[m][0]),
+                    rounds: self.pipelines[m].rounds,
+                    stop: Arc::clone(&stops[m]),
+                    buffers: self.pipelines[m].buffers,
+                    buffer_size: self.pipelines[m].buffer_size,
+                })
+                .collect();
+            let label = if members.len() == 1 {
+                self.pipelines[members[0]].name.clone()
+            } else {
+                format!("group{gi}")
+            };
+            sources.push(runtime::SourceSet {
+                label: format!("{label}/source"),
+                pipes,
+                recycle: Arc::clone(&recycle_q[gi]),
+            });
+            sinks.push(runtime::SinkSet {
+                label: format!("{label}/sink"),
+                queue: Arc::clone(&sink_q[gi]),
+                recycle: Arc::clone(&recycle_q[gi]),
+                members: members.len(),
+            });
+        }
+
+        // Stage tasks (one per replica; ordinary stages have one replica).
+        let mut tasks = Vec::new();
+        for (sid, slot) in self.stages.iter_mut().enumerate() {
+            let shared_input = shared_in.get(&sid).map(Arc::clone);
+            let replicas = slot.stages.len();
+            let group = if replicas > 1 {
+                Some(ReplicaGroup::new(replicas))
+            } else {
+                None
+            };
+            let base_ports = std::mem::take(&mut ports[sid]);
+            for (i, stage) in slot.stages.drain(..).enumerate() {
+                let task_ports = base_ports.iter().map(|p| p.clone_for_replica()).collect();
+                tasks.push(runtime::StageTask {
+                    name: if replicas > 1 {
+                        format!("{}#{i}", slot.name)
+                    } else {
+                        slot.name.clone()
+                    },
+                    stage,
+                    ports: task_ports,
+                    shared_input: shared_input.clone(),
+                    replica_group: group.clone(),
+                });
+            }
+        }
+
+        Ok(runtime::Plan {
+            registry,
+            tasks,
+            sources,
+            sinks,
+            trace: self.trace,
+        })
+    }
+}
+
+/// Convenience: run a single linear pipeline of `stages` to completion.
+///
+/// This is the shape of every program writable in FG's original release
+/// (§II): one copy of one linear pipeline.
+pub fn run_linear(
+    name: impl Into<String>,
+    cfg: PipelineCfg,
+    stages: Vec<(&str, Box<dyn Stage>)>,
+) -> Result<Report> {
+    let mut prog = Program::new(name);
+    let ids: Vec<StageId> = stages
+        .into_iter()
+        .map(|(n, s)| prog.add_stage(n, s))
+        .collect();
+    prog.add_pipeline(cfg, &ids)?;
+    prog.run()
+}

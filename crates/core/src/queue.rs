@@ -1,0 +1,281 @@
+//! Bounded blocking queues of buffers.
+//!
+//! FG places a queue between every pair of consecutive pipeline stages.  A
+//! stage *conveys* a buffer by pushing into its downstream queue and
+//! *accepts* by popping from its upstream queue; an empty upstream queue
+//! blocks the accepting stage's thread, which is exactly how FG yields the
+//! CPU to other stages while a high-latency operation is pending elsewhere.
+//!
+//! Queues are multi-producer multi-consumer because *virtual* stages share a
+//! single queue among many pipelines, and several stages may discard buffers
+//! into the same recycle queue.
+//!
+//! A queue can be *closed*; closing wakes every blocked thread.  Pushes to a
+//! closed queue fail immediately, pops drain whatever is left and then fail.
+//! The runtime closes all queues of a program when a stage fails, which
+//! unblocks every thread for shutdown.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::buffer::{Buffer, PipelineId};
+
+/// What travels through a queue: a buffer, or the end-of-stream marker for
+/// one pipeline (FG's *caboose*).
+#[derive(Debug)]
+pub(crate) enum Item {
+    /// A data buffer.
+    Buf(Buffer),
+    /// End of pipeline `PipelineId`'s stream.  Exactly one caboose per
+    /// pipeline flows through each queue on that pipeline's path.
+    Caboose(PipelineId),
+}
+
+/// Error returned by queue operations once the queue is closed.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct Closed;
+
+struct Inner {
+    items: VecDeque<Item>,
+    closed: bool,
+}
+
+/// A bounded MPMC blocking queue of [`Item`]s.
+pub(crate) struct Queue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    #[allow(dead_code)]
+    name: String,
+}
+
+impl Queue {
+    /// Create a queue holding at most `capacity` items.
+    pub(crate) fn new(name: impl Into<String>, capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Arc::new(Queue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            name: name.into(),
+        })
+    }
+
+    /// Debug name of this queue.
+    #[allow(dead_code)]
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocking push.  Fails (returning the item) once the queue is closed.
+    pub(crate) fn push(&self, item: Item) -> Result<(), (Item, Closed)> {
+        let mut inner = self.inner.lock();
+        while inner.items.len() >= self.capacity && !inner.closed {
+            self.not_full.wait(&mut inner);
+        }
+        if inner.closed {
+            return Err((item, Closed));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking push used by shutdown paths; drops nothing silently —
+    /// the item comes back on failure.
+    pub(crate) fn try_push(&self, item: Item) -> Result<(), (Item, Closed)> {
+        let mut inner = self.inner.lock();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err((item, Closed));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop.  After close, drains remaining items, then fails.
+    pub(crate) fn pop(&self) -> Result<Item, Closed> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Ok(item);
+            }
+            if inner.closed {
+                return Err(Closed);
+            }
+            self.not_empty.wait(&mut inner);
+        }
+    }
+
+    /// Close the queue and wake all waiters.  Idempotent.
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of items currently queued (for tests/diagnostics).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    fn buf_item(pipeline: u32, tag: u64) -> Item {
+        let mut b = Buffer::new(8, PipelineId(pipeline));
+        b.meta = tag;
+        Item::Buf(b)
+    }
+
+    fn tag_of(item: &Item) -> u64 {
+        match item {
+            Item::Buf(b) => b.meta,
+            Item::Caboose(_) => u64::MAX,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = Queue::new("t", 4);
+        for i in 0..4 {
+            q.push(buf_item(0, i)).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(tag_of(&q.pop().unwrap()), i);
+        }
+    }
+
+    #[test]
+    fn push_blocks_until_pop() {
+        let q = Queue::new("t", 1);
+        q.push(buf_item(0, 0)).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.push(buf_item(0, 1)).is_ok());
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "second push must still be blocked");
+        assert_eq!(tag_of(&q.pop().unwrap()), 0);
+        assert!(h.join().unwrap());
+        assert_eq!(tag_of(&q.pop().unwrap()), 1);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Queue::new("t", 1);
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || tag_of(&q2.pop().unwrap()));
+        thread::sleep(Duration::from_millis(20));
+        q.push(buf_item(0, 9)).unwrap();
+        assert_eq!(h.join().unwrap(), 9);
+    }
+
+    #[test]
+    fn close_wakes_poppers() {
+        let q = Queue::new("t", 1);
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop().is_err());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn close_wakes_pushers() {
+        let q = Queue::new("t", 1);
+        q.push(buf_item(0, 0)).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.push(buf_item(0, 1)).is_err());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn close_drains_then_fails() {
+        let q = Queue::new("t", 4);
+        q.push(buf_item(0, 1)).unwrap();
+        q.push(buf_item(0, 2)).unwrap();
+        q.close();
+        assert_eq!(tag_of(&q.pop().unwrap()), 1);
+        assert_eq!(tag_of(&q.pop().unwrap()), 2);
+        assert!(q.pop().is_err());
+        assert!(q.push(buf_item(0, 3)).is_err());
+    }
+
+    #[test]
+    fn try_push_respects_capacity_and_close() {
+        let q = Queue::new("t", 1);
+        assert!(q.try_push(buf_item(0, 0)).is_ok());
+        assert!(q.try_push(buf_item(0, 1)).is_err());
+        let q2 = Queue::new("t2", 1);
+        q2.close();
+        assert!(q2.try_push(buf_item(0, 0)).is_err());
+    }
+
+    #[test]
+    fn caboose_travels_like_data() {
+        let q = Queue::new("t", 2);
+        q.push(buf_item(3, 5)).unwrap();
+        q.push(Item::Caboose(PipelineId(3))).unwrap();
+        assert!(matches!(q.pop().unwrap(), Item::Buf(_)));
+        match q.pop().unwrap() {
+            Item::Caboose(p) => assert_eq!(p, PipelineId(3)),
+            other => panic!("expected caboose, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mpmc_stress_preserves_item_count() {
+        let q = Queue::new("t", 8);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        q.push(buf_item(0, (p * 100 + i) as u64)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..100 {
+                        got.push(tag_of(&q.pop().unwrap()));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..400).collect();
+        assert_eq!(all, expect);
+    }
+}

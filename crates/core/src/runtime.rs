@@ -1,0 +1,297 @@
+//! Thread spawning, source/sink loops, and program execution.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::buffer::{Buffer, PipelineId};
+use crate::error::{FgError, Result};
+use crate::queue::{Item, Queue};
+use crate::stage::{Port, Registry, ReplicaGroup, Rounds, Stage, StageCtx, StopFlag};
+use crate::stats::{Report, StageStats};
+
+/// One pipeline served by a source set.
+pub(crate) struct SourcePipe {
+    pub(crate) pipeline: PipelineId,
+    pub(crate) first: Arc<Queue>,
+    pub(crate) rounds: Rounds,
+    pub(crate) stop: Arc<StopFlag>,
+    pub(crate) buffers: usize,
+    pub(crate) buffer_size: usize,
+}
+
+/// A source thread: injects rounds for one pipeline, or for all pipelines
+/// of a virtual group (the automatically-virtualized source of §IV).
+pub(crate) struct SourceSet {
+    pub(crate) label: String,
+    pub(crate) pipes: Vec<SourcePipe>,
+    pub(crate) recycle: Arc<Queue>,
+}
+
+/// A sink thread: recycles buffers back to the source(s) and retires after
+/// seeing every member pipeline's caboose.
+pub(crate) struct SinkSet {
+    pub(crate) label: String,
+    pub(crate) queue: Arc<Queue>,
+    pub(crate) recycle: Arc<Queue>,
+    pub(crate) members: usize,
+}
+
+/// A stage ready to run on its own thread.
+pub(crate) struct StageTask {
+    pub(crate) name: String,
+    pub(crate) stage: Box<dyn Stage>,
+    pub(crate) ports: Vec<Port>,
+    pub(crate) shared_input: Option<Arc<Queue>>,
+    pub(crate) replica_group: Option<Arc<ReplicaGroup>>,
+}
+
+/// Everything `Program::wire` produced, ready to execute.
+pub(crate) struct Plan {
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) tasks: Vec<StageTask>,
+    pub(crate) sources: Vec<SourceSet>,
+    pub(crate) sinks: Vec<SinkSet>,
+    pub(crate) trace: bool,
+}
+
+pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
+    let Plan {
+        registry,
+        tasks,
+        sources,
+        sinks,
+        trace,
+    } = plan;
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+
+    for task in tasks {
+        let registry = Arc::clone(&registry);
+        let name = task.name.clone();
+        let thread_name = format!("{program_name}/{name}");
+        let epoch = if trace { Some(start) } else { None };
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || run_stage_thread(task, registry, epoch))
+            .map_err(|e| FgError::Config(format!("failed to spawn stage thread: {e}")))?;
+        handles.push(handle);
+    }
+    for src in sources {
+        let registry = Arc::clone(&registry);
+        let thread_name = format!("{program_name}/{}", src.label);
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || run_source(src, registry))
+            .map_err(|e| FgError::Config(format!("failed to spawn source thread: {e}")))?;
+        handles.push(handle);
+    }
+    for sink in sinks {
+        let thread_name = format!("{program_name}/{}", sink.label);
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || run_sink(sink))
+            .map_err(|e| FgError::Config(format!("failed to spawn sink thread: {e}")))?;
+        handles.push(handle);
+    }
+
+    let threads_spawned = handles.len();
+    let mut stages = Vec::with_capacity(threads_spawned);
+    for handle in handles {
+        match handle.join() {
+            Ok(stats) => stages.push(stats),
+            Err(_) => {
+                // The wrapper catches panics; reaching here means the
+                // wrapper itself failed, which we still surface.
+                registry.cancel(FgError::Panic {
+                    stage: "<runtime>".into(),
+                    message: "stage thread wrapper panicked".into(),
+                });
+            }
+        }
+    }
+
+    if let Some(err) = registry.take_error() {
+        return Err(err);
+    }
+    if registry.is_cancelled() {
+        return Err(FgError::Cancelled);
+    }
+    Ok(Report {
+        wall: start.elapsed(),
+        stages,
+        threads_spawned,
+    })
+}
+
+fn run_stage_thread(
+    task: StageTask,
+    registry: Arc<Registry>,
+    trace_epoch: Option<Instant>,
+) -> StageStats {
+    let StageTask {
+        name,
+        mut stage,
+        ports,
+        shared_input,
+        replica_group,
+    } = task;
+    let start = Instant::now();
+    let mut ctx = StageCtx::new(name.clone(), ports, shared_input, Arc::clone(&registry));
+    if let Some(group) = replica_group {
+        ctx.set_replica_group(group);
+    }
+    if let Some(epoch) = trace_epoch {
+        ctx.set_trace_epoch(epoch);
+    }
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| stage.run(&mut ctx)));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(err)) => registry.cancel(if err.is_cancelled() {
+            FgError::Cancelled
+        } else {
+            err
+        }),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".into());
+            registry.cancel(FgError::Panic {
+                stage: name.clone(),
+                message,
+            });
+        }
+    }
+    ctx.finish();
+
+    StageStats {
+        name,
+        wall: start.elapsed(),
+        blocked_accept: ctx.stats.blocked_accept,
+        blocked_convey: ctx.stats.blocked_convey,
+        buffers_in: ctx.stats.buffers_in,
+        buffers_out: ctx.stats.buffers_out,
+        spans: std::mem::take(&mut ctx.stats.spans),
+    }
+}
+
+fn run_source(set: SourceSet, registry: Arc<Registry>) -> StageStats {
+    let start = Instant::now();
+    let mut stats = StageStats {
+        name: set.label.clone(),
+        ..StageStats::default()
+    };
+
+    let index_of = |p: PipelineId| set.pipes.iter().position(|sp| sp.pipeline == p);
+    let mut emitted = vec![0u64; set.pipes.len()];
+    let mut done = vec![false; set.pipes.len()];
+
+    // Seed each pipeline's pool.
+    let mut pending: VecDeque<Buffer> = VecDeque::new();
+    for sp in &set.pipes {
+        for _ in 0..sp.buffers {
+            pending.push_back(Buffer::new(sp.buffer_size, sp.pipeline));
+        }
+    }
+
+    // Emit the caboose for pipeline i; ignores failure during teardown.
+    let emit_caboose =
+        |i: usize, done: &mut Vec<bool>| {
+            if !done[i] {
+                done[i] = true;
+                let _ = set.pipes[i].first.push(Item::Caboose(set.pipes[i].pipeline));
+            }
+        };
+
+    'outer: loop {
+        if done.iter().all(|&d| d) {
+            break;
+        }
+        let mut buf = match pending.pop_front() {
+            Some(b) => b,
+            None => {
+                let t0 = Instant::now();
+                let popped = set.recycle.pop();
+                stats.blocked_accept += t0.elapsed();
+                match popped {
+                    Ok(Item::Buf(b)) => b,
+                    Ok(Item::Caboose(_)) => continue, // never produced; defensive
+                    Err(_) => {
+                        // Recycle closed: a stop() or program cancellation.
+                        for i in 0..set.pipes.len() {
+                            emit_caboose(i, &mut done);
+                        }
+                        break 'outer;
+                    }
+                }
+            }
+        };
+        let i = match index_of(buf.pipeline()) {
+            Some(i) => i,
+            None => continue, // foreign buffer: impossible, but don't wedge
+        };
+        if done[i] {
+            continue; // pipeline retired; release the buffer
+        }
+        if set.pipes[i].stop.is_stopped() {
+            emit_caboose(i, &mut done);
+            continue;
+        }
+        if let Rounds::Count(n) = set.pipes[i].rounds {
+            if emitted[i] >= n {
+                emit_caboose(i, &mut done);
+                continue;
+            }
+        }
+        buf.begin_round(emitted[i]);
+        emitted[i] += 1;
+        let t0 = Instant::now();
+        let pushed = set.pipes[i].first.push(Item::Buf(buf));
+        stats.blocked_convey += t0.elapsed();
+        if pushed.is_err() {
+            break; // cancelled
+        }
+        stats.buffers_out += 1;
+        // Emit the caboose eagerly right after the final round so consumers
+        // (e.g. a merge stage) learn about the end of this stream promptly.
+        if let Rounds::Count(n) = set.pipes[i].rounds {
+            if emitted[i] == n {
+                emit_caboose(i, &mut done);
+            }
+        }
+    }
+    let _ = registry;
+
+    stats.wall = start.elapsed();
+    stats
+}
+
+fn run_sink(set: SinkSet) -> StageStats {
+    let start = Instant::now();
+    let mut stats = StageStats {
+        name: set.label.clone(),
+        ..StageStats::default()
+    };
+    let mut remaining = set.members;
+    while remaining > 0 {
+        let t0 = Instant::now();
+        let popped = set.queue.pop();
+        stats.blocked_accept += t0.elapsed();
+        match popped {
+            Ok(Item::Buf(b)) => {
+                stats.buffers_in += 1;
+                // The source may already have retired; dropping is fine then.
+                let _ = set.recycle.push(Item::Buf(b));
+            }
+            Ok(Item::Caboose(_)) => remaining -= 1,
+            Err(_) => break,
+        }
+    }
+    stats.wall = start.elapsed();
+    stats
+}

@@ -1,0 +1,634 @@
+//! Stages and the context through which they accept and convey buffers.
+//!
+//! The programmer writes a *synchronous* stage — a plain function or a
+//! [`Stage`] implementation whose `run` method loops accepting buffers,
+//! working on them, and conveying them downstream.  FG runs every stage in
+//! its own thread, so stages execute asynchronously and a stage blocked on a
+//! high-latency operation (or on an empty queue) yields the CPU to the other
+//! stages (the paper, §II).
+//!
+//! Three accept flavors mirror the paper's three pipeline shapes:
+//!
+//! * [`StageCtx::accept`] — the stage belongs to exactly one pipeline
+//!   (ordinary linear pipelines, §II).
+//! * [`StageCtx::accept_from`] — the stage is a *common stage* of several
+//!   intersecting pipelines and must name the pipeline to accept from (§IV:
+//!   "because the common stage has multiple predecessors, in order to accept
+//!   a buffer, it must specify which pipeline to accept from").
+//! * [`StageCtx::accept_any`] — the stage is *virtual*: many identical
+//!   stages share one thread and one input queue, and buffers from any of
+//!   the member pipelines arrive interleaved (§IV, Figure 5(b)).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::buffer::{Buffer, PipelineId};
+use crate::error::{FgError, Result};
+use crate::queue::{Item, Queue};
+
+/// How many rounds a pipeline's source runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rounds {
+    /// The source injects exactly this many buffers, then the caboose.
+    Count(u64),
+    /// The source keeps injecting recycled buffers until some stage calls
+    /// [`StageCtx::stop`] for this pipeline (used when the stream length is
+    /// known only dynamically, e.g. a receive pipeline).
+    UntilStopped,
+}
+
+/// A pipeline stage.
+///
+/// `run` is called exactly once, on the stage's own thread.  It should loop
+/// accepting buffers until the stream ends (accept returns `Ok(None)`), then
+/// return.  Returning early is allowed: the runtime stops `UntilStopped`
+/// pipelines the stage belongs to, drains its inputs, and propagates the
+/// caboose downstream.
+pub trait Stage: Send {
+    /// Execute the stage to completion.
+    fn run(&mut self, ctx: &mut StageCtx) -> Result<()>;
+}
+
+impl<F> Stage for F
+where
+    F: FnMut(&mut StageCtx) -> Result<()> + Send,
+{
+    fn run(&mut self, ctx: &mut StageCtx) -> Result<()> {
+        self(ctx)
+    }
+}
+
+/// A per-buffer stage: the classic FG programming model.
+///
+/// The runtime loops `accept → f(buffer, ctx) → convey` until the stream
+/// ends.  Works unchanged for ordinary and virtual stages (it uses
+/// [`StageCtx::accept_auto`]).
+pub struct MapStage<F> {
+    f: F,
+}
+
+impl<F> Stage for MapStage<F>
+where
+    F: FnMut(&mut Buffer, &mut StageCtx) -> Result<()> + Send,
+{
+    fn run(&mut self, ctx: &mut StageCtx) -> Result<()> {
+        while let Some(mut buf) = ctx.accept_auto()? {
+            (self.f)(&mut buf, ctx)?;
+            ctx.convey(buf)?;
+        }
+        Ok(())
+    }
+}
+
+/// Build a boxed per-buffer stage from a closure.
+///
+/// ```
+/// use fg_core::{map_stage, Buffer, StageCtx};
+/// let double = map_stage(|buf: &mut Buffer, _ctx: &mut StageCtx| {
+///     for b in buf.filled_mut() {
+///         *b = b.wrapping_mul(2);
+///     }
+///     Ok(())
+/// });
+/// # let _ = double;
+/// ```
+pub fn map_stage<F>(f: F) -> Box<dyn Stage>
+where
+    F: FnMut(&mut Buffer, &mut StageCtx) -> Result<()> + Send + 'static,
+{
+    Box::new(MapStage { f })
+}
+
+/// A stage that restores round order downstream of a *replicated* stage.
+///
+/// Replicas finish buffers out of order; this stage stashes early arrivals
+/// and conveys rounds `0, 1, 2, ...` in order (FG's join).  It requires
+/// every round to arrive exactly once (replicated map stages guarantee
+/// that), and its pipeline needs enough buffers for the stash — at least
+/// the replica count.
+pub fn reorder_stage() -> Box<dyn Stage> {
+    let mut stash: std::collections::HashMap<u64, Buffer> = std::collections::HashMap::new();
+    let mut next = 0u64;
+    Box::new(move |ctx: &mut StageCtx| {
+        loop {
+            match ctx.accept()? {
+                Some(buf) => {
+                    stash.insert(buf.round(), buf);
+                    while let Some(b) = stash.remove(&next) {
+                        ctx.convey(b)?;
+                        next += 1;
+                    }
+                }
+                None => {
+                    if !stash.is_empty() {
+                        return Err(FgError::Usage(format!(
+                            "reorder stage ended with {} stashed rounds                              (round {} never arrived)",
+                            stash.len(),
+                            next
+                        )));
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    })
+}
+
+/// Shared shutdown machinery: set once a stage fails, and closes every queue
+/// in the program so all threads unblock.
+pub(crate) struct Registry {
+    queues: parking_lot::Mutex<Vec<Arc<Queue>>>,
+    cancelled: AtomicBool,
+    error: parking_lot::Mutex<Option<FgError>>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Registry {
+            queues: parking_lot::Mutex::new(Vec::new()),
+            cancelled: AtomicBool::new(false),
+            error: parking_lot::Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn register(&self, q: Arc<Queue>) {
+        self.queues.lock().push(q);
+    }
+
+    /// Record the root-cause error (first wins) and tear everything down.
+    pub(crate) fn cancel(&self, err: FgError) {
+        {
+            let mut slot = self.error.lock();
+            if slot.is_none() && !err.is_cancelled() {
+                *slot = Some(err);
+            }
+        }
+        self.cancelled.store(true, Ordering::SeqCst);
+        for q in self.queues.lock().iter() {
+            q.close();
+        }
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn take_error(&self) -> Option<FgError> {
+        self.error.lock().take()
+    }
+}
+
+/// Per-pipeline stop flag shared between stages and the pipeline's source.
+pub(crate) struct StopFlag {
+    stopped: AtomicBool,
+    /// The recycle queue the source blocks on; closed on stop so the source
+    /// wakes up promptly.
+    recycle: parking_lot::Mutex<Option<Arc<Queue>>>,
+}
+
+impl StopFlag {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(StopFlag {
+            stopped: AtomicBool::new(false),
+            recycle: parking_lot::Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn attach_recycle(&self, q: Arc<Queue>) {
+        *self.recycle.lock() = Some(q);
+    }
+
+    pub(crate) fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        if let Some(q) = self.recycle.lock().as_ref() {
+            q.close();
+        }
+    }
+
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+}
+
+/// Shared state of a *replicated* stage (FG's fork–join): n replica
+/// threads share the stage's input and output queues, so buffers fan out
+/// to whichever replica is free and rejoin downstream (out of round order;
+/// see [`reorder_stage`]).  The caboose must only travel downstream after
+/// *every* replica has finished, so replicas pass it around like a poison
+/// pill until the last one consumes it.
+pub(crate) struct ReplicaGroup {
+    /// Per pipeline: how many replicas have not yet seen the caboose.
+    remaining: parking_lot::Mutex<std::collections::HashMap<PipelineId, usize>>,
+    pub(crate) replicas: usize,
+}
+
+impl ReplicaGroup {
+    pub(crate) fn new(replicas: usize) -> Arc<Self> {
+        Arc::new(ReplicaGroup {
+            remaining: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            replicas,
+        })
+    }
+
+    /// Record that one replica observed pipeline `p`'s caboose; returns
+    /// true iff it was the last replica (which then owns forwarding).
+    fn observe_caboose(&self, p: PipelineId) -> bool {
+        let mut remaining = self.remaining.lock();
+        let slot = remaining.entry(p).or_insert(self.replicas);
+        *slot -= 1;
+        *slot == 0
+    }
+}
+
+/// One pipeline membership of a stage.
+pub(crate) struct Port {
+    pub(crate) pipeline: PipelineId,
+    /// Input queue; `None` for virtual stages, which use the shared input.
+    pub(crate) input: Option<Arc<Queue>>,
+    pub(crate) output: Arc<Queue>,
+    pub(crate) recycle: Arc<Queue>,
+    pub(crate) rounds: Rounds,
+    pub(crate) stop: Arc<StopFlag>,
+    pub(crate) eos: bool,
+    pub(crate) forwarded: bool,
+}
+
+impl Port {
+    /// Duplicate this port for another replica of the same stage (shared
+    /// queues, fresh end-of-stream flags).
+    pub(crate) fn clone_for_replica(&self) -> Port {
+        Port {
+            pipeline: self.pipeline,
+            input: self.input.clone(),
+            output: Arc::clone(&self.output),
+            recycle: Arc::clone(&self.recycle),
+            rounds: self.rounds,
+            stop: Arc::clone(&self.stop),
+            eos: false,
+            forwarded: false,
+        }
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct CtxStats {
+    pub(crate) blocked_accept: Duration,
+    pub(crate) blocked_convey: Duration,
+    pub(crate) buffers_in: u64,
+    pub(crate) buffers_out: u64,
+    pub(crate) spans: Vec<crate::stats::Span>,
+}
+
+/// Cap on recorded spans per stage so tracing cannot grow unbounded.
+const MAX_SPANS: usize = 100_000;
+
+/// The handle through which a stage interacts with its pipelines.
+pub struct StageCtx {
+    name: String,
+    ports: Vec<Port>,
+    /// Present iff the stage is virtual: the single queue shared by all
+    /// member pipelines (Figure 5(b)).
+    shared_input: Option<Arc<Queue>>,
+    /// Present iff the stage is replicated: shared caboose bookkeeping.
+    replica_group: Option<Arc<ReplicaGroup>>,
+    /// Program start time when tracing is enabled; blocked intervals are
+    /// recorded relative to it.
+    trace_epoch: Option<Instant>,
+    aux: Vec<u8>,
+    registry: Arc<Registry>,
+    pub(crate) stats: CtxStats,
+}
+
+impl StageCtx {
+    pub(crate) fn new(
+        name: String,
+        ports: Vec<Port>,
+        shared_input: Option<Arc<Queue>>,
+        registry: Arc<Registry>,
+    ) -> Self {
+        StageCtx {
+            name,
+            ports,
+            shared_input,
+            replica_group: None,
+            trace_epoch: None,
+            aux: Vec::new(),
+            registry,
+            stats: CtxStats::default(),
+        }
+    }
+
+    pub(crate) fn set_replica_group(&mut self, group: Arc<ReplicaGroup>) {
+        self.replica_group = Some(group);
+    }
+
+    pub(crate) fn set_trace_epoch(&mut self, epoch: Instant) {
+        self.trace_epoch = Some(epoch);
+    }
+
+    fn record_span(&mut self, kind: crate::stats::SpanKind, t0: Instant, t1: Instant) {
+        if let Some(epoch) = self.trace_epoch {
+            if self.stats.spans.len() < MAX_SPANS {
+                self.stats.spans.push(crate::stats::Span {
+                    kind,
+                    start_ns: t0.duration_since(epoch).as_nanos() as u64,
+                    end_ns: t1.duration_since(epoch).as_nanos() as u64,
+                });
+            }
+        }
+    }
+
+    /// Name of this stage.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pipelines this stage belongs to, in membership (lane) order.
+    pub fn pipelines(&self) -> impl Iterator<Item = PipelineId> + '_ {
+        self.ports.iter().map(|p| p.pipeline)
+    }
+
+    /// Number of pipelines this stage belongs to.
+    pub fn lanes(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Lane index (0-based membership order) of a pipeline.
+    pub fn lane(&self, pipeline: PipelineId) -> Result<usize> {
+        self.port_index(pipeline)
+    }
+
+    /// True once the program is being torn down because some stage failed.
+    pub fn is_cancelled(&self) -> bool {
+        self.registry.is_cancelled()
+    }
+
+    fn port_index(&self, pipeline: PipelineId) -> Result<usize> {
+        self.ports
+            .iter()
+            .position(|p| p.pipeline == pipeline)
+            .ok_or_else(|| {
+                FgError::Usage(format!(
+                    "stage `{}` does not belong to {pipeline}",
+                    self.name
+                ))
+            })
+    }
+
+    /// Accept the next buffer; only valid for a stage that belongs to
+    /// exactly one pipeline.  Returns `Ok(None)` once at end of stream.
+    pub fn accept(&mut self) -> Result<Option<Buffer>> {
+        if self.shared_input.is_some() {
+            return Err(FgError::Usage(format!(
+                "stage `{}` is virtual; use accept_any()",
+                self.name
+            )));
+        }
+        if self.ports.len() != 1 {
+            return Err(FgError::Usage(format!(
+                "stage `{}` belongs to {} pipelines; use accept_from()",
+                self.name,
+                self.ports.len()
+            )));
+        }
+        self.pop_port(0)
+    }
+
+    /// Accept the next buffer from a specific pipeline (common stage of
+    /// intersecting pipelines).  Returns `Ok(None)` once that pipeline's
+    /// stream has ended.
+    pub fn accept_from(&mut self, pipeline: PipelineId) -> Result<Option<Buffer>> {
+        if self.shared_input.is_some() {
+            return Err(FgError::Usage(format!(
+                "stage `{}` is virtual; use accept_any()",
+                self.name
+            )));
+        }
+        let idx = self.port_index(pipeline)?;
+        self.pop_port(idx)
+    }
+
+    /// Accept the next buffer from whichever member pipeline has one ready
+    /// (virtual stages only).  Returns `Ok(None)` once *all* member
+    /// pipelines have ended.
+    pub fn accept_any(&mut self) -> Result<Option<Buffer>> {
+        let shared = match &self.shared_input {
+            Some(q) => Arc::clone(q),
+            None => {
+                return Err(FgError::Usage(format!(
+                    "stage `{}` is not virtual; use accept()/accept_from()",
+                    self.name
+                )))
+            }
+        };
+        loop {
+            if self.ports.iter().all(|p| p.eos) {
+                return Ok(None);
+            }
+            let t0 = Instant::now();
+            let popped = shared.pop();
+            let t1 = Instant::now();
+            self.stats.blocked_accept += t1 - t0;
+            self.record_span(crate::stats::SpanKind::Accept, t0, t1);
+            match popped {
+                Ok(Item::Buf(b)) => {
+                    self.stats.buffers_in += 1;
+                    return Ok(Some(b));
+                }
+                Ok(Item::Caboose(p)) => {
+                    self.mark_eos_and_forward(p)?;
+                    // Keep waiting: other member pipelines may still flow.
+                }
+                Err(_) => return Err(FgError::Cancelled),
+            }
+        }
+    }
+
+    /// Accept using whatever mode fits this stage: `accept_any` when
+    /// virtual, `accept` when it has a single pipeline.  Used by
+    /// [`map_stage`] so the same closure works in both settings.
+    pub fn accept_auto(&mut self) -> Result<Option<Buffer>> {
+        if self.shared_input.is_some() {
+            self.accept_any()
+        } else {
+            self.accept()
+        }
+    }
+
+    fn pop_port(&mut self, idx: usize) -> Result<Option<Buffer>> {
+        if self.ports[idx].eos {
+            return Ok(None);
+        }
+        let input = match &self.ports[idx].input {
+            Some(q) => Arc::clone(q),
+            None => {
+                return Err(FgError::Usage(format!(
+                    "stage `{}` has no direct input queue for {}",
+                    self.name, self.ports[idx].pipeline
+                )))
+            }
+        };
+        let t0 = Instant::now();
+        let popped = input.pop();
+        let t1 = Instant::now();
+        self.stats.blocked_accept += t1 - t0;
+        self.record_span(crate::stats::SpanKind::Accept, t0, t1);
+        match popped {
+            Ok(Item::Buf(b)) => {
+                self.stats.buffers_in += 1;
+                Ok(Some(b))
+            }
+            Ok(Item::Caboose(p)) => {
+                debug_assert_eq!(p, self.ports[idx].pipeline);
+                self.observe_caboose(idx, p)?;
+                Ok(None)
+            }
+            Err(_) => Err(FgError::Cancelled),
+        }
+    }
+
+    /// Handle a caboose popped from port `idx`: in a replica group, only
+    /// the last replica to see it forwards it downstream — the others mark
+    /// their own end of stream and hand the caboose to a sibling.
+    fn observe_caboose(&mut self, idx: usize, p: PipelineId) -> Result<()> {
+        if let Some(group) = self.replica_group.clone() {
+            if !group.observe_caboose(p) {
+                self.ports[idx].eos = true;
+                self.ports[idx].forwarded = true;
+                if let Some(input) = self.ports[idx].input.clone() {
+                    let _ = input.push(Item::Caboose(p));
+                }
+                return Ok(());
+            }
+        }
+        self.mark_eos_and_forward(p)
+    }
+
+    /// Convey a buffer to its pipeline's next stage.  The routing is
+    /// determined by the buffer's pipeline tag; buffers cannot jump
+    /// pipelines.
+    pub fn convey(&mut self, buf: Buffer) -> Result<()> {
+        let idx = self.port_index(buf.pipeline())?;
+        if self.ports[idx].eos {
+            return Err(FgError::Usage(format!(
+                "stage `{}` conveyed a buffer on {} after observing its end \
+                 of stream; convey or discard held buffers before accepting \
+                 past the caboose",
+                self.name,
+                buf.pipeline()
+            )));
+        }
+        let t0 = Instant::now();
+        let res = self.ports[idx].output.push(Item::Buf(buf));
+        let t1 = Instant::now();
+        self.stats.blocked_convey += t1 - t0;
+        self.record_span(crate::stats::SpanKind::Convey, t0, t1);
+        match res {
+            Ok(()) => {
+                self.stats.buffers_out += 1;
+                Ok(())
+            }
+            Err(_) => Err(FgError::Cancelled),
+        }
+    }
+
+    /// Return a buffer straight to its pipeline's buffer pool without
+    /// passing it downstream (e.g. a spent input buffer the stage consumed
+    /// wholesale).  Equivalent to conveying it to the pipeline's sink when
+    /// this stage is the last stage of that pipeline.
+    pub fn discard(&mut self, buf: Buffer) -> Result<()> {
+        let idx = self.port_index(buf.pipeline())?;
+        // Ignore a closed recycle queue: the pipeline is stopping and the
+        // buffer's memory is simply released.
+        let _ = self.ports[idx].recycle.push(Item::Buf(buf));
+        Ok(())
+    }
+
+    /// Stop an [`Rounds::UntilStopped`] pipeline: its source emits the
+    /// caboose and retires.  Idempotent.
+    pub fn stop(&mut self, pipeline: PipelineId) -> Result<()> {
+        let idx = self.port_index(pipeline)?;
+        self.ports[idx].stop.stop();
+        Ok(())
+    }
+
+    /// A scratch buffer of at least `len` bytes, reused across calls (FG's
+    /// auxiliary buffer, used e.g. for out-of-place permutations).
+    pub fn aux(&mut self, len: usize) -> &mut [u8] {
+        if self.aux.len() < len {
+            self.aux.resize(len, 0);
+        }
+        &mut self.aux[..len]
+    }
+
+    fn mark_eos_and_forward(&mut self, pipeline: PipelineId) -> Result<()> {
+        let idx = self.port_index(pipeline)?;
+        self.ports[idx].eos = true;
+        if !self.ports[idx].forwarded {
+            self.ports[idx].forwarded = true;
+            if self.ports[idx]
+                .output
+                .push(Item::Caboose(pipeline))
+                .is_err()
+                && !self.registry.is_cancelled()
+            {
+                return Err(FgError::Cancelled);
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-run cleanup executed by the runtime: stop `UntilStopped`
+    /// pipelines, drain unconsumed inputs (recycling their buffers), and
+    /// guarantee exactly one caboose went downstream per pipeline.
+    pub(crate) fn finish(&mut self) {
+        for idx in 0..self.ports.len() {
+            if matches!(self.ports[idx].rounds, Rounds::UntilStopped) {
+                self.ports[idx].stop.stop();
+            }
+        }
+        // Drain the shared input (virtual stage) until every lane ends.
+        if let Some(shared) = self.shared_input.clone() {
+            while self.ports.iter().any(|p| !p.eos) {
+                match shared.pop() {
+                    Ok(Item::Buf(b)) => {
+                        let _ = self.discard(b);
+                    }
+                    Ok(Item::Caboose(p)) => {
+                        let _ = self.mark_eos_and_forward(p);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        // Drain per-pipeline inputs.
+        for idx in 0..self.ports.len() {
+            while !self.ports[idx].eos {
+                let input = match &self.ports[idx].input {
+                    Some(q) => Arc::clone(q),
+                    None => break,
+                };
+                match input.pop() {
+                    Ok(Item::Buf(b)) => {
+                        let _ = self.ports[idx].recycle.push(Item::Buf(b));
+                    }
+                    Ok(Item::Caboose(p)) => {
+                        let _ = self.observe_caboose(idx, p);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        // Last resort (queues closed mid-drain): make sure a caboose was at
+        // least attempted downstream for every pipeline.
+        for idx in 0..self.ports.len() {
+            if !self.ports[idx].forwarded {
+                self.ports[idx].forwarded = true;
+                let _ = self.ports[idx]
+                    .output
+                    .try_push(Item::Caboose(self.ports[idx].pipeline));
+            }
+        }
+    }
+}

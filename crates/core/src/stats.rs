@@ -1,0 +1,327 @@
+//! Per-stage timing statistics.
+//!
+//! FG's value proposition is *overlap*: while one stage blocks on a
+//! high-latency operation, other stages' threads make progress.  To make that
+//! overlap observable (and to power the paper's per-pass breakdowns without
+//! an external profiler), the runtime records, for every stage:
+//!
+//! * time spent blocked waiting to **accept** a buffer (starved),
+//! * time spent blocked waiting to **convey** a buffer (backpressured),
+//! * the remaining wall time, which is the stage's own **busy** time, and
+//! * how many buffers it processed.
+
+use std::time::Duration;
+
+/// What a traced stage was doing during a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Blocked waiting to accept a buffer (starved).
+    Accept,
+    /// Blocked waiting to convey a buffer (backpressured).
+    Convey,
+}
+
+/// One blocked interval of a traced stage, in nanoseconds since the
+/// program's start.  The gaps between blocked spans are the stage's busy
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// What the stage was waiting on.
+    pub kind: SpanKind,
+    /// Nanoseconds since program start when the wait began.
+    pub start_ns: u64,
+    /// Nanoseconds since program start when the wait ended.
+    pub end_ns: u64,
+}
+
+/// Timing record for one stage (or one source/sink) of a finished program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Stage name as given at construction.
+    pub name: String,
+    /// Wall-clock time from thread start to thread exit.
+    pub wall: Duration,
+    /// Time blocked inside `accept`/`accept_from`/`accept_any`.
+    pub blocked_accept: Duration,
+    /// Time blocked inside `convey` (downstream queue full).
+    pub blocked_convey: Duration,
+    /// Buffers this stage accepted.
+    pub buffers_in: u64,
+    /// Buffers this stage conveyed.
+    pub buffers_out: u64,
+    /// Blocked intervals, present when the program ran with
+    /// [`Program::enable_tracing`](crate::Program::enable_tracing).
+    pub spans: Vec<Span>,
+}
+
+impl StageStats {
+    /// Time the stage spent doing its own work (wall minus blocking).
+    pub fn busy(&self) -> Duration {
+        self.wall
+            .saturating_sub(self.blocked_accept)
+            .saturating_sub(self.blocked_convey)
+    }
+
+    /// Fraction of wall time spent busy, in `[0, 1]`; zero for a zero-wall
+    /// stage.
+    pub fn utilization(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.busy().as_secs_f64() / wall
+        }
+    }
+}
+
+/// Report produced by a finished [`Program`](crate::Program) run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Wall-clock duration of the whole program (all pipelines).
+    pub wall: Duration,
+    /// One entry per stage thread, in declaration order, followed by the
+    /// source and sink threads.
+    pub stages: Vec<StageStats>,
+    /// Number of OS threads the program created (stages + sources + sinks).
+    /// Virtual stages and virtual pipelines reduce this count; experiment A2
+    /// measures exactly this field.
+    pub threads_spawned: usize,
+}
+
+impl Report {
+    /// Look up the stats of a stage by name (first match).
+    pub fn stage(&self, name: &str) -> Option<&StageStats> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of busy time across all stages — a proxy for total work performed.
+    pub fn total_busy(&self) -> Duration {
+        self.stages.iter().map(|s| s.busy()).sum()
+    }
+
+    /// Overlap factor: total busy time divided by wall time.  A value close
+    /// to the number of concurrently-busy stages indicates good overlap; a
+    /// value near 1.0 means execution was effectively serial.
+    pub fn overlap_factor(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.total_busy().as_secs_f64() / wall
+        }
+    }
+
+    /// Render a text Gantt chart of the traced stages: one row per stage,
+    /// `width` time buckets across the program's wall time, with `#` for
+    /// busy, `.` for starved (waiting to accept), and `o` for
+    /// backpressured (waiting to convey).  Stages without spans (tracing
+    /// disabled, or sources/sinks) are drawn from their aggregate numbers
+    /// as a single proportion bar prefixed with `~`.
+    ///
+    /// Requires the program to have run with
+    /// [`Program::enable_tracing`](crate::Program::enable_tracing) for
+    /// per-interval resolution.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let width = width.max(10);
+        let wall_ns = self.wall.as_nanos() as u64;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "gantt over {:.3}s, {} buckets ('#' busy, '.' starved, 'o' backpressured)\n",
+            self.wall.as_secs_f64(),
+            width
+        ));
+        let name_w = self
+            .stages
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        for s in &self.stages {
+            let mut row = vec![b'#'; width];
+            if s.spans.is_empty() {
+                // No trace: render aggregate proportions, left-to-right.
+                let total = s.wall.as_secs_f64().max(1e-12);
+                let acc = ((s.blocked_accept.as_secs_f64() / total) * width as f64) as usize;
+                let conv = ((s.blocked_convey.as_secs_f64() / total) * width as f64) as usize;
+                for slot in row.iter_mut().take(acc.min(width)) {
+                    *slot = b'.';
+                }
+                for slot in row.iter_mut().skip(width.saturating_sub(conv.min(width))) {
+                    *slot = b'o';
+                }
+                out.push_str(&format!(
+                    "{:<name_w$} ~{}\n",
+                    s.name,
+                    String::from_utf8(row).expect("ascii")
+                ));
+                continue;
+            }
+            if wall_ns > 0 {
+                for span in &s.spans {
+                    let a = (span.start_ns.min(wall_ns) as usize * width) / wall_ns as usize;
+                    let b = (span.end_ns.min(wall_ns) as usize * width) / wall_ns as usize;
+                    let ch = match span.kind {
+                        SpanKind::Accept => b'.',
+                        SpanKind::Convey => b'o',
+                    };
+                    for slot in row.iter_mut().take((b + 1).min(width)).skip(a) {
+                        *slot = ch;
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "{:<name_w$}  {}\n",
+                s.name,
+                String::from_utf8(row).expect("ascii")
+            ));
+        }
+        out
+    }
+
+    /// Render the report as an aligned text table: one row per stage with
+    /// busy / starved / backpressured times, utilization, and buffer
+    /// counts.  Useful for eyeballing where a pipeline's time goes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "wall {:.3}s, {} threads, overlap factor {:.2}\n",
+            self.wall.as_secs_f64(),
+            self.threads_spawned,
+            self.overlap_factor()
+        ));
+        let name_w = self
+            .stages
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        out.push_str(&format!(
+            "{:<name_w$} {:>9} {:>9} {:>9} {:>6} {:>8} {:>8}\n",
+            "stage", "busy ms", "starve ms", "backp ms", "util", "bufs in", "bufs out",
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<name_w$} {:>9.1} {:>9.1} {:>9.1} {:>5.0}% {:>8} {:>8}\n",
+                s.name,
+                s.busy().as_secs_f64() * 1e3,
+                s.blocked_accept.as_secs_f64() * 1e3,
+                s.blocked_convey.as_secs_f64() * 1e3,
+                s.utilization() * 100.0,
+                s.buffers_in,
+                s.buffers_out,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(wall_ms: u64, acc_ms: u64, conv_ms: u64) -> StageStats {
+        StageStats {
+            name: "s".into(),
+            wall: Duration::from_millis(wall_ms),
+            blocked_accept: Duration::from_millis(acc_ms),
+            blocked_convey: Duration::from_millis(conv_ms),
+            buffers_in: 1,
+            buffers_out: 1,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn busy_subtracts_blocking() {
+        let s = stats(100, 30, 20);
+        assert_eq!(s.busy(), Duration::from_millis(50));
+        assert!((s.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_saturates_at_zero() {
+        let s = stats(10, 30, 20);
+        assert_eq!(s.busy(), Duration::ZERO);
+    }
+
+    #[test]
+    fn report_lookup_and_overlap() {
+        let report = Report {
+            wall: Duration::from_millis(100),
+            stages: vec![
+                StageStats {
+                    name: "read".into(),
+                    ..stats(100, 0, 0)
+                },
+                StageStats {
+                    name: "write".into(),
+                    ..stats(100, 50, 0)
+                },
+            ],
+            threads_spawned: 2,
+        };
+        assert!(report.stage("read").is_some());
+        assert!(report.stage("nope").is_none());
+        assert_eq!(report.total_busy(), Duration::from_millis(150));
+        assert!((report.overlap_factor() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_edge_cases() {
+        let s = stats(0, 0, 0);
+        assert_eq!(s.utilization(), 0.0);
+        let r = Report::default();
+        assert_eq!(r.overlap_factor(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn render_contains_all_stages_and_header() {
+        let report = Report {
+            wall: Duration::from_millis(250),
+            stages: vec![
+                StageStats {
+                    name: "reader".into(),
+                    wall: Duration::from_millis(250),
+                    blocked_accept: Duration::from_millis(50),
+                    blocked_convey: Duration::from_millis(25),
+                    buffers_in: 10,
+                    buffers_out: 10,
+                    spans: Vec::new(),
+                },
+                StageStats {
+                    name: "a-much-longer-stage-name".into(),
+                    wall: Duration::from_millis(250),
+                    blocked_accept: Duration::ZERO,
+                    blocked_convey: Duration::ZERO,
+                    buffers_in: 10,
+                    buffers_out: 10,
+                    spans: Vec::new(),
+                },
+            ],
+            threads_spawned: 4,
+        };
+        let text = report.render();
+        assert!(text.contains("reader"));
+        assert!(text.contains("a-much-longer-stage-name"));
+        assert!(text.contains("overlap factor"));
+        assert!(text.contains("busy ms"));
+        // All rows align: every line has the same field count layout; just
+        // sanity-check line count = header + 2 stages + summary.
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn render_empty_report() {
+        let text = Report::default().render();
+        assert!(text.contains("0 threads"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests on FG runtime invariants: every round reaches
+//! every stage exactly once and in order, regardless of buffer counts,
+//! stage counts, or round counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+
+use fg_core::{map_stage, Program, PipelineCfg, Rounds};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A linear pipeline delivers all rounds, in order, through any number
+    /// of stages, for any buffer pool size.
+    #[test]
+    fn linear_pipeline_delivers_all_rounds_in_order(
+        stages in 1usize..5,
+        buffers in 1usize..5,
+        rounds in 0u64..60,
+    ) {
+        let seen = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let mut prog = Program::new("prop");
+        let mut ids = Vec::new();
+        for i in 0..stages {
+            if i + 1 == stages {
+                let seen2 = Arc::clone(&seen);
+                ids.push(prog.add_stage(
+                    format!("s{i}"),
+                    map_stage(move |buf, _| {
+                        seen2.lock().unwrap().push(buf.round());
+                        Ok(())
+                    }),
+                ));
+            } else {
+                ids.push(prog.add_stage(format!("s{i}"), map_stage(|_, _| Ok(()))));
+            }
+        }
+        prog.add_pipeline(
+            PipelineCfg::new("p", buffers, 16).rounds(Rounds::Count(rounds)),
+            &ids,
+        ).unwrap();
+        prog.run().unwrap();
+        let got = seen.lock().unwrap().clone();
+        let expect: Vec<u64> = (0..rounds).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Multiple disjoint pipelines each deliver their own round counts.
+    #[test]
+    fn disjoint_pipelines_deliver_independently(
+        counts in proptest::collection::vec(0u64..40, 1..4),
+    ) {
+        let mut prog = Program::new("prop");
+        let counters: Vec<Arc<AtomicU64>> =
+            counts.iter().map(|_| Arc::new(AtomicU64::new(0))).collect();
+        for (i, (&n, counter)) in counts.iter().zip(&counters).enumerate() {
+            let c2 = Arc::clone(counter);
+            let s = prog.add_stage(
+                format!("s{i}"),
+                map_stage(move |_, _| {
+                    c2.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }),
+            );
+            prog.add_pipeline(
+                PipelineCfg::new(format!("p{i}"), 2, 8).rounds(Rounds::Count(n)),
+                &[s],
+            ).unwrap();
+        }
+        prog.run().unwrap();
+        for (n, counter) in counts.iter().zip(&counters) {
+            prop_assert_eq!(counter.load(Ordering::Relaxed), *n);
+        }
+    }
+
+    /// A common stage accepting from two pipelines sees exactly the union
+    /// of both round sets.
+    #[test]
+    fn common_stage_sees_union(a in 0u64..30, b in 0u64..30) {
+        use fg_core::{Stage, StageCtx};
+        struct Common(Arc<AtomicU64>);
+        impl Stage for Common {
+            fn run(&mut self, ctx: &mut StageCtx) -> fg_core::Result<()> {
+                let pids: Vec<_> = ctx.pipelines().collect();
+                for &p in &pids {
+                    while let Some(buf) = ctx.accept_from(p)? {
+                        self.0.fetch_add(1, Ordering::Relaxed);
+                        ctx.convey(buf)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+        let count = Arc::new(AtomicU64::new(0));
+        let mut prog = Program::new("prop");
+        let common = prog.add_stage("common", Box::new(Common(Arc::clone(&count))));
+        prog.add_pipeline(PipelineCfg::new("a", 2, 8).rounds(Rounds::Count(a)), &[common])
+            .unwrap();
+        prog.add_pipeline(PipelineCfg::new("b", 2, 8).rounds(Rounds::Count(b)), &[common])
+            .unwrap();
+        prog.run().unwrap();
+        prop_assert_eq!(count.load(Ordering::Relaxed), a + b);
+    }
+
+    /// Virtual stages see every member pipeline's rounds exactly once and
+    /// the program spawns a constant number of threads regardless of k.
+    #[test]
+    fn virtual_stage_sees_all_lanes(counts in proptest::collection::vec(1u64..20, 1..6)) {
+        let total: u64 = counts.iter().sum();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let mut prog = Program::new("prop");
+        let v = prog.add_virtual_stage(
+            "v",
+            map_stage(move |_, _| {
+                seen2.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }),
+        );
+        for (i, &n) in counts.iter().enumerate() {
+            prog.add_pipeline(
+                PipelineCfg::new(format!("p{i}"), 2, 8).rounds(Rounds::Count(n)),
+                &[v],
+            ).unwrap();
+        }
+        let report = prog.run().unwrap();
+        prop_assert_eq!(seen.load(Ordering::Relaxed), total);
+        // One virtual stage thread + one shared source + one shared sink.
+        prop_assert_eq!(report.threads_spawned, 3);
+    }
+}

@@ -1,0 +1,483 @@
+//! Simulated per-node disks.
+//!
+//! Each cluster node owns one disk (the paper's nodes have one Ultra-320
+//! SCSI drive each).  A [`SimDisk`] stores named files in memory and charges
+//! every read/write a configurable cost (`latency + bytes/bandwidth`) as
+//! real wall-clock sleep **while holding the disk arm**: concurrent I/O
+//! requests against one disk serialize, exactly the property that makes the
+//! "most heavily used disk" the pacing item of a dsort pass (§I).
+//!
+//! Stage threads blocked on disk I/O yield the CPU, so FG's overlap of I/O
+//! with computation and communication is physically real in measurements.
+//! Tests use [`DiskCfg::zero`] and run at memory speed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::PdmError;
+
+/// Disk cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskCfg {
+    /// Fixed per-operation latency (seek + rotational).
+    pub latency: Duration,
+    /// Sustained transfer rate in bytes per second; `f64::INFINITY`
+    /// disables the per-byte cost.
+    pub bytes_per_sec: f64,
+}
+
+impl DiskCfg {
+    /// A free disk (for tests): no latency, infinite bandwidth.
+    pub fn zero() -> Self {
+        DiskCfg {
+            latency: Duration::ZERO,
+            bytes_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// A disk with the given per-op latency and bandwidth.
+    pub fn new(latency: Duration, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        DiskCfg {
+            latency,
+            bytes_per_sec,
+        }
+    }
+
+    /// Wall-clock cost of one operation transferring `bytes`.
+    pub fn cost(&self, bytes: usize) -> Duration {
+        let transfer = if self.bytes_per_sec.is_finite() {
+            Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+        } else {
+            Duration::ZERO
+        };
+        self.latency + transfer
+    }
+}
+
+impl Default for DiskCfg {
+    fn default() -> Self {
+        DiskCfg::zero()
+    }
+}
+
+/// Cumulative I/O counters of one disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Number of read operations.
+    pub read_ops: u64,
+    /// Number of write operations.
+    pub write_ops: u64,
+    /// Nanoseconds the disk arm was busy (simulated service time).
+    pub busy_nanos: u64,
+}
+
+impl DiskStats {
+    /// Simulated time this disk spent servicing requests.
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos)
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+/// An in-memory simulated disk holding named files.
+pub struct SimDisk {
+    cfg: DiskCfg,
+    /// The disk arm: held (while sleeping the op cost) to serialize access.
+    arm: Mutex<()>,
+    files: RwLock<HashMap<String, Arc<Mutex<Vec<u8>>>>>,
+    counters: Counters,
+    /// Failure injection: operations remaining before the disk "dies"
+    /// (`u64::MAX` = healthy).  Once it hits zero every subsequent
+    /// operation fails with [`PdmError::DiskFailed`].
+    ops_until_failure: AtomicU64,
+}
+
+impl SimDisk {
+    /// Create an empty disk with the given cost model.
+    pub fn new(cfg: DiskCfg) -> Arc<Self> {
+        Arc::new(SimDisk {
+            cfg,
+            arm: Mutex::new(()),
+            files: RwLock::new(HashMap::new()),
+            counters: Counters::default(),
+            ops_until_failure: AtomicU64::new(u64::MAX),
+        })
+    }
+
+    /// Inject a failure: after `ops` more successful operations, every
+    /// read/write on this disk fails with [`PdmError::DiskFailed`] — for
+    /// testing that errors propagate out of pipelines and across the
+    /// cluster.
+    pub fn fail_after_ops(&self, ops: u64) {
+        self.ops_until_failure.store(ops, Ordering::SeqCst);
+    }
+
+    fn check_alive(&self) -> Result<(), PdmError> {
+        // Decrement-if-healthy; saturate at zero once dead.
+        let mut cur = self.ops_until_failure.load(Ordering::SeqCst);
+        loop {
+            if cur == u64::MAX {
+                return Ok(());
+            }
+            if cur == 0 {
+                return Err(PdmError::DiskFailed);
+            }
+            match self.ops_until_failure.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The disk's cost model.
+    pub fn cfg(&self) -> DiskCfg {
+        self.cfg
+    }
+
+    fn charge(&self, bytes: usize) {
+        let d = self.cfg.cost(bytes);
+        self.counters
+            .busy_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        if !d.is_zero() {
+            // Hold the arm while the operation is "in flight".
+            let _arm = self.arm.lock();
+            std::thread::sleep(d);
+        }
+    }
+
+    fn file(&self, name: &str) -> Option<Arc<Mutex<Vec<u8>>>> {
+        self.files.read().get(name).map(Arc::clone)
+    }
+
+    fn file_or_create(&self, name: &str) -> Arc<Mutex<Vec<u8>>> {
+        if let Some(f) = self.file(name) {
+            return f;
+        }
+        let mut files = self.files.write();
+        Arc::clone(
+            files
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(Vec::new()))),
+        )
+    }
+
+    /// Write `data` at byte `offset` of `name`, creating and growing the
+    /// file (zero-filled) as needed.
+    pub fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), PdmError> {
+        self.check_alive()?;
+        let file = self.file_or_create(name);
+        {
+            let mut bytes = file.lock();
+            let end = offset as usize + data.len();
+            if bytes.len() < end {
+                bytes.resize(end, 0);
+            }
+            bytes[offset as usize..end].copy_from_slice(data);
+        }
+        self.counters
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.charge(data.len());
+        Ok(())
+    }
+
+    /// Append `data` to `name` (creating it), returning the offset the data
+    /// landed at.
+    pub fn append(&self, name: &str, data: &[u8]) -> Result<u64, PdmError> {
+        self.check_alive()?;
+        let file = self.file_or_create(name);
+        let offset = {
+            let mut bytes = file.lock();
+            let offset = bytes.len() as u64;
+            bytes.extend_from_slice(data);
+            offset
+        };
+        self.counters
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.charge(data.len());
+        Ok(offset)
+    }
+
+    /// Read exactly `out.len()` bytes at `offset` of `name`.
+    pub fn read_at(&self, name: &str, offset: u64, out: &mut [u8]) -> Result<(), PdmError> {
+        self.check_alive()?;
+        let file = self
+            .file(name)
+            .ok_or_else(|| PdmError::NoSuchFile(name.to_string()))?;
+        {
+            let bytes = file.lock();
+            let end = offset as usize + out.len();
+            if end > bytes.len() {
+                return Err(PdmError::OutOfRange {
+                    file: name.to_string(),
+                    offset,
+                    len: out.len(),
+                    file_len: bytes.len() as u64,
+                });
+            }
+            out.copy_from_slice(&bytes[offset as usize..end]);
+        }
+        self.counters
+            .bytes_read
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.counters.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.charge(out.len());
+        Ok(())
+    }
+
+    /// Read up to `len` bytes at `offset` (short read at end of file).
+    pub fn read_up_to(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>, PdmError> {
+        self.check_alive()?;
+        let file = self
+            .file(name)
+            .ok_or_else(|| PdmError::NoSuchFile(name.to_string()))?;
+        let data = {
+            let bytes = file.lock();
+            let start = (offset as usize).min(bytes.len());
+            let end = (start + len).min(bytes.len());
+            bytes[start..end].to_vec()
+        };
+        self.counters
+            .bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.counters.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.charge(data.len());
+        Ok(data)
+    }
+
+    /// Install a file's full contents **without charging any cost** — an
+    /// out-of-band provisioning hook for experiment setup (loading the
+    /// input dataset is not part of any measured pass).
+    pub fn load(&self, name: &str, bytes: Vec<u8>) {
+        let file = self.file_or_create(name);
+        *file.lock() = bytes;
+    }
+
+    /// Copy a file's full contents **without charging any cost** — the
+    /// verification counterpart of [`SimDisk::load`].
+    pub fn snapshot(&self, name: &str) -> Option<Vec<u8>> {
+        self.file(name).map(|f| f.lock().clone())
+    }
+
+    /// Length of a file, or `None` if it does not exist.
+    pub fn len(&self, name: &str) -> Option<u64> {
+        self.file(name).map(|f| f.lock().len() as u64)
+    }
+
+    /// Whether the file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.read().contains_key(name)
+    }
+
+    /// Delete a file; returns whether it existed.
+    pub fn delete(&self, name: &str) -> bool {
+        self.files.write().remove(name).is_some()
+    }
+
+    /// Names of all files on the disk (unspecified order).
+    pub fn list(&self) -> Vec<String> {
+        self.files.read().keys().cloned().collect()
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
+            read_ops: self.counters.read_ops.load(Ordering::Relaxed),
+            write_ops: self.counters.write_ops.load(Ordering::Relaxed),
+            busy_nanos: self.counters.busy_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the I/O counters (e.g. between experiment passes).
+    pub fn reset_stats(&self) {
+        self.counters.bytes_read.store(0, Ordering::Relaxed);
+        self.counters.bytes_written.store(0, Ordering::Relaxed);
+        self.counters.read_ops.store(0, Ordering::Relaxed);
+        self.counters.write_ops.store(0, Ordering::Relaxed);
+        self.counters.busy_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let d = SimDisk::new(DiskCfg::zero());
+        d.write_at("f", 0, &[1, 2, 3, 4]).unwrap();
+        let mut out = [0u8; 4];
+        d.read_at("f", 0, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn write_at_offset_grows_zero_filled() {
+        let d = SimDisk::new(DiskCfg::zero());
+        d.write_at("f", 4, &[9]).unwrap();
+        assert_eq!(d.len("f"), Some(5));
+        let mut out = [1u8; 5];
+        d.read_at("f", 0, &mut out).unwrap();
+        assert_eq!(out, [0, 0, 0, 0, 9]);
+    }
+
+    #[test]
+    fn append_returns_offsets() {
+        let d = SimDisk::new(DiskCfg::zero());
+        assert_eq!(d.append("f", &[1, 2]).unwrap(), 0);
+        assert_eq!(d.append("f", &[3]).unwrap(), 2);
+        assert_eq!(d.len("f"), Some(3));
+    }
+
+    #[test]
+    fn read_missing_file_fails() {
+        let d = SimDisk::new(DiskCfg::zero());
+        let mut out = [0u8; 1];
+        assert!(matches!(
+            d.read_at("nope", 0, &mut out),
+            Err(PdmError::NoSuchFile(_))
+        ));
+    }
+
+    #[test]
+    fn read_past_end_fails() {
+        let d = SimDisk::new(DiskCfg::zero());
+        d.write_at("f", 0, &[1]).unwrap();
+        let mut out = [0u8; 2];
+        assert!(matches!(
+            d.read_at("f", 0, &mut out),
+            Err(PdmError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn read_up_to_short_reads() {
+        let d = SimDisk::new(DiskCfg::zero());
+        d.write_at("f", 0, &[1, 2, 3]).unwrap();
+        assert_eq!(d.read_up_to("f", 2, 10).unwrap(), vec![3]);
+        assert_eq!(d.read_up_to("f", 5, 10).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn delete_and_exists() {
+        let d = SimDisk::new(DiskCfg::zero());
+        assert!(!d.exists("f"));
+        d.write_at("f", 0, &[1]).unwrap();
+        assert!(d.exists("f"));
+        assert!(d.delete("f"));
+        assert!(!d.delete("f"));
+        assert!(!d.exists("f"));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let d = SimDisk::new(DiskCfg::zero());
+        d.write_at("f", 0, &[0; 100]).unwrap();
+        let mut out = [0u8; 40];
+        d.read_at("f", 0, &mut out).unwrap();
+        let s = d.stats();
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.bytes_read, 40);
+        assert_eq!(s.write_ops, 1);
+        assert_eq!(s.read_ops, 1);
+        assert_eq!(s.bytes_total(), 140);
+        d.reset_stats();
+        assert_eq!(d.stats(), DiskStats::default());
+    }
+
+    #[test]
+    fn cost_model_charges_busy_time() {
+        let d = SimDisk::new(DiskCfg::new(Duration::from_millis(1), 1_000_000.0));
+        let t0 = std::time::Instant::now();
+        d.write_at("f", 0, &[0; 10_000]).unwrap(); // 1ms + 10ms
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(10), "{elapsed:?}");
+        assert!(d.stats().busy() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn concurrent_ops_serialize_on_the_arm() {
+        // Two threads each do a ~10ms write; serialized, total >= 20ms.
+        let d = SimDisk::new(DiskCfg::new(Duration::from_millis(10), f64::INFINITY));
+        let t0 = std::time::Instant::now();
+        let d1 = Arc::clone(&d);
+        let d2 = Arc::clone(&d);
+        let h1 = std::thread::spawn(move || d1.write_at("a", 0, &[1]).unwrap());
+        let h2 = std::thread::spawn(move || d2.write_at("b", 0, &[1]).unwrap());
+        h1.join().unwrap();
+        h2.join().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(19), "{:?}", t0.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::PdmError;
+
+    #[test]
+    fn healthy_disk_never_fails() {
+        let d = SimDisk::new(DiskCfg::zero());
+        for _ in 0..1000 {
+            d.write_at("f", 0, &[1]).unwrap();
+        }
+    }
+
+    #[test]
+    fn fails_after_injected_ops() {
+        let d = SimDisk::new(DiskCfg::zero());
+        d.fail_after_ops(3);
+        d.write_at("f", 0, &[1]).unwrap();
+        let mut out = [0u8; 1];
+        d.read_at("f", 0, &mut out).unwrap();
+        d.append("f", &[2]).unwrap();
+        assert_eq!(d.write_at("f", 0, &[3]), Err(PdmError::DiskFailed));
+        assert_eq!(d.read_at("f", 0, &mut out), Err(PdmError::DiskFailed));
+        assert!(matches!(d.read_up_to("f", 0, 1), Err(PdmError::DiskFailed)));
+        assert!(matches!(d.append("f", &[4]), Err(PdmError::DiskFailed)));
+    }
+
+    #[test]
+    fn fail_immediately() {
+        let d = SimDisk::new(DiskCfg::zero());
+        d.fail_after_ops(0);
+        assert_eq!(d.write_at("f", 0, &[1]), Err(PdmError::DiskFailed));
+        // Cost-free provisioning and snapshots are out-of-band and keep
+        // working (they model the experiment harness, not the disk).
+        d.load("g", vec![1, 2, 3]);
+        assert_eq!(d.snapshot("g").unwrap(), vec![1, 2, 3]);
+    }
+}

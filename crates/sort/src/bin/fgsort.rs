@@ -1,0 +1,347 @@
+//! fgsort: run the out-of-core sorts on a simulated cluster from the
+//! command line.
+//!
+//! ```text
+//! cargo run -p fg-sort --release --bin fgsort -- \
+//!     --program dsort --nodes 8 --kib-per-node 256 --dist poisson
+//! ```
+//!
+//! Flags (all optional):
+//!   --program  dsort | csort | csort4 | dsort-linear   (default dsort)
+//!   --nodes N                  cluster size              (default 8)
+//!   --kib-per-node N           input size per node       (default 256)
+//!   --record-bytes 16|64       record format             (default 16)
+//!   --dist NAME                uniform | all-equal | std-normal | poisson
+//!                              | shifted:K | hotkey:P | zipf:N  (default uniform)
+//!   --seed N                   input RNG seed            (default 51966)
+//!   --block-kib N              block/stripe size         (default 16)
+//!   --run-kib N                dsort run size            (default 64)
+//!   --free                     zero-cost disks & network (default: paper-
+//!                              shaped cost model)
+//!   --no-verify                skip output verification
+//!   --trace                    print node-0 per-pass Gantt charts (dsort)
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fg_sort::config::SortConfig;
+use fg_sort::csort::run_csort;
+use fg_sort::csort4::run_csort4;
+use fg_sort::dsort::run_dsort;
+use fg_sort::dsort_linear::run_dsort_linear;
+use fg_sort::input::provision;
+use fg_sort::keygen::KeyDist;
+use fg_sort::record::RecordFormat;
+use fg_sort::verify::{verify_output, Strictness};
+
+#[derive(Debug, PartialEq)]
+struct Options {
+    program: String,
+    nodes: usize,
+    kib_per_node: usize,
+    record_bytes: usize,
+    dist: KeyDist,
+    seed: u64,
+    block_kib: usize,
+    run_kib: usize,
+    free: bool,
+    verify: bool,
+    trace: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            program: "dsort".into(),
+            nodes: 8,
+            kib_per_node: 256,
+            record_bytes: 16,
+            dist: KeyDist::Uniform,
+            seed: 0xCAFE,
+            block_kib: 16,
+            run_kib: 64,
+            free: false,
+            verify: true,
+            trace: false,
+        }
+    }
+}
+
+fn parse_dist(s: &str) -> Result<KeyDist, String> {
+    if let Some(k) = s.strip_prefix("shifted:") {
+        return Ok(KeyDist::Shifted {
+            shift: k.parse().map_err(|e| format!("bad shift: {e}"))?,
+        });
+    }
+    if let Some(p) = s.strip_prefix("hotkey:") {
+        return Ok(KeyDist::HotKey {
+            hot_percent: p.parse().map_err(|e| format!("bad percent: {e}"))?,
+        });
+    }
+    if let Some(n) = s.strip_prefix("zipf:") {
+        return Ok(KeyDist::Zipf {
+            n: n.parse().map_err(|e| format!("bad key count: {e}"))?,
+        });
+    }
+    match s {
+        "uniform" => Ok(KeyDist::Uniform),
+        "all-equal" => Ok(KeyDist::AllEqual),
+        "std-normal" => Ok(KeyDist::StdNormal),
+        "poisson" => Ok(KeyDist::Poisson),
+        other => Err(format!("unknown distribution `{other}`")),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--program" => opts.program = value("--program")?.clone(),
+            "--nodes" => {
+                opts.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--kib-per-node" => {
+                opts.kib_per_node = value("--kib-per-node")?
+                    .parse()
+                    .map_err(|e| format!("--kib-per-node: {e}"))?
+            }
+            "--record-bytes" => {
+                opts.record_bytes = value("--record-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--record-bytes: {e}"))?
+            }
+            "--dist" => opts.dist = parse_dist(value("--dist")?)?,
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--block-kib" => {
+                opts.block_kib = value("--block-kib")?
+                    .parse()
+                    .map_err(|e| format!("--block-kib: {e}"))?
+            }
+            "--run-kib" => {
+                opts.run_kib = value("--run-kib")?
+                    .parse()
+                    .map_err(|e| format!("--run-kib: {e}"))?
+            }
+            "--free" => opts.free = true,
+            "--no-verify" => opts.verify = false,
+            "--trace" => opts.trace = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if !matches!(
+        opts.program.as_str(),
+        "dsort" | "csort" | "csort4" | "dsort-linear"
+    ) {
+        return Err(format!("unknown program `{}`", opts.program));
+    }
+    Ok(opts)
+}
+
+fn build_config(opts: &Options) -> Result<SortConfig, String> {
+    let record = RecordFormat::new(opts.record_bytes).map_err(|e| e.to_string())?;
+    let records_per_node = (opts.kib_per_node << 10) / record.record_bytes;
+    let mut cfg = if opts.free {
+        SortConfig::test_default(opts.nodes, records_per_node)
+    } else {
+        SortConfig::experiment_default(opts.nodes, records_per_node)
+    };
+    cfg.record = record;
+    cfg.dist = opts.dist;
+    cfg.seed = opts.seed;
+    cfg.block_bytes = opts.block_kib << 10;
+    cfg.run_bytes = (opts.run_kib << 10).max(cfg.block_bytes);
+    cfg.vertical_buf_bytes = (cfg.block_bytes / 2).max(record.record_bytes);
+    cfg.trace = opts.trace;
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn print_phase(name: &str, d: Duration) {
+    println!("  {name:<10} {:>9.1} ms", d.as_secs_f64() * 1e3);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("usage: fgsort [--program dsort|csort|csort4|dsort-linear]");
+            eprintln!("              [--nodes N] [--kib-per-node N] [--record-bytes 16|64]");
+            eprintln!("              [--dist uniform|all-equal|std-normal|poisson|shifted:K|hotkey:P|zipf:N]");
+            eprintln!("              [--seed N] [--block-kib N] [--run-kib N] [--free] [--no-verify]");
+            eprintln!("              [--trace]   (print node-0 per-pass Gantt charts; dsort only)");
+            return if e == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    };
+
+    let cfg = match build_config(&opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{}: {} records x {} B on {} nodes ({} KiB total), {} keys{}",
+        opts.program,
+        cfg.total_records(),
+        cfg.record.record_bytes,
+        cfg.nodes,
+        cfg.total_bytes() >> 10,
+        cfg.dist.label(),
+        if opts.free { ", zero-cost" } else { "" },
+    );
+
+    let disks = provision(&cfg);
+    let outcome: Result<(), String> = match opts.program.as_str() {
+        "dsort" => run_dsort(&cfg, &disks)
+            .map(|r| {
+                print_phase("sampling", r.sampling);
+                print_phase("pass 1", r.pass1);
+                print_phase("pass 2", r.pass2);
+                print_phase("total", r.total());
+                println!("  partitions: {:?}", r.partition_records);
+                if let Some((p1, p2)) = &r.node0_reports {
+                    if opts.trace {
+                        println!("\nnode 0, pass 1:\n{}", p1.render_gantt(64));
+                        println!("node 0, pass 2:\n{}", p2.render_gantt(64));
+                    }
+                }
+            })
+            .map_err(|e| e.to_string()),
+        "csort" => run_csort(&cfg, &disks)
+            .map(|r| {
+                for (i, p) in r.pass.iter().enumerate() {
+                    print_phase(&format!("pass {}", i + 1), *p);
+                }
+                print_phase("total", r.total);
+                println!("  matrix: r = {}, s = {}", r.matrix.r, r.matrix.s);
+            })
+            .map_err(|e| e.to_string()),
+        "csort4" => run_csort4(&cfg, &disks)
+            .map(|r| {
+                for (i, p) in r.pass.iter().enumerate() {
+                    print_phase(&format!("pass {}", i + 1), *p);
+                }
+                print_phase("total", r.total);
+            })
+            .map_err(|e| e.to_string()),
+        "dsort-linear" => run_dsort_linear(&cfg, &disks)
+            .map(|r| {
+                print_phase("sampling", r.sampling);
+                print_phase("pass 1", r.pass1);
+                print_phase("pass 2", r.pass2);
+                print_phase("total", r.total());
+            })
+            .map_err(|e| e.to_string()),
+        _ => unreachable!("validated"),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if opts.verify {
+        match verify_output(&cfg, &disks, Strictness::Fingerprint) {
+            Ok(()) => println!("output verified: sorted, striped, permutation of input"),
+            Err(e) => {
+                eprintln!("VERIFICATION FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let io: u64 = disks.iter().map(|d| d.stats().bytes_total()).sum();
+    println!("disk I/O: {:.2} MiB total", io as f64 / (1 << 20) as f64);
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse_args(&args(
+            "--program csort --nodes 4 --kib-per-node 128 --record-bytes 64 \
+             --dist poisson --seed 7 --block-kib 8 --run-kib 32 --free --no-verify",
+        ))
+        .unwrap();
+        assert_eq!(o.program, "csort");
+        assert_eq!(o.nodes, 4);
+        assert_eq!(o.kib_per_node, 128);
+        assert_eq!(o.record_bytes, 64);
+        assert_eq!(o.dist, KeyDist::Poisson);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.block_kib, 8);
+        assert_eq!(o.run_kib, 32);
+        assert!(o.free);
+        assert!(!o.verify);
+    }
+
+    #[test]
+    fn parameterized_dists() {
+        assert_eq!(parse_dist("shifted:3").unwrap(), KeyDist::Shifted { shift: 3 });
+        assert_eq!(
+            parse_dist("hotkey:85").unwrap(),
+            KeyDist::HotKey { hot_percent: 85 }
+        );
+        assert_eq!(parse_dist("zipf:50").unwrap(), KeyDist::Zipf { n: 50 });
+        assert!(parse_dist("zipf").is_err());
+        assert!(parse_dist("zipf:x").is_err());
+        assert!(parse_dist("shifted:x").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_args(&args("--nodes banana")).is_err());
+        assert!(parse_args(&args("--program quicksort")).is_err());
+        assert!(parse_args(&args("--frobnicate")).is_err());
+        assert!(parse_args(&args("--nodes")).is_err());
+    }
+
+    #[test]
+    fn config_derives_sizes() {
+        let o = Options {
+            free: true,
+            ..Options::default()
+        };
+        let cfg = build_config(&o).unwrap();
+        assert_eq!(cfg.total_records(), 8 * 256 * 1024 / 16);
+        assert_eq!(cfg.block_bytes, 16 << 10);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn config_rejects_bad_record_size() {
+        let o = Options {
+            record_bytes: 3,
+            ..Options::default()
+        };
+        assert!(build_config(&o).is_err());
+    }
+}

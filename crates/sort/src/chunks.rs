@@ -1,0 +1,206 @@
+//! Self-describing chunked payloads.
+//!
+//! Communication stages move *placed* data: a run of record bytes plus
+//! where those bytes belong (a destination column and row, or a global
+//! offset in the striped output).  Rather than making every receiver
+//! re-derive placement arithmetic, senders prefix each run with a small
+//! header.  A payload is a sequence of chunks:
+//!
+//! ```text
+//! [a: u64 LE][b: u64 LE][len: u64 LE][data: len bytes]  ...repeated...
+//! ```
+//!
+//! The meaning of `a` and `b` is up to the protocol using the codec (e.g.
+//! `a` = destination column, `b` = destination row; or `a` = global byte
+//! offset, `b` unused).
+
+use crate::SortError;
+
+/// One placed run of bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk<'a> {
+    /// First placement word (protocol-defined).
+    pub a: u64,
+    /// Second placement word (protocol-defined).
+    pub b: u64,
+    /// The data.
+    pub data: &'a [u8],
+}
+
+/// Bytes of overhead per chunk.
+pub const CHUNK_HEADER_BYTES: usize = 24;
+
+/// Append a chunk to `out`.
+pub fn push_chunk(out: &mut Vec<u8>, a: u64, b: u64, data: &[u8]) {
+    out.extend_from_slice(&a.to_le_bytes());
+    out.extend_from_slice(&b.to_le_bytes());
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(data);
+}
+
+/// Size a chunk of `len` data bytes occupies.
+pub fn chunk_size(len: usize) -> usize {
+    CHUNK_HEADER_BYTES + len
+}
+
+/// Iterate over the chunks of a payload.
+pub fn iter_chunks(bytes: &[u8]) -> ChunkIter<'_> {
+    ChunkIter { bytes, off: 0 }
+}
+
+/// Iterator over [`Chunk`]s; yields an error item on malformed input.
+pub struct ChunkIter<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Iterator for ChunkIter<'a> {
+    type Item = Result<Chunk<'a>, SortError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.off == self.bytes.len() {
+            return None;
+        }
+        let bad = |what: &str| {
+            Some(Err(SortError::Corrupt(format!(
+                "chunk stream: {what} at offset {}",
+                self.bytes.len()
+            ))))
+        };
+        if self.off + CHUNK_HEADER_BYTES > self.bytes.len() {
+            self.off = self.bytes.len();
+            return bad("truncated header");
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(
+                self.bytes[self.off + i * 8..self.off + (i + 1) * 8]
+                    .try_into()
+                    .expect("8 bytes"),
+            )
+        };
+        let (a, b, len) = (word(0), word(1), word(2) as usize);
+        let start = self.off + CHUNK_HEADER_BYTES;
+        let end = match start.checked_add(len) {
+            Some(e) if e <= self.bytes.len() => e,
+            _ => {
+                self.off = self.bytes.len();
+                return bad("truncated data");
+            }
+        };
+        self.off = end;
+        Some(Ok(Chunk {
+            a,
+            b,
+            data: &self.bytes[start..end],
+        }))
+    }
+}
+
+/// Collect all chunks, failing on the first malformed one.
+pub fn parse_chunks(bytes: &[u8]) -> Result<Vec<Chunk<'_>>, SortError> {
+    iter_chunks(bytes).collect()
+}
+
+/// Coalesce positioned writes: given `(offset, data)` runs, sort by offset
+/// and merge runs that are adjacent in the file, so a write stage issues
+/// one large disk operation instead of many small ones (positioned-write
+/// batching, as any real implementation's write stage would do).
+///
+/// Overlapping runs are *not* merged; they are issued as separate writes
+/// in **offset order** (not input order), so callers must not rely on any
+/// particular overlap outcome.  The sorts never produce overlapping writes.
+pub fn coalesce_writes(mut runs: Vec<(u64, Vec<u8>)>) -> Vec<(u64, Vec<u8>)> {
+    runs.retain(|(_, d)| !d.is_empty());
+    runs.sort_by_key(|(off, _)| *off);
+    let mut out: Vec<(u64, Vec<u8>)> = Vec::with_capacity(runs.len());
+    for (off, data) in runs {
+        match out.last_mut() {
+            Some((last_off, last_data))
+                if *last_off + last_data.len() as u64 == off =>
+            {
+                last_data.extend_from_slice(&data);
+            }
+            _ => out.push((off, data)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_chunks() {
+        let mut buf = Vec::new();
+        push_chunk(&mut buf, 1, 2, &[10, 20]);
+        push_chunk(&mut buf, 3, 4, &[]);
+        push_chunk(&mut buf, 5, 6, &[7; 100]);
+        let chunks = parse_chunks(&buf).unwrap();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!((chunks[0].a, chunks[0].b, chunks[0].data), (1, 2, &[10u8, 20][..]));
+        assert_eq!(chunks[1].data, &[] as &[u8]);
+        assert_eq!(chunks[2].data.len(), 100);
+        assert_eq!(buf.len(), 3 * CHUNK_HEADER_BYTES + 102);
+        assert_eq!(chunk_size(2), CHUNK_HEADER_BYTES + 2);
+    }
+
+    #[test]
+    fn empty_payload_is_empty() {
+        assert!(parse_chunks(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let mut buf = Vec::new();
+        push_chunk(&mut buf, 1, 2, &[9]);
+        assert!(parse_chunks(&buf[..buf.len() - 2]).is_err());
+        assert!(parse_chunks(&buf[..10]).is_err());
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(parse_chunks(&buf).is_err());
+    }
+}
+
+#[cfg(test)]
+mod coalesce_tests {
+    use super::*;
+
+    #[test]
+    fn merges_adjacent_runs() {
+        let runs = vec![(10u64, vec![3, 4]), (0u64, vec![0, 1]), (2u64, vec![2])];
+        let out = coalesce_writes(runs);
+        assert_eq!(out, vec![(0, vec![0, 1, 2]), (10, vec![3, 4])]);
+    }
+
+    #[test]
+    fn keeps_gaps_separate() {
+        let out = coalesce_writes(vec![(0, vec![1]), (2, vec![2])]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn drops_empty_runs() {
+        let out = coalesce_writes(vec![(0, vec![]), (5, vec![9])]);
+        assert_eq!(out, vec![(5, vec![9])]);
+    }
+
+    #[test]
+    fn overlapping_runs_stay_separate() {
+        let out = coalesce_writes(vec![(0, vec![1, 1]), (1, vec![2])]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[1].0, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(coalesce_writes(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! Leighton's columnsort: the in-memory reference implementation.
+//!
+//! Columnsort arranges `N = r·s` values as an `r × s` matrix (stored
+//! column-major, `r ≥ 2(s−1)²`, `s | r`, `r` even) and sorts it into
+//! column-major order in eight steps.  Odd steps sort every column; even
+//! steps permute:
+//!
+//! * step 2 "transpose": read the entries column-major, write them back
+//!   row-major;
+//! * step 4 "untranspose": the inverse;
+//! * steps 6 & 8 "shift by half a column" and back.
+//!
+//! A key simplification for steps 5–8 (exactly the coalescing that turns
+//! four passes into three in csort, §III): shifting down by `r/2`, sorting
+//! each shifted column, and shifting back is equivalent to sorting each
+//! *boundary window* — the linear (column-major) range
+//! `[c·r − r/2, c·r + r/2)` straddling each column boundary `c`.  The
+//! windows are disjoint, so they can be sorted independently — which is why
+//! the distributed pass 3 needs only one half-column exchange per column.
+//!
+//! This module is the ground truth for the distributed csort's arithmetic
+//! and is exercised by property tests against `slice::sort`.
+
+use crate::SortError;
+
+/// The permutation of step 2: entries read in column-major order are
+/// written back in row-major order.  `data` is column-major `r × s`.
+pub fn transpose(data: &mut [u64], r: usize, s: usize) {
+    debug_assert_eq!(data.len(), r * s);
+    let mut out = vec![0u64; data.len()];
+    for (p, &v) in data.iter().enumerate() {
+        // p-th element in column-major reading order lands at row-major
+        // position p = (row p/s, col p%s); store column-major.
+        let row = p / s;
+        let col = p % s;
+        out[col * r + row] = v;
+    }
+    data.copy_from_slice(&out);
+}
+
+/// The permutation of step 4: the inverse of [`transpose`].
+pub fn untranspose(data: &mut [u64], r: usize, s: usize) {
+    debug_assert_eq!(data.len(), r * s);
+    let mut out = vec![0u64; data.len()];
+    for (p, out_v) in out.iter_mut().enumerate() {
+        let row = p / s;
+        let col = p % s;
+        *out_v = data[col * r + row];
+    }
+    data.copy_from_slice(&out);
+}
+
+/// Odd steps: sort every column individually.
+pub fn sort_columns(data: &mut [u64], r: usize, s: usize) {
+    debug_assert_eq!(data.len(), r * s);
+    for col in 0..s {
+        data[col * r..(col + 1) * r].sort_unstable();
+    }
+}
+
+/// Steps 6–8 fused: sort every boundary window
+/// `[c·r − r/2, c·r + r/2)` for `c = 1..s`.
+pub fn boundary_merge(data: &mut [u64], r: usize, s: usize) {
+    debug_assert_eq!(data.len(), r * s);
+    let half = r / 2;
+    for c in 1..s {
+        data[c * r - half..c * r + half].sort_unstable();
+    }
+}
+
+/// Validate columnsort's geometric requirements.
+pub fn check_geometry(n: usize, r: usize, s: usize) -> Result<(), SortError> {
+    let err = |m: String| Err(SortError::Config(m));
+    if r * s != n {
+        return err(format!("r*s = {} != n = {n}", r * s));
+    }
+    if s == 0 || r == 0 {
+        return err("degenerate matrix".into());
+    }
+    if s > 1 {
+        if !r.is_multiple_of(s) {
+            return err(format!("s = {s} must divide r = {r}"));
+        }
+        if !r.is_multiple_of(2) {
+            return err(format!("r = {r} must be even"));
+        }
+        if r < 2 * (s - 1) * (s - 1) {
+            return err(format!("r = {r} < 2(s-1)^2 = {}", 2 * (s - 1) * (s - 1)));
+        }
+    }
+    Ok(())
+}
+
+/// Full eight-step columnsort of `data` (column-major `r × s`); sorts into
+/// column-major order.
+pub fn columnsort(data: &mut [u64], r: usize, s: usize) -> Result<(), SortError> {
+    check_geometry(data.len(), r, s)?;
+    sort_columns(data, r, s); // step 1
+    if s == 1 {
+        return Ok(()); // a single column is already fully sorted
+    }
+    transpose(data, r, s); // step 2
+    sort_columns(data, r, s); // step 3
+    untranspose(data, r, s); // step 4
+    sort_columns(data, r, s); // step 5
+    boundary_merge(data, r, s); // steps 6-8
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, seed: u64, max: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0..max)).collect()
+    }
+
+    #[test]
+    fn transpose_deals_columns_round_robin() {
+        // r=4, s=2, column-major [0,1,2,3 | 4,5,6,7].
+        let mut d: Vec<u64> = (0..8).collect();
+        transpose(&mut d, 4, 2);
+        // Reading column-major order 0..8, writing row-major into 4x2:
+        // rows: (0,1),(2,3),(4,5),(6,7) -> column-major [0,2,4,6 | 1,3,5,7].
+        assert_eq!(d, vec![0, 2, 4, 6, 1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn untranspose_inverts_transpose() {
+        let orig = random_data(6 * 3, 42, 1000);
+        let mut d = orig.clone();
+        transpose(&mut d, 6, 3);
+        untranspose(&mut d, 6, 3);
+        assert_eq!(d, orig);
+    }
+
+    #[test]
+    fn sort_columns_only_touches_columns() {
+        let mut d = vec![3, 1, 2, 9, 7, 8];
+        sort_columns(&mut d, 3, 2);
+        assert_eq!(d, vec![1, 2, 3, 7, 8, 9]);
+    }
+
+    #[test]
+    fn boundary_merge_sorts_disjoint_windows() {
+        // r=4, s=2: window at boundary = positions 2..6.
+        let mut d = vec![0, 1, 9, 8, 3, 2, 10, 11];
+        boundary_merge(&mut d, 4, 2);
+        assert_eq!(d, vec![0, 1, 2, 3, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(check_geometry(8, 4, 2).is_ok());
+        assert!(check_geometry(8, 3, 2).is_err()); // r*s mismatch
+        assert!(check_geometry(12, 6, 2).is_ok());
+        assert!(check_geometry(6, 3, 2).is_err()); // r odd
+        assert!(check_geometry(8, 2, 4).is_err()); // r < 2(s-1)^2
+        assert!(check_geometry(5, 5, 1).is_ok()); // single column: anything
+    }
+
+    #[test]
+    fn sorts_exactly_at_the_leighton_bound() {
+        // s = 3: need r >= 2*4 = 8 and 3 | r and r even -> r = 12 works
+        // (r = 8 fails 3 | r).
+        let n = 12 * 3;
+        for seed in 0..20 {
+            let mut d = random_data(n, seed, 50); // many duplicates
+            let mut expect = d.clone();
+            expect.sort_unstable();
+            columnsort(&mut d, 12, 3).unwrap();
+            assert_eq!(d, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sorts_larger_matrices() {
+        for (r, s) in [(32usize, 4usize), (128, 8), (512, 16)] {
+            let mut d = random_data(r * s, 7, u64::MAX);
+            let mut expect = d.clone();
+            expect.sort_unstable();
+            columnsort(&mut d, r, s).unwrap();
+            assert_eq!(d, expect, "r={r} s={s}");
+        }
+    }
+
+    #[test]
+    fn sorts_single_column() {
+        let mut d = random_data(17, 3, 100);
+        let mut expect = d.clone();
+        expect.sort_unstable();
+        columnsort(&mut d, 17, 1).unwrap();
+        assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn sorts_all_equal_input() {
+        let mut d = vec![7u64; 12 * 3];
+        columnsort(&mut d, 12, 3).unwrap();
+        assert!(d.iter().all(|&x| x == 7));
+    }
+}

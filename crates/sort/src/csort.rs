@@ -1,0 +1,522 @@
+//! csort: three-pass out-of-core columnsort (the baseline, §III).
+//!
+//! The `N` records form an `r × s` column-major matrix; column `j` is owned
+//! by node `j mod P` and handled in its round `j div P`.  Node `q`'s local
+//! input file supplies its own columns: local chunk `t` is global column
+//! `t·P + q`.  Each pass runs **one single linear FG pipeline per node** —
+//! the only shape csort needs, because its communication is balanced and
+//! its I/O pattern oblivious:
+//!
+//! * **Pass 1** (steps 1–2): `read → sort → communicate → permute → write`.
+//!   After sorting, record `i` of column `c` belongs to column `i mod s` of
+//!   the transposed matrix; the communicate stage exchanges the records
+//!   with a balanced `alltoallv` (every node sends and receives exactly `r`
+//!   records per round).  Because the *next* odd step re-sorts every
+//!   column, only column membership matters, so the permute/write stages
+//!   append each round's incoming records contiguously to the destination
+//!   column's region of the intermediate file.
+//! * **Pass 2** (steps 3–4): identical shape; after sorting, record `i`
+//!   belongs to column `i div (r/s)` of the untransposed matrix.
+//! * **Pass 3** (steps 5–8, coalesced): `read → sort → exchange-halves →
+//!   merge → stripe → write`.  After the step-5 sort, steps 6–8 reduce to
+//!   sorting each disjoint *boundary window* `[c·r − r/2, c·r + r/2)` (see
+//!   [`crate::columnsort`]): the owner of column `c` sends its sorted
+//!   column's larger half to the owner of column `c+1` (a balanced
+//!   `sendrecv`-style exchange), merges the half it receives with its own
+//!   smaller half, and the merged window — a contiguous run of the final
+//!   sorted sequence at known global ranks — is exchanged once more
+//!   (balanced `alltoallv`) to land, striped, on the cluster's disks.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fg_cluster::{Cluster, ClusterCfg, ClusterError, Communicator};
+use fg_core::{map_stage, PipelineCfg, Program, Rounds};
+use fg_pdm::{DiskStats, SimDisk, Striping};
+
+use crate::chunks::{self, CHUNK_HEADER_BYTES};
+use crate::config::{Matrix, SortConfig};
+use crate::input::INPUT_FILE;
+use crate::verify::OUTPUT_FILE;
+use crate::SortError;
+
+/// Intermediate file after pass 1.
+pub const M1_FILE: &str = "csort_m1";
+/// Intermediate file after pass 2.
+pub const M2_FILE: &str = "csort_m2";
+
+/// Timings and counters from one csort run.
+#[derive(Debug, Clone)]
+pub struct CsortReport {
+    /// Max-across-nodes wall time of each pass.
+    pub pass: [Duration; 3],
+    /// Total wall time (sum of passes).
+    pub total: Duration,
+    /// Per-node disk stats accumulated over the whole run.
+    pub disk_stats: Vec<DiskStats>,
+    /// Per-node bytes sent over the interconnect.
+    pub bytes_sent: Vec<u64>,
+    /// The matrix geometry used.
+    pub matrix: Matrix,
+}
+
+/// Run csort on the provisioned `disks` (one per node, each holding
+/// `input`); leaves striped output in `output` on every disk.
+pub fn run_csort(cfg: &SortConfig, disks: &[Arc<SimDisk>]) -> Result<CsortReport, SortError> {
+    cfg.validate()?;
+    if disks.len() != cfg.nodes {
+        return Err(SortError::Config(format!(
+            "need {} disks, got {}",
+            cfg.nodes,
+            disks.len()
+        )));
+    }
+    let matrix = Matrix::choose(cfg.total_records(), cfg.nodes)?;
+    let cfg = *cfg;
+    let disks_arc: Vec<Arc<SimDisk>> = disks.to_vec();
+
+    let run = Cluster::run(
+        ClusterCfg {
+            nodes: cfg.nodes,
+            net: cfg.net,
+        },
+        move |node| -> Result<[Duration; 3], ClusterError> {
+            let q = node.rank();
+            let comm = node.comm().clone();
+            let disk = Arc::clone(&disks_arc[q]);
+            let mut times = [Duration::ZERO; 3];
+            for (pass_idx, pass_no) in [1u8, 2, 3].into_iter().enumerate() {
+                comm.barrier()?;
+                let t0 = Instant::now();
+                match pass_no {
+                    1 => pass12(1, &cfg, matrix, q, &comm, &disk)
+                        .map_err(ClusterError::from)?,
+                    2 => pass12(2, &cfg, matrix, q, &comm, &disk)
+                        .map_err(ClusterError::from)?,
+                    _ => pass3(&cfg, matrix, q, &comm, &disk).map_err(ClusterError::from)?,
+                }
+                comm.barrier()?;
+                let nanos = comm.allreduce_max(t0.elapsed().as_nanos() as u64)?;
+                times[pass_idx] = Duration::from_nanos(nanos);
+            }
+            Ok(times)
+        },
+    )
+    .map_err(|e| SortError::Comm(e.to_string()))?;
+
+    let times = run.results[0];
+    Ok(CsortReport {
+        pass: times,
+        total: times.iter().sum(),
+        disk_stats: disks.iter().map(|d| d.stats()).collect(),
+        bytes_sent: run.traffic.iter().map(|t| t.bytes_sent).collect(),
+        matrix,
+    })
+}
+
+/// Bytes of one full column of records.
+fn col_bytes(cfg: &SortConfig, m: Matrix) -> usize {
+    m.r * cfg.record.record_bytes
+}
+
+/// Passes 1 and 2: `read → sort → communicate → permute → write` over a
+/// single linear pipeline of `s/P` rounds.  Shared with the four-pass
+/// variant ([`crate::csort4`]), whose first two passes are identical.
+pub(crate) fn pass12(
+    pass_no: u8,
+    cfg: &SortConfig,
+    m: Matrix,
+    q: usize,
+    comm: &Communicator,
+    disk: &Arc<SimDisk>,
+) -> Result<(), SortError> {
+    let rb = cfg.record.record_bytes;
+    let cbytes = col_bytes(cfg, m);
+    // Per round a node receives r records in at most s chunks.
+    let buf_bytes = cbytes + m.s * CHUNK_HEADER_BYTES + 64;
+    let rounds = m.cols_per_node() as u64;
+    let (in_file, out_file) = match pass_no {
+        1 => (INPUT_FILE, M1_FILE),
+        _ => (M1_FILE, M2_FILE),
+    };
+
+    let mut prog = Program::new(format!("csort-p{pass_no}-n{q}"));
+
+    // read: local chunk t of the input file is column t*P + q.
+    let read_disk = Arc::clone(disk);
+    let in_name = in_file.to_string();
+    let read = prog.add_stage(
+        "read",
+        map_stage(move |buf, _ctx| {
+            let t = buf.round();
+            read_disk
+                .read_at(&in_name, t * cbytes as u64, &mut buf.space_mut()[..cbytes])
+                .map_err(SortError::from)?;
+            buf.set_filled(cbytes);
+            Ok(())
+        }),
+    );
+
+    // sort: odd columnsort step (1 or 3).
+    let fmt = cfg.record;
+    let sort = prog.add_stage("sort", {
+        let mut aux: Vec<u8> = Vec::new();
+        map_stage(move |buf, _ctx| {
+            fmt.sort_bytes(buf.filled_mut(), &mut aux);
+            Ok(())
+        })
+    });
+
+    // communicate: balanced alltoallv; the same buffer is conveyed (§I:
+    // "with balanced communication ... we can convey to the successor the
+    // same buffer that the stage accepted").
+    let comm2 = comm.clone();
+    let nodes = m.nodes;
+    let (r, s) = (m.r, m.s);
+    let chunk_records = r / s;
+    let communicate = prog.add_stage(
+        "communicate",
+        map_stage(move |buf, _ctx| {
+            let t = buf.round() as usize;
+            let c = m.col_of_round(q, t); // my column this round
+            let mut parts: Vec<Vec<u8>> = vec![Vec::new(); nodes];
+            {
+                let data = buf.filled();
+                for d in 0..s {
+                    // Records of sorted column c destined for column d.
+                    let dest_node = m.owner(d);
+                    let mut run = Vec::with_capacity(chunk_records * rb);
+                    match pass_no {
+                        1 => {
+                            // transpose: record i -> column i mod s
+                            let mut i = d;
+                            while i < r {
+                                run.extend_from_slice(&data[i * rb..(i + 1) * rb]);
+                                i += s;
+                            }
+                        }
+                        _ => {
+                            // untranspose: record i -> column i div (r/s)
+                            let start = d * chunk_records;
+                            run.extend_from_slice(
+                                &data[start * rb..(start + chunk_records) * rb],
+                            );
+                        }
+                    }
+                    chunks::push_chunk(&mut parts[dest_node], d as u64, c as u64, &run);
+                }
+            }
+            let received = comm2.alltoallv(parts).map_err(SortError::from)?;
+            buf.clear();
+            for part in received {
+                let copied = buf.append(&part);
+                debug_assert_eq!(copied, part.len(), "communicate buffer overflow");
+            }
+            Ok(())
+        }),
+    );
+
+    // permute: translate (dest column, source column) headers into file
+    // offsets.  Column d's region of the output file is
+    // [local_index(d)*r, ...); round t's incoming records for d are
+    // appended at t * (P * r/s) records into that region.
+    let permute = prog.add_stage(
+        "permute",
+        map_stage(move |buf, ctx| {
+            let t = buf.round() as usize;
+            let per_round_per_col = nodes * chunk_records; // records
+            let mut out: Vec<(u64, Vec<u8>)> = Vec::new();
+            for chunk in chunks::iter_chunks(buf.filled()) {
+                let chunk = chunk?;
+                let d = chunk.a as usize;
+                debug_assert_eq!(m.owner(d), q, "chunk routed to wrong node");
+                let base = (m.local_index(d) * r + t * per_round_per_col) * rb;
+                // Each sender contributed chunk_records records this round;
+                // stack them in sender order (source column / P order is
+                // irrelevant: the next pass re-sorts the column).
+                let within = out
+                    .iter()
+                    .filter(|(off, _)| {
+                        (*off as usize) >= base && (*off as usize) < base + per_round_per_col * rb
+                    })
+                    .map(|(_, d2)| d2.len())
+                    .sum::<usize>();
+                out.push(((base + within) as u64, chunk.data.to_vec()));
+            }
+            // Rewrite the buffer as (file offset, data) chunks.
+            let mut packed = Vec::with_capacity(buf.capacity());
+            for (off, data) in out {
+                chunks::push_chunk(&mut packed, off, 0, &data);
+            }
+            let _ = ctx;
+            buf.copy_from(&packed);
+            Ok(())
+        }),
+    );
+
+    // write: issue the positioned writes.
+    let write_disk = Arc::clone(disk);
+    let out_name = out_file.to_string();
+    let write = prog.add_stage(
+        "write",
+        map_stage(move |buf, _ctx| {
+            let mut runs = Vec::new();
+            for chunk in chunks::iter_chunks(buf.filled()) {
+                let chunk = chunk?;
+                runs.push((chunk.a, chunk.data.to_vec()));
+            }
+            for (off, data) in chunks::coalesce_writes(runs) {
+                write_disk
+                    .write_at(&out_name, off, &data)
+                    .map_err(SortError::from)?;
+            }
+            Ok(())
+        }),
+    );
+
+    prog.add_pipeline(
+        PipelineCfg::new("pass", cfg.pipeline_buffers, buf_bytes).rounds(Rounds::Count(rounds)),
+        &[read, sort, communicate, permute, write],
+    )?;
+    prog.run()?;
+    Ok(())
+}
+
+/// Pass 3: steps 5–8 coalesced —
+/// `read → sort → exchange-halves → merge → stripe → write`.
+fn pass3(
+    cfg: &SortConfig,
+    m: Matrix,
+    q: usize,
+    comm: &Communicator,
+    disk: &Arc<SimDisk>,
+) -> Result<(), SortError> {
+    let rb = cfg.record.record_bytes;
+    let cbytes = col_bytes(cfg, m);
+    let half = m.r / 2 * rb;
+    let rounds = m.cols_per_node() as u64;
+    // A buffer holds a merged window (r records), plus the extra half
+    // window w(s) on the last column, plus chunk headers for striping.
+    let window_cap = cbytes + half;
+    // The stripe exchange is balanced only on average; a node can receive
+    // up to a block of slack from each sender, so size for it.
+    let max_chunks = window_cap / cfg.block_bytes + 2 * m.nodes + 4;
+    let buf_bytes =
+        window_cap + m.nodes * cfg.block_bytes + max_chunks * CHUNK_HEADER_BYTES + 64;
+    let (r, s, nodes) = (m.r, m.s, m.nodes);
+
+    let mut prog = Program::new(format!("csort-p3-n{q}"));
+
+    let read_disk = Arc::clone(disk);
+    let read = prog.add_stage(
+        "read",
+        map_stage(move |buf, _ctx| {
+            let t = buf.round();
+            read_disk
+                .read_at(M2_FILE, t * cbytes as u64, &mut buf.space_mut()[..cbytes])
+                .map_err(SortError::from)?;
+            buf.set_filled(cbytes);
+            Ok(())
+        }),
+    );
+
+    let fmt = cfg.record;
+    let sort = prog.add_stage(
+        "sort",
+        map_stage(move |buf, _ctx| {
+            let mut aux = Vec::new();
+            fmt.sort_bytes(buf.filled_mut(), &mut aux);
+            Ok(())
+        }),
+    );
+
+    // exchange-halves: after the step-5 sort, send my column's larger half
+    // to the owner of column c+1 and receive the larger half of column c-1;
+    // the buffer leaves holding the *merge input* for window w(c):
+    // [received larger half of c-1][my smaller half], plus — only for the
+    // last column — my own larger half retained for window w(s).
+    let comm3 = comm.clone();
+    let exchange = prog.add_stage(
+        "exchange",
+        map_stage(move |buf, ctx| {
+            let t = buf.round() as usize;
+            let c = m.col_of_round(q, t);
+            let last = c == s - 1;
+            {
+                let data = buf.filled();
+                if !last {
+                    comm3
+                        .send(m.owner(c + 1), (c + 1) as u64, data[half..].to_vec())
+                        .map_err(SortError::from)?;
+                }
+            }
+            let received: Vec<u8> = if c > 0 {
+                comm3
+                    .recv(Some(m.owner(c - 1)), c as u64)
+                    .map_err(SortError::from)?
+                    .payload
+            } else {
+                Vec::new()
+            };
+            // Assemble [received][smaller half][(last only) larger half].
+            let aux = ctx.aux(buf.capacity());
+            let mut len = 0usize;
+            aux[..received.len()].copy_from_slice(&received);
+            len += received.len();
+            aux[len..len + half].copy_from_slice(&buf.filled()[..half]);
+            len += half;
+            if last {
+                aux[len..len + half].copy_from_slice(&buf.filled()[half..]);
+                len += half;
+            }
+            let assembled = aux[..len].to_vec();
+            buf.copy_from(&assembled);
+            Ok(())
+        }),
+    );
+
+    // merge: step 7 — merge the two sorted halves of window w(c) (the
+    // trailing extra half for w(s) is already sorted and stays in place).
+    let merge = prog.add_stage(
+        "merge",
+        map_stage(move |buf, ctx| {
+            let t = buf.round() as usize;
+            let c = m.col_of_round(q, t);
+            let window = if c > 0 { 2 * half } else { half };
+            debug_assert!(buf.len() >= window);
+            if c > 0 {
+                let aux = ctx.aux(window);
+                merge_two_sorted(fmt, &buf.filled()[..window], half, aux);
+                buf.filled_mut()[..window].copy_from_slice(&aux[..window]);
+            }
+            Ok(())
+        }),
+    );
+
+    // stripe: window w(c) covers global ranks [c·r − r/2, c·r + r/2)
+    // (clamped); split it across the cluster's disks in PDM order and
+    // exchange (balanced alltoallv).  The last column also carries w(s).
+    let comm4 = comm.clone();
+    let striping = Striping::new(nodes, cfg.block_bytes);
+    let stripe = prog.add_stage(
+        "stripe",
+        map_stage(move |buf, _ctx| {
+            let t = buf.round() as usize;
+            let c = m.col_of_round(q, t);
+            let start_rank = if c == 0 { 0 } else { c * r - r / 2 };
+            let mut parts: Vec<Vec<u8>> = vec![Vec::new(); nodes];
+            {
+                let data = buf.filled();
+                let goff = start_rank as u64 * rb as u64;
+                for (dest, local, range) in striping.split_range(goff, data.len()) {
+                    let _ = local;
+                    let gchunk = goff + range.start as u64;
+                    chunks::push_chunk(&mut parts[dest], gchunk, 0, &data[range]);
+                }
+            }
+            let received = comm4.alltoallv(parts).map_err(SortError::from)?;
+            buf.clear();
+            for part in received {
+                let copied = buf.append(&part);
+                debug_assert_eq!(copied, part.len(), "stripe buffer overflow");
+            }
+            Ok(())
+        }),
+    );
+
+    let write_disk = Arc::clone(disk);
+    let striping_w = Striping::new(nodes, cfg.block_bytes);
+    let write = prog.add_stage(
+        "write",
+        map_stage(move |buf, _ctx| {
+            let mut runs = Vec::new();
+            for chunk in chunks::iter_chunks(buf.filled()) {
+                let chunk = chunk?;
+                let (dest, local) = striping_w.locate_byte(chunk.a);
+                debug_assert_eq!(dest, q, "stripe chunk landed on wrong node");
+                runs.push((local, chunk.data.to_vec()));
+            }
+            for (off, data) in chunks::coalesce_writes(runs) {
+                write_disk
+                    .write_at(OUTPUT_FILE, off, &data)
+                    .map_err(SortError::from)?;
+            }
+            Ok(())
+        }),
+    );
+
+    prog.add_pipeline(
+        PipelineCfg::new("pass3", cfg.pipeline_buffers, buf_bytes).rounds(Rounds::Count(rounds)),
+        &[read, sort, exchange, merge, stripe, write],
+    )?;
+    prog.run()?;
+    Ok(())
+}
+
+/// Merge `data` (two sorted runs: `[0, split_bytes)` and
+/// `[split_bytes, len)`) into `out[..len]`.
+pub(crate) fn merge_two_sorted(
+    fmt: crate::record::RecordFormat,
+    data: &[u8],
+    split_bytes: usize,
+    out: &mut [u8],
+) {
+    let rb = fmt.record_bytes;
+    let (a, b) = data.split_at(split_bytes);
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let take_a = fmt.key(&a[i..i + rb]) <= fmt.key(&b[j..j + rb]);
+        if take_a {
+            out[o..o + rb].copy_from_slice(&a[i..i + rb]);
+            i += rb;
+        } else {
+            out[o..o + rb].copy_from_slice(&b[j..j + rb]);
+            j += rb;
+        }
+        o += rb;
+    }
+    if i < a.len() {
+        out[o..o + a.len() - i].copy_from_slice(&a[i..]);
+        o += a.len() - i;
+    }
+    if j < b.len() {
+        out[o..o + b.len() - j].copy_from_slice(&b[j..]);
+        o += b.len() - j;
+    }
+    debug_assert_eq!(o, data.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordFormat;
+
+    #[test]
+    fn merge_two_sorted_runs() {
+        let f = RecordFormat::REC16;
+        let mk = |keys: &[u64]| {
+            let mut out = vec![0u8; keys.len() * 16];
+            for (i, &k) in keys.iter().enumerate() {
+                f.set_key(&mut out[i * 16..(i + 1) * 16], k);
+            }
+            out
+        };
+        let mut data = mk(&[1, 4, 9]);
+        data.extend_from_slice(&mk(&[2, 4, 8]));
+        let mut out = vec![0u8; data.len()];
+        merge_two_sorted(f, &data, 3 * 16, &mut out);
+        let keys: Vec<u64> = f.records(&out).map(|r| f.key(r)).collect();
+        assert_eq!(keys, vec![1, 2, 4, 4, 8, 9]);
+    }
+
+    #[test]
+    fn merge_empty_first_run() {
+        let f = RecordFormat::REC16;
+        let mut data = vec![0u8; 32];
+        f.set_key(&mut data[0..16], 3);
+        f.set_key(&mut data[16..32], 5);
+        let mut out = vec![0u8; 32];
+        merge_two_sorted(f, &data, 0, &mut out);
+        assert_eq!(out, data);
+    }
+}

@@ -1,0 +1,281 @@
+//! Key distributions for experiment inputs.
+//!
+//! The paper's experiments (§VI) sort inputs with four key distributions —
+//! uniform random, all keys equal, standard normal, and Poisson with λ = 1 —
+//! plus unspecified adversarial "input distributions designed to elicit
+//! highly unbalanced communication in pass 1 of dsort".  We implement all
+//! four named distributions and two adversarial ones for experiment T4.
+//!
+//! Keys are `u64`.  Real-valued distributions map through an
+//! order-preserving `f64 → u64` transform so sorting the integer keys sorts
+//! the underlying reals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A key distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over all of `u64`.
+    Uniform,
+    /// Every key identical — the worst case for naive splitter selection,
+    /// handled by extended keys.
+    AllEqual,
+    /// Standard normal, mapped order-preservingly into `u64`.
+    StdNormal,
+    /// Poisson with λ = 1: small non-negative integers, heavy duplication.
+    Poisson,
+    /// Adversarial (T4): node `i`'s records all draw from the contiguous
+    /// key range that belongs to node `(i + shift) mod P` in a balanced
+    /// partition, so every node streams its entire input to a single target
+    /// and receives everything from a single source — maximally bursty,
+    /// unbalanced communication.
+    Shifted {
+        /// How many nodes to the right each node's data targets.
+        shift: usize,
+    },
+    /// Adversarial (T4): `hot_percent` of all keys are one single value,
+    /// the rest uniform — stress for extended-key tie-breaking at scale.
+    HotKey {
+        /// Percentage (0–100) of records that share the hot key.
+        hot_percent: u8,
+    },
+    /// Zipf-distributed ranks over `n` distinct keys with exponent ~1 —
+    /// the classic heavy-tailed skew of real aggregation workloads
+    /// (used by the group-by application's skew tests).
+    Zipf {
+        /// Number of distinct keys.
+        n: u32,
+    },
+}
+
+impl KeyDist {
+    /// Human-readable label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            KeyDist::Uniform => "uniform".into(),
+            KeyDist::AllEqual => "all-equal".into(),
+            KeyDist::StdNormal => "std-normal".into(),
+            KeyDist::Poisson => "poisson".into(),
+            KeyDist::Shifted { shift } => format!("shifted-{shift}"),
+            KeyDist::HotKey { hot_percent } => format!("hotkey-{hot_percent}"),
+            KeyDist::Zipf { n } => format!("zipf-{n}"),
+        }
+    }
+
+    /// The four distributions of Figure 8.
+    pub fn figure8() -> [KeyDist; 4] {
+        [
+            KeyDist::Uniform,
+            KeyDist::AllEqual,
+            KeyDist::StdNormal,
+            KeyDist::Poisson,
+        ]
+    }
+}
+
+/// A per-node key generator: deterministic given (seed, node).
+pub struct KeyGen {
+    dist: KeyDist,
+    rng: StdRng,
+    node: usize,
+    nodes: usize,
+}
+
+impl KeyGen {
+    /// Generator for `node` of `nodes` with the given distribution.
+    pub fn new(dist: KeyDist, seed: u64, node: usize, nodes: usize) -> Self {
+        assert!(node < nodes);
+        KeyGen {
+            dist,
+            // Decorrelate node streams without structure in low bits.
+            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ node as u64),
+            node,
+            nodes,
+        }
+    }
+
+    /// Next key.
+    pub fn next_key(&mut self) -> u64 {
+        match self.dist {
+            KeyDist::Uniform => self.rng.random(),
+            KeyDist::AllEqual => 0x5555_5555_5555_5555,
+            KeyDist::StdNormal => f64_to_ordered_u64(sample_std_normal(&mut self.rng)),
+            KeyDist::Poisson => sample_poisson_1(&mut self.rng),
+            KeyDist::Shifted { shift } => {
+                let target = (self.node + shift) % self.nodes;
+                // Draw uniformly from the key range a balanced partition
+                // assigns to `target`.
+                let span = u64::MAX / self.nodes as u64;
+                let lo = span * target as u64;
+                lo + self.rng.random_range(0..span)
+            }
+            KeyDist::HotKey { hot_percent } => {
+                if self.rng.random_range(0..100u8) < hot_percent {
+                    HOT_KEY
+                } else {
+                    self.rng.random()
+                }
+            }
+            KeyDist::Zipf { n } => sample_zipf(&mut self.rng, n.max(1)),
+        }
+    }
+}
+
+/// One Zipf(s≈1) rank in `1..=n` via inverse-CDF on the harmonic sum
+/// approximation (rejection-free; exact enough for workload generation).
+fn sample_zipf(rng: &mut StdRng, n: u32) -> u64 {
+    // H(k) ≈ ln(k) + γ; invert u·H(n) = H(k)  ⇒  k ≈ e^(u·H(n) − γ).
+    const GAMMA: f64 = 0.577_215_664_901_532_9;
+    let h_n = (n as f64).ln() + GAMMA;
+    let u: f64 = rng.random();
+    let k = (u * h_n - GAMMA).exp();
+    (k.ceil() as u64).clamp(1, n as u64)
+}
+
+/// The single repeated key of [`KeyDist::HotKey`].
+pub const HOT_KEY: u64 = 0x7777_7777_7777_7777;
+
+/// Map an `f64` to a `u64` such that `a < b  ⇒  map(a) < map(b)` for all
+/// non-NaN values (the standard total-order bit trick).
+pub fn f64_to_ordered_u64(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
+    }
+}
+
+/// One standard-normal sample via Box–Muller.
+fn sample_std_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// One Poisson(λ=1) sample via Knuth's method.
+fn sample_poisson_1(rng: &mut StdRng) -> u64 {
+    let l = (-1.0f64).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(dist: KeyDist, seed: u64, node: usize, nodes: usize, n: usize) -> Vec<u64> {
+        let mut g = KeyGen::new(dist, seed, node, nodes);
+        (0..n).map(|_| g.next_key()).collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_node() {
+        let a = keys(KeyDist::Uniform, 7, 0, 4, 100);
+        let b = keys(KeyDist::Uniform, 7, 0, 4, 100);
+        let c = keys(KeyDist::Uniform, 7, 1, 4, 100);
+        let d = keys(KeyDist::Uniform, 8, 0, 4, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn all_equal_is_constant() {
+        let k = keys(KeyDist::AllEqual, 1, 2, 4, 50);
+        assert!(k.iter().all(|&x| x == k[0]));
+    }
+
+    #[test]
+    fn uniform_spreads_over_range() {
+        let k = keys(KeyDist::Uniform, 3, 0, 1, 10_000);
+        let below_half = k.iter().filter(|&&x| x < u64::MAX / 2).count();
+        assert!((4000..6000).contains(&below_half), "{below_half}");
+    }
+
+    #[test]
+    fn f64_map_preserves_order() {
+        let xs = [-1e300, -2.5, -0.0, 0.0, 1e-300, 2.5, 1e300];
+        for w in xs.windows(2) {
+            assert!(
+                f64_to_ordered_u64(w[0]) <= f64_to_ordered_u64(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(f64_to_ordered_u64(-1.0) < f64_to_ordered_u64(1.0));
+    }
+
+    #[test]
+    fn std_normal_is_roughly_symmetric() {
+        let zero = f64_to_ordered_u64(0.0);
+        let k = keys(KeyDist::StdNormal, 11, 0, 1, 10_000);
+        let below = k.iter().filter(|&&x| x < zero).count();
+        assert!((4500..5500).contains(&below), "{below}");
+    }
+
+    #[test]
+    fn poisson_mean_is_about_one() {
+        let k = keys(KeyDist::Poisson, 5, 0, 1, 20_000);
+        let mean = k.iter().sum::<u64>() as f64 / k.len() as f64;
+        assert!((0.95..1.05).contains(&mean), "mean {mean}");
+        assert!(k.iter().all(|&x| x < 20), "poisson(1) tail too long");
+    }
+
+    #[test]
+    fn shifted_targets_single_partition() {
+        let nodes = 4;
+        let span = u64::MAX / nodes as u64;
+        for node in 0..nodes {
+            let k = keys(KeyDist::Shifted { shift: 1 }, 2, node, nodes, 500);
+            let target = (node + 1) % nodes;
+            for x in k {
+                assert_eq!((x / span).min(nodes as u64 - 1), target as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn hotkey_fraction_respected() {
+        let k = keys(KeyDist::HotKey { hot_percent: 90 }, 9, 0, 1, 10_000);
+        let hot = k.iter().filter(|&&x| x == HOT_KEY).count();
+        assert!((8700..9300).contains(&hot), "{hot}");
+    }
+
+    #[test]
+    fn zipf_is_heavy_tailed() {
+        let k = keys(KeyDist::Zipf { n: 1000 }, 13, 0, 1, 20_000);
+        assert!(k.iter().all(|&x| (1..=1000).contains(&x)));
+        let ones = k.iter().filter(|&&x| x == 1).count();
+        let tail = k.iter().filter(|&&x| x > 500).count();
+        // Rank 1 alone draws a few percent of all samples — dozens of
+        // times a uniform key's share (20 of 20_000) — while each of the
+        // 500 tail ranks averages a handful.
+        assert!(ones > 1000, "rank 1 count {ones}");
+        let tail_per_key = tail as f64 / 500.0;
+        assert!(
+            (ones as f64) > 50.0 * tail_per_key,
+            "head {ones} vs tail/key {tail_per_key}"
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(KeyDist::Uniform.label(), "uniform");
+        assert_eq!(KeyDist::Shifted { shift: 2 }.label(), "shifted-2");
+        assert_eq!(KeyDist::figure8().len(), 4);
+    }
+}

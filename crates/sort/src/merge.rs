@@ -1,0 +1,246 @@
+//! K-way merging: the loser tree driving dsort's merge stage.
+//!
+//! Pass 2 of dsort merges up to hundreds of sorted runs (§V).  The merge
+//! stage "repeatedly chooses the smallest value not yet chosen from any of
+//! the buffers" — a tournament among the run heads.  A *loser tree* does
+//! each choose-and-refill in `O(log k)` comparisons.
+//!
+//! The tree operates on `(key, tiebreak)` pairs; lanes with equal pairs win
+//! in lane order, so a merge is fully deterministic.  Lane exhaustion is
+//! `None`, which loses against everything.
+
+/// A merge key: the record's sort key plus a caller-chosen tiebreak.
+pub type MergeKey = (u64, u64);
+
+/// A loser tree over `k` lanes.
+///
+/// Protocol: construct with each lane's initial head key (or `None` if the
+/// lane is empty); repeatedly call [`LoserTree::winner`] to learn the lane
+/// with the smallest head, consume that lane's head, and call
+/// [`LoserTree::replace`] with the lane's next key.
+#[derive(Debug)]
+pub struct LoserTree {
+    k: usize,
+    /// `losers[0]` is the overall winner; `losers[1..k]` hold the loser of
+    /// each internal tournament node.
+    losers: Vec<usize>,
+    keys: Vec<Option<MergeKey>>,
+}
+
+impl LoserTree {
+    /// Build a tree over the given initial lane heads.
+    pub fn new(heads: Vec<Option<MergeKey>>) -> Self {
+        let k = heads.len();
+        assert!(k > 0, "loser tree needs at least one lane");
+        let mut tree = LoserTree {
+            k,
+            losers: vec![usize::MAX; k],
+            keys: heads,
+        };
+        let winner = tree.build(1);
+        tree.losers[0] = winner;
+        tree
+    }
+
+    /// Recursively play the tournament below `node`, recording losers;
+    /// returns the winning lane.
+    fn build(&mut self, node: usize) -> usize {
+        if node >= self.k {
+            return node - self.k;
+        }
+        let left = self.build(2 * node);
+        let right = self.build(2 * node + 1);
+        let (winner, loser) = if self.beats(left, right) {
+            (left, right)
+        } else {
+            (right, left)
+        };
+        self.losers[node] = loser;
+        winner
+    }
+
+    /// Whether lane `a`'s head beats lane `b`'s (smaller key wins; `None`
+    /// loses to everything; lane index breaks full ties).
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (self.keys[a], self.keys[b]) {
+            (Some(ka), Some(kb)) => (ka, a) < (kb, b),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// The lane holding the smallest head and that head's key, or `None`
+    /// once every lane is exhausted.
+    pub fn winner(&self) -> Option<(usize, MergeKey)> {
+        let lane = self.losers[0];
+        self.keys[lane].map(|k| (lane, k))
+    }
+
+    /// Replace the current winner's head (the caller consumed it) with the
+    /// lane's next key — `None` when the lane is exhausted — and replay the
+    /// tournament path from that leaf.
+    pub fn replace(&mut self, lane: usize, next: Option<MergeKey>) {
+        debug_assert_eq!(
+            lane, self.losers[0],
+            "replace must be called on the current winner"
+        );
+        self.keys[lane] = next;
+        if self.k == 1 {
+            return;
+        }
+        let mut winner = lane;
+        let mut node = (self.k + lane) / 2;
+        while node >= 1 {
+            let contender = self.losers[node];
+            if self.beats(contender, winner) {
+                self.losers[node] = winner;
+                winner = contender;
+            }
+            node /= 2;
+        }
+        self.losers[0] = winner;
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.k
+    }
+}
+
+/// Merge fully-materialized sorted runs of records (test and ablation
+/// helper; the FG merge stage streams through buffers instead).
+pub fn merge_runs(format: crate::record::RecordFormat, runs: &[&[u8]]) -> Vec<u8> {
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    let rb = format.record_bytes;
+    let mut offsets = vec![0usize; runs.len()];
+    let head = |run: &[u8], off: usize| -> Option<MergeKey> {
+        if off < run.len() {
+            Some((format.key(&run[off..off + rb]), 0))
+        } else {
+            None
+        }
+    };
+    let mut tree = LoserTree::new(
+        runs.iter()
+            .zip(&offsets)
+            .map(|(run, &off)| head(run, off))
+            .collect(),
+    );
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    while let Some((lane, _)) = tree.winner() {
+        let off = offsets[lane];
+        out.extend_from_slice(&runs[lane][off..off + rb]);
+        offsets[lane] += rb;
+        tree.replace(lane, head(runs[lane], offsets[lane]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordFormat;
+
+    fn drain(lanes: Vec<Vec<u64>>) -> Vec<u64> {
+        let mut cursors = vec![0usize; lanes.len()];
+        let head = |lane: &Vec<u64>, c: usize| lane.get(c).map(|&k| (k, 0));
+        let mut tree = LoserTree::new(
+            lanes
+                .iter()
+                .zip(&cursors)
+                .map(|(l, &c)| head(l, c))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        while let Some((lane, (key, _))) = tree.winner() {
+            out.push(key);
+            cursors[lane] += 1;
+            tree.replace(lane, head(&lanes[lane], cursors[lane]));
+        }
+        out
+    }
+
+    #[test]
+    fn merges_basic() {
+        let got = drain(vec![vec![1, 4, 7], vec![2, 5, 8], vec![3, 6, 9]]);
+        assert_eq!(got, (1..=9).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn single_lane() {
+        assert_eq!(drain(vec![vec![3, 3, 5]]), vec![3, 3, 5]);
+    }
+
+    #[test]
+    fn empty_lanes_among_full() {
+        let got = drain(vec![vec![], vec![2, 2], vec![], vec![1], vec![]]);
+        assert_eq!(got, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn all_lanes_empty() {
+        assert_eq!(drain(vec![vec![], vec![]]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn duplicates_across_lanes_resolve_by_lane_order() {
+        let got = drain(vec![vec![5; 4], vec![5; 4]]);
+        assert_eq!(got, vec![5; 8]);
+    }
+
+    #[test]
+    fn many_lanes_arbitrary_k() {
+        for k in [1usize, 2, 3, 5, 7, 13, 31, 100] {
+            let lanes: Vec<Vec<u64>> = (0..k)
+                .map(|l| (0..20).map(|i| (i * k + l) as u64).collect())
+                .collect();
+            let got = drain(lanes);
+            let expect: Vec<u64> = (0..(20 * k) as u64).collect();
+            assert_eq!(got, expect, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn randomized_against_std_sort() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let k = rng.random_range(1..12);
+            let mut all = Vec::new();
+            let lanes: Vec<Vec<u64>> = (0..k)
+                .map(|_| {
+                    let n = rng.random_range(0..40);
+                    let mut lane: Vec<u64> = (0..n).map(|_| rng.random_range(0..50)).collect();
+                    lane.sort_unstable();
+                    all.extend_from_slice(&lane);
+                    lane
+                })
+                .collect();
+            all.sort_unstable();
+            assert_eq!(drain(lanes), all);
+        }
+    }
+
+    #[test]
+    fn merge_runs_over_records() {
+        let f = RecordFormat::REC16;
+        let mk = |keys: &[u64]| {
+            let mut out = vec![0u8; keys.len() * 16];
+            for (i, &k) in keys.iter().enumerate() {
+                f.set_key(&mut out[i * 16..(i + 1) * 16], k);
+            }
+            out
+        };
+        let a = mk(&[1, 3, 5]);
+        let b = mk(&[2, 3, 6]);
+        let merged = merge_runs(f, &[&a, &b]);
+        let keys: Vec<u64> = f.records(&merged).map(|r| f.key(r)).collect();
+        assert_eq!(keys, vec![1, 2, 3, 3, 5, 6]);
+        assert_eq!(merge_runs(f, &[]), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,234 @@
+//! End-to-end tests: full dsort, csort, and dsort-linear runs on the
+//! simulated cluster, verified sorted ∧ striped ∧ permutation-preserving.
+
+use fg_sort::config::SortConfig;
+use fg_sort::csort::run_csort;
+use fg_sort::dsort::{run_dsort, run_dsort_with, DsortOptions};
+use fg_sort::dsort_linear::run_dsort_linear;
+use fg_sort::input::provision;
+use fg_sort::keygen::KeyDist;
+use fg_sort::verify::{verify_output, Strictness};
+
+fn check_dsort(cfg: &SortConfig) {
+    let disks = provision(cfg);
+    let report = run_dsort(cfg, &disks).expect("dsort run");
+    verify_output(cfg, &disks, Strictness::Exact).expect("dsort output");
+    let total: u64 = report.partition_records.iter().sum();
+    assert_eq!(total, cfg.total_records() as u64);
+}
+
+fn check_csort(cfg: &SortConfig) {
+    let disks = provision(cfg);
+    run_csort(cfg, &disks).expect("csort run");
+    verify_output(cfg, &disks, Strictness::Exact).expect("csort output");
+}
+
+fn check_dsort_linear(cfg: &SortConfig) {
+    let disks = provision(cfg);
+    run_dsort_linear(cfg, &disks).expect("dsort-linear run");
+    verify_output(cfg, &disks, Strictness::Exact).expect("dsort-linear output");
+}
+
+#[test]
+fn dsort_uniform_4_nodes() {
+    check_dsort(&SortConfig::test_default(4, 4096));
+}
+
+#[test]
+fn dsort_all_equal_keys() {
+    let mut cfg = SortConfig::test_default(4, 2048);
+    cfg.dist = KeyDist::AllEqual;
+    check_dsort(&cfg);
+}
+
+#[test]
+fn dsort_std_normal() {
+    let mut cfg = SortConfig::test_default(4, 2048);
+    cfg.dist = KeyDist::StdNormal;
+    check_dsort(&cfg);
+}
+
+#[test]
+fn dsort_poisson() {
+    let mut cfg = SortConfig::test_default(4, 2048);
+    cfg.dist = KeyDist::Poisson;
+    check_dsort(&cfg);
+}
+
+#[test]
+fn dsort_single_node() {
+    check_dsort(&SortConfig::test_default(1, 2048));
+}
+
+#[test]
+fn dsort_two_nodes_shifted_adversarial() {
+    let mut cfg = SortConfig::test_default(2, 2048);
+    cfg.dist = KeyDist::Shifted { shift: 1 };
+    check_dsort(&cfg);
+}
+
+#[test]
+fn dsort_hotkey_adversarial() {
+    let mut cfg = SortConfig::test_default(4, 2048);
+    cfg.dist = KeyDist::HotKey { hot_percent: 90 };
+    check_dsort(&cfg);
+}
+
+#[test]
+fn dsort_without_virtual_reads_matches() {
+    let cfg = SortConfig::test_default(3, 3072);
+    let disks = provision(&cfg);
+    let report = run_dsort_with(
+        &cfg,
+        &disks,
+        DsortOptions {
+            virtual_reads: false,
+        },
+    )
+    .expect("dsort run");
+    verify_output(&cfg, &disks, Strictness::Exact).expect("output");
+    // Non-virtual pass 2 spawns at least 3 threads per run pipeline
+    // (stage + source + sink); virtual keeps it flat.
+    let runs: u64 = report.runs_per_node.iter().sum();
+    let threads: u64 = report.pass2_threads.iter().sum();
+    assert!(threads > runs, "expected per-run threads, got {report:?}");
+}
+
+#[test]
+fn dsort_odd_sizes_partial_blocks() {
+    // records_per_node chosen so the last block is partial.
+    let mut cfg = SortConfig::test_default(3, 1000);
+    cfg.block_bytes = 96 * 16;
+    cfg.run_bytes = 96 * 16 * 2;
+    check_dsort(&cfg);
+}
+
+#[test]
+fn csort_uniform_4_nodes() {
+    check_csort(&SortConfig::test_default(4, 4096));
+}
+
+#[test]
+fn csort_all_equal() {
+    let mut cfg = SortConfig::test_default(4, 4096);
+    cfg.dist = KeyDist::AllEqual;
+    check_csort(&cfg);
+}
+
+#[test]
+fn csort_poisson_two_nodes() {
+    let mut cfg = SortConfig::test_default(2, 2048);
+    cfg.dist = KeyDist::Poisson;
+    check_csort(&cfg);
+}
+
+#[test]
+fn csort_sixteen_nodes_small() {
+    check_csort(&SortConfig::test_default(16, 1024));
+}
+
+#[test]
+fn dsort_sixteen_nodes_small() {
+    check_dsort(&SortConfig::test_default(16, 1024));
+}
+
+#[test]
+fn dsort_linear_uniform() {
+    check_dsort_linear(&SortConfig::test_default(4, 2048));
+}
+
+#[test]
+fn dsort_linear_all_equal() {
+    let mut cfg = SortConfig::test_default(3, 1536);
+    cfg.dist = KeyDist::AllEqual;
+    check_dsort_linear(&cfg);
+}
+
+#[test]
+fn all_three_sorts_agree_on_key_sequence() {
+    let mut cfg = SortConfig::test_default(4, 2048);
+    cfg.dist = KeyDist::Poisson;
+    // Exact strictness compares key sequences against the reference sort,
+    // so running all three with it proves they agree with each other.
+    check_dsort(&cfg);
+    check_csort(&cfg);
+    check_dsort_linear(&cfg);
+}
+
+#[test]
+fn dsort_partitions_within_balance_bound() {
+    // The paper: "In our experiments, all partition sizes were at most 10%
+    // greater than the average."  Verify with generous margin at small
+    // sample sizes for the benign distributions.
+    for dist in [KeyDist::Uniform, KeyDist::AllEqual] {
+        let mut cfg = SortConfig::test_default(4, 8192);
+        cfg.dist = dist;
+        cfg.oversample = 32;
+        let disks = provision(&cfg);
+        let report = run_dsort(&cfg, &disks).expect("dsort");
+        let avg = cfg.records_per_node as f64;
+        for (i, &p) in report.partition_records.iter().enumerate() {
+            assert!(
+                (p as f64) < avg * 1.35,
+                "{dist:?} partition {i} = {p}, avg = {avg}: {:?}",
+                report.partition_records
+            );
+        }
+    }
+}
+
+mod csort4_tests {
+    use super::*;
+    use fg_sort::csort4::run_csort4;
+
+    fn check_csort4(cfg: &SortConfig) {
+        let disks = provision(cfg);
+        run_csort4(cfg, &disks).expect("csort4 run");
+        verify_output(cfg, &disks, Strictness::Exact).expect("csort4 output");
+    }
+
+    #[test]
+    fn csort4_uniform_4_nodes() {
+        check_csort4(&SortConfig::test_default(4, 4096));
+    }
+
+    #[test]
+    fn csort4_all_equal() {
+        let mut cfg = SortConfig::test_default(4, 4096);
+        cfg.dist = KeyDist::AllEqual;
+        check_csort4(&cfg);
+    }
+
+    #[test]
+    fn csort4_poisson_two_nodes() {
+        let mut cfg = SortConfig::test_default(2, 2048);
+        cfg.dist = KeyDist::Poisson;
+        check_csort4(&cfg);
+    }
+
+    #[test]
+    fn csort4_single_node() {
+        check_csort4(&SortConfig::test_default(1, 4096));
+    }
+
+    #[test]
+    fn csort4_sixteen_nodes() {
+        check_csort4(&SortConfig::test_default(16, 1024));
+    }
+
+    #[test]
+    fn csort4_does_more_io_than_csort3() {
+        let cfg = SortConfig::test_default(4, 4096);
+        let disks3 = provision(&cfg);
+        let c3 = run_csort(&cfg, &disks3).expect("csort3");
+        let disks4 = provision(&cfg);
+        let c4 = run_csort4(&cfg, &disks4).expect("csort4");
+        let io3: u64 = c3.disk_stats.iter().map(|s| s.bytes_total()).sum();
+        let io4: u64 = c4.disk_stats.iter().map(|s| s.bytes_total()).sum();
+        let ratio = io4 as f64 / io3 as f64;
+        assert!(
+            (1.2..1.5).contains(&ratio),
+            "four passes should do ~4/3 the I/O of three: {ratio:.2}"
+        );
+    }
+}
