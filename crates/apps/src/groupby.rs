@@ -213,9 +213,7 @@ fn groupby_pass(
                     if dones == nodes {
                         break;
                     }
-                    let msg = comm_recv
-                        .recv(None, TAG_GROUPBY)
-                        .map_err(SortError::from)?;
+                    let msg = comm_recv.recv(None, TAG_GROUPBY).map_err(SortError::from)?;
                     match msg.payload.first() {
                         Some(&MSG_DONE) => dones += 1,
                         Some(&MSG_DATA) => {
@@ -223,11 +221,7 @@ fn groupby_pass(
                             let n = buf.append(data);
                             carry.extend_from_slice(&data[n..]);
                         }
-                        _ => {
-                            return Err(
-                                SortError::Corrupt("empty group-by message".into()).into()
-                            )
-                        }
+                        _ => return Err(SortError::Corrupt("empty group-by message".into()).into()),
                     }
                 }
                 if buf.is_empty() {
@@ -262,11 +256,8 @@ fn groupby_pass(
     // headers (a block of r records can produce at most r distinct keys).
     // The send buffer first holds a raw input block (read stage), then the
     // combined pairs + chunk headers (aggregate stage): size for both.
-    let send_buf = cfg
-        .block_bytes
-        .max(cfg.records_per_block() * PAIR)
-        + cfg.nodes * CHUNK_HEADER_BYTES
-        + 64;
+    let send_buf =
+        cfg.block_bytes.max(cfg.records_per_block() * PAIR) + cfg.nodes * CHUNK_HEADER_BYTES + 64;
     // The receive buffer must be a whole number of pairs, or a pair would
     // split across buffers and the merge stage would parse garbage.
     let recv_buf = send_buf.max(cfg.block_bytes).next_multiple_of(PAIR);

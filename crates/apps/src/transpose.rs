@@ -119,8 +119,7 @@ where
     (0..cfg.nodes)
         .map(|q| {
             let disk = SimDisk::new(cfg.disk);
-            let mut tin =
-                Vec::with_capacity(cfg.bands_per_node() * cfg.tile_rows * cfg.cols * eb);
+            let mut tin = Vec::with_capacity(cfg.bands_per_node() * cfg.tile_rows * cfg.cols * eb);
             for t in 0..cfg.bands_per_node() {
                 let band = t * cfg.nodes + q;
                 let row0 = band * cfg.tile_rows;
@@ -244,8 +243,7 @@ fn transpose_pass(
                     let goff = ((j * rows + row0) * eb) as u64;
                     aux[off..off + 8].copy_from_slice(&goff.to_le_bytes());
                     aux[off + 8..off + 16].copy_from_slice(&0u64.to_le_bytes());
-                    aux[off + 16..off + 24]
-                        .copy_from_slice(&((tr * eb) as u64).to_le_bytes());
+                    aux[off + 16..off + 24].copy_from_slice(&((tr * eb) as u64).to_le_bytes());
                     off += CHUNK_HEADER_BYTES;
                     for i in 0..tr {
                         let src = (i * cols + j) * eb;

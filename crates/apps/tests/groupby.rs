@@ -63,11 +63,7 @@ fn groupby_all_equal_single_hot_key() {
     // One distinct key in the whole dataset, owned by exactly one node.
     let distinct: u64 = report.distinct_per_node.iter().sum();
     assert_eq!(distinct, 1);
-    let total: u64 = disks
-        .iter()
-        .flat_map(read_counts)
-        .map(|(_, c)| c)
-        .sum();
+    let total: u64 = disks.iter().flat_map(read_counts).map(|(_, c)| c).sum();
     assert_eq!(total, cfg.total_records() as u64);
 }
 

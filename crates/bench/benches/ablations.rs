@@ -17,8 +17,7 @@ fn cfg_small(dist: KeyDist) -> SortConfig {
     let mut cfg = SortConfig::experiment_default(4, (64 << 10) / 16);
     cfg.dist = dist;
     cfg.disk = DiskCfg::new(Duration::from_micros(50), 24.0 * 1024.0 * 1024.0);
-    cfg.net =
-        fg_cluster::NetCfg::new(Duration::from_micros(10), 100.0 * 1024.0 * 1024.0);
+    cfg.net = fg_cluster::NetCfg::new(Duration::from_micros(10), 100.0 * 1024.0 * 1024.0);
     cfg
 }
 
@@ -45,8 +44,15 @@ fn bench_virtual_ablation(c: &mut Criterion) {
     for (name, virtual_reads) in [("virtual", true), ("plain", false)] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                run_dsort_with(&cfg, &provision(&cfg), DsortOptions { virtual_reads })
-                    .expect("dsort")
+                run_dsort_with(
+                    &cfg,
+                    &provision(&cfg),
+                    DsortOptions {
+                        virtual_reads,
+                        ..DsortOptions::default()
+                    },
+                )
+                .expect("dsort")
             })
         });
     }

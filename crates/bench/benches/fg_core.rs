@@ -2,9 +2,11 @@
 //! queue throughput under contention, merge-tree cost, and record sorting —
 //! the framework costs underneath every experiment.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use fg_core::{map_stage, run_linear, PipelineCfg, Rounds};
+use fg_core::{map_stage, run_linear, CountingObserver, Observer, PipelineCfg, Program, Rounds};
 use fg_sort::merge::LoserTree;
 use fg_sort::record::RecordFormat;
 
@@ -30,14 +32,45 @@ fn bench_pipeline_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability layer's acceptance gate: the same no-op pipeline with
+/// no observer installed vs a [`CountingObserver`] seeing every event.  The
+/// no-observer case must stay within noise of the plain hot path (the hook
+/// sites are a never-taken `Option` branch).
+fn bench_observer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_observer");
+    group.sample_size(10);
+    let build = || {
+        let mut prog = Program::new("bench");
+        let a = prog.add_stage("a", map_stage(|_, _| Ok(())));
+        let b = prog.add_stage("b", map_stage(|_, _| Ok(())));
+        let c = prog.add_stage("c", map_stage(|_, _| Ok(())));
+        prog.add_pipeline(
+            PipelineCfg::new("p", 4, 4096).rounds(Rounds::Count(1000)),
+            &[a, b, c],
+        )
+        .unwrap();
+        prog
+    };
+    group.bench_function("no_observer_1000rounds", |b| {
+        b.iter(|| build().run().expect("pipeline"))
+    });
+    group.bench_function("counting_observer_1000rounds", |b| {
+        b.iter(|| {
+            let mut prog = build();
+            prog.set_observer(Arc::new(CountingObserver::new()) as Arc<dyn Observer>);
+            prog.run().expect("pipeline")
+        })
+    });
+    group.finish();
+}
+
 fn bench_loser_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("core_merge");
     for k in [4usize, 64, 256] {
         group.bench_function(format!("loser_tree_k{k}_pop100k"), |b| {
             b.iter(|| {
                 let mut lanes: Vec<u64> = (0..k as u64).collect();
-                let mut tree =
-                    LoserTree::new(lanes.iter().map(|&v| Some((v, 0))).collect());
+                let mut tree = LoserTree::new(lanes.iter().map(|&v| Some((v, 0))).collect());
                 let mut out = 0u64;
                 for _ in 0..100_000 {
                     let (lane, (key, _)) = tree.winner().expect("non-empty");
@@ -74,5 +107,11 @@ fn bench_sort_bytes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_overhead, bench_loser_tree, bench_sort_bytes);
+criterion_group!(
+    benches,
+    bench_pipeline_overhead,
+    bench_observer_overhead,
+    bench_loser_tree,
+    bench_sort_bytes
+);
 criterion_main!(benches);

@@ -22,7 +22,10 @@ fn bench_config(record: RecordFormat, dist: KeyDist) -> SortConfig {
     cfg.record = record;
     cfg.dist = dist;
     cfg.disk = fg_pdm::DiskCfg::new(std::time::Duration::from_micros(50), 24.0 * 1024.0 * 1024.0);
-    cfg.net = fg_cluster::NetCfg::new(std::time::Duration::from_micros(10), 100.0 * 1024.0 * 1024.0);
+    cfg.net = fg_cluster::NetCfg::new(
+        std::time::Duration::from_micros(10),
+        100.0 * 1024.0 * 1024.0,
+    );
     cfg
 }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p fg-bench --release --bin experiments -- all
 //! cargo run -p fg-bench --release --bin experiments -- fig8a [--quick]
+//! cargo run -p fg-bench --release --bin experiments -- all --json-out out/
 //! ```
 //!
 //! Subcommands (see DESIGN.md's experiment index):
@@ -10,13 +11,21 @@
 //! `io-volume` (T3), `unbalanced` (T4), `ablation-linear` (A1),
 //! `ablation-virtual` (A2), `ablation-overlap` (A3), `buffer-sweep` (A4),
 //! `ablation-passes` (A5), `ablation-readahead` (A6), `all`.
+//!
+//! `--json-out <dir>` writes one machine-readable JSON artifact per
+//! experiment into `<dir>`.  The fig8 runs are then observed: dsort runs
+//! with span tracing and a metrics registry attached, and each cell's
+//! artifact embeds node 0's full per-pass FG reports (stage stats, queue
+//! depths, and the run's comm and disk metrics).
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use fg_bench::{
-    run_buffer_sweep, run_fig8_panel, run_io_volume, run_linear_ablation, run_splitter_balance,
-    run_unbalanced, run_virtual_ablation, Fig8Cell, Scale,
+    run_buffer_sweep, run_fig8_panel, run_fig8_panel_observed, run_io_volume, run_linear_ablation,
+    run_splitter_balance, run_unbalanced, run_virtual_ablation, Fig8Cell, Scale,
 };
+use fg_core::Json;
 use fg_pdm::DiskCfg;
 use fg_sort::record::RecordFormat;
 
@@ -24,20 +33,80 @@ fn secs(d: Duration) -> String {
     format!("{:7.3}", d.as_secs_f64())
 }
 
+fn jobj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn jsecs(d: Duration) -> Json {
+    Json::Num(d.as_secs_f64())
+}
+
+/// Where `--json-out` artifacts go; inactive when the flag is absent.
+struct ArtifactSink {
+    dir: Option<PathBuf>,
+}
+
+impl ArtifactSink {
+    fn active(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    fn write(&self, name: &str, value: Json) {
+        let Some(dir) = &self.dir else { return };
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, value.to_string())
+            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+}
+
+fn fig8_to_json(panel: &[Fig8Cell]) -> Json {
+    Json::Arr(
+        panel
+            .iter()
+            .map(|cell| {
+                let mut m = vec![
+                    ("dist", Json::from(cell.dist.label())),
+                    (
+                        "dsort",
+                        jobj(vec![
+                            ("sampling_s", jsecs(cell.dsort.sampling)),
+                            ("pass1_s", jsecs(cell.dsort.pass1)),
+                            ("pass2_s", jsecs(cell.dsort.pass2)),
+                            ("total_s", jsecs(cell.dsort.total())),
+                        ]),
+                    ),
+                    (
+                        "csort",
+                        jobj(vec![
+                            ("pass1_s", jsecs(cell.csort.pass[0])),
+                            ("pass2_s", jsecs(cell.csort.pass[1])),
+                            ("pass3_s", jsecs(cell.csort.pass[2])),
+                            ("total_s", jsecs(cell.csort.total)),
+                        ]),
+                    ),
+                    ("ratio", Json::Num(cell.ratio())),
+                ];
+                if let Some(obs) = &cell.observed {
+                    m.push(("pass1_report", obs.pass1.to_json_value()));
+                    m.push(("pass2_report", obs.pass2.to_json_value()));
+                }
+                jobj(m)
+            })
+            .collect(),
+    )
+}
+
 fn print_fig8(panel: &[Fig8Cell], title: &str) {
     println!("\n=== {title} ===");
     println!(
         "{:<12} | {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} {:>7} | {:>7}",
-        "distribution",
-        "d.samp",
-        "d.p1",
-        "d.p2",
-        "dsort",
-        "c.p1",
-        "c.p2",
-        "c.p3",
-        "csort",
-        "d/c %"
+        "distribution", "d.samp", "d.p1", "d.p2", "dsort", "c.p1", "c.p2", "c.p3", "csort", "d/c %"
     );
     println!("{}", "-".repeat(100));
     for cell in panel {
@@ -60,7 +129,21 @@ fn print_fig8(panel: &[Fig8Cell], title: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = args.iter().position(|a| a == "--json-out").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("--json-out needs a directory argument");
+            std::process::exit(2);
+        }
+        let dir = PathBuf::from(args.remove(i + 1));
+        args.remove(i);
+        dir
+    });
+    if let Some(dir) = &json_out {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("failed to create {}: {e}", dir.display()));
+    }
+    let sink = ArtifactSink { dir: json_out };
     let quick = args.iter().any(|a| a == "--quick");
     let cmd = args
         .iter()
@@ -83,20 +166,38 @@ fn main() {
     let mut fig8a: Option<Vec<Fig8Cell>> = None;
     let mut fig8b: Option<Vec<Fig8Cell>> = None;
 
+    // With --json-out, fig8 runs are observed (tracing + metrics) so the
+    // artifacts carry full FG reports.
+    let panel_for = |record| {
+        if sink.active() {
+            run_fig8_panel_observed(scale, record)
+        } else {
+            run_fig8_panel(scale, record)
+        }
+    };
     if run_all || cmd == "fig8a" || cmd == "ratio-table" {
-        let panel = run_fig8_panel(scale, RecordFormat::REC16).expect("fig8a");
-        print_fig8(&panel, "Figure 8(a): 16-byte records, total & per-pass times (s)");
+        let panel = panel_for(RecordFormat::REC16).expect("fig8a");
+        print_fig8(
+            &panel,
+            "Figure 8(a): 16-byte records, total & per-pass times (s)",
+        );
+        sink.write("fig8a", fig8_to_json(&panel));
         fig8a = Some(panel);
     }
     if run_all || cmd == "fig8b" || cmd == "ratio-table" {
-        let panel = run_fig8_panel(scale, RecordFormat::REC64).expect("fig8b");
-        print_fig8(&panel, "Figure 8(b): 64-byte records, total & per-pass times (s)");
+        let panel = panel_for(RecordFormat::REC64).expect("fig8b");
+        print_fig8(
+            &panel,
+            "Figure 8(b): 64-byte records, total & per-pass times (s)",
+        );
+        sink.write("fig8b", fig8_to_json(&panel));
         fig8b = Some(panel);
     }
     if run_all || cmd == "ratio-table" {
         println!("\n=== T1: dsort/csort total-time ratios (paper: 74.26%-85.06%) ===");
         let mut lo = f64::MAX;
         let mut hi = f64::MIN;
+        let mut ratio_rows = Vec::new();
         for (name, panel) in [("16-byte", &fig8a), ("64-byte", &fig8b)] {
             if let Some(panel) = panel {
                 for cell in panel {
@@ -104,19 +205,28 @@ fn main() {
                     lo = lo.min(r);
                     hi = hi.max(r);
                     println!("{name:<8} {:<12} {r:6.2}%", cell.dist.label());
+                    ratio_rows.push(jobj(vec![
+                        ("record", Json::from(name)),
+                        ("dist", Json::from(cell.dist.label())),
+                        ("ratio_percent", Json::Num(r)),
+                    ]));
                 }
             }
         }
         if lo <= hi {
             println!("range: {lo:.2}% - {hi:.2}%");
         }
+        sink.write("ratio-table", Json::Arr(ratio_rows));
     }
     if run_all || cmd == "splitter-balance" {
         println!("\n=== T2: splitter balance, max partition / average (paper: <= 1.10) ===");
         let oversamples = if quick { vec![4, 32] } else { vec![4, 16, 64] };
         let rows = run_splitter_balance(scale, &oversamples).expect("splitter-balance");
-        println!("{:<12} {:>10} {:>12}", "distribution", "oversample", "max/avg");
-        for row in rows {
+        println!(
+            "{:<12} {:>10} {:>12}",
+            "distribution", "oversample", "max/avg"
+        );
+        for row in &rows {
             println!(
                 "{:<12} {:>10} {:>11.3}x",
                 row.dist.label(),
@@ -124,6 +234,20 @@ fn main() {
                 row.max_over_avg
             );
         }
+        sink.write(
+            "splitter-balance",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        jobj(vec![
+                            ("dist", Json::from(r.dist.label())),
+                            ("oversample", Json::from(r.oversample)),
+                            ("max_over_avg", Json::Num(r.max_over_avg)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
     }
     if run_all || cmd == "io-volume" {
         println!("\n=== T3: data volume (paper: csort does ~50% more disk I/O) ===");
@@ -145,8 +269,26 @@ fn main() {
         if rows.len() == 2 {
             let dio = (rows[0].bytes_read + rows[0].bytes_written) as f64;
             let cio = (rows[1].bytes_read + rows[1].bytes_written) as f64;
-            println!("csort/dsort disk-I/O ratio: {:.2}x (paper: ~1.5x)", cio / dio);
+            println!(
+                "csort/dsort disk-I/O ratio: {:.2}x (paper: ~1.5x)",
+                cio / dio
+            );
         }
+        sink.write(
+            "io-volume",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        jobj(vec![
+                            ("program", Json::from(r.program)),
+                            ("bytes_read", Json::from(r.bytes_read)),
+                            ("bytes_written", Json::from(r.bytes_written)),
+                            ("net_bytes", Json::from(r.net_bytes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
     }
     if run_all || cmd == "unbalanced" {
         println!("\n=== T4: adversarial unbalanced-communication inputs ===");
@@ -155,7 +297,7 @@ fn main() {
             "{:<12} {:>9} {:>9} {:>8}",
             "input", "dsort s", "csort s", "d/c %"
         );
-        for r in rows {
+        for r in &rows {
             println!(
                 "{:<12} {:>9.3} {:>9.3} {:>7.2}%",
                 r.label,
@@ -164,6 +306,20 @@ fn main() {
                 100.0 * r.dsort.total().as_secs_f64() / r.csort.total.as_secs_f64()
             );
         }
+        sink.write(
+            "unbalanced",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        jobj(vec![
+                            ("input", Json::from(r.label.as_str())),
+                            ("dsort_s", jsecs(r.dsort.total())),
+                            ("csort_s", jsecs(r.csort.total)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
     }
     if run_all || cmd == "ablation-linear" {
         println!("\n=== A1: dsort (multiple pipelines) vs dsort-linear (single pipelines) ===");
@@ -172,7 +328,7 @@ fn main() {
             "{:<12} {:>9} {:>9} {:>9}",
             "input", "dsort s", "linear s", "speedup"
         );
-        for r in rows {
+        for r in &rows {
             println!(
                 "{:<12} {:>9.3} {:>9.3} {:>8.2}x",
                 r.label,
@@ -181,6 +337,20 @@ fn main() {
                 r.linear.total().as_secs_f64() / r.dsort.total().as_secs_f64()
             );
         }
+        sink.write(
+            "ablation-linear",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        jobj(vec![
+                            ("input", Json::from(r.label.as_str())),
+                            ("dsort_s", jsecs(r.dsort.total())),
+                            ("linear_s", jsecs(r.linear.total())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
     }
     if run_all || cmd == "ablation-virtual" {
         println!("\n=== A2: virtual stages keep thread counts flat ===");
@@ -194,7 +364,7 @@ fn main() {
             "{:>12} {:>14} {:>12} {:>11} {:>10}",
             "runs/node", "thr(virtual)", "thr(plain)", "t(virt) s", "t(plain) s"
         );
-        for r in rows {
+        for r in &rows {
             println!(
                 "{:>12} {:>14} {:>12} {:>11.3} {:>10.3}",
                 r.runs_per_node,
@@ -204,6 +374,22 @@ fn main() {
                 r.time_plain.as_secs_f64()
             );
         }
+        sink.write(
+            "ablation-virtual",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        jobj(vec![
+                            ("runs_per_node", Json::from(r.runs_per_node)),
+                            ("threads_virtual", Json::from(r.threads_virtual)),
+                            ("threads_plain", Json::from(r.threads_plain)),
+                            ("time_virtual_s", jsecs(r.time_virtual)),
+                            ("time_plain_s", jsecs(r.time_plain)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
     }
     if run_all || cmd == "ablation-overlap" {
         println!("\n=== A3: pipeline overlap vs serial execution (single node) ===");
@@ -218,6 +404,15 @@ fn main() {
             res.serial.as_secs_f64(),
             res.speedup()
         );
+        sink.write(
+            "ablation-overlap",
+            jobj(vec![
+                ("blocks", Json::from(res.blocks)),
+                ("pipelined_s", jsecs(res.pipelined)),
+                ("serial_s", jsecs(res.serial)),
+                ("speedup", Json::Num(res.speedup())),
+            ]),
+        );
     }
     if run_all || cmd == "ablation-passes" {
         println!("\n=== A5: three-pass vs four-pass columnsort (the coalescing win) ===");
@@ -229,13 +424,22 @@ fn main() {
             row.ratio,
             row.io_ratio
         );
+        sink.write(
+            "ablation-passes",
+            jobj(vec![
+                ("csort3_s", jsecs(row.csort3_total)),
+                ("csort4_s", jsecs(row.csort4_total)),
+                ("time_ratio", Json::Num(row.ratio)),
+                ("io_ratio", Json::Num(row.io_ratio)),
+            ]),
+        );
     }
     if run_all || cmd == "ablation-readahead" {
         println!("\n=== A6: read-ahead depth on dsort's pass-2 run pipelines ===");
         let depths = if quick { vec![1, 2] } else { vec![1, 2, 4, 8] };
         let rows = fg_bench::run_readahead_ablation(scale, &depths).expect("ablation-readahead");
         println!("{:>6} {:>10} {:>9}", "depth", "pass2 s", "total s");
-        for r in rows {
+        for r in &rows {
             println!(
                 "{:>6} {:>10.3} {:>9.3}",
                 r.depth,
@@ -243,13 +447,31 @@ fn main() {
                 r.total.as_secs_f64()
             );
         }
+        sink.write(
+            "ablation-readahead",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        jobj(vec![
+                            ("depth", Json::from(r.depth)),
+                            ("pass2_s", jsecs(r.pass2)),
+                            ("total_s", jsecs(r.total)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
     }
     if run_all || cmd == "buffer-sweep" {
         println!("\n=== A4: buffer-size sweep ===");
-        let sizes = if quick { vec![16, 64] } else { vec![16, 32, 64, 128, 256] };
+        let sizes = if quick {
+            vec![16, 64]
+        } else {
+            vec![16, 32, 64, 128, 256]
+        };
         let rows = run_buffer_sweep(scale, &sizes).expect("buffer-sweep");
         println!("{:>10} {:>9} {:>9}", "block KiB", "dsort s", "csort s");
-        for r in rows {
+        for r in &rows {
             println!(
                 "{:>10} {:>9.3} {:>9.3}",
                 r.block_bytes >> 10,
@@ -257,6 +479,20 @@ fn main() {
                 r.csort_total.as_secs_f64()
             );
         }
+        sink.write(
+            "buffer-sweep",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        jobj(vec![
+                            ("block_bytes", Json::from(r.block_bytes)),
+                            ("dsort_s", jsecs(r.dsort_total)),
+                            ("csort_s", jsecs(r.csort_total)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
     }
     println!("\ndone.");
 }

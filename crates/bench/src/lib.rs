@@ -15,12 +15,13 @@ pub mod overlap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use fg_core::MetricsRegistry;
 use fg_pdm::SimDisk;
 use fg_sort::config::SortConfig;
 use fg_sort::csort::{run_csort, CsortReport};
 use fg_sort::dsort::{run_dsort, run_dsort_with, DsortOptions, DsortReport};
 use fg_sort::dsort_linear::{run_dsort_linear, DsortLinearReport};
-use fg_sort::input::provision;
+use fg_sort::input::{provision, provision_with_metrics};
 use fg_sort::keygen::KeyDist;
 use fg_sort::record::RecordFormat;
 use fg_sort::verify::{verify_output, Strictness};
@@ -57,10 +58,8 @@ impl Scale {
 
     /// Build a [`SortConfig`] for this scale.
     pub fn config(&self, record: RecordFormat, dist: KeyDist) -> SortConfig {
-        let mut cfg = SortConfig::experiment_default(
-            self.nodes,
-            self.bytes_per_node / record.record_bytes,
-        );
+        let mut cfg =
+            SortConfig::experiment_default(self.nodes, self.bytes_per_node / record.record_bytes);
         cfg.record = record;
         cfg.dist = dist;
         cfg
@@ -76,6 +75,20 @@ pub struct Fig8Cell {
     pub dsort: DsortReport,
     /// csort's report.
     pub csort: CsortReport,
+    /// Node 0's per-pass FG reports when the cell was run with
+    /// [`run_fig8_cell_observed`]; `None` from [`run_fig8_cell`].
+    pub observed: Option<ObservedDsort>,
+}
+
+/// Node 0's FG reports from an instrumented dsort run.
+#[derive(Debug)]
+pub struct ObservedDsort {
+    /// Pass 1 (partition & distribute), with per-stage spans.
+    pub pass1: fg_core::Report,
+    /// Pass 2 (merge & stripe), with per-stage spans; its `metrics` carry
+    /// the whole run's `comm/…` and `disk/…` metrics, so this report alone
+    /// renders a complete dashboard.
+    pub pass2: fg_core::Report,
 }
 
 impl Fig8Cell {
@@ -105,7 +118,56 @@ pub fn run_fig8_cell(
         verify_output(&cfg, &disks, Strictness::Fingerprint)?;
         r
     };
-    Ok(Fig8Cell { dist, dsort, csort })
+    Ok(Fig8Cell {
+        dist,
+        dsort,
+        csort,
+        observed: None,
+    })
+}
+
+/// [`run_fig8_cell`] with observability on: the dsort run enables span
+/// tracing, provisions metrics-instrumented disks, and attaches a shared
+/// [`MetricsRegistry`] to every node's communicator.  The returned cell's
+/// `observed` holds node 0's per-pass reports, with the run's comm and disk
+/// metrics merged into the pass-2 report.
+pub fn run_fig8_cell_observed(
+    scale: Scale,
+    record: RecordFormat,
+    dist: KeyDist,
+) -> Result<Fig8Cell, SortError> {
+    let mut cfg = scale.config(record, dist);
+    cfg.trace = true;
+    let registry = Arc::new(MetricsRegistry::new());
+    let dsort = {
+        let disks = provision_with_metrics(&cfg, &registry);
+        let r = run_dsort_with(
+            &cfg,
+            &disks,
+            DsortOptions {
+                metrics: Some(Arc::clone(&registry)),
+                ..DsortOptions::default()
+            },
+        )?;
+        verify_output(&cfg, &disks, Strictness::Fingerprint)?;
+        r
+    };
+    let observed = dsort.node0_reports.clone().map(|(pass1, mut pass2)| {
+        pass2.metrics.merge(&dsort.metrics);
+        ObservedDsort { pass1, pass2 }
+    });
+    let csort = {
+        let disks = provision(&cfg);
+        let r = run_csort(&cfg, &disks)?;
+        verify_output(&cfg, &disks, Strictness::Fingerprint)?;
+        r
+    };
+    Ok(Fig8Cell {
+        dist,
+        dsort,
+        csort,
+        observed,
+    })
 }
 
 /// Run a full Figure 8 panel (all four distributions) for one record size.
@@ -113,6 +175,18 @@ pub fn run_fig8_panel(scale: Scale, record: RecordFormat) -> Result<Vec<Fig8Cell
     KeyDist::figure8()
         .into_iter()
         .map(|dist| run_fig8_cell(scale, record, dist))
+        .collect()
+}
+
+/// [`run_fig8_panel`] with observability on (see
+/// [`run_fig8_cell_observed`]).
+pub fn run_fig8_panel_observed(
+    scale: Scale,
+    record: RecordFormat,
+) -> Result<Vec<Fig8Cell>, SortError> {
+    KeyDist::figure8()
+        .into_iter()
+        .map(|dist| run_fig8_cell_observed(scale, record, dist))
         .collect()
 }
 
@@ -142,12 +216,7 @@ pub fn run_splitter_balance(
             let report = run_dsort(&cfg, &disks)?;
             verify_output(&cfg, &disks, Strictness::Fingerprint)?;
             let avg = cfg.records_per_node as f64;
-            let max = report
-                .partition_records
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(0) as f64;
+            let max = report.partition_records.iter().copied().max().unwrap_or(0) as f64;
             rows.push(BalanceRow {
                 dist,
                 oversample,
@@ -313,6 +382,7 @@ pub fn run_virtual_ablation(
                 &disks,
                 DsortOptions {
                     virtual_reads: true,
+                    ..DsortOptions::default()
                 },
             )?;
             verify_output(&cfg, &disks, Strictness::Fingerprint)?;
@@ -325,6 +395,7 @@ pub fn run_virtual_ablation(
                 &disks,
                 DsortOptions {
                     virtual_reads: false,
+                    ..DsortOptions::default()
                 },
             )?;
             verify_output(&cfg, &disks, Strictness::Fingerprint)?;

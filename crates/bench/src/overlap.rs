@@ -55,6 +55,23 @@ fn compute(data: &mut [u8], passes: usize) -> u64 {
     acc
 }
 
+/// Pick a pass count so [`compute`] on a block of `block_bytes` takes
+/// roughly `target` wall time in the current build profile.  The checksum
+/// loop is an order of magnitude slower under `cargo test` (debug) than
+/// under `--release`; a fixed pass count makes compute dwarf I/O in one
+/// profile and vanish in the other, and the overlap win only shows when
+/// the two are comparable.
+pub fn calibrate_passes(block_bytes: usize, target: Duration) -> usize {
+    let mut probe = vec![0x5Au8; block_bytes];
+    let mut per_pass = Duration::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        compute(&mut probe, 1);
+        per_pass = per_pass.min(t0.elapsed());
+    }
+    (target.as_nanos() / per_pass.as_nanos().max(1)).clamp(1, 10_000) as usize
+}
+
 /// Run the ablation: `blocks` blocks of `block_bytes`, disk cost `disk`,
 /// `compute_passes` checksum passes per block.
 pub fn run_overlap(
@@ -132,7 +149,11 @@ mod tests {
     #[test]
     fn pipelining_hides_latency() {
         let disk = DiskCfg::new(Duration::from_micros(500), 200.0 * 1024.0 * 1024.0);
-        let res = run_overlap(40, 64 << 10, disk, 12).unwrap();
+        // Per-block disk service is ~1.6 ms (500 us latency + 312 us
+        // transfer, read then write); aim compute at par so the pipeline
+        // has latency worth hiding regardless of build profile.
+        let passes = calibrate_passes(64 << 10, Duration::from_micros(1600));
+        let res = run_overlap(40, 64 << 10, disk, passes).unwrap();
         assert!(
             res.speedup() > 1.15,
             "expected pipeline overlap to win: {res:?} (speedup {:.2})",

@@ -11,6 +11,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
+use fg_core::metrics::{MetricsRegistry, MetricsSnapshot};
+
 use crate::comm::Communicator;
 use crate::cost::NetCfg;
 use crate::fabric::{Fabric, NodeTraffic};
@@ -64,6 +66,11 @@ pub struct ClusterRun<R> {
     pub results: Vec<R>,
     /// Per-node traffic counters, indexed by rank.
     pub traffic: Vec<NodeTraffic>,
+    /// Snapshot of the communication metrics (`comm/…` names), when the
+    /// run was launched with [`Cluster::run_with_metrics`]; empty
+    /// otherwise.  Merge it into an FG
+    /// [`Report`](fg_core::Report)'s metrics to render one dashboard.
+    pub metrics: MetricsSnapshot,
 }
 
 /// A simulated distributed-memory cluster.
@@ -80,8 +87,38 @@ impl Cluster {
         R: Send + 'static,
         F: Fn(NodeCtx) -> Result<R, ClusterError> + Send + Sync + 'static,
     {
+        Self::launch(cfg, None, f)
+    }
+
+    /// Like [`Cluster::run`], but every node's communicator records per-peer
+    /// byte/message counters and collective latency histograms into
+    /// `registry` (under `comm/…` names); the returned
+    /// [`ClusterRun::metrics`] carries the final snapshot.
+    pub fn run_with_metrics<R, F>(
+        cfg: ClusterCfg,
+        registry: Arc<MetricsRegistry>,
+        f: F,
+    ) -> Result<ClusterRun<R>, ClusterError>
+    where
+        R: Send + 'static,
+        F: Fn(NodeCtx) -> Result<R, ClusterError> + Send + Sync + 'static,
+    {
+        Self::launch(cfg, Some(registry), f)
+    }
+
+    fn launch<R, F>(
+        cfg: ClusterCfg,
+        registry: Option<Arc<MetricsRegistry>>,
+        f: F,
+    ) -> Result<ClusterRun<R>, ClusterError>
+    where
+        R: Send + 'static,
+        F: Fn(NodeCtx) -> Result<R, ClusterError> + Send + Sync + 'static,
+    {
         if cfg.nodes == 0 {
-            return Err(ClusterError::Config("cluster needs at least one node".into()));
+            return Err(ClusterError::Config(
+                "cluster needs at least one node".into(),
+            ));
         }
         let fabric = Fabric::new(cfg.nodes, cfg.net);
         let f = Arc::new(f);
@@ -90,12 +127,15 @@ impl Cluster {
         for rank in 0..cfg.nodes {
             let fabric = Arc::clone(&fabric);
             let f = Arc::clone(&f);
+            let registry = registry.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("node{rank}"))
                 .spawn(move || {
-                    let ctx = NodeCtx {
-                        comm: Communicator::new(Arc::clone(&fabric), rank),
+                    let comm = match &registry {
+                        Some(reg) => Communicator::with_metrics(Arc::clone(&fabric), rank, reg),
+                        None => Communicator::new(Arc::clone(&fabric), rank),
                     };
+                    let ctx = NodeCtx { comm };
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(ctx)));
                     match outcome {
                         Ok(Ok(r)) => Ok(r),
@@ -138,9 +178,8 @@ impl Cluster {
                 Err(_) => {
                     results.push(None);
                     if first_err.is_none() {
-                        first_err = Some(ClusterError::Config(
-                            "node thread wrapper panicked".into(),
-                        ));
+                        first_err =
+                            Some(ClusterError::Config("node thread wrapper panicked".into()));
                     }
                 }
             }
@@ -152,6 +191,7 @@ impl Cluster {
         Ok(ClusterRun {
             results: results.into_iter().map(|r| r.expect("no error")).collect(),
             traffic,
+            metrics: registry.map(|r| r.snapshot()).unwrap_or_default(),
         })
     }
 }

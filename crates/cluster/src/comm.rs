@@ -17,6 +17,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+use fg_core::metrics::{Counter, Histogram, MetricsRegistry};
 
 use crate::fabric::{Fabric, NodeTraffic};
 use crate::CommError;
@@ -36,6 +39,40 @@ pub struct Communicator {
     /// Collective call sequence number; identical across nodes because all
     /// nodes invoke collectives in the same order.
     coll_seq: Arc<AtomicU64>,
+    /// Pre-resolved metric handles; `None` when the cluster runs without a
+    /// registry, making every fire site a single never-taken branch.
+    metrics: Option<Arc<CommMetrics>>,
+}
+
+/// Metric handles of one node's communicator, resolved once at
+/// construction so the per-message cost is only relaxed atomics.
+///
+/// Names: per-peer byte/message counters `comm/bytes/{src}->{dst}` and
+/// `comm/msgs/{src}->{dst}`, and cluster-wide collective latency histograms
+/// `comm/{barrier,allgather,alltoallv}_ns` (every node records into the
+/// same histogram).
+struct CommMetrics {
+    bytes_to: Vec<Arc<Counter>>,
+    msgs_to: Vec<Arc<Counter>>,
+    barrier_ns: Arc<Histogram>,
+    allgather_ns: Arc<Histogram>,
+    alltoallv_ns: Arc<Histogram>,
+}
+
+impl CommMetrics {
+    fn new(registry: &MetricsRegistry, rank: usize, nodes: usize) -> Self {
+        CommMetrics {
+            bytes_to: (0..nodes)
+                .map(|dst| registry.counter(&format!("comm/bytes/{rank}->{dst}")))
+                .collect(),
+            msgs_to: (0..nodes)
+                .map(|dst| registry.counter(&format!("comm/msgs/{rank}->{dst}")))
+                .collect(),
+            barrier_ns: registry.histogram("comm/barrier_ns"),
+            allgather_ns: registry.histogram("comm/allgather_ns"),
+            alltoallv_ns: registry.histogram("comm/alltoallv_ns"),
+        }
+    }
 }
 
 /// A received message: its payload and the rank that sent it.
@@ -53,6 +90,52 @@ impl Communicator {
             fabric,
             rank,
             coll_seq: Arc::new(AtomicU64::new(0)),
+            metrics: None,
+        }
+    }
+
+    pub(crate) fn with_metrics(
+        fabric: Arc<Fabric>,
+        rank: usize,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        let nodes = fabric.nodes();
+        Communicator {
+            fabric,
+            rank,
+            coll_seq: Arc::new(AtomicU64::new(0)),
+            metrics: Some(Arc::new(CommMetrics::new(registry, rank, nodes))),
+        }
+    }
+
+    /// Instrumented counterpart of `fabric.send` for traffic originating at
+    /// this node; all sends (point-to-point and collective-internal) route
+    /// through here.
+    fn send_raw(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
+        // Self-sends never cross the interconnect; keep the counters in
+        // agreement with the fabric's traffic accounting, which also
+        // excludes them.
+        if let Some(m) = self.metrics.as_ref().filter(|_| dst != self.rank) {
+            m.bytes_to[dst].add(payload.len() as u64);
+            m.msgs_to[dst].inc();
+        }
+        self.fabric.send(self.rank, dst, tag, payload)
+    }
+
+    /// Time `op` into `pick(metrics)` when a registry is attached.
+    fn timed<T>(
+        &self,
+        pick: impl Fn(&CommMetrics) -> &Histogram,
+        op: impl FnOnce() -> Result<T, CommError>,
+    ) -> Result<T, CommError> {
+        match &self.metrics {
+            Some(m) => {
+                let t0 = Instant::now();
+                let out = op()?;
+                pick(m).record_duration(t0.elapsed());
+                Ok(out)
+            }
+            None => op(),
         }
     }
 
@@ -83,7 +166,7 @@ impl Communicator {
     /// without waiting for the receiver (after charging the network cost).
     pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
         Self::check_tag(tag)?;
-        self.fabric.send(self.rank, dst, tag, payload)
+        self.send_raw(dst, tag, payload)
     }
 
     /// Receive the next message with `tag` from `src` (or from any source
@@ -107,7 +190,7 @@ impl Communicator {
         tag: u64,
     ) -> Result<Vec<u8>, CommError> {
         Self::check_tag(tag)?;
-        self.fabric.send(self.rank, dst, tag, payload)?;
+        self.send_raw(dst, tag, payload)?;
         let env = self.fabric.recv(self.rank, Some(src), tag)?;
         Ok(env.payload)
     }
@@ -118,20 +201,25 @@ impl Communicator {
 
     /// Synchronize all nodes.
     pub fn barrier(&self) -> Result<(), CommError> {
-        let tag = self.next_coll_tag();
-        // Gather empty payloads at 0, then 0 releases everyone.
-        if self.rank == 0 {
-            for _ in 1..self.nodes() {
-                self.fabric.recv(0, None, tag)?;
-            }
-            for dst in 1..self.nodes() {
-                self.fabric.send(0, dst, tag, Vec::new())?;
-            }
-        } else {
-            self.fabric.send(self.rank, 0, tag, Vec::new())?;
-            self.fabric.recv(self.rank, Some(0), tag)?;
-        }
-        Ok(())
+        self.timed(
+            |m| &m.barrier_ns,
+            || {
+                let tag = self.next_coll_tag();
+                // Gather empty payloads at 0, then 0 releases everyone.
+                if self.rank == 0 {
+                    for _ in 1..self.nodes() {
+                        self.fabric.recv(0, None, tag)?;
+                    }
+                    for dst in 1..self.nodes() {
+                        self.send_raw(dst, tag, Vec::new())?;
+                    }
+                } else {
+                    self.send_raw(0, tag, Vec::new())?;
+                    self.fabric.recv(self.rank, Some(0), tag)?;
+                }
+                Ok(())
+            },
+        )
     }
 
     /// Broadcast `data` from `root` to every node; returns the broadcast
@@ -141,7 +229,7 @@ impl Communicator {
         if self.rank == root {
             for dst in 0..self.nodes() {
                 if dst != root {
-                    self.fabric.send(root, dst, tag, data.to_vec())?;
+                    self.send_raw(dst, tag, data.to_vec())?;
                 }
             }
             Ok(data.to_vec())
@@ -163,7 +251,7 @@ impl Communicator {
             }
             Ok(Some(parts))
         } else {
-            self.fabric.send(self.rank, root, tag, data)?;
+            self.send_raw(root, tag, data)?;
             Ok(None)
         }
     }
@@ -171,14 +259,19 @@ impl Communicator {
     /// All nodes contribute `data`; all nodes receive every node's
     /// contribution, indexed by rank.
     pub fn allgather(&self, data: Vec<u8>) -> Result<Vec<Vec<u8>>, CommError> {
-        // gather at 0 + broadcast of the length-prefixed concatenation.
-        let gathered = self.gather(0, data)?;
-        let packed = match gathered {
-            Some(parts) => pack_parts(&parts),
-            None => Vec::new(),
-        };
-        let bytes = self.broadcast(0, &packed)?;
-        unpack_parts(&bytes)
+        self.timed(
+            |m| &m.allgather_ns,
+            || {
+                // gather at 0 + broadcast of the length-prefixed concatenation.
+                let gathered = self.gather(0, data)?;
+                let packed = match gathered {
+                    Some(parts) => pack_parts(&parts),
+                    None => Vec::new(),
+                };
+                let bytes = self.broadcast(0, &packed)?;
+                unpack_parts(&bytes)
+            },
+        )
     }
 
     /// MPI_Alltoallv: send `parts[i]` to node `i` (including `parts[rank]`
@@ -192,20 +285,25 @@ impl Communicator {
                 parts.len()
             )));
         }
-        let tag = self.next_coll_tag();
-        let mine = std::mem::take(&mut parts[self.rank]);
-        for (dst, part) in parts.iter_mut().enumerate() {
-            if dst != self.rank {
-                self.fabric.send(self.rank, dst, tag, std::mem::take(part))?;
-            }
-        }
-        let mut received: Vec<Vec<u8>> = vec![Vec::new(); self.nodes()];
-        received[self.rank] = mine;
-        for _ in 0..self.nodes() - 1 {
-            let env = self.fabric.recv(self.rank, None, tag)?;
-            received[env.src] = env.payload;
-        }
-        Ok(received)
+        self.timed(
+            |m| &m.alltoallv_ns,
+            move || {
+                let tag = self.next_coll_tag();
+                let mine = std::mem::take(&mut parts[self.rank]);
+                for (dst, part) in parts.iter_mut().enumerate() {
+                    if dst != self.rank {
+                        self.send_raw(dst, tag, std::mem::take(part))?;
+                    }
+                }
+                let mut received: Vec<Vec<u8>> = vec![Vec::new(); self.nodes()];
+                received[self.rank] = mine;
+                for _ in 0..self.nodes() - 1 {
+                    let env = self.fabric.recv(self.rank, None, tag)?;
+                    received[env.src] = env.payload;
+                }
+                Ok(received)
+            },
+        )
     }
 
     /// Sum a u64 across all nodes (everyone gets the result).

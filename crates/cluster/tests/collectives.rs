@@ -35,7 +35,11 @@ fn barrier_synchronizes() {
 #[test]
 fn broadcast_reaches_all() {
     let run = Cluster::run(ClusterCfg::zero_cost(P), |node| {
-        let data = if node.rank() == 3 { b"splitters".to_vec() } else { vec![] };
+        let data = if node.rank() == 3 {
+            b"splitters".to_vec()
+        } else {
+            vec![]
+        };
         let got = node.comm().broadcast(3, &data)?;
         Ok(got)
     })

@@ -55,6 +55,9 @@
 
 mod buffer;
 mod error;
+mod json;
+pub mod metrics;
+mod observe;
 mod program;
 mod queue;
 mod runtime;
@@ -63,6 +66,11 @@ mod stats;
 
 pub use buffer::{Buffer, PipelineId, StageId};
 pub use error::{FgError, Result};
+pub use json::Json;
+pub use metrics::{
+    Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use observe::{CountingObserver, MetricsObserver, Observer};
 pub use program::{run_linear, PipelineCfg, Program};
 pub use stage::{map_stage, reorder_stage, MapStage, Rounds, Stage, StageCtx};
-pub use stats::{Report, Span, SpanKind, StageStats};
+pub use stats::{QueueDepth, Report, Span, SpanKind, StageStats};

@@ -1,0 +1,198 @@
+//! Event hooks into the FG runtime.
+//!
+//! An [`Observer`] installed with
+//! [`Program::set_observer`](crate::Program::set_observer) receives a
+//! callback at every interesting runtime event: stage thread start/exit,
+//! each buffer accept and convey (with round number and queue identity),
+//! each round a source begins and emits, and each buffer a sink recycles.
+//!
+//! The hooks are strictly zero-cost when no observer is installed: every
+//! fire site is `if let Some(obs) = &self.observer { ... }` over an
+//! `Option<Arc<dyn Observer>>` that defaults to `None`, so the uninstalled
+//! path is a single never-taken branch.  Observer methods run on the
+//! runtime's threads and block the pipeline while they execute — keep them
+//! short (count, sample, enqueue) and lock-free where possible, e.g. by
+//! recording into [`metrics`](crate::metrics) primitives.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::buffer::PipelineId;
+use crate::metrics::MetricsRegistry;
+use crate::stats::StageStats;
+
+/// Receiver of runtime events.  Every method has a no-op default, so
+/// implementors override only what they need.
+#[allow(unused_variables)]
+pub trait Observer: Send + Sync {
+    /// A stage thread is about to run its stage body.
+    fn on_stage_start(&self, stage: &str) {}
+
+    /// A stage thread finished (body returned, errored, or panicked) and
+    /// its aggregate statistics are final.
+    fn on_stage_exit(&self, stage: &str, stats: &StageStats) {}
+
+    /// A stage accepted a buffer: `round` identifies the buffer, `queue`
+    /// the queue it was popped from, and `waited` how long the pop
+    /// blocked (starvation).
+    fn on_accept(
+        &self,
+        stage: &str,
+        pipeline: PipelineId,
+        round: u64,
+        queue: &str,
+        waited: Duration,
+    ) {
+    }
+
+    /// A stage conveyed a buffer: `queue` is the downstream queue it was
+    /// pushed to and `waited` how long the push blocked (backpressure).
+    fn on_convey(
+        &self,
+        stage: &str,
+        pipeline: PipelineId,
+        round: u64,
+        queue: &str,
+        waited: Duration,
+    ) {
+    }
+
+    /// A source is about to inject round `round` of `pipeline` (the round
+    /// boundary: all earlier rounds of the pipeline have been emitted).
+    fn on_round_begin(&self, source: &str, pipeline: PipelineId, round: u64) {}
+
+    /// A source finished injecting round `round` of `pipeline` into the
+    /// pipeline's first queue.
+    fn on_source_emit(&self, source: &str, pipeline: PipelineId, round: u64) {}
+
+    /// A sink received the buffer of round `round` back from the last
+    /// stage and returned it to `pipeline`'s pool.
+    fn on_sink_recycle(&self, sink: &str, pipeline: PipelineId, round: u64) {}
+}
+
+/// An [`Observer`] that counts every event category with relaxed atomics.
+/// Useful for asserting event coverage in tests and for measuring observer
+/// overhead in benches.
+#[derive(Debug, Default)]
+pub struct CountingObserver {
+    stage_starts: AtomicU64,
+    stage_exits: AtomicU64,
+    accepts: AtomicU64,
+    conveys: AtomicU64,
+    round_begins: AtomicU64,
+    source_emits: AtomicU64,
+    sink_recycles: AtomicU64,
+}
+
+impl CountingObserver {
+    /// A counting observer at zero.
+    pub fn new() -> Self {
+        CountingObserver::default()
+    }
+
+    /// Stage threads started.
+    pub fn stage_starts(&self) -> u64 {
+        self.stage_starts.load(Ordering::Relaxed)
+    }
+
+    /// Stage threads exited.
+    pub fn stage_exits(&self) -> u64 {
+        self.stage_exits.load(Ordering::Relaxed)
+    }
+
+    /// Buffers accepted across all stages.
+    pub fn accepts(&self) -> u64 {
+        self.accepts.load(Ordering::Relaxed)
+    }
+
+    /// Buffers conveyed across all stages.
+    pub fn conveys(&self) -> u64 {
+        self.conveys.load(Ordering::Relaxed)
+    }
+
+    /// Rounds begun across all sources.
+    pub fn round_begins(&self) -> u64 {
+        self.round_begins.load(Ordering::Relaxed)
+    }
+
+    /// Rounds emitted across all sources.
+    pub fn source_emits(&self) -> u64 {
+        self.source_emits.load(Ordering::Relaxed)
+    }
+
+    /// Buffers recycled across all sinks.
+    pub fn sink_recycles(&self) -> u64 {
+        self.sink_recycles.load(Ordering::Relaxed)
+    }
+}
+
+impl Observer for CountingObserver {
+    fn on_stage_start(&self, _stage: &str) {
+        self.stage_starts.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_stage_exit(&self, _stage: &str, _stats: &StageStats) {
+        self.stage_exits.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_accept(&self, _: &str, _: PipelineId, _: u64, _: &str, _: Duration) {
+        self.accepts.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_convey(&self, _: &str, _: PipelineId, _: u64, _: &str, _: Duration) {
+        self.conveys.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_round_begin(&self, _: &str, _: PipelineId, _: u64) {
+        self.round_begins.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_source_emit(&self, _: &str, _: PipelineId, _: u64) {
+        self.source_emits.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_sink_recycle(&self, _: &str, _: PipelineId, _: u64) {
+        self.sink_recycles.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// An [`Observer`] that records events into a [`MetricsRegistry`] under
+/// `core/` names: event counters (`core/accepts`, `core/conveys`,
+/// `core/rounds`, `core/recycles`) and blocked-wait histograms
+/// (`core/accept_wait_ns`, `core/convey_wait_ns`).  Metric handles are
+/// resolved once at construction, so the per-event cost is the same
+/// relaxed atomics as [`CountingObserver`].
+pub struct MetricsObserver {
+    accepts: Arc<crate::metrics::Counter>,
+    conveys: Arc<crate::metrics::Counter>,
+    rounds: Arc<crate::metrics::Counter>,
+    recycles: Arc<crate::metrics::Counter>,
+    accept_wait: Arc<crate::metrics::Histogram>,
+    convey_wait: Arc<crate::metrics::Histogram>,
+}
+
+impl MetricsObserver {
+    /// Register the `core/` metrics in `registry` and observe into them.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        MetricsObserver {
+            accepts: registry.counter("core/accepts"),
+            conveys: registry.counter("core/conveys"),
+            rounds: registry.counter("core/rounds"),
+            recycles: registry.counter("core/recycles"),
+            accept_wait: registry.histogram("core/accept_wait_ns"),
+            convey_wait: registry.histogram("core/convey_wait_ns"),
+        }
+    }
+}
+
+impl Observer for MetricsObserver {
+    fn on_accept(&self, _: &str, _: PipelineId, _: u64, _: &str, waited: Duration) {
+        self.accepts.inc();
+        self.accept_wait.record_duration(waited);
+    }
+    fn on_convey(&self, _: &str, _: PipelineId, _: u64, _: &str, waited: Duration) {
+        self.conveys.inc();
+        self.convey_wait.record_duration(waited);
+    }
+    fn on_round_begin(&self, _: &str, _: PipelineId, _: u64) {
+        self.rounds.inc();
+    }
+    fn on_sink_recycle(&self, _: &str, _: PipelineId, _: u64) {
+        self.recycles.inc();
+    }
+}

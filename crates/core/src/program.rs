@@ -85,6 +85,8 @@ pub struct Program {
     stages: Vec<StageSlot>,
     pipelines: Vec<PipeSpec>,
     trace: bool,
+    observer: Option<Arc<dyn crate::observe::Observer>>,
+    metrics: Option<Arc<crate::metrics::MetricsRegistry>>,
 }
 
 impl Program {
@@ -95,6 +97,8 @@ impl Program {
             stages: Vec::new(),
             pipelines: Vec::new(),
             trace: false,
+            observer: None,
+            metrics: None,
         }
     }
 
@@ -104,6 +108,26 @@ impl Program {
     /// default (tracing allocates per blocked interval).
     pub fn enable_tracing(&mut self) {
         self.trace = true;
+    }
+
+    /// Install an [`Observer`](crate::observe::Observer) receiving a
+    /// callback at every runtime event (stage start/exit, buffer
+    /// accept/convey, source rounds, sink recycles).  Without an observer
+    /// the hook sites cost a single never-taken branch.
+    pub fn set_observer(&mut self, observer: Arc<dyn crate::observe::Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// Attach a [`MetricsRegistry`](crate::metrics::MetricsRegistry):
+    /// every queue samples its depth into a
+    /// `core/queue_depth/<queue>` gauge, and the registry's snapshot is
+    /// embedded in the final [`Report`](crate::Report) (rendered by
+    /// [`Report::render_dashboard`](crate::Report::render_dashboard) and
+    /// exported by [`Report::to_json`](crate::Report::to_json)).  Other
+    /// layers (communicators, disks) and observers may record into the
+    /// same registry to land in the same report.
+    pub fn set_metrics(&mut self, metrics: Arc<crate::metrics::MetricsRegistry>) {
+        self.metrics = Some(metrics);
     }
 
     /// Program name (used in thread names and diagnostics).
@@ -120,11 +144,7 @@ impl Program {
     /// Declare a *virtual* stage: if placed in k pipelines, FG creates one
     /// thread and one shared input queue instead of k of each, and shares
     /// the sources and sinks of those pipelines too.
-    pub fn add_virtual_stage(
-        &mut self,
-        name: impl Into<String>,
-        stage: Box<dyn Stage>,
-    ) -> StageId {
+    pub fn add_virtual_stage(&mut self, name: impl Into<String>, stage: Box<dyn Stage>) -> StageId {
         self.push_stage(name.into(), stage, true)
     }
 
@@ -326,7 +346,14 @@ impl Program {
             .flat_map(|(gi, ms)| ms.iter().map(move |&m| (m, gi)))
             .collect();
 
-        let reg = |q: Arc<Queue>| {
+        // Build a queue, register it for shutdown, and — when a metrics
+        // registry is attached — wire up its depth gauge.
+        let metrics = self.metrics.clone();
+        let reg = |name: String, cap: usize| {
+            let gauge = metrics
+                .as_ref()
+                .map(|m| m.gauge(&format!("core/queue_depth/{name}")));
+            let q = Queue::with_gauge(name, cap, gauge);
             registry.register(Arc::clone(&q));
             q
         };
@@ -335,12 +362,9 @@ impl Program {
         let mut recycle_q: Vec<Arc<Queue>> = Vec::new();
         let mut sink_q: Vec<Arc<Queue>> = Vec::new();
         for (gi, members) in groups.iter().enumerate() {
-            let cap: usize = members
-                .iter()
-                .map(|&m| self.pipelines[m].buffers + 1)
-                .sum();
-            recycle_q.push(reg(Queue::new(format!("recycle/g{gi}"), cap)));
-            sink_q.push(reg(Queue::new(format!("sink/g{gi}"), cap)));
+            let cap: usize = members.iter().map(|&m| self.pipelines[m].buffers + 1).sum();
+            recycle_q.push(reg(format!("recycle/g{gi}"), cap));
+            sink_q.push(reg(format!("sink/g{gi}"), cap));
         }
 
         // Stop flags per pipeline, attached to their (possibly shared)
@@ -364,14 +388,8 @@ impl Program {
                     .filter(|(_, p)| p.chain.contains(&StageId(sid as u32)))
                     .map(|(i, _)| i)
                     .collect();
-                let cap: usize = members
-                    .iter()
-                    .map(|&m| self.pipelines[m].buffers + 1)
-                    .sum();
-                shared_in.insert(
-                    sid,
-                    reg(Queue::new(format!("in/{}", slot.name), cap.max(1))),
-                );
+                let cap: usize = members.iter().map(|&m| self.pipelines[m].buffers + 1).sum();
+                shared_in.insert(sid, reg(format!("in/{}", slot.name), cap.max(1)));
             }
         }
 
@@ -384,10 +402,7 @@ impl Program {
                 let q = if self.stages[sid.index()].is_virtual {
                     Arc::clone(&shared_in[&sid.index()])
                 } else {
-                    reg(Queue::new(
-                        format!("{}[{}]", pipe.name, pos),
-                        pipe.buffers + 1,
-                    ))
+                    reg(format!("{}[{}]", pipe.name, pos), pipe.buffers + 1)
                 };
                 qs.push(q);
             }
@@ -489,6 +504,8 @@ impl Program {
             sources,
             sinks,
             trace: self.trace,
+            observer: self.observer.clone(),
+            metrics: self.metrics.clone(),
         })
     }
 }

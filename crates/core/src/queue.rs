@@ -21,6 +21,7 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use crate::buffer::{Buffer, PipelineId};
+use crate::metrics::Gauge;
 
 /// What travels through a queue: a buffer, or the end-of-stream marker for
 /// one pipeline (FG's *caboose*).
@@ -40,6 +41,9 @@ pub(crate) struct Closed;
 struct Inner {
     items: VecDeque<Item>,
     closed: bool,
+    /// High-water mark of `items.len()`, maintained inside the existing
+    /// lock so tracking costs nothing beyond a compare.
+    max_depth: usize,
 }
 
 /// A bounded MPMC blocking queue of [`Item`]s.
@@ -48,30 +52,59 @@ pub(crate) struct Queue {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
-    #[allow(dead_code)]
     name: String,
+    /// Depth gauge sampled on every push/pop, present only when the
+    /// program runs with a metrics registry attached.
+    gauge: Option<Arc<Gauge>>,
 }
 
 impl Queue {
     /// Create a queue holding at most `capacity` items.
+    #[cfg(test)]
     pub(crate) fn new(name: impl Into<String>, capacity: usize) -> Arc<Self> {
+        Self::with_gauge(name, capacity, None)
+    }
+
+    /// Create a queue that additionally samples its depth into `gauge`.
+    pub(crate) fn with_gauge(
+        name: impl Into<String>,
+        capacity: usize,
+        gauge: Option<Arc<Gauge>>,
+    ) -> Arc<Self> {
         assert!(capacity > 0, "queue capacity must be positive");
         Arc::new(Queue {
             inner: Mutex::new(Inner {
                 items: VecDeque::with_capacity(capacity),
                 closed: false,
+                max_depth: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
             name: name.into(),
+            gauge,
         })
     }
 
     /// Debug name of this queue.
-    #[allow(dead_code)]
     pub(crate) fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Maximum number of items this queue can hold.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// High-water mark of the queue's depth over its lifetime.
+    pub(crate) fn max_depth(&self) -> usize {
+        self.inner.lock().max_depth
+    }
+
+    fn sample_depth(&self, depth: usize) {
+        if let Some(g) = &self.gauge {
+            g.set(depth as u64);
+        }
     }
 
     /// Blocking push.  Fails (returning the item) once the queue is closed.
@@ -84,7 +117,10 @@ impl Queue {
             return Err((item, Closed));
         }
         inner.items.push_back(item);
+        let depth = inner.items.len();
+        inner.max_depth = inner.max_depth.max(depth);
         drop(inner);
+        self.sample_depth(depth);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -97,7 +133,10 @@ impl Queue {
             return Err((item, Closed));
         }
         inner.items.push_back(item);
+        let depth = inner.items.len();
+        inner.max_depth = inner.max_depth.max(depth);
         drop(inner);
+        self.sample_depth(depth);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -107,7 +146,9 @@ impl Queue {
         let mut inner = self.inner.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
+                let depth = inner.items.len();
                 drop(inner);
+                self.sample_depth(depth);
                 self.not_full.notify_one();
                 return Ok(item);
             }
@@ -228,6 +269,32 @@ mod tests {
         let q2 = Queue::new("t2", 1);
         q2.close();
         assert!(q2.try_push(buf_item(0, 0)).is_err());
+    }
+
+    #[test]
+    fn max_depth_tracks_high_water_mark() {
+        let q = Queue::new("t", 4);
+        assert_eq!(q.max_depth(), 0);
+        q.push(buf_item(0, 0)).unwrap();
+        q.push(buf_item(0, 1)).unwrap();
+        q.pop().unwrap();
+        q.push(buf_item(0, 2)).unwrap();
+        // Depth peaked at 2 even though it dipped to 1 in between.
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.capacity(), 4);
+        assert_eq!(q.name(), "t");
+    }
+
+    #[test]
+    fn gauge_samples_depth_on_push_and_pop() {
+        let g = Arc::new(crate::metrics::Gauge::new());
+        let q = Queue::with_gauge("t", 4, Some(Arc::clone(&g)));
+        q.push(buf_item(0, 0)).unwrap();
+        q.push(buf_item(0, 1)).unwrap();
+        assert_eq!(g.get(), 2);
+        q.pop().unwrap();
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.peak(), 2);
     }
 
     #[test]

@@ -7,6 +7,8 @@ use std::time::Instant;
 
 use crate::buffer::{Buffer, PipelineId};
 use crate::error::{FgError, Result};
+use crate::metrics::MetricsRegistry;
+use crate::observe::Observer;
 use crate::queue::{Item, Queue};
 use crate::stage::{Port, Registry, ReplicaGroup, Rounds, Stage, StageCtx, StopFlag};
 use crate::stats::{Report, StageStats};
@@ -54,6 +56,8 @@ pub(crate) struct Plan {
     pub(crate) sources: Vec<SourceSet>,
     pub(crate) sinks: Vec<SinkSet>,
     pub(crate) trace: bool,
+    pub(crate) observer: Option<Arc<dyn Observer>>,
+    pub(crate) metrics: Option<Arc<MetricsRegistry>>,
 }
 
 pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
@@ -63,6 +67,8 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         sources,
         sinks,
         trace,
+        observer,
+        metrics,
     } = plan;
 
     let start = Instant::now();
@@ -70,29 +76,32 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
 
     for task in tasks {
         let registry = Arc::clone(&registry);
+        let observer = observer.clone();
         let name = task.name.clone();
         let thread_name = format!("{program_name}/{name}");
         let epoch = if trace { Some(start) } else { None };
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_stage_thread(task, registry, epoch))
+            .spawn(move || run_stage_thread(task, registry, epoch, observer))
             .map_err(|e| FgError::Config(format!("failed to spawn stage thread: {e}")))?;
         handles.push(handle);
     }
     for src in sources {
         let registry = Arc::clone(&registry);
+        let observer = observer.clone();
         let thread_name = format!("{program_name}/{}", src.label);
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_source(src, registry))
+            .spawn(move || run_source(src, registry, observer))
             .map_err(|e| FgError::Config(format!("failed to spawn source thread: {e}")))?;
         handles.push(handle);
     }
     for sink in sinks {
+        let observer = observer.clone();
         let thread_name = format!("{program_name}/{}", sink.label);
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_sink(sink))
+            .spawn(move || run_sink(sink, observer))
             .map_err(|e| FgError::Config(format!("failed to spawn sink thread: {e}")))?;
         handles.push(handle);
     }
@@ -123,6 +132,8 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         wall: start.elapsed(),
         stages,
         threads_spawned,
+        queues: registry.queue_depths(),
+        metrics: metrics.map(|m| m.snapshot()).unwrap_or_default(),
     })
 }
 
@@ -130,6 +141,7 @@ fn run_stage_thread(
     task: StageTask,
     registry: Arc<Registry>,
     trace_epoch: Option<Instant>,
+    observer: Option<Arc<dyn Observer>>,
 ) -> StageStats {
     let StageTask {
         name,
@@ -145,6 +157,10 @@ fn run_stage_thread(
     }
     if let Some(epoch) = trace_epoch {
         ctx.set_trace_epoch(epoch);
+    }
+    if let Some(obs) = &observer {
+        ctx.set_observer(Arc::clone(obs));
+        obs.on_stage_start(&name);
     }
 
     let outcome = catch_unwind(AssertUnwindSafe(|| stage.run(&mut ctx)));
@@ -169,7 +185,7 @@ fn run_stage_thread(
     }
     ctx.finish();
 
-    StageStats {
+    let stats = StageStats {
         name,
         wall: start.elapsed(),
         blocked_accept: ctx.stats.blocked_accept,
@@ -177,10 +193,18 @@ fn run_stage_thread(
         buffers_in: ctx.stats.buffers_in,
         buffers_out: ctx.stats.buffers_out,
         spans: std::mem::take(&mut ctx.stats.spans),
+    };
+    if let Some(obs) = &observer {
+        obs.on_stage_exit(&stats.name, &stats);
     }
+    stats
 }
 
-fn run_source(set: SourceSet, registry: Arc<Registry>) -> StageStats {
+fn run_source(
+    set: SourceSet,
+    registry: Arc<Registry>,
+    observer: Option<Arc<dyn Observer>>,
+) -> StageStats {
     let start = Instant::now();
     let mut stats = StageStats {
         name: set.label.clone(),
@@ -200,13 +224,14 @@ fn run_source(set: SourceSet, registry: Arc<Registry>) -> StageStats {
     }
 
     // Emit the caboose for pipeline i; ignores failure during teardown.
-    let emit_caboose =
-        |i: usize, done: &mut Vec<bool>| {
-            if !done[i] {
-                done[i] = true;
-                let _ = set.pipes[i].first.push(Item::Caboose(set.pipes[i].pipeline));
-            }
-        };
+    let emit_caboose = |i: usize, done: &mut Vec<bool>| {
+        if !done[i] {
+            done[i] = true;
+            let _ = set.pipes[i]
+                .first
+                .push(Item::Caboose(set.pipes[i].pipeline));
+        }
+    };
 
     'outer: loop {
         if done.iter().all(|&d| d) {
@@ -249,6 +274,9 @@ fn run_source(set: SourceSet, registry: Arc<Registry>) -> StageStats {
             }
         }
         buf.begin_round(emitted[i]);
+        if let Some(obs) = &observer {
+            obs.on_round_begin(&set.label, set.pipes[i].pipeline, emitted[i]);
+        }
         emitted[i] += 1;
         let t0 = Instant::now();
         let pushed = set.pipes[i].first.push(Item::Buf(buf));
@@ -257,6 +285,9 @@ fn run_source(set: SourceSet, registry: Arc<Registry>) -> StageStats {
             break; // cancelled
         }
         stats.buffers_out += 1;
+        if let Some(obs) = &observer {
+            obs.on_source_emit(&set.label, set.pipes[i].pipeline, emitted[i] - 1);
+        }
         // Emit the caboose eagerly right after the final round so consumers
         // (e.g. a merge stage) learn about the end of this stream promptly.
         if let Rounds::Count(n) = set.pipes[i].rounds {
@@ -271,7 +302,7 @@ fn run_source(set: SourceSet, registry: Arc<Registry>) -> StageStats {
     stats
 }
 
-fn run_sink(set: SinkSet) -> StageStats {
+fn run_sink(set: SinkSet, observer: Option<Arc<dyn Observer>>) -> StageStats {
     let start = Instant::now();
     let mut stats = StageStats {
         name: set.label.clone(),
@@ -285,6 +316,9 @@ fn run_sink(set: SinkSet) -> StageStats {
         match popped {
             Ok(Item::Buf(b)) => {
                 stats.buffers_in += 1;
+                if let Some(obs) = &observer {
+                    obs.on_sink_recycle(&set.label, b.pipeline(), b.round());
+                }
                 // The source may already have retired; dropping is fine then.
                 let _ = set.recycle.push(Item::Buf(b));
             }

@@ -110,26 +110,24 @@ where
 pub fn reorder_stage() -> Box<dyn Stage> {
     let mut stash: std::collections::HashMap<u64, Buffer> = std::collections::HashMap::new();
     let mut next = 0u64;
-    Box::new(move |ctx: &mut StageCtx| {
-        loop {
-            match ctx.accept()? {
-                Some(buf) => {
-                    stash.insert(buf.round(), buf);
-                    while let Some(b) = stash.remove(&next) {
-                        ctx.convey(b)?;
-                        next += 1;
-                    }
+    Box::new(move |ctx: &mut StageCtx| loop {
+        match ctx.accept()? {
+            Some(buf) => {
+                stash.insert(buf.round(), buf);
+                while let Some(b) = stash.remove(&next) {
+                    ctx.convey(b)?;
+                    next += 1;
                 }
-                None => {
-                    if !stash.is_empty() {
-                        return Err(FgError::Usage(format!(
+            }
+            None => {
+                if !stash.is_empty() {
+                    return Err(FgError::Usage(format!(
                             "reorder stage ended with {} stashed rounds                              (round {} never arrived)",
                             stash.len(),
                             next
                         )));
-                    }
-                    return Ok(());
                 }
+                return Ok(());
             }
         }
     })
@@ -176,6 +174,20 @@ impl Registry {
 
     pub(crate) fn take_error(&self) -> Option<FgError> {
         self.error.lock().take()
+    }
+
+    /// Depth statistics of every queue the program created, for the final
+    /// [`Report`](crate::Report).
+    pub(crate) fn queue_depths(&self) -> Vec<crate::stats::QueueDepth> {
+        self.queues
+            .lock()
+            .iter()
+            .map(|q| crate::stats::QueueDepth {
+                name: q.name().to_string(),
+                capacity: q.capacity(),
+                max_depth: q.max_depth(),
+            })
+            .collect()
     }
 }
 
@@ -295,6 +307,9 @@ pub struct StageCtx {
     /// Program start time when tracing is enabled; blocked intervals are
     /// recorded relative to it.
     trace_epoch: Option<Instant>,
+    /// Event hooks; `None` (the default) costs one never-taken branch per
+    /// accept/convey.
+    observer: Option<Arc<dyn crate::observe::Observer>>,
     aux: Vec<u8>,
     registry: Arc<Registry>,
     pub(crate) stats: CtxStats,
@@ -313,6 +328,7 @@ impl StageCtx {
             shared_input,
             replica_group: None,
             trace_epoch: None,
+            observer: None,
             aux: Vec::new(),
             registry,
             stats: CtxStats::default(),
@@ -325,6 +341,10 @@ impl StageCtx {
 
     pub(crate) fn set_trace_epoch(&mut self, epoch: Instant) {
         self.trace_epoch = Some(epoch);
+    }
+
+    pub(crate) fn set_observer(&mut self, observer: Arc<dyn crate::observe::Observer>) {
+        self.observer = Some(observer);
     }
 
     fn record_span(&mut self, kind: crate::stats::SpanKind, t0: Instant, t1: Instant) {
@@ -434,6 +454,9 @@ impl StageCtx {
             match popped {
                 Ok(Item::Buf(b)) => {
                     self.stats.buffers_in += 1;
+                    if let Some(obs) = &self.observer {
+                        obs.on_accept(&self.name, b.pipeline(), b.round(), shared.name(), t1 - t0);
+                    }
                     return Ok(Some(b));
                 }
                 Ok(Item::Caboose(p)) => {
@@ -477,6 +500,9 @@ impl StageCtx {
         match popped {
             Ok(Item::Buf(b)) => {
                 self.stats.buffers_in += 1;
+                if let Some(obs) = &self.observer {
+                    obs.on_accept(&self.name, b.pipeline(), b.round(), input.name(), t1 - t0);
+                }
                 Ok(Some(b))
             }
             Ok(Item::Caboose(p)) => {
@@ -519,6 +545,8 @@ impl StageCtx {
                 buf.pipeline()
             )));
         }
+        let pipeline = buf.pipeline();
+        let round = buf.round();
         let t0 = Instant::now();
         let res = self.ports[idx].output.push(Item::Buf(buf));
         let t1 = Instant::now();
@@ -527,6 +555,15 @@ impl StageCtx {
         match res {
             Ok(()) => {
                 self.stats.buffers_out += 1;
+                if let Some(obs) = &self.observer {
+                    obs.on_convey(
+                        &self.name,
+                        pipeline,
+                        round,
+                        self.ports[idx].output.name(),
+                        t1 - t0,
+                    );
+                }
                 Ok(())
             }
             Err(_) => Err(FgError::Cancelled),

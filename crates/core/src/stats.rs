@@ -12,6 +12,8 @@
 
 use std::time::Duration;
 
+use crate::metrics::MetricsSnapshot;
+
 /// What a traced stage was doing during a [`Span`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanKind {
@@ -74,8 +76,21 @@ impl StageStats {
     }
 }
 
+/// Lifetime depth statistics of one queue of a finished program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueDepth {
+    /// Queue name as assigned during wiring (e.g. `p[1]`, `recycle/g0`).
+    pub name: String,
+    /// Maximum number of items the queue could hold.
+    pub capacity: usize,
+    /// High-water mark of the queue's depth.  A queue pinned at capacity
+    /// marks a backpressure boundary; one pinned near zero marks a starved
+    /// consumer.
+    pub max_depth: usize,
+}
+
 /// Report produced by a finished [`Program`](crate::Program) run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Report {
     /// Wall-clock duration of the whole program (all pipelines).
     pub wall: Duration,
@@ -86,6 +101,15 @@ pub struct Report {
     /// Virtual stages and virtual pipelines reduce this count; experiment A2
     /// measures exactly this field.
     pub threads_spawned: usize,
+    /// Depth statistics of every queue the program wired, in creation
+    /// order.
+    pub queues: Vec<QueueDepth>,
+    /// Snapshot of the program's
+    /// [`MetricsRegistry`](crate::metrics::MetricsRegistry), when one was
+    /// attached with [`Program::set_metrics`](crate::Program::set_metrics);
+    /// other layers (communicators, simulated disks) may merge their own
+    /// snapshots in before rendering or export.
+    pub metrics: MetricsSnapshot,
 }
 
 impl Report {
@@ -139,7 +163,12 @@ impl Report {
             .max(5);
         for s in &self.stages {
             let mut row = vec![b'#'; width];
+            // One marker column between name and bar keeps every bar
+            // starting at the same column: `~` flags an approximate
+            // (untraced, proportion-drawn) row, space an exact one.
+            let marker;
             if s.spans.is_empty() {
+                marker = '~';
                 // No trace: render aggregate proportions, left-to-right.
                 let total = s.wall.as_secs_f64().max(1e-12);
                 let acc = ((s.blocked_accept.as_secs_f64() / total) * width as f64) as usize;
@@ -150,28 +179,31 @@ impl Report {
                 for slot in row.iter_mut().skip(width.saturating_sub(conv.min(width))) {
                     *slot = b'o';
                 }
-                out.push_str(&format!(
-                    "{:<name_w$} ~{}\n",
-                    s.name,
-                    String::from_utf8(row).expect("ascii")
-                ));
-                continue;
-            }
-            if wall_ns > 0 {
-                for span in &s.spans {
-                    let a = (span.start_ns.min(wall_ns) as usize * width) / wall_ns as usize;
-                    let b = (span.end_ns.min(wall_ns) as usize * width) / wall_ns as usize;
-                    let ch = match span.kind {
-                        SpanKind::Accept => b'.',
-                        SpanKind::Convey => b'o',
-                    };
-                    for slot in row.iter_mut().take((b + 1).min(width)).skip(a) {
-                        *slot = ch;
+            } else {
+                marker = ' ';
+                if wall_ns > 0 {
+                    for span in &s.spans {
+                        // Bucket math in u128: start_ns * width overflows
+                        // u64 for runs past ~3 hours at width 100.  A span
+                        // ending exactly at wall_ns maps to bucket `width`,
+                        // which must clamp into the last bucket.
+                        let a = ((u128::from(span.start_ns.min(wall_ns)) * width as u128)
+                            / u128::from(wall_ns)) as usize;
+                        let b = ((u128::from(span.end_ns.min(wall_ns)) * width as u128)
+                            / u128::from(wall_ns)) as usize;
+                        let (a, b) = (a.min(width - 1), b.min(width - 1));
+                        let ch = match span.kind {
+                            SpanKind::Accept => b'.',
+                            SpanKind::Convey => b'o',
+                        };
+                        for slot in row.iter_mut().take(b + 1).skip(a) {
+                            *slot = ch;
+                        }
                     }
                 }
             }
             out.push_str(&format!(
-                "{:<name_w$}  {}\n",
+                "{:<name_w$} {marker}{}\n",
                 s.name,
                 String::from_utf8(row).expect("ascii")
             ));
@@ -212,6 +244,89 @@ impl Report {
                 s.buffers_in,
                 s.buffers_out,
             ));
+        }
+        out
+    }
+
+    /// Render a full-run dashboard: the stage table, the Gantt chart, a
+    /// queue-depth table, and — when a
+    /// [`MetricsRegistry`](crate::metrics::MetricsRegistry) was attached —
+    /// one metrics section per layer, grouped by the first segment of each
+    /// metric name (`core/…`, `comm/…`, `disk/…`).
+    pub fn render_dashboard(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== stages ==\n");
+        out.push_str(&self.render());
+        out.push_str("\n== gantt ==\n");
+        out.push_str(&self.render_gantt(60));
+        if !self.queues.is_empty() {
+            out.push_str("\n== queues ==\n");
+            let name_w = self
+                .queues
+                .iter()
+                .map(|q| q.name.len())
+                .max()
+                .unwrap_or(5)
+                .max(5);
+            out.push_str(&format!(
+                "{:<name_w$} {:>8} {:>9} {:>6}\n",
+                "queue", "capacity", "max depth", "fill"
+            ));
+            for q in &self.queues {
+                let fill = if q.capacity == 0 {
+                    0.0
+                } else {
+                    q.max_depth as f64 / q.capacity as f64 * 100.0
+                };
+                out.push_str(&format!(
+                    "{:<name_w$} {:>8} {:>9} {:>5.0}%\n",
+                    q.name, q.capacity, q.max_depth, fill
+                ));
+            }
+        }
+        if !self.metrics.is_empty() {
+            // Group by the metric name's first path segment so each layer
+            // (core, comm, disk, …) renders as its own section.
+            let group_of = |name: &str| name.split('/').next().unwrap_or(name).to_string();
+            let mut groups: Vec<String> = self
+                .metrics
+                .counters
+                .iter()
+                .map(|(k, _)| group_of(k))
+                .chain(self.metrics.gauges.iter().map(|(k, _)| group_of(k)))
+                .chain(self.metrics.histograms.iter().map(|(k, _)| group_of(k)))
+                .collect();
+            groups.sort();
+            groups.dedup();
+            for g in groups {
+                out.push_str(&format!("\n== metrics: {g} ==\n"));
+                for (k, v) in self
+                    .metrics
+                    .counters
+                    .iter()
+                    .filter(|(k, _)| group_of(k) == g)
+                {
+                    out.push_str(&format!("{k} = {v}\n"));
+                }
+                for (k, gauge) in self.metrics.gauges.iter().filter(|(k, _)| group_of(k) == g) {
+                    out.push_str(&format!("{k} = {} (peak {})\n", gauge.value, gauge.peak));
+                }
+                for (k, h) in self
+                    .metrics
+                    .histograms
+                    .iter()
+                    .filter(|(k, _)| group_of(k) == g)
+                {
+                    out.push_str(&format!(
+                        "{k}: n={} mean={:.0} p50<={} p99<={} max={}\n",
+                        h.count,
+                        h.mean(),
+                        h.percentile(50.0),
+                        h.percentile(99.0),
+                        h.max
+                    ));
+                }
+            }
         }
         out
     }
@@ -261,6 +376,7 @@ mod tests {
                 },
             ],
             threads_spawned: 2,
+            ..Report::default()
         };
         assert!(report.stage("read").is_some());
         assert!(report.stage("nope").is_none());
@@ -307,6 +423,7 @@ mod render_tests {
                 },
             ],
             threads_spawned: 4,
+            ..Report::default()
         };
         let text = report.render();
         assert!(text.contains("reader"));
@@ -323,5 +440,121 @@ mod render_tests {
         let text = Report::default().render();
         assert!(text.contains("0 threads"));
         assert_eq!(text.lines().count(), 2);
+    }
+
+    fn gantt_report() -> Report {
+        Report {
+            wall: Duration::from_nanos(1_000),
+            stages: vec![
+                StageStats {
+                    name: "traced".into(),
+                    wall: Duration::from_nanos(1_000),
+                    buffers_in: 1,
+                    buffers_out: 1,
+                    spans: vec![Span {
+                        kind: SpanKind::Accept,
+                        start_ns: 900,
+                        end_ns: 1_000, // ends exactly at wall
+                    }],
+                    ..StageStats::default()
+                },
+                StageStats {
+                    name: "untraced".into(),
+                    wall: Duration::from_nanos(1_000),
+                    blocked_accept: Duration::from_nanos(500),
+                    buffers_in: 1,
+                    buffers_out: 1,
+                    ..StageStats::default()
+                },
+            ],
+            threads_spawned: 2,
+            ..Report::default()
+        }
+    }
+
+    #[test]
+    fn gantt_clamps_span_ending_at_wall_into_last_bucket() {
+        let text = gantt_report().render_gantt(10);
+        let traced = text.lines().find(|l| l.starts_with("traced")).unwrap();
+        // The 900..1000ns accept span must fill exactly the last bucket and
+        // not be lost to an out-of-range index.
+        assert!(traced.ends_with("#########."), "row was {traced:?}");
+    }
+
+    #[test]
+    fn gantt_rows_align_between_traced_and_untraced_stages() {
+        let text = gantt_report().render_gantt(10);
+        let bars: Vec<usize> = text
+            .lines()
+            .skip(1) // header
+            .map(|l| {
+                l.char_indices()
+                    .rev()
+                    .take(10)
+                    .last()
+                    .map(|(i, _)| i)
+                    .unwrap()
+            })
+            .collect();
+        // Every bar (the last 10 chars of each row) starts at the same
+        // column regardless of the `~` approximate marker.
+        assert_eq!(bars.len(), 2);
+        assert_eq!(bars[0], bars[1], "bars misaligned in:\n{text}");
+        // The untraced row is flagged, the traced row is not.
+        assert!(text.lines().any(|l| l.contains(" ~")));
+    }
+
+    #[test]
+    fn gantt_survives_long_runs_without_overflow() {
+        // 4 hours in ns * width 100 overflows u64; the u128 bucket math
+        // must keep the row correct.
+        let four_hours_ns = 4 * 3600 * 1_000_000_000u64;
+        let report = Report {
+            wall: Duration::from_nanos(four_hours_ns),
+            stages: vec![StageStats {
+                name: "s".into(),
+                wall: Duration::from_nanos(four_hours_ns),
+                spans: vec![Span {
+                    kind: SpanKind::Convey,
+                    start_ns: four_hours_ns / 2,
+                    end_ns: four_hours_ns,
+                }],
+                ..StageStats::default()
+            }],
+            threads_spawned: 1,
+            ..Report::default()
+        };
+        let text = report.render_gantt(100);
+        let row = text.lines().nth(1).unwrap();
+        let bar: String = row.chars().rev().take(100).collect();
+        assert_eq!(bar.chars().filter(|&c| c == 'o').count(), 50);
+    }
+
+    #[test]
+    fn dashboard_sections_render() {
+        let mut report = gantt_report();
+        report.queues.push(QueueDepth {
+            name: "p[1]".into(),
+            capacity: 4,
+            max_depth: 3,
+        });
+        let reg = crate::metrics::MetricsRegistry::new();
+        reg.counter("core/accepts").add(7);
+        reg.histogram("disk/read_ns").record(1_000);
+        reg.gauge("comm/inflight").set(2);
+        report.metrics = reg.snapshot();
+        let text = report.render_dashboard();
+        for section in [
+            "== stages ==",
+            "== gantt ==",
+            "== queues ==",
+            "== metrics: core ==",
+            "== metrics: disk ==",
+            "== metrics: comm ==",
+        ] {
+            assert!(text.contains(section), "missing {section} in:\n{text}");
+        }
+        assert!(text.contains("core/accepts = 7"));
+        assert!(text.contains("p[1]"));
     }
 }

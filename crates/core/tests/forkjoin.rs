@@ -18,8 +18,11 @@ fn replicated_stage_processes_every_round_once() {
             Ok(())
         })
     });
-    prog.add_pipeline(PipelineCfg::new("p", 6, 16).rounds(Rounds::Count(200)), &[work])
-        .unwrap();
+    prog.add_pipeline(
+        PipelineCfg::new("p", 6, 16).rounds(Rounds::Count(200)),
+        &[work],
+    )
+    .unwrap();
     let report = prog.run().unwrap();
     assert_eq!(count.load(Ordering::Relaxed), 200);
     // 4 replica threads + source + sink.
@@ -161,7 +164,10 @@ fn replicated_stage_mid_pipeline() {
     let take = prog.add_stage(
         "take",
         map_stage(move |buf, _| {
-            s2.fetch_add(u64::from_le_bytes(buf.filled().try_into().unwrap()), Ordering::Relaxed);
+            s2.fetch_add(
+                u64::from_le_bytes(buf.filled().try_into().unwrap()),
+                Ordering::Relaxed,
+            );
             Ok(())
         }),
     );

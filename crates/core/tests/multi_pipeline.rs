@@ -100,8 +100,7 @@ fn merge_with_fg(runs: Vec<Vec<u64>>, virtual_reads: bool) -> (Vec<u64>, fg_core
                 map_stage(move |buf: &mut Buffer, _ctx: &mut StageCtx| {
                     let take = (buf.capacity() / VAL).min(run.len() - cursor);
                     for (i, v) in run[cursor..cursor + take].iter().enumerate() {
-                        buf.space_mut()[i * VAL..(i + 1) * VAL]
-                            .copy_from_slice(&v.to_le_bytes());
+                        buf.space_mut()[i * VAL..(i + 1) * VAL].copy_from_slice(&v.to_le_bytes());
                     }
                     buf.set_filled(take * VAL);
                     cursor += take;
@@ -256,7 +255,7 @@ fn intersecting_pipelines_with_uneven_runs() {
     let runs = vec![
         sorted_run(0, 1, 100), // long, dense run: consumed fast
         sorted_run(1000, 7, 5),
-        vec![],                // empty run must not wedge the merge
+        vec![], // empty run must not wedge the merge
         sorted_run(0, 50, 33),
     ];
     let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();

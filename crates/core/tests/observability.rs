@@ -1,0 +1,234 @@
+//! End-to-end tests of the observability layer: observer hooks, the metrics
+//! registry, queue-depth reporting, and the JSON / Chrome-trace exports.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fg_core::{
+    map_stage, CountingObserver, Json, MetricsObserver, MetricsRegistry, PipelineCfg, Program,
+    Report, Rounds,
+};
+
+const ROUNDS: u64 = 25;
+
+fn two_stage_program() -> Program {
+    let mut prog = Program::new("obs");
+    let fill = prog.add_stage(
+        "fill",
+        map_stage(|buf, _ctx| {
+            buf.space_mut()[0] = buf.round() as u8;
+            buf.set_filled(1);
+            Ok(())
+        }),
+    );
+    let check = prog.add_stage(
+        "check",
+        map_stage(|buf, _ctx| {
+            assert_eq!(buf.filled()[0], buf.round() as u8);
+            Ok(())
+        }),
+    );
+    let cfg = PipelineCfg::new("p", 3, 64).rounds(Rounds::Count(ROUNDS));
+    prog.add_pipeline(cfg, &[fill, check]).unwrap();
+    prog
+}
+
+#[test]
+fn counting_observer_sees_every_event() {
+    let obs = Arc::new(CountingObserver::new());
+    let mut prog = two_stage_program();
+    prog.set_observer(Arc::clone(&obs) as Arc<dyn fg_core::Observer>);
+    let report = prog.run().unwrap();
+
+    assert_eq!(obs.stage_starts(), 2);
+    assert_eq!(obs.stage_exits(), 2);
+    // Each of the two stages accepts and conveys every round's buffer.
+    assert_eq!(obs.accepts(), 2 * ROUNDS);
+    assert_eq!(obs.conveys(), 2 * ROUNDS);
+    assert_eq!(obs.round_begins(), ROUNDS);
+    assert_eq!(obs.source_emits(), ROUNDS);
+    assert_eq!(obs.sink_recycles(), ROUNDS);
+
+    // The observer agrees with the report's own accounting.
+    assert_eq!(report.stage("fill").unwrap().buffers_in, ROUNDS);
+    assert_eq!(report.stage("check").unwrap().buffers_out, ROUNDS);
+}
+
+#[test]
+fn metrics_registry_collects_core_metrics_and_queue_depths() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut prog = two_stage_program();
+    prog.set_metrics(Arc::clone(&registry));
+    prog.set_observer(Arc::new(MetricsObserver::new(&registry)));
+    let report = prog.run().unwrap();
+
+    assert_eq!(report.metrics.counter("core/accepts"), Some(2 * ROUNDS));
+    assert_eq!(report.metrics.counter("core/conveys"), Some(2 * ROUNDS));
+    assert_eq!(report.metrics.counter("core/rounds"), Some(ROUNDS));
+    assert_eq!(report.metrics.counter("core/recycles"), Some(ROUNDS));
+    let waits = report.metrics.histogram("core/accept_wait_ns").unwrap();
+    assert_eq!(waits.count, 2 * ROUNDS);
+
+    // Every wired queue reports depth statistics and a live gauge.
+    assert!(!report.queues.is_empty());
+    for q in &report.queues {
+        assert!(q.max_depth <= q.capacity, "{q:?}");
+        assert!(q.max_depth > 0, "every queue carried traffic: {q:?}");
+        let gauge = report
+            .metrics
+            .gauge(&format!("core/queue_depth/{}", q.name))
+            .unwrap_or_else(|| panic!("no gauge for queue {:?}", q.name));
+        assert_eq!(gauge.peak as usize, q.max_depth);
+    }
+
+    // The dashboard renders every section for this run.
+    let dash = report.render_dashboard();
+    assert!(dash.contains("== queues =="));
+    assert!(dash.contains("== metrics: core =="));
+    assert!(dash.contains("core/accepts = 50"));
+}
+
+#[test]
+fn no_observer_run_reports_empty_metrics() {
+    let report = two_stage_program().run().unwrap();
+    assert!(report.metrics.is_empty());
+    // Queue high-water marks are tracked unconditionally (they live inside
+    // the queue's existing lock), so they appear even without a registry.
+    assert!(!report.queues.is_empty());
+}
+
+#[test]
+fn report_json_round_trips() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut prog = two_stage_program();
+    prog.enable_tracing();
+    prog.set_metrics(Arc::clone(&registry));
+    prog.set_observer(Arc::new(MetricsObserver::new(&registry)));
+    let report = prog.run().unwrap();
+
+    let text = report.to_json();
+    let parsed = Report::from_json(&text).expect("report JSON parses");
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn chrome_trace_is_valid_and_slices_do_not_overlap() {
+    let mut prog = two_stage_program();
+    prog.enable_tracing();
+    let report = prog.run().unwrap();
+
+    let trace = report.to_chrome_trace();
+    let json = Json::parse(&trace).expect("chrome trace parses as JSON");
+    let events = json.as_arr().expect("trace is a JSON array");
+    assert!(!events.is_empty());
+
+    // One thread-name metadata event per stage thread (stages + source +
+    // sink), each with a distinct tid.
+    let mut tids = Vec::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap();
+        match ph {
+            "M" => {
+                assert_eq!(e.get("name").and_then(Json::as_str), Some("thread_name"));
+                tids.push(e.get("tid").and_then(Json::as_u64).unwrap());
+            }
+            "X" => {
+                let name = e.get("name").and_then(Json::as_str).unwrap();
+                assert!(
+                    matches!(name, "busy" | "starved" | "backpressured" | "untraced"),
+                    "unexpected slice {name:?}"
+                );
+                assert!(e.get("ts").and_then(Json::as_f64).is_some());
+                assert!(e.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+                assert!(e.get("tid").and_then(Json::as_u64).is_some());
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert_eq!(tids.len(), report.stages.len());
+    let mut sorted = tids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), tids.len(), "tids must be distinct");
+
+    // Per tid, slices tile the timeline without overlapping.
+    for tid in tids {
+        let mut slices: Vec<(f64, f64)> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("X")
+                    && e.get("tid").and_then(Json::as_u64) == Some(tid)
+            })
+            .map(|e| {
+                (
+                    e.get("ts").and_then(Json::as_f64).unwrap(),
+                    e.get("dur").and_then(Json::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        slices.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in slices.windows(2) {
+            let (ts0, dur0) = w[0];
+            let (ts1, _) = w[1];
+            assert!(
+                ts0 + dur0 <= ts1 + 1e-9,
+                "overlapping slices on tid {tid}: {w:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn observer_survives_stage_errors() {
+    let obs = Arc::new(CountingObserver::new());
+    let mut prog = Program::new("err");
+    let boom = prog.add_stage(
+        "boom",
+        map_stage(|buf, _ctx| {
+            if buf.round() == 3 {
+                Err(fg_core::FgError::Stage {
+                    stage: "boom".into(),
+                    message: "synthetic".into(),
+                })
+            } else {
+                Ok(())
+            }
+        }),
+    );
+    let cfg = PipelineCfg::new("p", 2, 8).rounds(Rounds::Count(100));
+    prog.add_pipeline(cfg, &[boom]).unwrap();
+    prog.set_observer(Arc::clone(&obs) as Arc<dyn fg_core::Observer>);
+    assert!(prog.run().is_err());
+    // Even on the error path every started stage reports an exit.
+    assert_eq!(obs.stage_starts(), obs.stage_exits());
+    assert_eq!(obs.stage_starts(), 1);
+}
+
+#[test]
+fn accept_wait_histogram_records_plausible_latencies() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut prog = Program::new("lat");
+    let slow = prog.add_stage(
+        "slow",
+        map_stage(|_buf, _ctx| {
+            std::thread::sleep(Duration::from_millis(1));
+            Ok(())
+        }),
+    );
+    let fast = prog.add_stage("fast", map_stage(|_buf, _ctx| Ok(())));
+    let cfg = PipelineCfg::new("p", 2, 8).rounds(Rounds::Count(10));
+    prog.add_pipeline(cfg, &[slow, fast]).unwrap();
+    prog.set_metrics(Arc::clone(&registry));
+    prog.set_observer(Arc::new(MetricsObserver::new(&registry)));
+    prog.run().unwrap();
+
+    // `fast` starves behind `slow`, so some accept waits near 1ms must be
+    // visible in the histogram's upper range.
+    let h = registry.histogram("core/accept_wait_ns").snapshot();
+    assert_eq!(h.count, 20);
+    assert!(
+        h.max >= 100_000,
+        "expected some waits >= 0.1ms, max was {}ns",
+        h.max
+    );
+}

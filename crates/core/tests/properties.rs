@@ -7,7 +7,7 @@ use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
-use fg_core::{map_stage, Program, PipelineCfg, Rounds};
+use fg_core::{map_stage, PipelineCfg, Program, Rounds};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

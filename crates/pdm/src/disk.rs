@@ -14,8 +14,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use fg_core::metrics::{Counter, Histogram, MetricsRegistry};
 use parking_lot::{Mutex, RwLock};
 
 use crate::PdmError;
@@ -101,6 +102,37 @@ struct Counters {
     busy_nanos: AtomicU64,
 }
 
+/// Metric handles of one disk, resolved once at attachment.  Latencies are
+/// measured wall time per operation *including* queueing behind other
+/// requests for the disk arm, so the histograms expose contention, not just
+/// the configured service cost.  Names carry the disk's label:
+/// `disk/{label}/read_ns`, `disk/{label}/write_ns`,
+/// `disk/{label}/bytes_read`, `disk/{label}/bytes_written`.
+struct DiskMetrics {
+    read_ns: Arc<Histogram>,
+    write_ns: Arc<Histogram>,
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+}
+
+impl DiskMetrics {
+    fn new(registry: &MetricsRegistry, label: &str) -> Self {
+        DiskMetrics {
+            read_ns: registry.histogram(&format!("disk/{label}/read_ns")),
+            write_ns: registry.histogram(&format!("disk/{label}/write_ns")),
+            bytes_read: registry.counter(&format!("disk/{label}/bytes_read")),
+            bytes_written: registry.counter(&format!("disk/{label}/bytes_written")),
+        }
+    }
+}
+
+/// Direction of one I/O operation, for metric recording.
+#[derive(Clone, Copy)]
+enum Dir {
+    Read,
+    Write,
+}
+
 /// An in-memory simulated disk holding named files.
 pub struct SimDisk {
     cfg: DiskCfg,
@@ -112,6 +144,9 @@ pub struct SimDisk {
     /// (`u64::MAX` = healthy).  Once it hits zero every subsequent
     /// operation fails with [`PdmError::DiskFailed`].
     ops_until_failure: AtomicU64,
+    /// Metric handles; `None` for an uninstrumented disk, making every
+    /// record site a single never-taken branch.
+    metrics: Option<DiskMetrics>,
 }
 
 impl SimDisk {
@@ -123,6 +158,21 @@ impl SimDisk {
             files: RwLock::new(HashMap::new()),
             counters: Counters::default(),
             ops_until_failure: AtomicU64::new(u64::MAX),
+            metrics: None,
+        })
+    }
+
+    /// Create an empty disk that additionally records per-operation latency
+    /// histograms and byte counters into `registry`, under
+    /// `disk/{label}/…` names (one label per disk, e.g. `d0`, `d1`).
+    pub fn with_metrics(cfg: DiskCfg, registry: &MetricsRegistry, label: &str) -> Arc<Self> {
+        Arc::new(SimDisk {
+            cfg,
+            arm: Mutex::new(()),
+            files: RwLock::new(HashMap::new()),
+            counters: Counters::default(),
+            ops_until_failure: AtomicU64::new(u64::MAX),
+            metrics: Some(DiskMetrics::new(registry, label)),
         })
     }
 
@@ -161,15 +211,31 @@ impl SimDisk {
         self.cfg
     }
 
-    fn charge(&self, bytes: usize) {
+    fn charge(&self, dir: Dir, bytes: usize) {
         let d = self.cfg.cost(bytes);
         self.counters
             .busy_nanos
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        let t0 = self.metrics.as_ref().map(|_| Instant::now());
         if !d.is_zero() {
             // Hold the arm while the operation is "in flight".
             let _arm = self.arm.lock();
             std::thread::sleep(d);
+        }
+        if let Some(m) = &self.metrics {
+            // Wall time including queueing behind the arm, so contention on
+            // the most heavily used disk shows up in the tail.
+            let elapsed = t0.expect("timed when metrics present").elapsed();
+            match dir {
+                Dir::Read => {
+                    m.read_ns.record_duration(elapsed);
+                    m.bytes_read.add(bytes as u64);
+                }
+                Dir::Write => {
+                    m.write_ns.record_duration(elapsed);
+                    m.bytes_written.add(bytes as u64);
+                }
+            }
         }
     }
 
@@ -206,7 +272,7 @@ impl SimDisk {
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.counters.write_ops.fetch_add(1, Ordering::Relaxed);
-        self.charge(data.len());
+        self.charge(Dir::Write, data.len());
         Ok(())
     }
 
@@ -225,7 +291,7 @@ impl SimDisk {
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.counters.write_ops.fetch_add(1, Ordering::Relaxed);
-        self.charge(data.len());
+        self.charge(Dir::Write, data.len());
         Ok(offset)
     }
 
@@ -252,7 +318,7 @@ impl SimDisk {
             .bytes_read
             .fetch_add(out.len() as u64, Ordering::Relaxed);
         self.counters.read_ops.fetch_add(1, Ordering::Relaxed);
-        self.charge(out.len());
+        self.charge(Dir::Read, out.len());
         Ok(())
     }
 
@@ -272,7 +338,7 @@ impl SimDisk {
             .bytes_read
             .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.counters.read_ops.fetch_add(1, Ordering::Relaxed);
-        self.charge(data.len());
+        self.charge(Dir::Read, data.len());
         Ok(data)
     }
 
@@ -419,6 +485,29 @@ mod tests {
     }
 
     #[test]
+    fn metrics_record_latency_histograms_and_bytes() {
+        let reg = MetricsRegistry::new();
+        let d = SimDisk::with_metrics(DiskCfg::zero(), &reg, "d0");
+        d.write_at("f", 0, &[0; 100]).unwrap();
+        let mut out = [0u8; 40];
+        d.read_at("f", 0, &mut out).unwrap();
+        d.read_up_to("f", 0, 10).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("disk/d0/bytes_written"), Some(100));
+        assert_eq!(snap.counter("disk/d0/bytes_read"), Some(50));
+        assert_eq!(snap.histogram("disk/d0/write_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("disk/d0/read_ns").unwrap().count, 2);
+    }
+
+    #[test]
+    fn uninstrumented_disk_registers_nothing() {
+        let d = SimDisk::new(DiskCfg::zero());
+        d.write_at("f", 0, &[1]).unwrap();
+        // Only the plain counters exist; there is no registry to pollute.
+        assert_eq!(d.stats().write_ops, 1);
+    }
+
+    #[test]
     fn cost_model_charges_busy_time() {
         let d = SimDisk::new(DiskCfg::new(Duration::from_millis(1), 1_000_000.0));
         let t0 = std::time::Instant::now();
@@ -439,7 +528,11 @@ mod tests {
         let h2 = std::thread::spawn(move || d2.write_at("b", 0, &[1]).unwrap());
         h1.join().unwrap();
         h2.join().unwrap();
-        assert!(t0.elapsed() >= Duration::from_millis(19), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(19),
+            "{:?}",
+            t0.elapsed()
+        );
     }
 }
 

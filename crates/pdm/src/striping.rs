@@ -62,8 +62,16 @@ impl Striping {
         let p = self.nodes as u64;
         // Full blocks are dealt round-robin; node gets ceil/floor share.
         let base = (full_blocks / p) * b;
-        let extra_full = if (node as u64) < full_blocks % p { b } else { 0 };
-        let tail_here = if full_blocks % p == node as u64 { tail } else { 0 };
+        let extra_full = if (node as u64) < full_blocks % p {
+            b
+        } else {
+            0
+        };
+        let tail_here = if full_blocks % p == node as u64 {
+            tail
+        } else {
+            0
+        };
         base + extra_full + tail_here
     }
 
@@ -72,7 +80,11 @@ impl Striping {
     ///
     /// Useful when a stage holds a buffer of output destined for the
     /// striped file starting at global `offset`.
-    pub fn split_range(&self, offset: u64, len: usize) -> Vec<(usize, u64, std::ops::Range<usize>)> {
+    pub fn split_range(
+        &self,
+        offset: u64,
+        len: usize,
+    ) -> Vec<(usize, u64, std::ops::Range<usize>)> {
         let b = self.block_bytes as u64;
         let mut out = Vec::new();
         let mut pos = 0usize;

@@ -102,7 +102,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--program" => opts.program = value("--program")?.clone(),
             "--nodes" => {
-                opts.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?
+                opts.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
             }
             "--kib-per-node" => {
                 opts.kib_per_node = value("--kib-per-node")?
@@ -116,7 +118,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--dist" => opts.dist = parse_dist(value("--dist")?)?,
             "--seed" => {
-                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
             }
             "--block-kib" => {
                 opts.block_kib = value("--block-kib")?
@@ -178,7 +182,9 @@ fn main() -> ExitCode {
             eprintln!("usage: fgsort [--program dsort|csort|csort4|dsort-linear]");
             eprintln!("              [--nodes N] [--kib-per-node N] [--record-bytes 16|64]");
             eprintln!("              [--dist uniform|all-equal|std-normal|poisson|shifted:K|hotkey:P|zipf:N]");
-            eprintln!("              [--seed N] [--block-kib N] [--run-kib N] [--free] [--no-verify]");
+            eprintln!(
+                "              [--seed N] [--block-kib N] [--run-kib N] [--free] [--no-verify]"
+            );
             eprintln!("              [--trace]   (print node-0 per-pass Gantt charts; dsort only)");
             return if e == "help" {
                 ExitCode::SUCCESS
@@ -305,7 +311,10 @@ mod tests {
 
     #[test]
     fn parameterized_dists() {
-        assert_eq!(parse_dist("shifted:3").unwrap(), KeyDist::Shifted { shift: 3 });
+        assert_eq!(
+            parse_dist("shifted:3").unwrap(),
+            KeyDist::Shifted { shift: 3 }
+        );
         assert_eq!(
             parse_dist("hotkey:85").unwrap(),
             KeyDist::HotKey { hot_percent: 85 }

@@ -115,9 +115,7 @@ pub fn coalesce_writes(mut runs: Vec<(u64, Vec<u8>)>) -> Vec<(u64, Vec<u8>)> {
     let mut out: Vec<(u64, Vec<u8>)> = Vec::with_capacity(runs.len());
     for (off, data) in runs {
         match out.last_mut() {
-            Some((last_off, last_data))
-                if *last_off + last_data.len() as u64 == off =>
-            {
+            Some((last_off, last_data)) if *last_off + last_data.len() as u64 == off => {
                 last_data.extend_from_slice(&data);
             }
             _ => out.push((off, data)),
@@ -138,7 +136,10 @@ mod tests {
         push_chunk(&mut buf, 5, 6, &[7; 100]);
         let chunks = parse_chunks(&buf).unwrap();
         assert_eq!(chunks.len(), 3);
-        assert_eq!((chunks[0].a, chunks[0].b, chunks[0].data), (1, 2, &[10u8, 20][..]));
+        assert_eq!(
+            (chunks[0].a, chunks[0].b, chunks[0].data),
+            (1, 2, &[10u8, 20][..])
+        );
         assert_eq!(chunks[1].data, &[] as &[u8]);
         assert_eq!(chunks[2].data.len(), 100);
         assert_eq!(buf.len(), 3 * CHUNK_HEADER_BYTES + 102);

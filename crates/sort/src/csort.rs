@@ -89,10 +89,8 @@ pub fn run_csort(cfg: &SortConfig, disks: &[Arc<SimDisk>]) -> Result<CsortReport
                 comm.barrier()?;
                 let t0 = Instant::now();
                 match pass_no {
-                    1 => pass12(1, &cfg, matrix, q, &comm, &disk)
-                        .map_err(ClusterError::from)?,
-                    2 => pass12(2, &cfg, matrix, q, &comm, &disk)
-                        .map_err(ClusterError::from)?,
+                    1 => pass12(1, &cfg, matrix, q, &comm, &disk).map_err(ClusterError::from)?,
+                    2 => pass12(2, &cfg, matrix, q, &comm, &disk).map_err(ClusterError::from)?,
                     _ => pass3(&cfg, matrix, q, &comm, &disk).map_err(ClusterError::from)?,
                 }
                 comm.barrier()?;
@@ -198,9 +196,7 @@ pub(crate) fn pass12(
                         _ => {
                             // untranspose: record i -> column i div (r/s)
                             let start = d * chunk_records;
-                            run.extend_from_slice(
-                                &data[start * rb..(start + chunk_records) * rb],
-                            );
+                            run.extend_from_slice(&data[start * rb..(start + chunk_records) * rb]);
                         }
                     }
                     chunks::push_chunk(&mut parts[dest_node], d as u64, c as u64, &run);
@@ -301,8 +297,7 @@ fn pass3(
     // The stripe exchange is balanced only on average; a node can receive
     // up to a block of slack from each sender, so size for it.
     let max_chunks = window_cap / cfg.block_bytes + 2 * m.nodes + 4;
-    let buf_bytes =
-        window_cap + m.nodes * cfg.block_bytes + max_chunks * CHUNK_HEADER_BYTES + 64;
+    let buf_bytes = window_cap + m.nodes * cfg.block_bytes + max_chunks * CHUNK_HEADER_BYTES + 64;
     let (r, s, nodes) = (m.r, m.s, m.nodes);
 
     let mut prog = Program::new(format!("csort-p3-n{q}"));

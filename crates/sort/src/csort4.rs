@@ -85,10 +85,10 @@ pub fn run_csort4(cfg: &SortConfig, disks: &[Arc<SimDisk>]) -> Result<Csort4Repo
                 match pass_no {
                     1 | 2 => pass12(pass_no, &cfg, matrix, q, &comm, &disk)
                         .map_err(ClusterError::from)?,
-                    3 => pass3_shift(&cfg, matrix, q, &comm, &disk)
-                        .map_err(ClusterError::from)?,
-                    _ => pass4_unshift(&cfg, matrix, q, &comm, &disk)
-                        .map_err(ClusterError::from)?,
+                    3 => pass3_shift(&cfg, matrix, q, &comm, &disk).map_err(ClusterError::from)?,
+                    _ => {
+                        pass4_unshift(&cfg, matrix, q, &comm, &disk).map_err(ClusterError::from)?
+                    }
                 }
                 comm.barrier()?;
                 let nanos = comm.allreduce_max(t0.elapsed().as_nanos() as u64)?;

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fg_cluster::{Cluster, ClusterCfg, ClusterError};
+use fg_core::metrics::{MetricsRegistry, MetricsSnapshot};
 use fg_pdm::{DiskStats, SimDisk};
 
 use crate::config::SortConfig;
@@ -46,6 +47,12 @@ pub struct DsortReport {
     /// `SortConfig::trace` was set) — render with
     /// [`fg_core::Report::render_gantt`].
     pub node0_reports: Option<(fg_core::Report, fg_core::Report)>,
+    /// Snapshot of the metrics registry passed via
+    /// [`DsortOptions::metrics`] (`comm/…` traffic and collective
+    /// latencies, plus `disk/…` I/O when the disks were provisioned with
+    /// [`provision_with_metrics`](crate::input::provision_with_metrics));
+    /// empty when no registry was attached.
+    pub metrics: MetricsSnapshot,
 }
 
 impl DsortReport {
@@ -55,18 +62,23 @@ impl DsortReport {
     }
 }
 
-/// Options tweaking dsort's structure (for ablations).
-#[derive(Debug, Clone, Copy)]
+/// Options tweaking dsort's structure (for ablations) and instrumentation.
+#[derive(Debug, Clone)]
 pub struct DsortOptions {
     /// Use virtual vertical read stages in pass 2 (the default).  Disabled
     /// by ablation A2 to measure the thread explosion virtual stages avoid.
     pub virtual_reads: bool,
+    /// When set, every node's communicator records per-peer traffic and
+    /// collective latencies into this registry, and
+    /// [`DsortReport::metrics`] carries the final snapshot.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for DsortOptions {
     fn default() -> Self {
         DsortOptions {
             virtual_reads: true,
+            metrics: None,
         }
     }
 }
@@ -103,68 +115,71 @@ pub fn run_dsort_with(
         reports: Option<(fg_core::Report, fg_core::Report)>,
     }
 
-    let run = Cluster::run(
-        ClusterCfg {
-            nodes: cfg.nodes,
-            net: cfg.net,
-        },
-        move |node| -> Result<NodeOut, ClusterError> {
-            let rank = node.rank();
-            let comm = node.comm().clone();
-            let disk = Arc::clone(&disks_arc[rank]);
+    let cluster_cfg = ClusterCfg {
+        nodes: cfg.nodes,
+        net: cfg.net,
+    };
+    let registry = opts.metrics.clone();
+    let virtual_reads = opts.virtual_reads;
+    let node_fn = move |node: fg_cluster::NodeCtx| -> Result<NodeOut, ClusterError> {
+        let rank = node.rank();
+        let comm = node.comm().clone();
+        let disk = Arc::clone(&disks_arc[rank]);
 
-            // Phase 0: sampling.
-            comm.barrier()?;
-            let t0 = Instant::now();
-            let splitters = sampling::select_splitters(&cfg, rank, &comm, &disk)
-                .map_err(ClusterError::from)?;
-            comm.barrier()?;
-            let sampling_ns = comm.allreduce_max(t0.elapsed().as_nanos() as u64)?;
+        // Phase 0: sampling.
+        comm.barrier()?;
+        let t0 = Instant::now();
+        let splitters =
+            sampling::select_splitters(&cfg, rank, &comm, &disk).map_err(ClusterError::from)?;
+        comm.barrier()?;
+        let sampling_ns = comm.allreduce_max(t0.elapsed().as_nanos() as u64)?;
 
-            // Pass 1: partition and distribute.
-            comm.barrier()?;
-            let t1 = Instant::now();
-            let p1 = pass1::pass1(&cfg, rank, &comm, &disk, &splitters)
-                .map_err(ClusterError::from)?;
-            comm.barrier()?;
-            let pass1_ns = comm.allreduce_max(t1.elapsed().as_nanos() as u64)?;
+        // Pass 1: partition and distribute.
+        comm.barrier()?;
+        let t1 = Instant::now();
+        let p1 = pass1::pass1(&cfg, rank, &comm, &disk, &splitters).map_err(ClusterError::from)?;
+        comm.barrier()?;
+        let pass1_ns = comm.allreduce_max(t1.elapsed().as_nanos() as u64)?;
 
-            // Pass 2: merge, load-balance, stripe.  The exchange of
-            // partition sizes (needed for global rank offsets) is part of
-            // the pass.
-            comm.barrier()?;
-            let t2 = Instant::now();
-            let partitions = comm.allgather_u64(p1.received_records)?;
-            let rank_offset: u64 = partitions[..rank].iter().sum(); // records
-            let p2 = pass2::pass2(
-                &cfg,
-                rank,
-                &comm,
-                &disk,
-                &p1.run_lens,
-                rank_offset,
-                opts.virtual_reads,
-            )
-            .map_err(ClusterError::from)?;
-            comm.barrier()?;
-            let pass2_ns = comm.allreduce_max(t2.elapsed().as_nanos() as u64)?;
+        // Pass 2: merge, load-balance, stripe.  The exchange of
+        // partition sizes (needed for global rank offsets) is part of
+        // the pass.
+        comm.barrier()?;
+        let t2 = Instant::now();
+        let partitions = comm.allgather_u64(p1.received_records)?;
+        let rank_offset: u64 = partitions[..rank].iter().sum(); // records
+        let p2 = pass2::pass2(
+            &cfg,
+            rank,
+            &comm,
+            &disk,
+            &p1.run_lens,
+            rank_offset,
+            virtual_reads,
+        )
+        .map_err(ClusterError::from)?;
+        comm.barrier()?;
+        let pass2_ns = comm.allreduce_max(t2.elapsed().as_nanos() as u64)?;
 
-            let runs = comm.allgather_u64(p1.run_lens.len() as u64)?;
-            let threads = comm.allgather_u64(p2.threads as u64)?;
+        let runs = comm.allgather_u64(p1.run_lens.len() as u64)?;
+        let threads = comm.allgather_u64(p2.threads as u64)?;
 
-            Ok(NodeOut {
-                times: [
-                    Duration::from_nanos(sampling_ns),
-                    Duration::from_nanos(pass1_ns),
-                    Duration::from_nanos(pass2_ns),
-                ],
-                partitions,
-                runs,
-                threads,
-                reports: (rank == 0).then(|| (p1.report.clone(), p2.report.clone())),
-            })
-        },
-    )
+        Ok(NodeOut {
+            times: [
+                Duration::from_nanos(sampling_ns),
+                Duration::from_nanos(pass1_ns),
+                Duration::from_nanos(pass2_ns),
+            ],
+            partitions,
+            runs,
+            threads,
+            reports: (rank == 0).then(|| (p1.report.clone(), p2.report.clone())),
+        })
+    };
+    let run = match registry {
+        Some(reg) => Cluster::run_with_metrics(cluster_cfg, reg, node_fn),
+        None => Cluster::run(cluster_cfg, node_fn),
+    }
     .map_err(|e| SortError::Comm(e.to_string()))?;
 
     let node0 = &run.results[0];
@@ -178,5 +193,6 @@ pub fn run_dsort_with(
         disk_stats: disks.iter().map(|d| d.stats()).collect(),
         bytes_sent: run.traffic.iter().map(|t| t.bytes_sent).collect(),
         node0_reports: run.results[0].reports.clone(),
+        metrics: run.metrics,
     })
 }

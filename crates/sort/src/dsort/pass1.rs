@@ -120,8 +120,7 @@ pub fn pass1(
             for (i, rec) in fmt.records(buf.filled()).enumerate() {
                 groups[dest[i]].extend_from_slice(rec);
             }
-            let mut packed =
-                Vec::with_capacity(buf.len() + nodes * CHUNK_HEADER_BYTES);
+            let mut packed = Vec::with_capacity(buf.len() + nodes * CHUNK_HEADER_BYTES);
             for (d, group) in groups.iter().enumerate() {
                 if !group.is_empty() {
                     chunks::push_chunk(&mut packed, d as u64, 0, group);
@@ -191,12 +190,7 @@ pub fn pass1(
                             let n = buf.append(data);
                             carry.extend_from_slice(&data[n..]);
                         }
-                        _ => {
-                            return Err(SortError::Corrupt(
-                                "empty pass-1 message".into(),
-                            )
-                            .into())
-                        }
+                        _ => return Err(SortError::Corrupt("empty pass-1 message".into()).into()),
                     }
                 }
                 if buf.is_empty() {
@@ -241,8 +235,7 @@ pub fn pass1(
         &[read, permute, send],
     )?;
     prog.add_pipeline(
-        PipelineCfg::new("recv", cfg.pipeline_buffers, cfg.run_bytes)
-            .rounds(Rounds::UntilStopped),
+        PipelineCfg::new("recv", cfg.pipeline_buffers, cfg.run_bytes).rounds(Rounds::UntilStopped),
         &[receive, sort, write],
     )?;
     let report = prog.run()?;

@@ -262,21 +262,15 @@ pub fn pass2(
                         Some(&MSG_DONE) => dones += 1,
                         Some(&MSG_DATA) => {
                             if msg.payload.len() < 9 {
-                                return Err(SortError::Corrupt(
-                                    "short pass-2 data message".into(),
-                                )
-                                .into());
+                                return Err(
+                                    SortError::Corrupt("short pass-2 data message".into()).into()
+                                );
                             }
-                            let goff = u64::from_le_bytes(
-                                msg.payload[1..9].try_into().expect("8 bytes"),
-                            );
+                            let goff =
+                                u64::from_le_bytes(msg.payload[1..9].try_into().expect("8 bytes"));
                             pending = Some((goff, msg.payload[9..].to_vec()));
                         }
-                        _ => {
-                            return Err(
-                                SortError::Corrupt("empty pass-2 message".into()).into()
-                            )
-                        }
+                        _ => return Err(SortError::Corrupt("empty pass-2 message".into()).into()),
                     }
                 }
                 if buf.is_empty() {
@@ -316,7 +310,11 @@ pub fn pass2(
     // ---- pipelines ----
     for (j, &len) in run_lens.iter().enumerate() {
         let rounds = len.div_ceil(vert_buf as u64);
-        let stage = if use_virtual_reads { read_ids[0] } else { read_ids[j] };
+        let stage = if use_virtual_reads {
+            read_ids[0]
+        } else {
+            read_ids[j]
+        };
         prog.add_pipeline(
             PipelineCfg::new(format!("run{j}"), cfg.vertical_buffers, vert_buf)
                 .rounds(Rounds::Count(rounds)),

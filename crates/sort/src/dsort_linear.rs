@@ -88,8 +88,8 @@ pub fn run_dsort_linear(
 
             comm.barrier()?;
             let t0 = Instant::now();
-            let splitters = sampling::select_splitters(&cfg, rank, &comm, &disk)
-                .map_err(ClusterError::from)?;
+            let splitters =
+                sampling::select_splitters(&cfg, rank, &comm, &disk).map_err(ClusterError::from)?;
             comm.barrier()?;
             let sampling_ns = comm.allreduce_max(t0.elapsed().as_nanos() as u64)?;
 
@@ -104,8 +104,16 @@ pub fn run_dsort_linear(
             let t2 = Instant::now();
             let partitions = comm.allgather_u64(received)?;
             let rank_offset: u64 = partitions[..rank].iter().sum();
-            pass2_linear(&cfg, rank, &comm, &disk, &run_lens, rank_offset, &partitions)
-                .map_err(ClusterError::from)?;
+            pass2_linear(
+                &cfg,
+                rank,
+                &comm,
+                &disk,
+                &run_lens,
+                rank_offset,
+                &partitions,
+            )
+            .map_err(ClusterError::from)?;
             comm.barrier()?;
             let pass2_ns = comm.allreduce_max(t2.elapsed().as_nanos() as u64)?;
 

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use fg_core::metrics::MetricsRegistry;
 use fg_pdm::SimDisk;
 
 use crate::config::SortConfig;
@@ -41,6 +42,18 @@ pub fn provision(cfg: &SortConfig) -> Vec<Arc<SimDisk>> {
     (0..cfg.nodes)
         .map(|rank| {
             let disk = SimDisk::new(cfg.disk);
+            disk.load(INPUT_FILE, generate_node_input(cfg, rank));
+            disk
+        })
+        .collect()
+}
+
+/// [`provision`], with each disk recording I/O latency histograms and byte
+/// counters into `registry` under `disk/d{rank}/…` names.
+pub fn provision_with_metrics(cfg: &SortConfig, registry: &MetricsRegistry) -> Vec<Arc<SimDisk>> {
+    (0..cfg.nodes)
+        .map(|rank| {
+            let disk = SimDisk::with_metrics(cfg.disk, registry, &format!("d{rank}"));
             disk.load(INPUT_FILE, generate_node_input(cfg, rank));
             disk
         })

@@ -285,7 +285,13 @@ mod tests {
             seq: 100,
         };
         assert!(e < hi);
-        assert!(e < ExtKey { key: 8, node: 0, seq: 0 });
+        assert!(
+            e < ExtKey {
+                key: 8,
+                node: 0,
+                seq: 0
+            }
+        );
     }
 
     #[test]
@@ -296,7 +302,11 @@ mod tests {
             seq: 0,
         };
         let splitters = vec![s(10), s(20), s(30)];
-        let e = |k, node| ExtKey { key: k, node, seq: 0 };
+        let e = |k, node| ExtKey {
+            key: k,
+            node,
+            seq: 0,
+        };
         assert_eq!(partition_of(&splitters, e(5, 0)), 0);
         assert_eq!(partition_of(&splitters, e(10, 0)), 0); // equal goes left
         assert_eq!(partition_of(&splitters, e(10, 1)), 1); // but ext-key above
@@ -319,9 +329,7 @@ mod tests {
         let mut sorted = all.clone();
         sorted.sort();
         let p = 4;
-        let splitters: Vec<ExtKey> = (1..p)
-            .map(|i| sorted[i * sorted.len() / p])
-            .collect();
+        let splitters: Vec<ExtKey> = (1..p).map(|i| sorted[i * sorted.len() / p]).collect();
         let mut counts = [0usize; 4];
         for e in &all {
             counts[partition_of(&splitters, *e)] += 1;

@@ -39,9 +39,9 @@ pub fn verify_output(
 ) -> Result<(), SortError> {
     let striping = Striping::new(cfg.nodes, cfg.block_bytes);
     let total = cfg.total_bytes();
-    let got = striping.assemble(disks, OUTPUT_FILE, total).map_err(|e| {
-        SortError::Verify(format!("assembling striped output: {e}"))
-    })?;
+    let got = striping
+        .assemble(disks, OUTPUT_FILE, total)
+        .map_err(|e| SortError::Verify(format!("assembling striped output: {e}")))?;
     if got.len() as u64 != total {
         return Err(SortError::Verify(format!(
             "output length {} != input length {total}",

@@ -1,11 +1,14 @@
 //! End-to-end tests: full dsort, csort, and dsort-linear runs on the
 //! simulated cluster, verified sorted ∧ striped ∧ permutation-preserving.
 
+use std::sync::Arc;
+
+use fg_core::MetricsRegistry;
 use fg_sort::config::SortConfig;
 use fg_sort::csort::run_csort;
 use fg_sort::dsort::{run_dsort, run_dsort_with, DsortOptions};
 use fg_sort::dsort_linear::run_dsort_linear;
-use fg_sort::input::provision;
+use fg_sort::input::{provision, provision_with_metrics};
 use fg_sort::keygen::KeyDist;
 use fg_sort::verify::{verify_output, Strictness};
 
@@ -83,6 +86,7 @@ fn dsort_without_virtual_reads_matches() {
         &disks,
         DsortOptions {
             virtual_reads: false,
+            ..DsortOptions::default()
         },
     )
     .expect("dsort run");
@@ -92,6 +96,49 @@ fn dsort_without_virtual_reads_matches() {
     let runs: u64 = report.runs_per_node.iter().sum();
     let threads: u64 = report.pass2_threads.iter().sum();
     assert!(threads > runs, "expected per-run threads, got {report:?}");
+}
+
+#[test]
+fn dsort_with_metrics_collects_comm_and_disk_metrics() {
+    let cfg = SortConfig::test_default(3, 1536);
+    let registry = Arc::new(MetricsRegistry::new());
+    let disks = provision_with_metrics(&cfg, &registry);
+    let report = run_dsort_with(
+        &cfg,
+        &disks,
+        DsortOptions {
+            metrics: Some(Arc::clone(&registry)),
+            ..DsortOptions::default()
+        },
+    )
+    .expect("dsort run");
+    verify_output(&cfg, &disks, Strictness::Exact).expect("output");
+
+    let m = &report.metrics;
+    // Comm: per-peer byte counters agree with the fabric's accounting,
+    // and every node timed the collectives at least once.
+    let fabric_bytes: u64 = report.bytes_sent.iter().sum();
+    let metric_bytes: u64 = m
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("comm/bytes/"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(fabric_bytes, metric_bytes);
+    assert!(m.histogram("comm/barrier_ns").unwrap().count >= cfg.nodes as u64);
+    // Disk: each labeled disk's byte counters match its own stats.
+    for (rank, disk) in disks.iter().enumerate() {
+        let stats = disk.stats();
+        assert_eq!(
+            m.counter(&format!("disk/d{rank}/bytes_read")),
+            Some(stats.bytes_read)
+        );
+        assert_eq!(
+            m.counter(&format!("disk/d{rank}/bytes_written")),
+            Some(stats.bytes_written)
+        );
+        assert!(m.histogram(&format!("disk/d{rank}/read_ns")).unwrap().count > 0);
+    }
 }
 
 #[test]

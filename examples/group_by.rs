@@ -34,9 +34,15 @@ fn main() {
     );
     let mut all: Vec<(u64, u64)> = disks.iter().flat_map(read_counts).collect();
     all.sort_unstable();
-    println!("\nkey  count (Poisson λ=1 over {} draws)", report.total_records);
+    println!(
+        "\nkey  count (Poisson λ=1 over {} draws)",
+        report.total_records
+    );
     for (key, count) in &all {
-        println!("{key:>3}  {count:>8}  {}", "#".repeat((count * 60 / report.total_records) as usize));
+        println!(
+            "{key:>3}  {count:>8}  {}",
+            "#".repeat((count * 60 / report.total_records) as usize)
+        );
     }
     let total: u64 = all.iter().map(|(_, c)| c).sum();
     assert_eq!(total, report.total_records);

@@ -40,5 +40,8 @@ fn main() {
         report.pass.as_secs_f64() * 1e3,
         report.bytes_sent.iter().sum::<u64>() >> 10,
     );
-    println!("verified: output[j][i] == input[i][j] for all {} elements", cfg.rows * cfg.cols);
+    println!(
+        "verified: output[j][i] == input[i][j] for all {} elements",
+        cfg.rows * cfg.cols
+    );
 }

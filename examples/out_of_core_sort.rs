@@ -36,8 +36,14 @@ fn main() {
     verify_output(&cfg, &disks, Strictness::Exact).expect("dsort output verifies");
     println!("\ndsort (two passes + sampling), output verified:");
     println!("  sampling {:>7.1} ms", d.sampling.as_secs_f64() * 1e3);
-    println!("  pass 1   {:>7.1} ms  (partition + distribute)", d.pass1.as_secs_f64() * 1e3);
-    println!("  pass 2   {:>7.1} ms  (merge + load-balance + stripe)", d.pass2.as_secs_f64() * 1e3);
+    println!(
+        "  pass 1   {:>7.1} ms  (partition + distribute)",
+        d.pass1.as_secs_f64() * 1e3
+    );
+    println!(
+        "  pass 2   {:>7.1} ms  (merge + load-balance + stripe)",
+        d.pass2.as_secs_f64() * 1e3
+    );
     println!("  total    {:>7.1} ms", d.total().as_secs_f64() * 1e3);
     println!("  partition sizes: {:?}", d.partition_records);
     println!("  runs merged per node: {:?}", d.runs_per_node);
@@ -46,7 +52,10 @@ fn main() {
     let disks = provision(&cfg);
     let c = run_csort(&cfg, &disks).expect("csort");
     verify_output(&cfg, &disks, Strictness::Exact).expect("csort output verifies");
-    println!("\ncsort (three passes over an r={} x s={} matrix), output verified:", c.matrix.r, c.matrix.s);
+    println!(
+        "\ncsort (three passes over an r={} x s={} matrix), output verified:",
+        c.matrix.r, c.matrix.s
+    );
     for (i, p) in c.pass.iter().enumerate() {
         println!("  pass {}   {:>7.1} ms", i + 1, p.as_secs_f64() * 1e3);
     }

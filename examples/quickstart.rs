@@ -87,14 +87,15 @@ fn main() {
             .read_at("in", b * BLOCK_BYTES as u64, &mut buf)
             .unwrap();
         process_block(&mut buf);
-        disk2
-            .write_at("out", b * BLOCK_BYTES as u64, &buf)
-            .unwrap();
+        disk2.write_at("out", b * BLOCK_BYTES as u64, &buf).unwrap();
     }
     let serial = t0.elapsed();
 
     println!("processed {BLOCKS} blocks of {BLOCK_BYTES} bytes");
-    println!("pipelined (FG): {:>8.1} ms", report.wall.as_secs_f64() * 1e3);
+    println!(
+        "pipelined (FG): {:>8.1} ms",
+        report.wall.as_secs_f64() * 1e3
+    );
     println!("serial:         {:>8.1} ms", serial.as_secs_f64() * 1e3);
     println!(
         "latency hidden: {:.2}x speedup, overlap factor {:.2}",

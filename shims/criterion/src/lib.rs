@@ -1,0 +1,213 @@
+//! Offline shim reproducing the subset of the `criterion` API this
+//! workspace uses.  The build container has no network access, so the
+//! real crate cannot be fetched; this shim keeps every bench
+//! source-compatible and still produces useful wall-clock numbers.
+//!
+//! Differences from real criterion, by design: no statistical analysis,
+//! no HTML reports, no baseline comparison.  Each bench function is
+//! warmed up once, then timed over `sample_size` samples (fast bodies
+//! are batched so a sample spans at least ~2 ms), and a
+//! `min / mean / max` line is printed per benchmark.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Apply CLI args (`cargo bench -- <filter>`); criterion-specific
+    /// flags are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // Harness flags cargo or users commonly pass; flags with a
+                // value consume it, the rest are ignored.
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--exact" => {}
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Printed at the end of `criterion_main!`; a no-op here.
+    pub fn final_summary(&self) {}
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f` and print a `min/mean/max` line labelled `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+
+        // Warm-up and calibration: one untimed run, then pick a batch
+        // size so each timed sample spans at least ~2 ms.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: batch as u64,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed / batch as u32);
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{full:<48} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_dur(min),
+            fmt_dur(mean),
+            fmt_dur(max),
+            samples.len(),
+            batch,
+        );
+        self
+    }
+
+    /// Finish the group (prints nothing; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs the
+/// workload and accumulates elapsed time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a bench group function invoking each bench with a shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running each group defined by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("other".into()),
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.bench_function("skipped", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+}

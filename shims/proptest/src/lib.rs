@@ -1,0 +1,526 @@
+//! Offline shim reproducing the subset of the `proptest` API this
+//! workspace uses.  The build container has no network access, so the
+//! real crate cannot be fetched; this shim keeps every property test
+//! source-compatible.
+//!
+//! Differences from real proptest, by design:
+//! * sampling is purely random (deterministic per test, seeded from the
+//!   test's source location and case index) — no shrinking on failure;
+//! * a failing case panics with the assertion message and the case index
+//!   so it can be replayed by rerunning the test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod test_runner {
+    //! Runner configuration and per-case error type.
+
+    /// Subset of proptest's run configuration: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps offline test runs
+            // quick while still exploring the space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not succeed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; draw a fresh case.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Build a failure carrying `msg`.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::*;
+
+    /// A recipe for generating values of `Value`.
+    ///
+    /// Unlike real proptest there is no value tree: `sample` draws a
+    /// fresh value directly and failures are not shrunk.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// A strategy producing `f(v)` for each `v` this one produces.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::boxed`].
+    pub struct BoxedStrategy<V>(Box<dyn Fn(&mut StdRng) -> V>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice among several strategies (backs `prop_oneof!`).
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        /// Choose uniformly among `variants` each draw.
+        pub fn new(variants: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+            Union(variants)
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> V {
+            let idx = rng.random_range(0..self.0.len());
+            self.0[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-range generation for primitive types.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw a uniform value over the whole domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` over its full domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `vec(element, size)` — Vec generation with exact or ranged length.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// A length specification: an exact `usize` or a `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Derive a per-case RNG from the test's source location and case index.
+/// Deterministic across runs so failures are replayable by rerunning.
+pub fn case_rng(file: &str, line: u32, case: u64) -> StdRng {
+    // FNV-1a over the location, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= line as u64;
+    h = h.wrapping_mul(0x1000_0000_01b3);
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Define property tests.  Supports the grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, mut v in vec(any::<u8>(), 0..32)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut passed: u32 = 0;
+            let mut rejected: u64 = 0;
+            let mut case: u64 = 0;
+            while passed < config.cases {
+                let mut rng = $crate::case_rng(file!(), line!(), case);
+                case += 1;
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome = (|| -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < 4096,
+                            "proptest: too many prop_assume! rejections in {}",
+                            stringify!($name),
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} of {} failed: {}",
+                            case - 1,
+                            stringify!($name),
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body; failure fails the case
+/// (without unwinding through user code).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pl, __pr) => {
+                if !(*__pl == *__pr) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                            __pl, __pr,
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__pl, __pr) => {
+                if !(*__pl == *__pr) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                            __pl, __pr, format!($($fmt)+),
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pl, __pr) => {
+                if *__pl == *__pr {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: `(left != right)`\n  both: `{:?}`", __pl,),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case (draw a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranged args stay in bounds; vec sizes honour their range.
+        #[test]
+        fn args_in_bounds(x in 10u64..20, v in crate::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((3..7).contains(&v.len()), "len {}", v.len());
+        }
+
+        /// Exact-size vec, tuple strategies, prop_map and oneof compose.
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec((0u32..5, 0u8..2), 4),
+            pick in prop_oneof![Just(1u8), (5u8..7).prop_map(|x| x * 2)],
+        ) {
+            prop_assert_eq!(v.len(), 4);
+            for (a, b) in &v {
+                prop_assert!(*a < 5 && *b < 2);
+            }
+            prop_assert!(pick == 1 || pick == 10 || pick == 12, "pick {}", pick);
+        }
+
+        /// prop_assume rejections draw fresh cases rather than failing.
+        #[test]
+        fn assume_rejects(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..100, 0..10);
+        let a: Vec<Vec<u64>> = (0..20)
+            .map(|i| s.sample(&mut crate::case_rng("f", 1, i)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..20)
+            .map(|i| s.sample(&mut crate::case_rng("f", 1, i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline shim reproducing the subset of the `rand` 0.9 API this
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::random::<T>()`, and `Rng::random_range(range)`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than the real `StdRng` (ChaCha12), but every consumer in this
+//! workspace treats the RNG as an arbitrary deterministic stream, never a
+//! specific sequence, so only determinism-per-seed matters.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Types producible by [`Rng::random`] (the `StandardUniform` distribution
+/// in real rand).
+pub trait Standard: Sized {
+    /// Draw a uniformly distributed value from `rng`.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+/// Types usable with [`Rng::random_range`] (the `SampleUniform` trait in
+/// real rand).
+pub trait UniformSample: Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi)`.
+    fn draw_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self;
+    /// The smallest representable value (for unbounded range starts).
+    const MIN: Self;
+    /// Increment by one (for converting inclusive ends); saturating.
+    fn succ(self) -> Self;
+}
+
+/// Core entropy source: 64 uniformly random bits per call.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing randomness methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of `T`.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive).
+    fn random_range<T: UniformSample, R: RangeBounds<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v.succ(),
+            Bound::Unbounded => T::MIN,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v.succ(),
+            Bound::Excluded(&v) => v,
+            Bound::Unbounded => panic!("random_range requires an upper bound"),
+        };
+        assert!(lo < hi, "random_range: empty range");
+        T::draw_range(self, lo, hi)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a deterministic function of
+    /// `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Namespaced generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna, public domain reference).
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl UniformSample for $t {
+            const MIN: Self = <$t>::MIN;
+            fn succ(self) -> Self {
+                self.saturating_add(1)
+            }
+            fn draw_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                let span = (hi as u128) - (lo as u128);
+                // Rejection sampling over the top 64 bits keeps the draw
+                // unbiased for any span that fits in u64 (all of ours do).
+                let span = span as u64;
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let x = rng.next_u64();
+                    if x < zone {
+                        return lo.wrapping_add((x % span) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl UniformSample for $t {
+            const MIN: Self = <$t>::MIN;
+            fn succ(self) -> Self {
+                self.saturating_add(1)
+            }
+            fn draw_range(rng: &mut dyn RngCore, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let x = rng.next_u64();
+                    if x < zone {
+                        return (lo as i128 + (x % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: u64 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u8 = rng.random_range(0..100u8);
+            assert!(y < 100);
+            let z: usize = rng.random_range(1..4);
+            assert!((1..4).contains(&z));
+            let w: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_distribution_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

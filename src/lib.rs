@@ -9,9 +9,19 @@
 //!   `dsort` (distribution sort) and `csort` (columnsort).
 //! * [`apps`] — further out-of-core algorithms on FG (group-by
 //!   aggregation).
+//!
+//! The observability layer's entry points are re-exported at the top
+//! level: install an [`Observer`] (or the bundled [`MetricsObserver`])
+//! and a [`MetricsRegistry`] on a program, then export its
+//! [`Report`](core::Report) as JSON, a terminal dashboard, or a Chrome
+//! trace.
 
 pub use fg_apps as apps;
 pub use fg_cluster as cluster;
 pub use fg_core as core;
 pub use fg_pdm as pdm;
 pub use fg_sort as sort;
+
+pub use fg_core::{
+    CountingObserver, Json, MetricsObserver, MetricsRegistry, MetricsSnapshot, Observer,
+};
