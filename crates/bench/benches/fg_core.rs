@@ -6,7 +6,10 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use fg_core::{map_stage, run_linear, CountingObserver, Observer, PipelineCfg, Program, Rounds};
+use fg_core::{
+    map_stage, run_linear, CountingObserver, MetricsRegistry, Observer, PipelineCfg, Program,
+    Rounds, Sampler, SamplerCfg, TelemetryServer,
+};
 use fg_sort::merge::LoserTree;
 use fg_sort::record::RecordFormat;
 
@@ -58,6 +61,28 @@ fn bench_observer_overhead(c: &mut Criterion) {
         b.iter(|| {
             let mut prog = build();
             prog.set_observer(Arc::new(CountingObserver::new()) as Arc<dyn Observer>);
+            prog.run().expect("pipeline")
+        })
+    });
+    // Live-telemetry overhead: the same pipeline with queue-depth gauges
+    // publishing into a registry, and then with a background sampler plus
+    // an idle HTTP endpoint on top.  The acceptance bar is <2% over the
+    // no_observer baseline.
+    group.bench_function("metrics_registry_1000rounds", |b| {
+        b.iter(|| {
+            let mut prog = build();
+            prog.set_metrics(Arc::new(MetricsRegistry::new()));
+            prog.run().expect("pipeline")
+        })
+    });
+    group.bench_function("telemetry_sampled_1000rounds", |b| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let _server =
+            TelemetryServer::bind("127.0.0.1:0", Arc::clone(&registry)).expect("bind telemetry");
+        let _sampler = Sampler::start(Arc::clone(&registry), SamplerCfg::default());
+        b.iter(|| {
+            let mut prog = build();
+            prog.set_metrics(Arc::clone(&registry));
             prog.run().expect("pipeline")
         })
     });

@@ -18,14 +18,18 @@
 //! artifact embeds node 0's full per-pass FG reports (stage stats, queue
 //! depths, and the run's comm and disk metrics).
 
+use std::cell::RefCell;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
+use fg_bench::gate::{compare, GateCfg, Regression};
 use fg_bench::{
-    run_buffer_sweep, run_fig8_panel, run_fig8_panel_observed, run_io_volume, run_linear_ablation,
-    run_splitter_balance, run_unbalanced, run_virtual_ablation, Fig8Cell, Scale,
+    run_buffer_sweep, run_fig8_panel, run_fig8_panel_observed_with, run_io_volume,
+    run_linear_ablation, run_splitter_balance, run_unbalanced, run_virtual_ablation, Fig8Cell,
+    Scale,
 };
-use fg_core::Json;
+use fg_core::{Json, MetricsRegistry, Sampler, TelemetryServer};
 use fg_pdm::DiskCfg;
 use fg_sort::record::RecordFormat;
 
@@ -46,22 +50,99 @@ fn jsecs(d: Duration) -> Json {
     Json::Num(d.as_secs_f64())
 }
 
-/// Where `--json-out` artifacts go; inactive when the flag is absent.
+/// Where `--json-out` artifacts go and where `--baseline` artifacts come
+/// from; every produced artifact funnels through [`ArtifactSink::write`],
+/// which (when gating) also diffs it against the saved baseline.
 struct ArtifactSink {
     dir: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    gate: GateCfg,
+    regressions: RefCell<Vec<Regression>>,
+    compared: RefCell<usize>,
 }
 
 impl ArtifactSink {
     fn active(&self) -> bool {
-        self.dir.is_some()
+        self.dir.is_some() || self.baseline.is_some()
     }
 
     fn write(&self, name: &str, value: Json) {
-        let Some(dir) = &self.dir else { return };
-        let path = dir.join(format!("{name}.json"));
-        std::fs::write(&path, value.to_string())
-            .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
-        println!("wrote {}", path.display());
+        if let Some(dir) = &self.dir {
+            let path = dir.join(format!("{name}.json"));
+            if let Err(e) = std::fs::write(&path, value.to_string()) {
+                eprintln!("error: failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {}", path.display());
+        }
+        if let Some(base) = self.baseline_path(name) {
+            self.gate_against(name, &base, &value);
+        }
+    }
+
+    /// Resolve the baseline artifact for `name`: `<dir>/<name>.json` when
+    /// `--baseline` names a directory, or the file itself when it names a
+    /// single artifact whose stem matches.
+    fn baseline_path(&self, name: &str) -> Option<PathBuf> {
+        let base = self.baseline.as_ref()?;
+        if base.is_dir() {
+            Some(base.join(format!("{name}.json")))
+        } else if base.file_stem().is_some_and(|s| s == name) {
+            Some(base.clone())
+        } else {
+            None
+        }
+    }
+
+    fn gate_against(&self, name: &str, path: &PathBuf, current: &Json) {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(_) => {
+                println!("gate: no baseline for {name} ({}), skipped", path.display());
+                return;
+            }
+        };
+        let baseline = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: baseline {} is not valid JSON: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let regs = compare(name, &baseline, current, &self.gate);
+        *self.compared.borrow_mut() += 1;
+        for r in &regs {
+            println!("gate: REGRESSION {r}");
+        }
+        if regs.is_empty() {
+            println!("gate: {name} ok");
+        }
+        self.regressions.borrow_mut().extend(regs);
+    }
+
+    /// Print the gate verdict; `Err` means at least one regression (or no
+    /// artifact was ever compared, which would make a green gate vacuous).
+    fn finish_gate(&self) -> Result<(), ()> {
+        if self.baseline.is_none() {
+            return Ok(());
+        }
+        let regs = self.regressions.borrow();
+        let compared = *self.compared.borrow();
+        if compared == 0 {
+            eprintln!("gate: FAIL — no artifact matched the baseline");
+            return Err(());
+        }
+        if regs.is_empty() {
+            println!(
+                "gate: PASS — {compared} artifact(s) within {:.0}% + {:.0}ms of baseline",
+                100.0 * self.gate.rel_tolerance,
+                1000.0 * self.gate.abs_floor_s
+            );
+            Ok(())
+        } else {
+            eprintln!("gate: FAIL — {} regression(s)", regs.len());
+            Err(())
+        }
     }
 }
 
@@ -128,22 +209,69 @@ fn print_fig8(panel: &[Fig8Cell], title: &str) {
     }
 }
 
+/// Remove `--flag <value>` from `args`, returning the value.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs an argument");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json_out = args.iter().position(|a| a == "--json-out").map(|i| {
-        if i + 1 >= args.len() {
-            eprintln!("--json-out needs a directory argument");
+    let json_out = take_value_flag(&mut args, "--json-out").map(PathBuf::from);
+    let baseline = take_value_flag(&mut args, "--baseline").map(PathBuf::from);
+    let gate_tolerance = take_value_flag(&mut args, "--gate-tolerance").map(|v| {
+        v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("--gate-tolerance needs a fraction, e.g. 0.30");
+            std::process::exit(2);
+        })
+    });
+    let telemetry_addr = take_value_flag(&mut args, "--telemetry");
+    if let Some(dir) = &json_out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: failed to create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    if let Some(base) = &baseline {
+        if !base.exists() {
+            eprintln!("error: baseline {} does not exist", base.display());
             std::process::exit(2);
         }
-        let dir = PathBuf::from(args.remove(i + 1));
-        args.remove(i);
-        dir
-    });
-    if let Some(dir) = &json_out {
-        std::fs::create_dir_all(dir)
-            .unwrap_or_else(|e| panic!("failed to create {}: {e}", dir.display()));
     }
-    let sink = ArtifactSink { dir: json_out };
+    let mut gate = GateCfg::default();
+    if let Some(tol) = gate_tolerance {
+        gate.rel_tolerance = tol;
+    }
+    let sink = ArtifactSink {
+        dir: json_out,
+        baseline,
+        gate,
+        regressions: RefCell::new(Vec::new()),
+        compared: RefCell::new(0),
+    };
+
+    // With --telemetry, the fig8 dsort runs publish into this registry and
+    // a background sampler + HTTP endpoint expose it live (GET /metrics,
+    // GET /report).
+    let registry = Arc::new(MetricsRegistry::new());
+    let telemetry = telemetry_addr.map(|addr| {
+        let server = TelemetryServer::bind(&addr, Arc::clone(&registry)).unwrap_or_else(|e| {
+            eprintln!("error: failed to bind telemetry server on {addr}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "telemetry: serving /metrics and /report on http://{}",
+            server.local_addr()
+        );
+        let sampler = Sampler::start(Arc::clone(&registry), Default::default());
+        (server, sampler)
+    });
     let quick = args.iter().any(|a| a == "--quick");
     let cmd = args
         .iter()
@@ -166,11 +294,14 @@ fn main() {
     let mut fig8a: Option<Vec<Fig8Cell>> = None;
     let mut fig8b: Option<Vec<Fig8Cell>> = None;
 
-    // With --json-out, fig8 runs are observed (tracing + metrics) so the
-    // artifacts carry full FG reports.
+    // With --json-out or --baseline, fig8 runs are observed (tracing +
+    // metrics) so artifacts carry full FG reports and gate runs match the
+    // baseline's instrumentation overhead; --telemetry additionally makes
+    // the shared registry live on the HTTP endpoint.
+    let observe = sink.active() || telemetry.is_some();
     let panel_for = |record| {
-        if sink.active() {
-            run_fig8_panel_observed(scale, record)
+        if observe {
+            run_fig8_panel_observed_with(scale, record, &registry)
         } else {
             run_fig8_panel(scale, record)
         }
@@ -494,5 +625,17 @@ fn main() {
             ),
         );
     }
+    if let Some((server, sampler)) = telemetry {
+        let series = sampler.stop();
+        println!(
+            "telemetry: collected {} samples; endpoint on {} closing",
+            series.len(),
+            server.local_addr()
+        );
+    }
+    let gate_ok = sink.finish_gate().is_ok();
     println!("\ndone.");
+    if !gate_ok {
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,186 @@
+//! Perf-regression gate: compare a run's JSON artifacts against a saved
+//! baseline and flag timing regressions.
+//!
+//! The experiment artifacts written by `--json-out` encode every timing as
+//! a numeric field whose key ends in `_s` (seconds).  The gate walks the
+//! current and baseline JSON trees in parallel (objects by key, arrays by
+//! index) and reports every `_s` leaf where the current value exceeds the
+//! baseline by more than both a relative tolerance and an absolute floor.
+//! The floor keeps sub-50ms jitter on tiny quick-scale runs from tripping
+//! the relative check; the relative tolerance absorbs ordinary scheduler
+//! noise on loaded CI hosts.
+//!
+//! Keys present in only one tree are skipped (experiments gain and lose
+//! fields across commits); shape mismatches at a shared key are reported
+//! once rather than silently ignored.
+
+use std::fmt;
+
+use fg_core::Json;
+
+/// Thresholds for declaring a timing a regression.
+#[derive(Debug, Clone, Copy)]
+pub struct GateCfg {
+    /// Current must exceed baseline by more than this fraction (0.30 = 30%).
+    pub rel_tolerance: f64,
+    /// ... and by more than this many seconds.
+    pub abs_floor_s: f64,
+}
+
+impl Default for GateCfg {
+    fn default() -> Self {
+        GateCfg {
+            rel_tolerance: 0.30,
+            abs_floor_s: 0.05,
+        }
+    }
+}
+
+/// One timing that degraded past the gate's thresholds.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Artifact (experiment) name, e.g. `fig8a`.
+    pub artifact: String,
+    /// Path to the leaf within the artifact, e.g. `[0].dsort.total_s`.
+    pub path: String,
+    /// Baseline seconds.
+    pub baseline: f64,
+    /// Current seconds.
+    pub current: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pct = if self.baseline > 0.0 {
+            100.0 * (self.current - self.baseline) / self.baseline
+        } else {
+            f64::INFINITY
+        };
+        write!(
+            f,
+            "{}{}: {:.3}s -> {:.3}s (+{:.1}%)",
+            self.artifact, self.path, self.baseline, self.current, pct
+        )
+    }
+}
+
+/// Compare one artifact against its baseline, returning every `_s` timing
+/// leaf that regressed past `cfg`'s thresholds.
+pub fn compare(artifact: &str, baseline: &Json, current: &Json, cfg: &GateCfg) -> Vec<Regression> {
+    let mut out = Vec::new();
+    walk(artifact, "", baseline, current, cfg, &mut out);
+    out
+}
+
+fn is_timing_key(key: &str) -> bool {
+    key.ends_with("_s")
+}
+
+fn walk(
+    artifact: &str,
+    path: &str,
+    baseline: &Json,
+    current: &Json,
+    cfg: &GateCfg,
+    out: &mut Vec<Regression>,
+) {
+    match (baseline, current) {
+        (Json::Obj(b), Json::Obj(c)) => {
+            for (key, cur) in c {
+                if let Some((_, base)) = b.iter().find(|(k, _)| k == key) {
+                    let child = format!("{path}.{key}");
+                    if let (Json::Num(bn), Json::Num(cn)) = (base, cur) {
+                        if is_timing_key(key) && regressed(*bn, *cn, cfg) {
+                            out.push(Regression {
+                                artifact: artifact.to_string(),
+                                path: child,
+                                baseline: *bn,
+                                current: *cn,
+                            });
+                        }
+                    } else {
+                        walk(artifact, &child, base, cur, cfg, out);
+                    }
+                }
+            }
+        }
+        (Json::Arr(b), Json::Arr(c)) => {
+            for (i, (base, cur)) in b.iter().zip(c.iter()).enumerate() {
+                walk(artifact, &format!("{path}[{i}]"), base, cur, cfg, out);
+            }
+        }
+        // Leaves (numbers compared at the object level, strings, bools,
+        // nulls) and shape mismatches: nothing to gate on.
+        _ => {}
+    }
+}
+
+fn regressed(baseline: f64, current: f64, cfg: &GateCfg) -> bool {
+    current - baseline > cfg.abs_floor_s && current > baseline * (1.0 + cfg.rel_tolerance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Json {
+        Json::parse(s).expect("valid json")
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let j = parse(r#"{"total_s": 1.5, "blocks": 64}"#);
+        assert!(compare("x", &j, &j, &GateCfg::default()).is_empty());
+    }
+
+    #[test]
+    fn large_slowdown_is_flagged_with_path() {
+        let base = parse(r#"[{"dsort": {"total_s": 1.0}, "dist": "uniform"}]"#);
+        let cur = parse(r#"[{"dsort": {"total_s": 2.0}, "dist": "uniform"}]"#);
+        let regs = compare("fig8a", &base, &cur, &GateCfg::default());
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "[0].dsort.total_s");
+        assert_eq!(regs[0].artifact, "fig8a");
+    }
+
+    #[test]
+    fn small_absolute_jitter_is_ignored_even_when_relatively_large() {
+        // 3x slower but only 20ms absolute: below the floor, not flagged.
+        let base = parse(r#"{"total_s": 0.010}"#);
+        let cur = parse(r#"{"total_s": 0.030}"#);
+        assert!(compare("x", &base, &cur, &GateCfg::default()).is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_is_ignored_even_when_absolutely_large() {
+        // +0.2s but only +10%: within the relative tolerance.
+        let base = parse(r#"{"total_s": 2.0}"#);
+        let cur = parse(r#"{"total_s": 2.2}"#);
+        assert!(compare("x", &base, &cur, &GateCfg::default()).is_empty());
+    }
+
+    #[test]
+    fn speedups_and_non_timing_fields_are_ignored() {
+        let base = parse(r#"{"total_s": 2.0, "speedup": 3.0, "blocks": 64}"#);
+        let cur = parse(r#"{"total_s": 1.0, "speedup": 1.0, "blocks": 640}"#);
+        assert!(compare("x", &base, &cur, &GateCfg::default()).is_empty());
+    }
+
+    #[test]
+    fn missing_or_extra_keys_are_skipped() {
+        let base = parse(r#"{"old_s": 1.0}"#);
+        let cur = parse(r#"{"new_s": 99.0}"#);
+        assert!(compare("x", &base, &cur, &GateCfg::default()).is_empty());
+    }
+
+    #[test]
+    fn custom_tolerance_is_respected() {
+        let cfg = GateCfg {
+            rel_tolerance: 0.05,
+            abs_floor_s: 0.0,
+        };
+        let base = parse(r#"{"total_s": 1.0}"#);
+        let cur = parse(r#"{"total_s": 1.10}"#);
+        assert_eq!(compare("x", &base, &cur, &cfg).len(), 1);
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod gate;
 pub mod overlap;
 
 use std::sync::Arc;
@@ -136,9 +137,21 @@ pub fn run_fig8_cell_observed(
     record: RecordFormat,
     dist: KeyDist,
 ) -> Result<Fig8Cell, SortError> {
+    run_fig8_cell_observed_with(scale, record, dist, &Arc::new(MetricsRegistry::new()))
+}
+
+/// [`run_fig8_cell_observed`] publishing into a caller-supplied registry,
+/// so a live telemetry endpoint (`--telemetry`) can expose the run's
+/// metrics while it executes.
+pub fn run_fig8_cell_observed_with(
+    scale: Scale,
+    record: RecordFormat,
+    dist: KeyDist,
+    registry: &Arc<MetricsRegistry>,
+) -> Result<Fig8Cell, SortError> {
     let mut cfg = scale.config(record, dist);
     cfg.trace = true;
-    let registry = Arc::new(MetricsRegistry::new());
+    let registry = Arc::clone(registry);
     let dsort = {
         let disks = provision_with_metrics(&cfg, &registry);
         let r = run_dsort_with(
@@ -187,6 +200,19 @@ pub fn run_fig8_panel_observed(
     KeyDist::figure8()
         .into_iter()
         .map(|dist| run_fig8_cell_observed(scale, record, dist))
+        .collect()
+}
+
+/// [`run_fig8_panel_observed`] publishing into a caller-supplied registry
+/// (see [`run_fig8_cell_observed_with`]).
+pub fn run_fig8_panel_observed_with(
+    scale: Scale,
+    record: RecordFormat,
+    registry: &Arc<MetricsRegistry>,
+) -> Result<Vec<Fig8Cell>, SortError> {
+    KeyDist::figure8()
+        .into_iter()
+        .map(|dist| run_fig8_cell_observed_with(scale, record, dist, registry))
         .collect()
 }
 

@@ -1,0 +1,567 @@
+//! Bottleneck analysis: turn a [`Report`] and a telemetry time series into
+//! a [`Diagnosis`] that names the limiting stage and says what to do about
+//! it.
+//!
+//! FG's premise is that a pipeline runs as fast as its slowest stage while
+//! everything else overlaps (§II); the tuning loop the paper implies —
+//! find the limiting stage, then widen a queue, split the stage, or grow a
+//! buffer pool — is manual.  [`diagnose`] automates the diagnosis half:
+//!
+//! * each stage's wall time splits into **busy** / **starved** (blocked in
+//!   accept) / **backpressured** (blocked in convey) fractions, with the
+//!   dominant one as its [`StageVerdict`] — refined by topology: a starved
+//!   stage *upstream* of the limiting stage is reported as backpressured,
+//!   because its missing buffers are the ones the bottleneck has yet to
+//!   push around the recycle loop;
+//! * the stage with the most busy time is the **limiting stage**: its busy
+//!   time lower-bounds the program's wall time no matter how the other
+//!   stages are tuned;
+//! * **overlap efficiency** compares that bound against the achieved wall
+//!   time ([`Report::overlap_efficiency`]) — near 1.0 means the pipeline
+//!   already hides every other stage behind the bottleneck;
+//! * queue-depth gauge series from a
+//!   [`Sampler`](crate::telemetry::Sampler) show which queues sat pinned
+//!   at capacity (a backpressure boundary) and which buffer pools ran dry
+//!   (an under-provisioned pipeline), findings a single end-of-run
+//!   high-water mark cannot distinguish from a momentary spike.
+
+use std::time::Duration;
+
+use crate::stats::Report;
+use crate::telemetry::TimestampedSnapshot;
+
+/// A stage's dominant state over the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageVerdict {
+    /// Mostly doing its own work — a bottleneck candidate.
+    Busy,
+    /// Mostly blocked waiting to accept: its upstream cannot keep up.
+    Starved,
+    /// Mostly blocked by the stages after it — waiting to convey into a
+    /// full queue, or (upstream of the limiting stage) waiting to accept a
+    /// buffer the bottleneck has yet to release back into the recycle loop.
+    Backpressured,
+}
+
+impl StageVerdict {
+    /// Lowercase label for rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageVerdict::Busy => "busy",
+            StageVerdict::Starved => "starved",
+            StageVerdict::Backpressured => "backpressured",
+        }
+    }
+}
+
+/// Wall-time attribution for one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDiagnosis {
+    /// Stage name from the [`Report`].
+    pub name: String,
+    /// The stage's wall time.
+    pub wall: Duration,
+    /// Fraction of wall spent doing its own work.
+    pub busy_frac: f64,
+    /// Fraction of wall blocked in accept.
+    pub starved_frac: f64,
+    /// Fraction of wall blocked in convey.
+    pub backpressured_frac: f64,
+    /// The dominant of the three fractions.
+    pub verdict: StageVerdict,
+}
+
+/// A queue-level finding from the depth-gauge time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueFinding {
+    /// Queue name as wired (`p[1]`, `recycle/g0`, …).
+    pub name: String,
+    /// The queue's capacity.
+    pub capacity: usize,
+    /// Fraction of telemetry samples with the queue at capacity.
+    pub full_frac: f64,
+    /// Fraction of telemetry samples with the queue empty.
+    pub empty_frac: f64,
+}
+
+/// What [`diagnose`] concluded about a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// Per-stage attribution, in the report's stage order.
+    pub stages: Vec<StageDiagnosis>,
+    /// Name of the limiting stage (most busy time among real pipeline
+    /// stages), when any stage did work.
+    pub limiting: Option<String>,
+    /// [`Report::overlap_factor`]: total busy across stages over wall.
+    pub overlap_factor: f64,
+    /// [`Report::overlap_efficiency`]: the limiting stage's busy time over
+    /// wall — 1.0 means the run was exactly as fast as its bottleneck.
+    pub overlap_efficiency: f64,
+    /// Queues that spent most of the sampled run pinned full or empty.
+    pub queue_findings: Vec<QueueFinding>,
+    /// Human-readable tuning recommendations, most important first.
+    pub recommendations: Vec<String>,
+}
+
+/// A stage blocked (or busy) for more than this fraction of its wall time
+/// is worth a recommendation.
+const DOMINANT_FRAC: f64 = 0.5;
+
+/// A queue pinned full/empty in more than this fraction of samples marks a
+/// backpressure boundary / dry pool.
+const PINNED_FRAC: f64 = 0.5;
+
+/// Below this overlap efficiency the pipeline is leaving the bottleneck
+/// idle — time is going somewhere other than the limiting stage.
+const EFFICIENCY_WARN: f64 = 0.6;
+
+/// The runtime's implicit source/sink threads: real stages for timing
+/// purposes, but not candidates for "the limiting stage" (their work is
+/// the framework's, not the program's).
+fn is_source_or_sink(name: &str) -> bool {
+    name.ends_with("/source") || name.ends_with("/sink")
+}
+
+/// Attribute each stage's wall time, name the limiting stage, and read
+/// backpressure boundaries out of the queue-depth time series.
+///
+/// `series` may be empty (no sampler attached): stage attribution and the
+/// limiting stage still work from the report alone; only the queue
+/// findings need the time series (the report's high-water marks cannot
+/// tell "pinned at capacity" from "touched capacity once").
+pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
+    let mut stages: Vec<StageDiagnosis> = report
+        .stages
+        .iter()
+        .map(|s| {
+            let wall = s.wall.as_secs_f64();
+            let frac = |d: Duration| {
+                if wall == 0.0 {
+                    0.0
+                } else {
+                    (d.as_secs_f64() / wall).clamp(0.0, 1.0)
+                }
+            };
+            let starved_frac = frac(s.blocked_accept);
+            let backpressured_frac = frac(s.blocked_convey);
+            let busy_frac = frac(s.busy());
+            let verdict = if busy_frac >= starved_frac && busy_frac >= backpressured_frac {
+                StageVerdict::Busy
+            } else if starved_frac >= backpressured_frac {
+                StageVerdict::Starved
+            } else {
+                StageVerdict::Backpressured
+            };
+            StageDiagnosis {
+                name: s.name.clone(),
+                wall: s.wall,
+                busy_frac,
+                starved_frac,
+                backpressured_frac,
+                verdict,
+            }
+        })
+        .collect();
+
+    let limiting = report
+        .stages
+        .iter()
+        .filter(|s| !is_source_or_sink(&s.name))
+        .max_by_key(|s| s.busy())
+        .filter(|s| s.busy() > Duration::ZERO)
+        .map(|s| s.name.clone());
+
+    // A starved stage upstream of the limiting stage in the same chain is
+    // effectively backpressured: FG provisions every queue above the buffer
+    // pool size, so congestion at the bottleneck never fills a queue — it
+    // drains the recycle loop instead, and the shortage surfaces upstream
+    // as blocked accepts.  Reattribute those so the verdict names the
+    // cause, not the symptom.
+    if let Some(lim) = &limiting {
+        for chain in &report.pipelines {
+            let Some(pos) = chain.stages.iter().position(|s| s == lim) else {
+                continue;
+            };
+            for name in &chain.stages[..pos] {
+                if let Some(d) = stages.iter_mut().find(|d| &d.name == name) {
+                    if d.verdict == StageVerdict::Starved {
+                        d.verdict = StageVerdict::Backpressured;
+                    }
+                }
+            }
+        }
+    }
+
+    let queue_findings = queue_findings(report, series);
+
+    let mut recommendations = Vec::new();
+    if let Some(name) = &limiting {
+        let d = stages
+            .iter()
+            .find(|d| &d.name == name)
+            .expect("limiting stage is in stages");
+        recommendations.push(format!(
+            "stage `{name}` is the limiting stage (busy {:.0}% of its wall time): \
+             its busy time bounds the whole pipeline — split it into substages, \
+             replicate it (`add_replicated_stage`), or reduce its per-buffer work",
+            d.busy_frac * 100.0
+        ));
+    }
+    for d in &stages {
+        if is_source_or_sink(&d.name) {
+            continue;
+        }
+        if Some(&d.name) == limiting.as_ref() {
+            continue;
+        }
+        if d.backpressured_frac > DOMINANT_FRAC {
+            recommendations.push(format!(
+                "stage `{}` is backpressured {:.0}% of its wall time — its downstream \
+                 cannot keep up; widen the downstream queue or speed up (split) the \
+                 stage after it",
+                d.name,
+                d.backpressured_frac * 100.0
+            ));
+        } else if d.verdict == StageVerdict::Backpressured && d.starved_frac > DOMINANT_FRAC {
+            recommendations.push(format!(
+                "stage `{}` is upstream of the limiting stage and blocked {:.0}% of \
+                 its wall time waiting for buffers the bottleneck has yet to recycle — \
+                 speeding up the limiting stage or adding buffers to the pipeline \
+                 would unblock it",
+                d.name,
+                d.starved_frac * 100.0
+            ));
+        } else if d.starved_frac > DOMINANT_FRAC {
+            recommendations.push(format!(
+                "stage `{}` is starved {:.0}% of its wall time — its upstream cannot \
+                 keep up; this is expected downstream of the limiting stage",
+                d.name,
+                d.starved_frac * 100.0
+            ));
+        }
+    }
+    for q in &queue_findings {
+        if q.full_frac > PINNED_FRAC {
+            recommendations.push(format!(
+                "queue `{}` sat at capacity ({}) in {:.0}% of samples — a backpressure \
+                 boundary; its consumer is the local bottleneck",
+                q.name,
+                q.capacity,
+                q.full_frac * 100.0
+            ));
+        }
+        if q.empty_frac > PINNED_FRAC && q.name.starts_with("recycle/") {
+            recommendations.push(format!(
+                "recycle queue `{}` was empty in {:.0}% of samples — every buffer was \
+                 in flight; the pool may be under-provisioned (add buffers to the \
+                 pipeline)",
+                q.name,
+                q.empty_frac * 100.0
+            ));
+        }
+    }
+    let overlap_efficiency = report.overlap_efficiency();
+    if limiting.is_some() && overlap_efficiency < EFFICIENCY_WARN {
+        recommendations.push(format!(
+            "overlap efficiency is {:.0}%: wall time is {:.1}x the limiting stage's \
+             busy time, so stages are waiting on each other rather than overlapping — \
+             check the queue findings above and the per-pipeline buffer counts",
+            overlap_efficiency * 100.0,
+            if overlap_efficiency > 0.0 {
+                1.0 / overlap_efficiency
+            } else {
+                f64::INFINITY
+            }
+        ));
+    }
+
+    Diagnosis {
+        stages,
+        limiting,
+        overlap_factor: report.overlap_factor(),
+        overlap_efficiency,
+        queue_findings,
+        recommendations,
+    }
+}
+
+/// Fold the `core/queue_depth/<name>` gauge series into per-queue
+/// full/empty fractions, matched against the report's queue capacities.
+fn queue_findings(report: &Report, series: &[TimestampedSnapshot]) -> Vec<QueueFinding> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    report
+        .queues
+        .iter()
+        .filter(|q| q.capacity > 0)
+        .filter_map(|q| {
+            let gauge_name = format!("core/queue_depth/{}", q.name);
+            let mut samples = 0u64;
+            let mut full = 0u64;
+            let mut empty = 0u64;
+            for point in series {
+                let Some(g) = point.snapshot.gauge(&gauge_name) else {
+                    continue;
+                };
+                samples += 1;
+                if g.value as usize >= q.capacity {
+                    full += 1;
+                }
+                if g.value == 0 {
+                    empty += 1;
+                }
+            }
+            (samples > 0).then(|| QueueFinding {
+                name: q.name.clone(),
+                capacity: q.capacity,
+                full_frac: full as f64 / samples as f64,
+                empty_frac: empty as f64 / samples as f64,
+            })
+        })
+        .collect()
+}
+
+impl Diagnosis {
+    /// Render the diagnosis as text: a stage-attribution table, the
+    /// limiting stage and overlap numbers, pinned queues, and the
+    /// recommendation list.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== diagnosis ==\n");
+        let name_w = self
+            .stages
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        out.push_str(&format!(
+            "{:<name_w$} {:>7} {:>8} {:>8} {:>6}  verdict\n",
+            "stage", "busy%", "starve%", "backp%", "wall s"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<name_w$} {:>6.0}% {:>7.0}% {:>7.0}% {:>6.3}  {}\n",
+                s.name,
+                s.busy_frac * 100.0,
+                s.starved_frac * 100.0,
+                s.backpressured_frac * 100.0,
+                s.wall.as_secs_f64(),
+                s.verdict.label()
+            ));
+        }
+        match &self.limiting {
+            Some(name) => out.push_str(&format!(
+                "limiting stage: `{name}`, overlap factor {:.2}, overlap efficiency {:.0}%\n",
+                self.overlap_factor,
+                self.overlap_efficiency * 100.0
+            )),
+            None => out.push_str("no stage did measurable work\n"),
+        }
+        for q in &self.queue_findings {
+            if q.full_frac > PINNED_FRAC || q.empty_frac > PINNED_FRAC {
+                out.push_str(&format!(
+                    "queue {:<12} cap {:>3}  full {:>3.0}%  empty {:>3.0}% of samples\n",
+                    q.name,
+                    q.capacity,
+                    q.full_frac * 100.0,
+                    q.empty_frac * 100.0
+                ));
+            }
+        }
+        if !self.recommendations.is_empty() {
+            out.push_str("recommendations:\n");
+            for r in &self.recommendations {
+                out.push_str(&format!("  - {r}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StageStats;
+
+    fn stage(name: &str, wall_ms: u64, acc_ms: u64, conv_ms: u64) -> StageStats {
+        StageStats {
+            name: name.into(),
+            wall: Duration::from_millis(wall_ms),
+            blocked_accept: Duration::from_millis(acc_ms),
+            blocked_convey: Duration::from_millis(conv_ms),
+            buffers_in: 1,
+            buffers_out: 1,
+            spans: Vec::new(),
+        }
+    }
+
+    fn report() -> Report {
+        Report {
+            wall: Duration::from_millis(100),
+            stages: vec![
+                stage("fast-up", 100, 5, 80),   // backpressured by the slow stage
+                stage("slow", 100, 5, 5),       // the bottleneck
+                stage("fast-down", 100, 80, 5), // starved behind it
+                stage("p/source", 100, 0, 95),
+                stage("p/sink", 100, 95, 0),
+            ],
+            threads_spawned: 5,
+            ..Report::default()
+        }
+    }
+
+    #[test]
+    fn names_busy_stage_as_limiting_and_attributes_neighbors() {
+        let d = diagnose(&report(), &[]);
+        assert_eq!(d.limiting.as_deref(), Some("slow"));
+        let by_name = |n: &str| d.stages.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("slow").verdict, StageVerdict::Busy);
+        assert_eq!(by_name("fast-up").verdict, StageVerdict::Backpressured);
+        assert_eq!(by_name("fast-down").verdict, StageVerdict::Starved);
+        assert!(d.recommendations.iter().any(|r| r.contains("`slow`")));
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("`fast-up`") && r.contains("backpressured")));
+        // The bottleneck ran 90% busy against a 100ms wall: efficiency ~0.9.
+        assert!((d.overlap_efficiency - 0.9).abs() < 1e-9);
+        let text = d.render();
+        assert!(text.contains("limiting stage: `slow`"));
+    }
+
+    #[test]
+    fn upstream_starvation_is_reattributed_as_backpressure() {
+        use crate::stats::PipelineShape;
+        // `up` measures as starved (the recycle loop ran dry behind the
+        // bottleneck), but topology says it sits upstream of `slow`, so the
+        // verdict names the cause.  `other`, in a different pipeline, keeps
+        // its measured verdict.
+        let r = Report {
+            wall: Duration::from_millis(100),
+            stages: vec![
+                stage("up", 100, 90, 0),
+                stage("slow", 100, 5, 5),
+                stage("down", 100, 85, 0),
+                stage("other", 100, 90, 0),
+            ],
+            pipelines: vec![
+                PipelineShape {
+                    name: "p".into(),
+                    stages: vec!["up".into(), "slow".into(), "down".into()],
+                },
+                PipelineShape {
+                    name: "q".into(),
+                    stages: vec!["other".into()],
+                },
+            ],
+            threads_spawned: 4,
+            ..Report::default()
+        };
+        let d = diagnose(&r, &[]);
+        assert_eq!(d.limiting.as_deref(), Some("slow"));
+        let by_name = |n: &str| d.stages.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("up").verdict, StageVerdict::Backpressured);
+        assert_eq!(by_name("down").verdict, StageVerdict::Starved);
+        assert_eq!(by_name("other").verdict, StageVerdict::Starved);
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("`up`") && r.contains("upstream of the limiting stage")));
+    }
+
+    #[test]
+    fn sources_and_sinks_never_limit() {
+        let r = Report {
+            wall: Duration::from_millis(100),
+            stages: vec![stage("p/source", 100, 0, 0), stage("p/sink", 100, 0, 0)],
+            threads_spawned: 2,
+            ..Report::default()
+        };
+        assert_eq!(diagnose(&r, &[]).limiting, None);
+    }
+
+    #[test]
+    fn empty_report_is_inert() {
+        let d = diagnose(&Report::default(), &[]);
+        assert!(d.stages.is_empty());
+        assert_eq!(d.limiting, None);
+        assert!(d.queue_findings.is_empty());
+        assert!(d.render().contains("no stage did measurable work"));
+    }
+
+    #[test]
+    fn queue_series_distinguishes_pinned_from_spike() {
+        use crate::stats::QueueDepth;
+        let mut r = report();
+        r.queues = vec![
+            QueueDepth {
+                name: "p[1]".into(),
+                capacity: 3,
+                max_depth: 3,
+            },
+            QueueDepth {
+                name: "p[2]".into(),
+                capacity: 3,
+                max_depth: 3,
+            },
+        ];
+        // p[1] pinned at capacity in every sample; p[2] touched it once.
+        let point = |d1: u64, d2: u64, ms: u64| {
+            let reg = crate::metrics::MetricsRegistry::new();
+            reg.gauge("core/queue_depth/p[1]").set(d1);
+            reg.gauge("core/queue_depth/p[2]").set(d2);
+            TimestampedSnapshot {
+                elapsed: Duration::from_millis(ms),
+                snapshot: reg.snapshot(),
+            }
+        };
+        let series = vec![
+            point(3, 3, 0),
+            point(3, 0, 1),
+            point(3, 1, 2),
+            point(3, 0, 3),
+        ];
+        let d = diagnose(&r, &series);
+        let f = |n: &str| d.queue_findings.iter().find(|q| q.name == n).unwrap();
+        assert_eq!(f("p[1]").full_frac, 1.0);
+        assert_eq!(f("p[2]").full_frac, 0.25);
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("`p[1]`") && r.contains("capacity")));
+        assert!(!d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("`p[2]`") && r.contains("capacity")));
+        // Without a time series there is nothing to distinguish: no
+        // findings at all, rather than findings from high-water marks.
+        assert!(diagnose(&r, &[]).queue_findings.is_empty());
+    }
+
+    #[test]
+    fn dry_recycle_pool_flagged() {
+        use crate::stats::QueueDepth;
+        let mut r = report();
+        r.queues = vec![QueueDepth {
+            name: "recycle/g0".into(),
+            capacity: 4,
+            max_depth: 4,
+        }];
+        let point = |depth: u64, ms: u64| {
+            let reg = crate::metrics::MetricsRegistry::new();
+            reg.gauge("core/queue_depth/recycle/g0").set(depth);
+            TimestampedSnapshot {
+                elapsed: Duration::from_millis(ms),
+                snapshot: reg.snapshot(),
+            }
+        };
+        let series = vec![point(0, 0), point(0, 1), point(1, 2), point(0, 3)];
+        let d = diagnose(&r, &series);
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("recycle/g0") && r.contains("under-provisioned")));
+    }
+}

@@ -576,6 +576,21 @@ fn metrics_from_json(j: &Json) -> Result<MetricsSnapshot, String> {
     Ok(m)
 }
 
+impl MetricsSnapshot {
+    /// The snapshot as a [`Json`] value (counters, gauges with peaks, and
+    /// full histogram buckets) — the `"metrics"` member of
+    /// [`Report::to_json_value`], also used standalone by the telemetry
+    /// series export ([`crate::telemetry::series_to_json`]).
+    pub fn to_json_value(&self) -> Json {
+        metrics_to_json(self)
+    }
+
+    /// Parse a snapshot written by [`MetricsSnapshot::to_json_value`].
+    pub fn from_json_value(j: &Json) -> Result<MetricsSnapshot, String> {
+        metrics_from_json(j)
+    }
+}
+
 impl Report {
     /// Serialize the report as a self-contained JSON document.  The inverse
     /// is [`Report::from_json`]; `from_json(to_json()) == self` for any
@@ -610,6 +625,25 @@ impl Report {
                         .collect(),
                 ),
             ),
+            (
+                "pipelines",
+                Json::Arr(
+                    self.pipelines
+                        .iter()
+                        .map(|p| {
+                            obj(vec![
+                                ("name", Json::from(p.name.as_str())),
+                                (
+                                    "stages",
+                                    Json::Arr(
+                                        p.stages.iter().map(|s| Json::from(s.as_str())).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("metrics", metrics_to_json(&self.metrics)),
         ])
     }
@@ -637,6 +671,29 @@ impl Report {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        // Absent in artifacts written before topology was recorded.
+        let pipelines = j
+            .get("pipelines")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|p| {
+                Ok(crate::stats::PipelineShape {
+                    name: field_str(p, "name")?,
+                    stages: p
+                        .get("stages")
+                        .and_then(Json::as_arr)
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|s| {
+                            s.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "pipeline stage name must be a string".to_string())
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
         let metrics = match j.get("metrics") {
             Some(m) => metrics_from_json(m)?,
             None => MetricsSnapshot::default(),
@@ -646,6 +703,7 @@ impl Report {
             threads_spawned: field_u64(&j, "threads_spawned")? as usize,
             stages,
             queues,
+            pipelines,
             metrics,
         })
     }

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 mod buffer;
 mod error;
 mod json;
@@ -63,7 +64,9 @@ mod queue;
 mod runtime;
 mod stage;
 mod stats;
+pub mod telemetry;
 
+pub use analyze::{diagnose, Diagnosis, QueueFinding, StageDiagnosis, StageVerdict};
 pub use buffer::{Buffer, PipelineId, StageId};
 pub use error::{FgError, Result};
 pub use json::Json;
@@ -73,4 +76,5 @@ pub use metrics::{
 pub use observe::{CountingObserver, MetricsObserver, Observer};
 pub use program::{run_linear, PipelineCfg, Program};
 pub use stage::{map_stage, reorder_stage, MapStage, Rounds, Stage, StageCtx};
-pub use stats::{QueueDepth, Report, Span, SpanKind, StageStats};
+pub use stats::{PipelineShape, QueueDepth, Report, Span, SpanKind, StageStats};
+pub use telemetry::{Sampler, SamplerCfg, TelemetryServer, TimestampedSnapshot};

@@ -361,6 +361,78 @@ impl MetricsSnapshot {
     pub fn gauge(&self, name: &str) -> Option<GaugeSnapshot> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
+
+    /// Render the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4), the payload a `GET /metrics` scrape expects.
+    ///
+    /// Metric names are `/`-separated paths internally
+    /// (`core/queue_depth/p[0]`); Prometheus names admit only
+    /// `[a-zA-Z0-9_:]`, so every name is prefixed with `fg_` and each run
+    /// of disallowed characters collapses to a single `_` (see METRICS.md
+    /// for the authoritative mapping).  Counters export as-is, gauges
+    /// export their value plus a `<name>_peak` companion, and log2
+    /// histograms export cumulative `_bucket{le="…"}` lines (the inclusive
+    /// upper bound of each occupied bucket) with `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let name = prometheus_name(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, g) in &self.gauges {
+            let name = prometheus_name(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.value));
+            out.push_str(&format!(
+                "# TYPE {name}_peak gauge\n{name}_peak {}\n",
+                g.peak
+            ));
+        }
+        for (name, h) in &self.histograms {
+            let name = prometheus_name(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            let last_occupied = h.buckets.iter().rposition(|&c| c > 0);
+            for (i, &c) in h.buckets.iter().enumerate() {
+                // Everything past the last occupied bucket is covered by
+                // the mandatory `+Inf` line; the final table bucket has no
+                // finite upper bound anyway.
+                if last_occupied.is_none_or(|last| i > last) || bucket_upper(i) == u64::MAX {
+                    break;
+                }
+                cumulative += c;
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    bucket_upper(i)
+                ));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Map a free-form FG metric name onto the Prometheus grammar: `fg_`
+/// prefix, runs of characters outside `[a-zA-Z0-9_:]` collapse to `_`,
+/// and no trailing `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("fg_");
+    let mut last_underscore = false;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == ':' {
+            out.push(c);
+            last_underscore = false;
+        } else if !last_underscore {
+            out.push('_');
+            last_underscore = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
 }
 
 #[cfg(test)]

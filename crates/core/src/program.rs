@@ -506,6 +506,18 @@ impl Program {
             trace: self.trace,
             observer: self.observer.clone(),
             metrics: self.metrics.clone(),
+            pipelines: self
+                .pipelines
+                .iter()
+                .map(|p| crate::stats::PipelineShape {
+                    name: p.name.clone(),
+                    stages: p
+                        .chain
+                        .iter()
+                        .map(|sid| self.stages[sid.index()].name.clone())
+                        .collect(),
+                })
+                .collect(),
         })
     }
 }

@@ -58,6 +58,7 @@ pub(crate) struct Plan {
     pub(crate) trace: bool,
     pub(crate) observer: Option<Arc<dyn Observer>>,
     pub(crate) metrics: Option<Arc<MetricsRegistry>>,
+    pub(crate) pipelines: Vec<crate::stats::PipelineShape>,
 }
 
 pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
@@ -69,6 +70,7 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         trace,
         observer,
         metrics,
+        pipelines,
     } = plan;
 
     let start = Instant::now();
@@ -133,6 +135,7 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         stages,
         threads_spawned,
         queues: registry.queue_depths(),
+        pipelines,
         metrics: metrics.map(|m| m.snapshot()).unwrap_or_default(),
     })
 }

@@ -89,6 +89,16 @@ pub struct QueueDepth {
     pub max_depth: usize,
 }
 
+/// The stage chain of one pipeline, recorded so post-run analysis can tell
+/// which stages are upstream or downstream of one another.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineShape {
+    /// Pipeline name as declared.
+    pub name: String,
+    /// Stage names in chain order (excludes the implicit source and sink).
+    pub stages: Vec<String>,
+}
+
 /// Report produced by a finished [`Program`](crate::Program) run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Report {
@@ -104,6 +114,10 @@ pub struct Report {
     /// Depth statistics of every queue the program wired, in creation
     /// order.
     pub queues: Vec<QueueDepth>,
+    /// Each pipeline's stage chain, in declaration order — the topology
+    /// [`diagnose`](crate::analyze::diagnose) uses to attribute blockage
+    /// upstream or downstream of the limiting stage.
+    pub pipelines: Vec<PipelineShape>,
     /// Snapshot of the program's
     /// [`MetricsRegistry`](crate::metrics::MetricsRegistry), when one was
     /// attached with [`Program::set_metrics`](crate::Program::set_metrics);
@@ -132,6 +146,32 @@ impl Report {
             0.0
         } else {
             self.total_busy().as_secs_f64() / wall
+        }
+    }
+
+    /// The largest busy time of any single stage — a lower bound on the
+    /// program's wall time no matter how the other stages are tuned.
+    pub fn max_busy(&self) -> Duration {
+        self.stages
+            .iter()
+            .map(|s| s.busy())
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Overlap *efficiency*: [`Report::max_busy`] over wall time, in
+    /// `(0, 1]`.  Where [`Report::overlap_factor`] says how much work ran
+    /// concurrently, efficiency says how close the run came to its
+    /// bottleneck bound — 1.0 means wall time equals the limiting stage's
+    /// busy time, i.e. every other stage hid completely behind it;
+    /// [`analyze::diagnose`](crate::analyze::diagnose) warns when this
+    /// drops low.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            0.0
+        } else {
+            (self.max_busy().as_secs_f64() / wall).clamp(0.0, 1.0)
         }
     }
 
@@ -321,8 +361,8 @@ impl Report {
                         "{k}: n={} mean={:.0} p50<={} p99<={} max={}\n",
                         h.count,
                         h.mean(),
-                        h.percentile(50.0),
-                        h.percentile(99.0),
+                        h.percentile(0.5),
+                        h.percentile(0.99),
                         h.max
                     ));
                 }

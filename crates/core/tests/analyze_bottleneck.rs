@@ -1,0 +1,78 @@
+//! End-to-end bottleneck analysis: inject a deliberately slow middle
+//! stage into a three-stage pipeline and check that `diagnose` names it
+//! as limiting, attributes backpressure upstream and starvation
+//! downstream, and recommends splitting or replicating it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fg_core::{
+    diagnose, map_stage, MetricsRegistry, PipelineCfg, Program, Rounds, Sampler, SamplerCfg,
+    StageVerdict,
+};
+
+#[test]
+fn injected_slow_middle_stage_is_diagnosed() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut prog = Program::new("bottleneck");
+    prog.set_metrics(Arc::clone(&registry));
+    let up = prog.add_stage("up", map_stage(|_, _| Ok(())));
+    let slow = prog.add_stage(
+        "slow",
+        map_stage(|_, _| {
+            std::thread::sleep(Duration::from_millis(2));
+            Ok(())
+        }),
+    );
+    let down = prog.add_stage("down", map_stage(|_, _| Ok(())));
+    // Few buffers so the slow stage's input queue pins at capacity while
+    // the downstream queue runs dry.
+    prog.add_pipeline(
+        PipelineCfg::new("p", 3, 64).rounds(Rounds::Count(50)),
+        &[up, slow, down],
+    )
+    .unwrap();
+
+    let sampler = Sampler::start(
+        Arc::clone(&registry),
+        SamplerCfg {
+            interval: Duration::from_millis(1),
+            capacity: 4096,
+        },
+    );
+    let report = prog.run().unwrap();
+    let series = sampler.stop();
+    assert!(
+        series.len() >= 10,
+        "a ~100ms run at 1ms cadence should collect many samples, got {}",
+        series.len()
+    );
+
+    let d = diagnose(&report, &series);
+    assert_eq!(
+        d.limiting.as_deref(),
+        Some("slow"),
+        "diagnosis:\n{}",
+        d.render()
+    );
+
+    let stage = |name: &str| {
+        d.stages
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no diagnosis for stage {name}"))
+    };
+    assert_eq!(stage("slow").verdict, StageVerdict::Busy);
+    // The stage feeding the bottleneck spends its time blocked conveying.
+    assert_eq!(stage("up").verdict, StageVerdict::Backpressured);
+    // The stage downstream of the bottleneck waits on accepts.
+    assert_eq!(stage("down").verdict, StageVerdict::Starved);
+
+    let recs = d.recommendations.join("\n");
+    assert!(
+        recs.contains("slow") && (recs.contains("split") || recs.contains("replicate")),
+        "expected split/replicate advice for `slow`:\n{recs}"
+    );
+    // The rendered report names the limiting stage for human readers.
+    assert!(d.render().contains("limiting stage: `slow`"));
+}

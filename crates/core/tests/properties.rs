@@ -7,7 +7,33 @@ use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 
-use fg_core::{map_stage, PipelineCfg, Program, Rounds};
+use fg_core::{
+    map_stage, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, PipelineCfg, Program, Rounds,
+};
+
+/// Build a snapshot by replaying `(metric index, value)` ops against a
+/// fresh registry, so every generated snapshot is internally consistent.
+fn snapshot_from(
+    counters: &[(u8, u64)],
+    gauges: &[(u8, u64)],
+    samples: &[(u8, u64)],
+) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    for (i, v) in counters {
+        reg.counter(&format!("c{}", i % 4)).add(*v);
+    }
+    for (i, v) in gauges {
+        reg.gauge(&format!("g{}", i % 4)).set(*v);
+    }
+    for (i, v) in samples {
+        reg.histogram(&format!("h{}", i % 4)).record(*v);
+    }
+    reg.snapshot()
+}
+
+fn ops() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -130,4 +156,101 @@ proptest! {
         // One virtual stage thread + one shared source + one shared sink.
         prop_assert_eq!(report.threads_spawned, 3);
     }
+
+    /// Snapshot merge is associative: replace-semantics means only the
+    /// last writer of each name survives, regardless of grouping.
+    #[test]
+    fn snapshot_merge_is_associative(
+        a in (ops(), ops(), ops()),
+        b in (ops(), ops(), ops()),
+        c in (ops(), ops(), ops()),
+    ) {
+        let a = snapshot_from(&a.0, &a.1, &a.2);
+        let b = snapshot_from(&b.0, &b.1, &b.2);
+        let c = snapshot_from(&c.0, &c.1, &c.2);
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Percentiles are monotone in `p`, bracketed by [min, max], and the
+    /// bucket upper bound overshoots a sample by at most 2x.
+    #[test]
+    fn percentile_is_monotone_and_bounded(samples in proptest::collection::vec(1u64..1_000_000, 1..40)) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h");
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let lo = *samples.iter().min().unwrap();
+        let hi = *samples.iter().max().unwrap();
+        let mut prev = 0;
+        for p in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let v = snap.percentile(p);
+            prop_assert!(v >= prev, "percentile not monotone at p={p}");
+            prop_assert!(v >= lo / 2 && v <= hi, "p{p}={v} outside [{lo}/2, {hi}]");
+            prev = v;
+        }
+    }
+}
+
+#[test]
+fn empty_histogram_percentiles_are_zero() {
+    let empty = HistogramSnapshot::default();
+    for p in [0.0, 0.5, 1.0] {
+        assert_eq!(empty.percentile(p), 0);
+    }
+    assert_eq!(empty.mean(), 0.0);
+}
+
+#[test]
+fn percentile_p_is_clamped_to_unit_interval() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("h");
+    for v in [1u64, 2, 3, 1000] {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    // Out-of-range p clamps rather than panicking or indexing out of range.
+    assert_eq!(snap.percentile(-1.0), snap.percentile(0.0));
+    assert_eq!(snap.percentile(2.0), snap.percentile(1.0));
+    assert_eq!(snap.percentile(1.0), 1000);
+}
+
+#[test]
+fn merge_replaces_gauge_peaks_rather_than_maxing() {
+    // Documented replace semantics: a merged-in gauge's peak wins even
+    // when lower, because each snapshot is a self-consistent point in time.
+    let a = MetricsRegistry::new();
+    a.gauge("g").set(100);
+    let b = MetricsRegistry::new();
+    b.gauge("g").set(5);
+    let mut merged = a.snapshot();
+    merged.merge(&b.snapshot());
+    let g = merged.gauge("g").unwrap();
+    assert_eq!(g.value, 5);
+    assert_eq!(g.peak, 5);
+}
+
+#[test]
+fn merge_with_empty_is_identity_and_keeps_sorted_order() {
+    let reg = MetricsRegistry::new();
+    reg.counter("z").inc();
+    reg.counter("a").inc();
+    reg.gauge("m").set(7);
+    let snap = reg.snapshot();
+    let mut merged = snap.clone();
+    merged.merge(&MetricsSnapshot::default());
+    assert_eq!(merged, snap);
+    let mut from_empty = MetricsSnapshot::default();
+    from_empty.merge(&snap);
+    assert_eq!(from_empty, snap);
+    let names: Vec<&str> = merged.counters.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["a", "z"]);
 }

@@ -20,16 +20,22 @@
 //!                              shaped cost model)
 //!   --no-verify                skip output verification
 //!   --trace                    print node-0 per-pass Gantt charts (dsort)
+//!   --telemetry ADDR           serve live GET /metrics (Prometheus) and
+//!                              GET /report on ADDR (e.g. 127.0.0.1:9100)
+//!                              while the sort runs; afterwards print the
+//!                              bottleneck diagnosis (dsort)
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
+use fg_core::{diagnose, MetricsRegistry, Sampler, TelemetryServer};
 use fg_sort::config::SortConfig;
 use fg_sort::csort::run_csort;
 use fg_sort::csort4::run_csort4;
-use fg_sort::dsort::run_dsort;
+use fg_sort::dsort::{run_dsort_with, DsortOptions};
 use fg_sort::dsort_linear::run_dsort_linear;
-use fg_sort::input::provision;
+use fg_sort::input::{provision, provision_with_metrics};
 use fg_sort::keygen::KeyDist;
 use fg_sort::record::RecordFormat;
 use fg_sort::verify::{verify_output, Strictness};
@@ -47,6 +53,7 @@ struct Options {
     free: bool,
     verify: bool,
     trace: bool,
+    telemetry: Option<String>,
 }
 
 impl Default for Options {
@@ -63,6 +70,7 @@ impl Default for Options {
             free: false,
             verify: true,
             trace: false,
+            telemetry: None,
         }
     }
 }
@@ -135,6 +143,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--free" => opts.free = true,
             "--no-verify" => opts.verify = false,
             "--trace" => opts.trace = true,
+            "--telemetry" => opts.telemetry = Some(value("--telemetry")?.clone()),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -186,6 +195,7 @@ fn main() -> ExitCode {
                 "              [--seed N] [--block-kib N] [--run-kib N] [--free] [--no-verify]"
             );
             eprintln!("              [--trace]   (print node-0 per-pass Gantt charts; dsort only)");
+            eprintln!("              [--telemetry ADDR]   (live /metrics + /report HTTP endpoint)");
             return if e == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -213,23 +223,63 @@ fn main() -> ExitCode {
         if opts.free { ", zero-cost" } else { "" },
     );
 
-    let disks = provision(&cfg);
+    // With --telemetry, all programs get metrics-instrumented disks and a
+    // live HTTP endpoint; dsort additionally publishes its queue and comm
+    // metrics and prints a bottleneck diagnosis after the run.
+    let registry = Arc::new(MetricsRegistry::new());
+    let telemetry = match &opts.telemetry {
+        Some(addr) => match TelemetryServer::bind(addr.as_str(), Arc::clone(&registry)) {
+            Ok(server) => {
+                println!(
+                    "telemetry: serving /metrics and /report on http://{}",
+                    server.local_addr()
+                );
+                let sampler = Sampler::start(Arc::clone(&registry), Default::default());
+                Some((server, sampler))
+            }
+            Err(e) => {
+                eprintln!("error: failed to bind telemetry server on {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let disks = if telemetry.is_some() {
+        provision_with_metrics(&cfg, &registry)
+    } else {
+        provision(&cfg)
+    };
+    let mut diagnosable: Option<fg_core::Report> = None;
     let outcome: Result<(), String> = match opts.program.as_str() {
-        "dsort" => run_dsort(&cfg, &disks)
-            .map(|r| {
-                print_phase("sampling", r.sampling);
-                print_phase("pass 1", r.pass1);
-                print_phase("pass 2", r.pass2);
-                print_phase("total", r.total());
-                println!("  partitions: {:?}", r.partition_records);
-                if let Some((p1, p2)) = &r.node0_reports {
-                    if opts.trace {
-                        println!("\nnode 0, pass 1:\n{}", p1.render_gantt(64));
-                        println!("node 0, pass 2:\n{}", p2.render_gantt(64));
-                    }
+        "dsort" => run_dsort_with(
+            &cfg,
+            &disks,
+            DsortOptions {
+                metrics: telemetry.is_some().then(|| Arc::clone(&registry)),
+                ..DsortOptions::default()
+            },
+        )
+        .map(|r| {
+            print_phase("sampling", r.sampling);
+            print_phase("pass 1", r.pass1);
+            print_phase("pass 2", r.pass2);
+            print_phase("total", r.total());
+            println!("  partitions: {:?}", r.partition_records);
+            if let Some((p1, p2)) = &r.node0_reports {
+                if opts.trace {
+                    println!("\nnode 0, pass 1:\n{}", p1.render_gantt(64));
+                    println!("node 0, pass 2:\n{}", p2.render_gantt(64));
                 }
-            })
-            .map_err(|e| e.to_string()),
+            }
+            if telemetry.is_some() {
+                diagnosable = r.node0_reports.map(|(_, mut pass2)| {
+                    pass2.metrics.merge(&r.metrics);
+                    pass2
+                });
+            }
+        })
+        .map_err(|e| e.to_string()),
         "csort" => run_csort(&cfg, &disks)
             .map(|r| {
                 for (i, p) in r.pass.iter().enumerate() {
@@ -273,6 +323,18 @@ fn main() -> ExitCode {
     }
     let io: u64 = disks.iter().map(|d| d.stats().bytes_total()).sum();
     println!("disk I/O: {:.2} MiB total", io as f64 / (1 << 20) as f64);
+
+    if let Some((server, sampler)) = telemetry {
+        let series = sampler.stop();
+        println!(
+            "telemetry: collected {} samples; endpoint on {} closing",
+            series.len(),
+            server.local_addr()
+        );
+        if let Some(report) = diagnosable {
+            println!("\n{}", diagnose(&report, &series).render());
+        }
+    }
     ExitCode::SUCCESS
 }
 
