@@ -1,0 +1,138 @@
+//! Queue fast-path microbenchmarks: the mutex-guarded MPMC flavor vs the
+//! SPSC ring that `wire()` picks automatically for plain chains, batched
+//! pop (`accept_many`'s underlying drain), contended MPMC access, and the
+//! end-to-end cost of an ordered worker farm vs a plain stage.
+//!
+//! Numbers are recorded in EXPERIMENTS.md.  On a single-core host the
+//! threaded cases mostly measure handoff/park cost, not parallelism; the
+//! SPSC-vs-MPMC gap is visible either way.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fg_core::qbench::{Batch, BenchQueue};
+use fg_core::{map_stage, PipelineCfg, Program, Rounds};
+
+/// Items transferred per measured iteration.
+const ITEMS: usize = 4096;
+/// Queue capacity, matching a typical pipeline's buffer pool.
+const CAP: usize = 8;
+/// Payload size; small so queue overhead dominates.
+const BUF_BYTES: usize = 64;
+
+/// Push `ITEMS` buffers from one thread, pop them here one at a time.
+fn one_to_one(q: BenchQueue, batch_pop: bool) {
+    let producer = {
+        let q = q.clone();
+        thread::spawn(move || {
+            for _ in 0..ITEMS {
+                q.push(BenchQueue::buffer(BUF_BYTES));
+            }
+        })
+    };
+    let mut received = 0usize;
+    if batch_pop {
+        let mut batch = Batch::default();
+        while received < ITEMS {
+            q.pop_many(64, &mut batch);
+            batch.drain_buffers(|b| {
+                black_box(b.capacity());
+                received += 1;
+            });
+        }
+    } else {
+        while received < ITEMS {
+            let b = q.pop().expect("open queue");
+            black_box(b.capacity());
+            received += 1;
+        }
+    }
+    producer.join().unwrap();
+}
+
+/// `n` producers and `n` consumers hammer one MPMC queue.
+fn contended(n: usize) {
+    let q = BenchQueue::mpmc(CAP);
+    let got = Arc::new(AtomicUsize::new(0));
+    let producers: Vec<_> = (0..n)
+        .map(|_| {
+            let q = q.clone();
+            thread::spawn(move || {
+                for _ in 0..ITEMS / n {
+                    q.push(BenchQueue::buffer(BUF_BYTES));
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..n)
+        .map(|_| {
+            let q = q.clone();
+            let got = Arc::clone(&got);
+            thread::spawn(move || {
+                while let Some(b) = q.pop() {
+                    black_box(b.capacity());
+                    got.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    q.close();
+    for c in consumers {
+        c.join().unwrap();
+    }
+    assert_eq!(got.load(Ordering::Relaxed), ITEMS);
+}
+
+/// Run a one-stage pipeline for `rounds`, the stage either plain or farmed.
+fn run_stage_pipeline(workers: usize, rounds: u64) {
+    let mut prog = Program::new("qbench");
+    let body = || {
+        map_stage(|buf, _| {
+            black_box(buf.filled());
+            Ok(())
+        })
+    };
+    let stage = if workers > 1 {
+        prog.workers("w", workers, move |_| body())
+    } else {
+        prog.add_stage("w", body())
+    };
+    prog.add_pipeline(
+        PipelineCfg::new("p", CAP, BUF_BYTES).rounds(Rounds::Count(rounds)),
+        &[stage],
+    )
+    .unwrap();
+    prog.run().unwrap();
+}
+
+fn queue_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_throughput");
+    group.sample_size(10);
+    group.bench_function("spsc_shape/mpmc", |b| {
+        b.iter(|| one_to_one(BenchQueue::mpmc(CAP), false))
+    });
+    group.bench_function("spsc_shape/spsc", |b| {
+        b.iter(|| one_to_one(BenchQueue::spsc(CAP), false))
+    });
+    group.bench_function("spsc_shape/spsc_batched", |b| {
+        b.iter(|| one_to_one(BenchQueue::spsc(CAP), true))
+    });
+    group.bench_function("contended/mpmc_2p2c", |b| b.iter(|| contended(2)));
+    group.finish();
+}
+
+fn replicated_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replicated_stage");
+    group.sample_size(10);
+    group.bench_function("plain", |b| b.iter(|| run_stage_pipeline(1, 512)));
+    group.bench_function("workers_4", |b| b.iter(|| run_stage_pipeline(4, 512)));
+    group.finish();
+}
+
+criterion_group!(benches, queue_throughput, replicated_stage);
+criterion_main!(benches);

@@ -10,7 +10,10 @@
 //! `fig8a`, `fig8b`, `ratio-table` (T1), `splitter-balance` (T2),
 //! `io-volume` (T3), `unbalanced` (T4), `ablation-linear` (A1),
 //! `ablation-virtual` (A2), `ablation-overlap` (A3), `buffer-sweep` (A4),
-//! `ablation-passes` (A5), `ablation-readahead` (A6), `all`.
+//! `ablation-passes` (A5), `ablation-readahead` (A6), `workers-scaling`
+//! (csort's farmed sort stages across replica counts; `--workers N` runs a
+//! single count, e.g. for gating a farmed run against a serial baseline),
+//! `all`.
 //!
 //! `--json-out <dir>` writes one machine-readable JSON artifact per
 //! experiment into `<dir>`.  The fig8 runs are then observed: dsort runs
@@ -232,6 +235,15 @@ fn main() {
         })
     });
     let telemetry_addr = take_value_flag(&mut args, "--telemetry");
+    let workers_flag = take_value_flag(&mut args, "--workers").map(|v| {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("--workers needs a positive integer");
+                std::process::exit(2);
+            })
+    });
     if let Some(dir) = &json_out {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: failed to create {}: {e}", dir.display());
@@ -619,6 +631,55 @@ fn main() {
                             ("block_bytes", Json::from(r.block_bytes)),
                             ("dsort_s", jsecs(r.dsort_total)),
                             ("csort_s", jsecs(r.csort_total)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    if run_all || cmd == "workers-scaling" {
+        println!("\n=== Workers scaling: csort's farmed sort stages (zero-cost I/O) ===");
+        let counts: Vec<usize> = match workers_flag {
+            Some(n) => vec![n],
+            None if quick => vec![1, 2],
+            None => vec![1, 2, 4],
+        };
+        let (nodes, bytes) = if quick { (2, 256 << 10) } else { (2, 4 << 20) };
+        println!(
+            "{nodes} nodes x {} KiB/node, workers {counts:?}",
+            bytes >> 10
+        );
+        let rows = fg_bench::run_workers_scaling(nodes, bytes, &counts).expect("workers-scaling");
+        println!(
+            "{:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "workers", "pass1 s", "pass2 s", "pass3 s", "total s", "speedup"
+        );
+        let serial = rows.first().map(|r| r.total);
+        for r in &rows {
+            let speedup = serial
+                .map(|s| s.as_secs_f64() / r.total.as_secs_f64())
+                .unwrap_or(1.0);
+            println!(
+                "{:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>8.2}x",
+                r.workers,
+                r.pass[0].as_secs_f64(),
+                r.pass[1].as_secs_f64(),
+                r.pass[2].as_secs_f64(),
+                r.total.as_secs_f64(),
+                speedup
+            );
+        }
+        sink.write(
+            "workers-scaling",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        jobj(vec![
+                            ("workers", Json::from(r.workers)),
+                            ("pass1_s", jsecs(r.pass[0])),
+                            ("pass2_s", jsecs(r.pass[1])),
+                            ("pass3_s", jsecs(r.pass[2])),
+                            ("total_s", jsecs(r.total)),
                         ])
                     })
                     .collect(),

@@ -555,6 +555,46 @@ pub fn run_csort_pass_ablation(scale: Scale) -> Result<CsortPassAblationRow, Sor
     })
 }
 
+/// One workers-scaling row: csort with its in-core sort stages farmed
+/// across `workers` replicas (`Program::workers` via `SortConfig.workers`).
+#[derive(Debug)]
+pub struct WorkersScalingRow {
+    /// Sort-stage replica count.
+    pub workers: usize,
+    /// Max-across-nodes wall time of each csort pass.
+    pub pass: [Duration; 3],
+    /// Total wall time.
+    pub total: Duration,
+}
+
+/// Run csort once per entry of `workers` on zero-cost disks and network,
+/// so the in-core sort dominates wall time and the farm's effect is
+/// visible (the cost-model disks would hide it behind simulated I/O).
+/// Every output is verified.  The speedup of an n-worker row over the
+/// 1-worker row scales with physical cores; node count stays small so the
+/// node threads don't saturate the host by themselves.
+pub fn run_workers_scaling(
+    nodes: usize,
+    bytes_per_node: usize,
+    workers: &[usize],
+) -> Result<Vec<WorkersScalingRow>, SortError> {
+    let mut rows = Vec::new();
+    for &w in workers {
+        let mut cfg =
+            SortConfig::test_default(nodes, bytes_per_node / RecordFormat::REC16.record_bytes);
+        cfg.workers = w;
+        let disks = provision(&cfg);
+        let r = run_csort(&cfg, &disks)?;
+        verify_output(&cfg, &disks, Strictness::Fingerprint)?;
+        rows.push(WorkersScalingRow {
+            workers: w,
+            pass: r.pass,
+            total: r.total,
+        });
+    }
+    Ok(rows)
+}
+
 /// Provision fresh disks for a config (re-export convenience for benches).
 pub fn fresh_disks(cfg: &SortConfig) -> Vec<Arc<SimDisk>> {
     provision(cfg)

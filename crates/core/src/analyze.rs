@@ -57,11 +57,16 @@ impl StageVerdict {
 /// Wall-time attribution for one stage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageDiagnosis {
-    /// Stage name from the [`Report`].
+    /// Stage name from the [`Report`].  Replicated stages appear once
+    /// under their base name, with the per-replica rows (`name#0`,
+    /// `name#1`, …) rolled up.
     pub name: String,
-    /// The stage's wall time.
+    /// The stage's wall time (the slowest replica's, for a farm).
     pub wall: Duration,
-    /// Fraction of wall spent doing its own work.
+    /// Fraction of wall spent doing its own work.  For a farm, fractions
+    /// are taken against the summed replica wall, so two busy workers next
+    /// to two idle ones read as 50% busy / 50% starved rather than four
+    /// rows at the extremes.
     pub busy_frac: f64,
     /// Fraction of wall blocked in accept.
     pub starved_frac: f64,
@@ -69,6 +74,9 @@ pub struct StageDiagnosis {
     pub backpressured_frac: f64,
     /// The dominant of the three fractions.
     pub verdict: StageVerdict,
+    /// Replica count: 1 for ordinary stages, `n` for a stage declared with
+    /// `workers(n)` / `add_replicated_stage`.
+    pub workers: usize,
 }
 
 /// A queue-level finding from the depth-gauge time series.
@@ -130,21 +138,90 @@ fn is_source_or_sink(name: &str) -> bool {
 /// findings need the time series (the report's high-water marks cannot
 /// tell "pinned at capacity" from "touched capacity once").
 pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
-    let mut stages: Vec<StageDiagnosis> = report
-        .stages
+    // Fold per-replica rows (`base#i`) into one farm row per base.  The
+    // base must itself be a stage named in the report's pipeline topology,
+    // so a user-chosen stage name that happens to contain `#` is never
+    // misread as a replica of something else.
+    let topo: std::collections::HashSet<&str> = report
+        .pipelines
         .iter()
-        .map(|s| {
-            let wall = s.wall.as_secs_f64();
+        .flat_map(|p| p.stages.iter().map(String::as_str))
+        .collect();
+    fn replica_base<'a>(name: &'a str, topo: &std::collections::HashSet<&str>) -> Option<&'a str> {
+        let (base, idx) = name.rsplit_once('#')?;
+        (!idx.is_empty() && idx.bytes().all(|b| b.is_ascii_digit()) && topo.contains(base))
+            .then_some(base)
+    }
+
+    struct Row {
+        name: String,
+        wall: Duration,
+        busy: Duration,
+        starved: Duration,
+        backpressured: Duration,
+        /// Denominator for the fractions: the summed replica wall for a
+        /// farm, the stage's own wall otherwise.
+        denom: Duration,
+        workers: usize,
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for s in &report.stages {
+        match replica_base(&s.name, &topo) {
+            Some(base) => {
+                if !seen.insert(base.to_string()) {
+                    continue;
+                }
+                let mut row = Row {
+                    name: base.to_string(),
+                    wall: Duration::ZERO,
+                    busy: Duration::ZERO,
+                    starved: Duration::ZERO,
+                    backpressured: Duration::ZERO,
+                    denom: Duration::ZERO,
+                    workers: 0,
+                };
+                for r in report
+                    .stages
+                    .iter()
+                    .filter(|r| replica_base(&r.name, &topo) == Some(base))
+                {
+                    row.workers += 1;
+                    row.wall = row.wall.max(r.wall);
+                    row.busy += r.busy();
+                    row.starved += r.blocked_accept;
+                    row.backpressured += r.blocked_convey;
+                    row.denom += r.wall;
+                }
+                rows.push(row);
+            }
+            None => rows.push(Row {
+                name: s.name.clone(),
+                wall: s.wall,
+                busy: s.busy(),
+                starved: s.blocked_accept,
+                backpressured: s.blocked_convey,
+                denom: s.wall,
+                workers: 1,
+            }),
+        }
+    }
+
+    let mut stages: Vec<StageDiagnosis> = rows
+        .iter()
+        .map(|r| {
+            let denom = r.denom.as_secs_f64();
             let frac = |d: Duration| {
-                if wall == 0.0 {
+                if denom == 0.0 {
                     0.0
                 } else {
-                    (d.as_secs_f64() / wall).clamp(0.0, 1.0)
+                    (d.as_secs_f64() / denom).clamp(0.0, 1.0)
                 }
             };
-            let starved_frac = frac(s.blocked_accept);
-            let backpressured_frac = frac(s.blocked_convey);
-            let busy_frac = frac(s.busy());
+            let starved_frac = frac(r.starved);
+            let backpressured_frac = frac(r.backpressured);
+            let busy_frac = frac(r.busy);
             let verdict = if busy_frac >= starved_frac && busy_frac >= backpressured_frac {
                 StageVerdict::Busy
             } else if starved_frac >= backpressured_frac {
@@ -153,23 +230,25 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
                 StageVerdict::Backpressured
             };
             StageDiagnosis {
-                name: s.name.clone(),
-                wall: s.wall,
+                name: r.name.clone(),
+                wall: r.wall,
                 busy_frac,
                 starved_frac,
                 backpressured_frac,
                 verdict,
+                workers: r.workers,
             }
         })
         .collect();
 
-    let limiting = report
-        .stages
+    // A farm's workers overlap with each other, so its bound on wall time
+    // is the summed busy divided by the worker count, not the sum itself.
+    let limiting = rows
         .iter()
-        .filter(|s| !is_source_or_sink(&s.name))
-        .max_by_key(|s| s.busy())
-        .filter(|s| s.busy() > Duration::ZERO)
-        .map(|s| s.name.clone());
+        .filter(|r| !is_source_or_sink(&r.name))
+        .max_by_key(|r| r.busy / r.workers.max(1) as u32)
+        .filter(|r| r.busy > Duration::ZERO)
+        .map(|r| r.name.clone());
 
     // A starved stage upstream of the limiting stage in the same chain is
     // effectively backpressured: FG provisions every queue above the buffer
@@ -200,12 +279,23 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
             .iter()
             .find(|d| &d.name == name)
             .expect("limiting stage is in stages");
-        recommendations.push(format!(
-            "stage `{name}` is the limiting stage (busy {:.0}% of its wall time): \
-             its busy time bounds the whole pipeline — split it into substages, \
-             replicate it (`add_replicated_stage`), or reduce its per-buffer work",
-            d.busy_frac * 100.0
-        ));
+        if d.workers > 1 {
+            recommendations.push(format!(
+                "stage `{name}` is the limiting stage (busy {:.0}% across its {} workers): \
+                 raise its worker count (`workers({})`), split it into substages, or \
+                 reduce its per-buffer work",
+                d.busy_frac * 100.0,
+                d.workers,
+                d.workers * 2
+            ));
+        } else {
+            recommendations.push(format!(
+                "stage `{name}` is the limiting stage (busy {:.0}% of its wall time): \
+                 its busy time bounds the whole pipeline — farm it across replicas \
+                 (`workers(n)`), split it into substages, or reduce its per-buffer work",
+                d.busy_frac * 100.0
+            ));
+        }
     }
     for d in &stages {
         if is_source_or_sink(&d.name) {
@@ -329,10 +419,17 @@ impl Diagnosis {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("== diagnosis ==\n");
+        let display = |s: &StageDiagnosis| {
+            if s.workers > 1 {
+                format!("{} x{}", s.name, s.workers)
+            } else {
+                s.name.clone()
+            }
+        };
         let name_w = self
             .stages
             .iter()
-            .map(|s| s.name.len())
+            .map(|s| display(s).len())
             .max()
             .unwrap_or(5)
             .max(5);
@@ -343,7 +440,7 @@ impl Diagnosis {
         for s in &self.stages {
             out.push_str(&format!(
                 "{:<name_w$} {:>6.0}% {:>7.0}% {:>7.0}% {:>6.3}  {}\n",
-                s.name,
+                display(s),
                 s.busy_frac * 100.0,
                 s.starved_frac * 100.0,
                 s.backpressured_frac * 100.0,
@@ -421,6 +518,11 @@ mod tests {
         assert_eq!(by_name("fast-up").verdict, StageVerdict::Backpressured);
         assert_eq!(by_name("fast-down").verdict, StageVerdict::Starved);
         assert!(d.recommendations.iter().any(|r| r.contains("`slow`")));
+        // Unfarmed busy-bound bottleneck: the fix on offer is `workers(n)`.
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("`slow`") && r.contains("workers(n)")));
         assert!(d
             .recommendations
             .iter()
@@ -472,6 +574,95 @@ mod tests {
     }
 
     #[test]
+    fn farm_replicas_roll_up_into_one_row() {
+        use crate::stats::PipelineShape;
+        // A 4-worker farm: two workers carried most of the rounds, two sat
+        // mostly idle.  The diagnosis must show one `sort` row (no `#`
+        // names anywhere), attribute fractions against the summed replica
+        // wall so the idle pair doesn't read as phantom starvation, and —
+        // since the farm is still busy-bound and limiting — recommend
+        // raising the worker count rather than `workers(n)` from scratch.
+        let r = Report {
+            wall: Duration::from_millis(100),
+            stages: vec![
+                stage("read", 100, 80, 10),
+                stage("sort#0", 100, 5, 5),
+                stage("sort#1", 100, 5, 5),
+                stage("sort#2", 100, 60, 0),
+                stage("sort#3", 100, 60, 0),
+                stage("write", 100, 90, 0),
+            ],
+            pipelines: vec![PipelineShape {
+                name: "p".into(),
+                stages: vec!["read".into(), "sort".into(), "write".into()],
+            }],
+            threads_spawned: 6,
+            ..Report::default()
+        };
+        let d = diagnose(&r, &[]);
+        assert!(d.stages.iter().all(|s| !s.name.contains('#')));
+        let sort = d.stages.iter().find(|s| s.name == "sort").unwrap();
+        assert_eq!(sort.workers, 4);
+        assert_eq!(sort.wall, Duration::from_millis(100));
+        // busy = (90 + 90 + 40 + 40) / 400, starved = (5 + 5 + 60 + 60) / 400.
+        assert!((sort.busy_frac - 0.65).abs() < 1e-9);
+        assert!((sort.starved_frac - 0.325).abs() < 1e-9);
+        assert_eq!(sort.verdict, StageVerdict::Busy);
+        // Effective busy 65ms beats read/write at 10ms each.
+        assert_eq!(d.limiting.as_deref(), Some("sort"));
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("`sort`") && r.contains("4 workers") && r.contains("workers(8)")));
+        // No recommendation names an individual replica.
+        assert!(d.recommendations.iter().all(|r| !r.contains('#')));
+        assert!(d.render().contains("sort x4"));
+    }
+
+    #[test]
+    fn farm_limits_by_effective_busy_not_summed_busy() {
+        use crate::stats::PipelineShape;
+        // The farm's four workers sum to 200ms busy, but they overlap: the
+        // bound they place on wall time is 50ms.  The 80ms-busy plain stage
+        // is the real bottleneck.
+        let r = Report {
+            wall: Duration::from_millis(100),
+            stages: vec![
+                stage("work#0", 100, 50, 0),
+                stage("work#1", 100, 50, 0),
+                stage("work#2", 100, 50, 0),
+                stage("work#3", 100, 50, 0),
+                stage("heavy", 100, 10, 10),
+            ],
+            pipelines: vec![PipelineShape {
+                name: "p".into(),
+                stages: vec!["work".into(), "heavy".into()],
+            }],
+            threads_spawned: 5,
+            ..Report::default()
+        };
+        let d = diagnose(&r, &[]);
+        assert_eq!(d.limiting.as_deref(), Some("heavy"));
+    }
+
+    #[test]
+    fn hash_in_name_without_topology_match_is_not_a_replica() {
+        // No pipeline names a `map` stage, so `map#1` is just a stage with
+        // a `#` in its name: it stays its own row with workers == 1.
+        let r = Report {
+            wall: Duration::from_millis(100),
+            stages: vec![stage("map#1", 100, 5, 5)],
+            threads_spawned: 1,
+            ..Report::default()
+        };
+        let d = diagnose(&r, &[]);
+        assert_eq!(d.stages.len(), 1);
+        assert_eq!(d.stages[0].name, "map#1");
+        assert_eq!(d.stages[0].workers, 1);
+        assert_eq!(d.limiting.as_deref(), Some("map#1"));
+    }
+
+    #[test]
     fn sources_and_sinks_never_limit() {
         let r = Report {
             wall: Duration::from_millis(100),
@@ -500,11 +691,13 @@ mod tests {
                 name: "p[1]".into(),
                 capacity: 3,
                 max_depth: 3,
+                spsc: false,
             },
             QueueDepth {
                 name: "p[2]".into(),
                 capacity: 3,
                 max_depth: 3,
+                spsc: false,
             },
         ];
         // p[1] pinned at capacity in every sample; p[2] touched it once.
@@ -548,6 +741,7 @@ mod tests {
             name: "recycle/g0".into(),
             capacity: 4,
             max_depth: 4,
+            spsc: false,
         }];
         let point = |depth: u64, ms: u64| {
             let reg = crate::metrics::MetricsRegistry::new();

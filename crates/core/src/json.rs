@@ -620,6 +620,7 @@ impl Report {
                                 ("name", Json::from(q.name.as_str())),
                                 ("capacity", Json::from(q.capacity)),
                                 ("max_depth", Json::from(q.max_depth)),
+                                ("spsc", Json::Bool(q.spsc)),
                             ])
                         })
                         .collect(),
@@ -668,6 +669,8 @@ impl Report {
                     name: field_str(q, "name")?,
                     capacity: field_u64(q, "capacity")? as usize,
                     max_depth: field_u64(q, "max_depth")? as usize,
+                    // Absent in artifacts written before the SPSC flavor.
+                    spsc: matches!(q.get("spsc"), Some(Json::Bool(true))),
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;

@@ -60,6 +60,8 @@ mod json;
 pub mod metrics;
 mod observe;
 mod program;
+#[doc(hidden)]
+pub mod qbench;
 mod queue;
 mod runtime;
 mod stage;

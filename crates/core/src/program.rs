@@ -69,6 +69,9 @@ pub(crate) struct StageSlot {
     /// One object per replica (length 1 for ordinary stages).
     pub(crate) stages: Vec<Box<dyn Stage>>,
     pub(crate) is_virtual: bool,
+    /// Replicated stages only: whether emission is serialized by round
+    /// (a worker farm built with [`Program::workers`]).
+    pub(crate) ordered: bool,
 }
 
 pub(crate) struct PipeSpec {
@@ -154,6 +157,7 @@ impl Program {
             name,
             stages: vec![stage],
             is_virtual,
+            ordered: false,
         });
         id
     }
@@ -182,6 +186,41 @@ impl Program {
             name: name.into(),
             stages: (0..replicas).map(factory).collect(),
             is_virtual: false,
+            ordered: false,
+        });
+        id
+    }
+
+    /// Declare a *worker farm*: an ordered replicated stage.  `n` worker
+    /// threads (built by `factory`, which receives the worker index) share
+    /// the stage's position in a pipeline and its input queue, so rounds
+    /// fan out to whichever worker is free — but unlike
+    /// [`Program::add_replicated_stage`], emission is serialized by round:
+    /// a worker holding round `r` waits (inside `convey`/`discard`) until
+    /// rounds `0..r` have been emitted, so downstream stages observe rounds
+    /// in order with no [`reorder_stage`](crate::reorder_stage) and no
+    /// stash buffers.
+    ///
+    /// Each accepted round must be conveyed or discarded exactly once
+    /// (the natural shape of a [`map_stage`](crate::map_stage)); a farm
+    /// stage that emits twice for one round fails with a usage error.
+    /// Caboose, error, and shutdown semantics are those of a replicated
+    /// stage: the caboose travels downstream only after every worker has
+    /// finished, and teardown wakes workers parked on the ordering gate.
+    /// A farm must belong to exactly one pipeline and cannot be virtual.
+    /// `workers(name, 1, factory)` degenerates to an ordinary stage with
+    /// zero ordering overhead.
+    pub fn workers<F>(&mut self, name: impl Into<String>, n: usize, factory: F) -> StageId
+    where
+        F: Fn(usize) -> Box<dyn Stage>,
+    {
+        assert!(n > 0, "need at least one worker");
+        let id = StageId(self.stages.len() as u32);
+        self.stages.push(StageSlot {
+            name: name.into(),
+            stages: (0..n).map(factory).collect(),
+            is_virtual: false,
+            ordered: true,
         });
         id
     }
@@ -347,24 +386,32 @@ impl Program {
             .collect();
 
         // Build a queue, register it for shutdown, and — when a metrics
-        // registry is attached — wire up its depth gauge.
+        // registry is attached — wire up its depth gauge.  `spsc` selects
+        // the single-producer single-consumer ring; only stage-to-stage
+        // links the planner has proven exclusive may pass true.
         let metrics = self.metrics.clone();
-        let reg = |name: String, cap: usize| {
+        let reg = |name: String, cap: usize, spsc: bool| {
             let gauge = metrics
                 .as_ref()
                 .map(|m| m.gauge(&format!("core/queue_depth/{name}")));
-            let q = Queue::with_gauge(name, cap, gauge);
+            let q = if spsc {
+                Queue::spsc_with_gauge(name, cap, gauge)
+            } else {
+                Queue::with_gauge(name, cap, gauge)
+            };
             registry.register(Arc::clone(&q));
             q
         };
 
-        // Per-group shared recycle and sink queues.
+        // Per-group shared recycle and sink queues: always MPMC (every
+        // stage of the group discards into the recycle queue, and several
+        // last stages may feed one sink).
         let mut recycle_q: Vec<Arc<Queue>> = Vec::new();
         let mut sink_q: Vec<Arc<Queue>> = Vec::new();
         for (gi, members) in groups.iter().enumerate() {
             let cap: usize = members.iter().map(|&m| self.pipelines[m].buffers + 1).sum();
-            recycle_q.push(reg(format!("recycle/g{gi}"), cap));
-            sink_q.push(reg(format!("sink/g{gi}"), cap));
+            recycle_q.push(reg(format!("recycle/g{gi}"), cap, false));
+            sink_q.push(reg(format!("sink/g{gi}"), cap, false));
         }
 
         // Stop flags per pipeline, attached to their (possibly shared)
@@ -389,12 +436,21 @@ impl Program {
                     .map(|(i, _)| i)
                     .collect();
                 let cap: usize = members.iter().map(|&m| self.pipelines[m].buffers + 1).sum();
-                shared_in.insert(sid, reg(format!("in/{}", slot.name), cap.max(1)));
+                // Shared (virtual) inputs are fed by many pipelines'
+                // upstreams: never SPSC.
+                shared_in.insert(sid, reg(format!("in/{}", slot.name), cap.max(1), false));
             }
         }
 
         // Queues along each pipeline.  into_q[p][i] feeds stage i of
         // pipeline p; out of the last stage is the pipeline's sink queue.
+        // A per-stage queue is specialized to the SPSC ring when exactly
+        // one thread pushes and one pops: the consumer stage has a single
+        // replica (replicas also *push* — they hand the caboose around
+        // their own input queue), and the producer — the group's source
+        // thread for position 0, the upstream stage otherwise — has a
+        // single replica too.  Virtual stages are excluded on both sides
+        // by construction (their shared queue is built above).
         let mut into_q: Vec<Vec<Arc<Queue>>> = Vec::new();
         for (pi, pipe) in self.pipelines.iter().enumerate() {
             let mut qs = Vec::with_capacity(pipe.chain.len());
@@ -402,7 +458,13 @@ impl Program {
                 let q = if self.stages[sid.index()].is_virtual {
                     Arc::clone(&shared_in[&sid.index()])
                 } else {
-                    reg(format!("{}[{}]", pipe.name, pos), pipe.buffers + 1)
+                    let consumer_single = self.stages[sid.index()].stages.len() == 1;
+                    let producer_single = match pos {
+                        0 => true, // one source thread per group
+                        _ => self.stages[pipe.chain[pos - 1].index()].stages.len() == 1,
+                    };
+                    let spsc = consumer_single && producer_single;
+                    reg(format!("{}[{}]", pipe.name, pos), pipe.buffers + 1, spsc)
                 };
                 qs.push(q);
             }
@@ -434,6 +496,7 @@ impl Program {
                     stop: Arc::clone(&stops[pi]),
                     eos: false,
                     forwarded: false,
+                    deferred_caboose: false,
                 });
             }
         }
@@ -477,7 +540,9 @@ impl Program {
             let shared_input = shared_in.get(&sid).map(Arc::clone);
             let replicas = slot.stages.len();
             let group = if replicas > 1 {
-                Some(ReplicaGroup::new(replicas))
+                let g = ReplicaGroup::new(replicas, slot.ordered);
+                registry.register_group(Arc::clone(&g));
+                Some(g)
             } else {
                 None
             };

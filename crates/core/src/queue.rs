@@ -8,20 +8,43 @@
 //!
 //! Queues are multi-producer multi-consumer because *virtual* stages share a
 //! single queue among many pipelines, and several stages may discard buffers
-//! into the same recycle queue.
+//! into the same recycle queue.  When the planner can prove a queue has
+//! exactly one producer and one consumer thread (a plain stage-to-stage
+//! link with no replication on either side), it builds the queue with the
+//! lock-free SPSC ring flavor instead; both flavors share the same API.
 //!
-//! A queue can be *closed*; closing wakes every blocked thread.  Pushes to a
-//! closed queue fail immediately, pops drain whatever is left and then fail.
-//! The runtime closes all queues of a program when a stage fails, which
-//! unblocks every thread for shutdown.
+//! Waiting is *spin-then-park*: a blocked thread first spins a few hundred
+//! iterations (the common case when the peer stage is about to act) and only
+//! then takes the slow path of parking on a condvar.
+//!
+//! A queue can be *closed*; closing wakes every blocked thread — parked or
+//! spinning.  Pushes to a closed queue fail immediately, pops drain whatever
+//! is left and then fail.  The runtime closes all queues of a program when a
+//! stage fails, which unblocks every thread for shutdown.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::buffer::{Buffer, PipelineId};
 use crate::metrics::Gauge;
+
+/// Iterations a blocked push/pop spins before parking on a condvar.  Zero
+/// on a single-core host: there the peer stage cannot make progress while
+/// we spin, so the spin phase only burns the time slice the peer needs.
+fn spin_limit() -> usize {
+    static LIMIT: AtomicUsize = AtomicUsize::new(usize::MAX);
+    let cached = LIMIT.load(Ordering::Relaxed);
+    if cached != usize::MAX {
+        return cached;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let limit = if cores > 1 { 256 } else { 0 };
+    LIMIT.store(limit, Ordering::Relaxed);
+    limit
+}
 
 /// What travels through a queue: a buffer, or the end-of-stream marker for
 /// one pipeline (FG's *caboose*).
@@ -41,49 +64,119 @@ pub(crate) struct Closed;
 struct Inner {
     items: VecDeque<Item>,
     closed: bool,
-    /// High-water mark of `items.len()`, maintained inside the existing
-    /// lock so tracking costs nothing beyond a compare.
-    max_depth: usize,
 }
 
-/// A bounded MPMC blocking queue of [`Item`]s.
+/// Single-producer single-consumer ring: one `Option<Item>` slot per
+/// capacity entry, with monotonically increasing head/tail indices.  The
+/// per-slot mutexes are never contended (producer and consumer touch
+/// disjoint slots) — they exist only to move `Item`s in and out without
+/// `unsafe`.
+struct Ring {
+    slots: Vec<Mutex<Option<Item>>>,
+    /// Next slot the consumer will take.  Only the consumer stores.
+    head: AtomicU64,
+    /// Next slot the producer will fill.  Only the producer stores.
+    tail: AtomicU64,
+}
+
+enum Flavor {
+    /// General case: a mutex-protected deque, usable from any number of
+    /// producer and consumer threads.
+    Mpmc(Mutex<Inner>),
+    /// Fast path: a lock-free ring, valid only with exactly one producer
+    /// thread and one consumer thread.
+    Spsc(Ring),
+}
+
+/// A bounded blocking queue of [`Item`]s.
 pub(crate) struct Queue {
-    inner: Mutex<Inner>,
+    flavor: Flavor,
+    /// Authoritative closed flag for the SPSC flavor; a racy hint for the
+    /// MPMC spin phase (MPMC keeps the authoritative flag under its lock).
+    closed: AtomicBool,
+    /// Approximate current depth, maintained so blocked threads can spin on
+    /// it without taking the lock.
+    depth_hint: AtomicUsize,
+    /// High-water mark of the queue's depth over its lifetime.
+    max_depth: AtomicUsize,
+    /// Parking lot for the SPSC flavor's slow path.  (The MPMC flavor parks
+    /// on its own inner mutex instead.)
+    park: Mutex<()>,
+    /// Number of consumers parked (or about to park) on `not_empty`; the
+    /// producer only takes `park` to notify when this is non-zero.
+    pop_sleepers: AtomicUsize,
+    /// Number of producers parked (or about to park) on `not_full`.
+    push_sleepers: AtomicUsize,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
     name: String,
-    /// Depth gauge sampled on every push/pop, present only when the
+    /// Depth gauge sampled once per push/pop/batch, present only when the
     /// program runs with a metrics registry attached.
     gauge: Option<Arc<Gauge>>,
 }
 
 impl Queue {
-    /// Create a queue holding at most `capacity` items.
-    #[cfg(test)]
+    /// Create an MPMC queue holding at most `capacity` items.
     pub(crate) fn new(name: impl Into<String>, capacity: usize) -> Arc<Self> {
         Self::with_gauge(name, capacity, None)
     }
 
-    /// Create a queue that additionally samples its depth into `gauge`.
+    /// Create an MPMC queue that additionally samples its depth into `gauge`.
     pub(crate) fn with_gauge(
         name: impl Into<String>,
         capacity: usize,
         gauge: Option<Arc<Gauge>>,
     ) -> Arc<Self> {
         assert!(capacity > 0, "queue capacity must be positive");
-        Arc::new(Queue {
-            inner: Mutex::new(Inner {
+        Arc::new(Self::build(
+            name.into(),
+            capacity,
+            gauge,
+            Flavor::Mpmc(Mutex::new(Inner {
                 items: VecDeque::with_capacity(capacity),
                 closed: false,
-                max_depth: 0,
+            })),
+        ))
+    }
+
+    /// Create an SPSC queue.  The caller promises that at most one thread
+    /// ever pushes and at most one thread ever pops (`close` may still be
+    /// called from anywhere).
+    pub(crate) fn spsc_with_gauge(
+        name: impl Into<String>,
+        capacity: usize,
+        gauge: Option<Arc<Gauge>>,
+    ) -> Arc<Self> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let slots = (0..capacity).map(|_| Mutex::new(None)).collect();
+        Arc::new(Self::build(
+            name.into(),
+            capacity,
+            gauge,
+            Flavor::Spsc(Ring {
+                slots,
+                head: AtomicU64::new(0),
+                tail: AtomicU64::new(0),
             }),
+        ))
+    }
+
+    fn build(name: String, capacity: usize, gauge: Option<Arc<Gauge>>, flavor: Flavor) -> Self {
+        Queue {
+            flavor,
+            closed: AtomicBool::new(false),
+            depth_hint: AtomicUsize::new(0),
+            max_depth: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            pop_sleepers: AtomicUsize::new(0),
+            push_sleepers: AtomicUsize::new(0),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
-            name: name.into(),
+            name,
             gauge,
-        })
+        }
     }
 
     /// Debug name of this queue.
@@ -96,9 +189,19 @@ impl Queue {
         self.capacity
     }
 
+    /// Whether this queue uses the single-producer single-consumer ring.
+    pub(crate) fn is_spsc(&self) -> bool {
+        matches!(self.flavor, Flavor::Spsc(_))
+    }
+
     /// High-water mark of the queue's depth over its lifetime.
     pub(crate) fn max_depth(&self) -> usize {
-        self.inner.lock().max_depth
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    fn record_depth(&self, depth: usize) {
+        self.depth_hint.store(depth, Ordering::Relaxed);
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
     fn sample_depth(&self, depth: usize) {
@@ -109,69 +212,338 @@ impl Queue {
 
     /// Blocking push.  Fails (returning the item) once the queue is closed.
     pub(crate) fn push(&self, item: Item) -> Result<(), (Item, Closed)> {
-        let mut inner = self.inner.lock();
-        while inner.items.len() >= self.capacity && !inner.closed {
-            self.not_full.wait(&mut inner);
+        match &self.flavor {
+            Flavor::Mpmc(lock) => {
+                // Spin while the queue looks full: the consumer usually
+                // frees a slot within a few hundred iterations.
+                if self.depth_hint.load(Ordering::Relaxed) >= self.capacity {
+                    for _ in 0..spin_limit() {
+                        if self.depth_hint.load(Ordering::Relaxed) < self.capacity
+                            || self.closed.load(Ordering::Relaxed)
+                        {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+                let mut inner = lock.lock();
+                while inner.items.len() >= self.capacity && !inner.closed {
+                    self.not_full.wait(&mut inner);
+                }
+                if inner.closed {
+                    return Err((item, Closed));
+                }
+                inner.items.push_back(item);
+                let depth = inner.items.len();
+                self.record_depth(depth);
+                drop(inner);
+                self.sample_depth(depth);
+                self.not_empty.notify_one();
+                Ok(())
+            }
+            Flavor::Spsc(ring) => self.spsc_push(ring, item),
         }
-        if inner.closed {
-            return Err((item, Closed));
-        }
-        inner.items.push_back(item);
-        let depth = inner.items.len();
-        inner.max_depth = inner.max_depth.max(depth);
-        drop(inner);
-        self.sample_depth(depth);
-        self.not_empty.notify_one();
-        Ok(())
     }
 
     /// Non-blocking push used by shutdown paths; drops nothing silently —
     /// the item comes back on failure.
     pub(crate) fn try_push(&self, item: Item) -> Result<(), (Item, Closed)> {
-        let mut inner = self.inner.lock();
-        if inner.closed || inner.items.len() >= self.capacity {
-            return Err((item, Closed));
+        match &self.flavor {
+            Flavor::Mpmc(lock) => {
+                let mut inner = lock.lock();
+                if inner.closed || inner.items.len() >= self.capacity {
+                    return Err((item, Closed));
+                }
+                inner.items.push_back(item);
+                let depth = inner.items.len();
+                self.record_depth(depth);
+                drop(inner);
+                self.sample_depth(depth);
+                self.not_empty.notify_one();
+                Ok(())
+            }
+            Flavor::Spsc(ring) => {
+                if self.closed.load(Ordering::SeqCst) {
+                    return Err((item, Closed));
+                }
+                match self.spsc_try_push(ring, item) {
+                    Ok(()) => {
+                        self.after_spsc_push(ring);
+                        Ok(())
+                    }
+                    Err(item) => Err((item, Closed)),
+                }
+            }
         }
-        inner.items.push_back(item);
-        let depth = inner.items.len();
-        inner.max_depth = inner.max_depth.max(depth);
-        drop(inner);
-        self.sample_depth(depth);
-        self.not_empty.notify_one();
-        Ok(())
     }
 
     /// Blocking pop.  After close, drains remaining items, then fails.
     pub(crate) fn pop(&self) -> Result<Item, Closed> {
-        let mut inner = self.inner.lock();
-        loop {
-            if let Some(item) = inner.items.pop_front() {
-                let depth = inner.items.len();
-                drop(inner);
-                self.sample_depth(depth);
-                self.not_full.notify_one();
-                return Ok(item);
+        match &self.flavor {
+            Flavor::Mpmc(lock) => {
+                self.mpmc_spin_until_nonempty();
+                let mut inner = lock.lock();
+                loop {
+                    if let Some(item) = inner.items.pop_front() {
+                        let depth = inner.items.len();
+                        self.depth_hint.store(depth, Ordering::Relaxed);
+                        drop(inner);
+                        self.sample_depth(depth);
+                        self.not_full.notify_one();
+                        return Ok(item);
+                    }
+                    if inner.closed {
+                        return Err(Closed);
+                    }
+                    self.not_empty.wait(&mut inner);
+                }
             }
-            if inner.closed {
-                return Err(Closed);
+            Flavor::Spsc(ring) => self.spsc_pop(ring),
+        }
+    }
+
+    /// Blocking batched pop: wait for at least one item, then drain up to
+    /// `max` items into `out` under a single lock acquisition, sampling the
+    /// depth gauge once for the whole batch.  A caboose terminates the
+    /// batch (it is included) so callers never see items from beyond an
+    /// end-of-stream marker.  Returns the number of items appended.
+    pub(crate) fn pop_many(&self, max: usize, out: &mut Vec<Item>) -> Result<usize, Closed> {
+        assert!(max > 0, "pop_many needs a positive batch size");
+        match &self.flavor {
+            Flavor::Mpmc(lock) => {
+                self.mpmc_spin_until_nonempty();
+                let mut inner = lock.lock();
+                loop {
+                    if !inner.items.is_empty() {
+                        let mut n = 0;
+                        while n < max {
+                            match inner.items.pop_front() {
+                                Some(item) => {
+                                    let stop = matches!(item, Item::Caboose(_));
+                                    out.push(item);
+                                    n += 1;
+                                    if stop {
+                                        break;
+                                    }
+                                }
+                                None => break,
+                            }
+                        }
+                        let depth = inner.items.len();
+                        self.depth_hint.store(depth, Ordering::Relaxed);
+                        drop(inner);
+                        self.sample_depth(depth);
+                        if n > 1 {
+                            self.not_full.notify_all();
+                        } else {
+                            self.not_full.notify_one();
+                        }
+                        return Ok(n);
+                    }
+                    if inner.closed {
+                        return Err(Closed);
+                    }
+                    self.not_empty.wait(&mut inner);
+                }
             }
-            self.not_empty.wait(&mut inner);
+            Flavor::Spsc(ring) => {
+                let first = self.spsc_pop_raw(ring)?;
+                let mut stop = matches!(first, Item::Caboose(_));
+                out.push(first);
+                let mut n = 1;
+                while n < max && !stop {
+                    match self.spsc_try_pop(ring) {
+                        Some(item) => {
+                            stop = matches!(item, Item::Caboose(_));
+                            out.push(item);
+                            n += 1;
+                        }
+                        None => break,
+                    }
+                }
+                self.after_spsc_pop(ring);
+                Ok(n)
+            }
         }
     }
 
     /// Close the queue and wake all waiters.  Idempotent.
     pub(crate) fn close(&self) {
-        let mut inner = self.inner.lock();
-        inner.closed = true;
-        drop(inner);
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
+        self.closed.store(true, Ordering::SeqCst);
+        if let Flavor::Mpmc(lock) = &self.flavor {
+            let mut inner = lock.lock();
+            inner.closed = true;
+            drop(inner);
+            self.not_empty.notify_all();
+            self.not_full.notify_all();
+        } else {
+            // Take the parking lock so a consumer/producer that re-checked
+            // just before waiting cannot miss this wakeup.
+            let _guard = self.park.lock();
+            self.not_empty.notify_all();
+            self.not_full.notify_all();
+        }
     }
 
     /// Number of items currently queued (for tests/diagnostics).
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().items.len()
+        match &self.flavor {
+            Flavor::Mpmc(lock) => lock.lock().items.len(),
+            Flavor::Spsc(ring) => {
+                (ring.tail.load(Ordering::SeqCst) - ring.head.load(Ordering::SeqCst)) as usize
+            }
+        }
+    }
+
+    /// Bounded spin while the MPMC queue looks empty, so a consumer that is
+    /// about to be fed avoids the lock + park round trip.
+    fn mpmc_spin_until_nonempty(&self) {
+        if self.depth_hint.load(Ordering::Relaxed) == 0 {
+            for _ in 0..spin_limit() {
+                if self.depth_hint.load(Ordering::Relaxed) != 0
+                    || self.closed.load(Ordering::Relaxed)
+                {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    // --- SPSC flavor internals -------------------------------------------
+    //
+    // Producer and consumer coordinate through `head`/`tail` alone; the
+    // parking slow path uses the sleeper counters with sequentially
+    // consistent ordering (a Dekker-style handshake): a waiter publishes
+    // its intent (sleeper count), then re-checks the condition under the
+    // park lock; the peer makes the condition true, then checks the
+    // sleeper count and notifies under the same lock.  At least one side
+    // always observes the other, so no wakeup is lost.
+
+    /// Attempt the ring push; returns the item back when the ring is full.
+    fn spsc_try_push(&self, ring: &Ring, item: Item) -> Result<(), Item> {
+        let tail = ring.tail.load(Ordering::SeqCst);
+        let head = ring.head.load(Ordering::SeqCst);
+        if (tail - head) as usize >= self.capacity {
+            return Err(item);
+        }
+        let slot = &ring.slots[(tail % self.capacity as u64) as usize];
+        let prev = slot.lock().replace(item);
+        debug_assert!(prev.is_none(), "spsc slot overwritten");
+        ring.tail.store(tail + 1, Ordering::SeqCst);
+        let depth = (tail + 1 - head) as usize;
+        self.record_depth(depth);
+        Ok(())
+    }
+
+    /// Post-push bookkeeping: sample the gauge and wake a parked consumer.
+    fn after_spsc_push(&self, ring: &Ring) {
+        let depth = ring.tail.load(Ordering::SeqCst) - ring.head.load(Ordering::SeqCst);
+        self.sample_depth(depth as usize);
+        if self.pop_sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park.lock();
+            self.not_empty.notify_all();
+        }
+    }
+
+    fn spsc_push(&self, ring: &Ring, mut item: Item) -> Result<(), (Item, Closed)> {
+        // The push attempt itself lives in the spin loop, so even with a
+        // zero spin limit each pass must try (then park) at least once.
+        let attempts = spin_limit().max(1);
+        loop {
+            for _ in 0..attempts {
+                if self.closed.load(Ordering::SeqCst) {
+                    return Err((item, Closed));
+                }
+                match self.spsc_try_push(ring, item) {
+                    Ok(()) => {
+                        self.after_spsc_push(ring);
+                        return Ok(());
+                    }
+                    Err(back) => item = back,
+                }
+                std::hint::spin_loop();
+            }
+            // Park until the consumer frees a slot or the queue closes.
+            self.push_sleepers.fetch_add(1, Ordering::SeqCst);
+            {
+                let mut guard = self.park.lock();
+                while self.spsc_full(ring) && !self.closed.load(Ordering::SeqCst) {
+                    self.not_full.wait(&mut guard);
+                }
+            }
+            self.push_sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn spsc_full(&self, ring: &Ring) -> bool {
+        let tail = ring.tail.load(Ordering::SeqCst);
+        let head = ring.head.load(Ordering::SeqCst);
+        (tail - head) as usize >= self.capacity
+    }
+
+    /// Attempt the ring pop; pure ring operation with no gauge or wakeups
+    /// (batched pops amortize those via [`Queue::after_spsc_pop`]).
+    fn spsc_try_pop(&self, ring: &Ring) -> Option<Item> {
+        let head = ring.head.load(Ordering::SeqCst);
+        let tail = ring.tail.load(Ordering::SeqCst);
+        if head == tail {
+            return None;
+        }
+        let slot = &ring.slots[(head % self.capacity as u64) as usize];
+        let item = slot.lock().take().expect("spsc slot unexpectedly empty");
+        ring.head.store(head + 1, Ordering::SeqCst);
+        self.depth_hint
+            .store((tail - head - 1) as usize, Ordering::Relaxed);
+        Some(item)
+    }
+
+    /// Post-pop bookkeeping: sample the gauge and wake a parked producer.
+    fn after_spsc_pop(&self, ring: &Ring) {
+        let depth = ring.tail.load(Ordering::SeqCst) - ring.head.load(Ordering::SeqCst);
+        self.sample_depth(depth as usize);
+        if self.push_sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park.lock();
+            self.not_full.notify_all();
+        }
+    }
+
+    /// Blocking single pop on the ring, without the gauge/wake epilogue.
+    fn spsc_pop_raw(&self, ring: &Ring) -> Result<Item, Closed> {
+        // As in `spsc_push`: at least one pop attempt per pass.
+        let attempts = spin_limit().max(1);
+        loop {
+            for _ in 0..attempts {
+                if let Some(item) = self.spsc_try_pop(ring) {
+                    return Ok(item);
+                }
+                if self.closed.load(Ordering::SeqCst) {
+                    // Drain any item pushed before the close landed.
+                    return self.spsc_try_pop(ring).ok_or(Closed);
+                }
+                std::hint::spin_loop();
+            }
+            // Park until the producer pushes or the queue closes.
+            self.pop_sleepers.fetch_add(1, Ordering::SeqCst);
+            {
+                let mut guard = self.park.lock();
+                while self.spsc_empty(ring) && !self.closed.load(Ordering::SeqCst) {
+                    self.not_empty.wait(&mut guard);
+                }
+            }
+            self.pop_sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn spsc_empty(&self, ring: &Ring) -> bool {
+        ring.head.load(Ordering::SeqCst) == ring.tail.load(Ordering::SeqCst)
+    }
+
+    fn spsc_pop(&self, ring: &Ring) -> Result<Item, Closed> {
+        let item = self.spsc_pop_raw(ring)?;
+        self.after_spsc_pop(ring);
+        Ok(item)
     }
 }
 
@@ -194,95 +566,114 @@ mod tests {
         }
     }
 
+    /// Run a closure against both queue flavors.
+    fn for_both(f: impl Fn(Arc<Queue>)) {
+        f(Queue::new("mpmc", 4));
+        f(Queue::spsc_with_gauge("spsc", 4, None));
+    }
+
+    fn both_cap1(f: impl Fn(Arc<Queue>)) {
+        f(Queue::new("mpmc", 1));
+        f(Queue::spsc_with_gauge("spsc", 1, None));
+    }
+
     #[test]
     fn fifo_order() {
-        let q = Queue::new("t", 4);
-        for i in 0..4 {
-            q.push(buf_item(0, i)).unwrap();
-        }
-        for i in 0..4 {
-            assert_eq!(tag_of(&q.pop().unwrap()), i);
-        }
+        for_both(|q| {
+            for i in 0..4 {
+                q.push(buf_item(0, i)).unwrap();
+            }
+            for i in 0..4 {
+                assert_eq!(tag_of(&q.pop().unwrap()), i);
+            }
+        });
     }
 
     #[test]
     fn push_blocks_until_pop() {
-        let q = Queue::new("t", 1);
-        q.push(buf_item(0, 0)).unwrap();
-        let q2 = Arc::clone(&q);
-        let h = thread::spawn(move || q2.push(buf_item(0, 1)).is_ok());
-        thread::sleep(Duration::from_millis(20));
-        assert_eq!(q.len(), 1, "second push must still be blocked");
-        assert_eq!(tag_of(&q.pop().unwrap()), 0);
-        assert!(h.join().unwrap());
-        assert_eq!(tag_of(&q.pop().unwrap()), 1);
+        both_cap1(|q| {
+            q.push(buf_item(0, 0)).unwrap();
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || q2.push(buf_item(0, 1)).is_ok());
+            thread::sleep(Duration::from_millis(20));
+            assert_eq!(q.len(), 1, "second push must still be blocked");
+            assert_eq!(tag_of(&q.pop().unwrap()), 0);
+            assert!(h.join().unwrap());
+            assert_eq!(tag_of(&q.pop().unwrap()), 1);
+        });
     }
 
     #[test]
     fn pop_blocks_until_push() {
-        let q = Queue::new("t", 1);
-        let q2 = Arc::clone(&q);
-        let h = thread::spawn(move || tag_of(&q2.pop().unwrap()));
-        thread::sleep(Duration::from_millis(20));
-        q.push(buf_item(0, 9)).unwrap();
-        assert_eq!(h.join().unwrap(), 9);
+        both_cap1(|q| {
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || tag_of(&q2.pop().unwrap()));
+            thread::sleep(Duration::from_millis(20));
+            q.push(buf_item(0, 9)).unwrap();
+            assert_eq!(h.join().unwrap(), 9);
+        });
     }
 
     #[test]
     fn close_wakes_poppers() {
-        let q = Queue::new("t", 1);
-        let q2 = Arc::clone(&q);
-        let h = thread::spawn(move || q2.pop().is_err());
-        thread::sleep(Duration::from_millis(20));
-        q.close();
-        assert!(h.join().unwrap());
+        both_cap1(|q| {
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || q2.pop().is_err());
+            thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert!(h.join().unwrap());
+        });
     }
 
     #[test]
     fn close_wakes_pushers() {
-        let q = Queue::new("t", 1);
-        q.push(buf_item(0, 0)).unwrap();
-        let q2 = Arc::clone(&q);
-        let h = thread::spawn(move || q2.push(buf_item(0, 1)).is_err());
-        thread::sleep(Duration::from_millis(20));
-        q.close();
-        assert!(h.join().unwrap());
+        both_cap1(|q| {
+            q.push(buf_item(0, 0)).unwrap();
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || q2.push(buf_item(0, 1)).is_err());
+            thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert!(h.join().unwrap());
+        });
     }
 
     #[test]
     fn close_drains_then_fails() {
-        let q = Queue::new("t", 4);
-        q.push(buf_item(0, 1)).unwrap();
-        q.push(buf_item(0, 2)).unwrap();
-        q.close();
-        assert_eq!(tag_of(&q.pop().unwrap()), 1);
-        assert_eq!(tag_of(&q.pop().unwrap()), 2);
-        assert!(q.pop().is_err());
-        assert!(q.push(buf_item(0, 3)).is_err());
+        for_both(|q| {
+            q.push(buf_item(0, 1)).unwrap();
+            q.push(buf_item(0, 2)).unwrap();
+            q.close();
+            assert_eq!(tag_of(&q.pop().unwrap()), 1);
+            assert_eq!(tag_of(&q.pop().unwrap()), 2);
+            assert!(q.pop().is_err());
+            assert!(q.push(buf_item(0, 3)).is_err());
+        });
     }
 
     #[test]
     fn try_push_respects_capacity_and_close() {
-        let q = Queue::new("t", 1);
-        assert!(q.try_push(buf_item(0, 0)).is_ok());
-        assert!(q.try_push(buf_item(0, 1)).is_err());
-        let q2 = Queue::new("t2", 1);
-        q2.close();
-        assert!(q2.try_push(buf_item(0, 0)).is_err());
+        both_cap1(|q| {
+            assert!(q.try_push(buf_item(0, 0)).is_ok());
+            assert!(q.try_push(buf_item(0, 1)).is_err());
+        });
+        both_cap1(|q| {
+            q.close();
+            assert!(q.try_push(buf_item(0, 0)).is_err());
+        });
     }
 
     #[test]
     fn max_depth_tracks_high_water_mark() {
-        let q = Queue::new("t", 4);
-        assert_eq!(q.max_depth(), 0);
-        q.push(buf_item(0, 0)).unwrap();
-        q.push(buf_item(0, 1)).unwrap();
-        q.pop().unwrap();
-        q.push(buf_item(0, 2)).unwrap();
-        // Depth peaked at 2 even though it dipped to 1 in between.
-        assert_eq!(q.max_depth(), 2);
-        assert_eq!(q.capacity(), 4);
-        assert_eq!(q.name(), "t");
+        for_both(|q| {
+            assert_eq!(q.max_depth(), 0);
+            q.push(buf_item(0, 0)).unwrap();
+            q.push(buf_item(0, 1)).unwrap();
+            q.pop().unwrap();
+            q.push(buf_item(0, 2)).unwrap();
+            // Depth peaked at 2 even though it dipped to 1 in between.
+            assert_eq!(q.max_depth(), 2);
+            assert_eq!(q.capacity(), 4);
+        });
     }
 
     #[test]
@@ -298,15 +689,147 @@ mod tests {
     }
 
     #[test]
-    fn caboose_travels_like_data() {
-        let q = Queue::new("t", 2);
-        q.push(buf_item(3, 5)).unwrap();
-        q.push(Item::Caboose(PipelineId(3))).unwrap();
-        assert!(matches!(q.pop().unwrap(), Item::Buf(_)));
-        match q.pop().unwrap() {
-            Item::Caboose(p) => assert_eq!(p, PipelineId(3)),
-            other => panic!("expected caboose, got {other:?}"),
+    fn gauge_samples_once_per_batched_pop() {
+        let g = Arc::new(crate::metrics::Gauge::new());
+        let q = Queue::spsc_with_gauge("t", 8, Some(Arc::clone(&g)));
+        for i in 0..6 {
+            q.push(buf_item(0, i)).unwrap();
         }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_many(4, &mut out).unwrap(), 4);
+        // One sample for the whole batch: the gauge holds the post-batch
+        // depth, never the intermediate 5/4/3.
+        assert_eq!(g.get(), 2);
+        assert_eq!(out.len(), 4);
+        assert_eq!(q.max_depth(), 6);
+    }
+
+    #[test]
+    fn pop_many_drains_fifo_and_stops_at_caboose() {
+        for_both(|q| {
+            q.push(buf_item(1, 10)).unwrap();
+            q.push(buf_item(1, 11)).unwrap();
+            q.push(Item::Caboose(PipelineId(1))).unwrap();
+            let mut out = Vec::new();
+            let n = q.pop_many(8, &mut out).unwrap();
+            // The caboose ends the batch even though `max` wasn't reached.
+            assert_eq!(n, 3);
+            assert_eq!(tag_of(&out[0]), 10);
+            assert_eq!(tag_of(&out[1]), 11);
+            assert!(matches!(out[2], Item::Caboose(PipelineId(1))));
+        });
+    }
+
+    #[test]
+    fn pop_many_respects_max() {
+        for_both(|q| {
+            for i in 0..4 {
+                q.push(buf_item(0, i)).unwrap();
+            }
+            let mut out = Vec::new();
+            assert_eq!(q.pop_many(3, &mut out).unwrap(), 3);
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.pop_many(3, &mut out).unwrap(), 1);
+            assert_eq!(out.len(), 4);
+        });
+    }
+
+    #[test]
+    fn pop_many_blocks_then_returns_batch() {
+        for_both(|q| {
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || {
+                let mut out = Vec::new();
+                let n = q2.pop_many(8, &mut out).unwrap();
+                (n, out.iter().map(tag_of).collect::<Vec<_>>())
+            });
+            thread::sleep(Duration::from_millis(20));
+            q.push(buf_item(0, 7)).unwrap();
+            let (n, tags) = h.join().unwrap();
+            assert!(n >= 1);
+            assert_eq!(tags[0], 7);
+        });
+    }
+
+    #[test]
+    fn pop_many_wakes_blocked_pushers() {
+        both_cap1(|q| {
+            q.push(buf_item(0, 0)).unwrap();
+            let q2 = Arc::clone(&q);
+            let h = thread::spawn(move || q2.push(buf_item(0, 1)).is_ok());
+            thread::sleep(Duration::from_millis(20));
+            let mut out = Vec::new();
+            assert_eq!(q.pop_many(4, &mut out).unwrap(), 1);
+            assert!(h.join().unwrap());
+        });
+    }
+
+    #[test]
+    fn pop_many_fails_after_close_and_drain() {
+        for_both(|q| {
+            q.push(buf_item(0, 1)).unwrap();
+            q.close();
+            let mut out = Vec::new();
+            assert_eq!(q.pop_many(4, &mut out).unwrap(), 1);
+            assert!(q.pop_many(4, &mut out).is_err());
+        });
+    }
+
+    #[test]
+    fn caboose_travels_like_data() {
+        for_both(|q| {
+            q.push(buf_item(3, 5)).unwrap();
+            q.push(Item::Caboose(PipelineId(3))).unwrap();
+            assert!(matches!(q.pop().unwrap(), Item::Buf(_)));
+            match q.pop().unwrap() {
+                Item::Caboose(p) => assert_eq!(p, PipelineId(3)),
+                other => panic!("expected caboose, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn spsc_flavor_is_reported() {
+        assert!(!Queue::new("m", 2).is_spsc());
+        assert!(Queue::spsc_with_gauge("s", 2, None).is_spsc());
+    }
+
+    #[test]
+    fn spsc_stress_preserves_order_across_wraparound() {
+        let q = Queue::spsc_with_gauge("s", 3, None);
+        let q2 = Arc::clone(&q);
+        const N: u64 = 10_000;
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                q2.push(buf_item(0, i)).unwrap();
+            }
+        });
+        for i in 0..N {
+            assert_eq!(tag_of(&q.pop().unwrap()), i);
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn spsc_batched_consumer_sees_every_item_in_order() {
+        let q = Queue::spsc_with_gauge("s", 4, None);
+        let q2 = Arc::clone(&q);
+        const N: u64 = 10_000;
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                q2.push(buf_item(0, i)).unwrap();
+            }
+            q2.close();
+        });
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        while let Ok(n) = q.pop_many(8, &mut out) {
+            assert!(n > 0);
+            seen.extend(out.drain(..).map(|i| tag_of(&i)));
+        }
+        producer.join().unwrap();
+        let expect: Vec<u64> = (0..N).collect();
+        assert_eq!(seen, expect);
     }
 
     #[test]

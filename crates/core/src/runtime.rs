@@ -79,12 +79,13 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
     for task in tasks {
         let registry = Arc::clone(&registry);
         let observer = observer.clone();
+        let metrics = metrics.clone();
         let name = task.name.clone();
         let thread_name = format!("{program_name}/{name}");
         let epoch = if trace { Some(start) } else { None };
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_stage_thread(task, registry, epoch, observer))
+            .spawn(move || run_stage_thread(task, registry, epoch, observer, metrics))
             .map_err(|e| FgError::Config(format!("failed to spawn stage thread: {e}")))?;
         handles.push(handle);
     }
@@ -145,6 +146,7 @@ fn run_stage_thread(
     registry: Arc<Registry>,
     trace_epoch: Option<Instant>,
     observer: Option<Arc<dyn Observer>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 ) -> StageStats {
     let StageTask {
         name,
@@ -199,6 +201,20 @@ fn run_stage_thread(
     };
     if let Some(obs) = &observer {
         obs.on_stage_exit(&stats.name, &stats);
+    }
+    // Per-task counters (replicas publish under their `name#i` task name),
+    // so live telemetry and the final snapshot expose each replica's own
+    // busy/starved profile alongside the rolled-up `Report`.
+    if let Some(m) = &metrics {
+        let ns = |d: std::time::Duration| d.as_nanos() as u64;
+        m.counter(&format!("core/stage_busy_ns/{}", stats.name))
+            .add(ns(stats.busy()));
+        m.counter(&format!("core/stage_blocked_accept_ns/{}", stats.name))
+            .add(ns(stats.blocked_accept));
+        m.counter(&format!("core/stage_blocked_convey_ns/{}", stats.name))
+            .add(ns(stats.blocked_convey));
+        m.counter(&format!("core/stage_buffers/{}", stats.name))
+            .add(stats.buffers_in);
     }
     stats
 }

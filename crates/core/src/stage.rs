@@ -137,6 +137,9 @@ pub fn reorder_stage() -> Box<dyn Stage> {
 /// in the program so all threads unblock.
 pub(crate) struct Registry {
     queues: parking_lot::Mutex<Vec<Arc<Queue>>>,
+    /// Replica groups whose ordered-emission waiters must be woken on
+    /// cancel (they park on the group's condvar, not on a queue).
+    groups: parking_lot::Mutex<Vec<Arc<ReplicaGroup>>>,
     cancelled: AtomicBool,
     error: parking_lot::Mutex<Option<FgError>>,
 }
@@ -145,6 +148,7 @@ impl Registry {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(Registry {
             queues: parking_lot::Mutex::new(Vec::new()),
+            groups: parking_lot::Mutex::new(Vec::new()),
             cancelled: AtomicBool::new(false),
             error: parking_lot::Mutex::new(None),
         })
@@ -152,6 +156,10 @@ impl Registry {
 
     pub(crate) fn register(&self, q: Arc<Queue>) {
         self.queues.lock().push(q);
+    }
+
+    pub(crate) fn register_group(&self, g: Arc<ReplicaGroup>) {
+        self.groups.lock().push(g);
     }
 
     /// Record the root-cause error (first wins) and tear everything down.
@@ -165,6 +173,9 @@ impl Registry {
         self.cancelled.store(true, Ordering::SeqCst);
         for q in self.queues.lock().iter() {
             q.close();
+        }
+        for g in self.groups.lock().iter() {
+            g.cancel_wake();
         }
     }
 
@@ -186,6 +197,7 @@ impl Registry {
                 name: q.name().to_string(),
                 capacity: q.capacity(),
                 max_depth: q.max_depth(),
+                spsc: q.is_spsc(),
             })
             .collect()
     }
@@ -225,22 +237,44 @@ impl StopFlag {
 
 /// Shared state of a *replicated* stage (FG's fork–join): n replica
 /// threads share the stage's input and output queues, so buffers fan out
-/// to whichever replica is free and rejoin downstream (out of round order;
-/// see [`reorder_stage`]).  The caboose must only travel downstream after
-/// *every* replica has finished, so replicas pass it around like a poison
-/// pill until the last one consumes it.
+/// to whichever replica is free and rejoin downstream.  The caboose must
+/// only travel downstream after *every* replica has finished, so replicas
+/// pass it around like a poison pill until the last one consumes it.
+///
+/// An *ordered* group (a worker farm built with
+/// [`Program::workers`](crate::Program::workers)) additionally serializes
+/// emission: each replica, before conveying (or discarding) round `r`,
+/// waits until every earlier round has been emitted, so downstream stages
+/// observe rounds in order without a separate [`reorder_stage`].  An
+/// unordered group (built with `add_replicated_stage`) emits as replicas
+/// finish, out of round order.
 pub(crate) struct ReplicaGroup {
     /// Per pipeline: how many replicas have not yet seen the caboose.
     remaining: parking_lot::Mutex<std::collections::HashMap<PipelineId, usize>>,
     pub(crate) replicas: usize,
+    /// Whether emission is round-ordered (worker farm) or free-for-all.
+    ordered: bool,
+    /// Per pipeline: the next round allowed to emit (ordered groups only).
+    next_round: parking_lot::Mutex<std::collections::HashMap<PipelineId, u64>>,
+    emit_turn: parking_lot::Condvar,
+    /// Set on program teardown so emission waiters unblock.
+    cancelled: AtomicBool,
 }
 
 impl ReplicaGroup {
-    pub(crate) fn new(replicas: usize) -> Arc<Self> {
+    pub(crate) fn new(replicas: usize, ordered: bool) -> Arc<Self> {
         Arc::new(ReplicaGroup {
             remaining: parking_lot::Mutex::new(std::collections::HashMap::new()),
             replicas,
+            ordered,
+            next_round: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            emit_turn: parking_lot::Condvar::new(),
+            cancelled: AtomicBool::new(false),
         })
+    }
+
+    pub(crate) fn is_ordered(&self) -> bool {
+        self.ordered
     }
 
     /// Record that one replica observed pipeline `p`'s caboose; returns
@@ -250,6 +284,51 @@ impl ReplicaGroup {
         let slot = remaining.entry(p).or_insert(self.replicas);
         *slot -= 1;
         *slot == 0
+    }
+
+    /// Block until round `round` of pipeline `p` is the next to emit.
+    /// No-op for unordered groups.
+    fn await_turn(&self, stage: &str, p: PipelineId, round: u64) -> Result<()> {
+        if !self.ordered {
+            return Ok(());
+        }
+        let mut next = self.next_round.lock();
+        loop {
+            let turn = *next.entry(p).or_insert(0);
+            if round < turn {
+                return Err(FgError::Usage(format!(
+                    "replicated stage `{stage}` emitted round {round} of {p} \
+                     twice (round {turn} is next); ordered farms emit exactly \
+                     one buffer per round"
+                )));
+            }
+            if round == turn {
+                return Ok(());
+            }
+            if self.cancelled.load(Ordering::SeqCst) {
+                return Err(FgError::Cancelled);
+            }
+            self.emit_turn.wait(&mut next);
+        }
+    }
+
+    /// Mark round `round` of pipeline `p` emitted, releasing the waiter for
+    /// the next round.  No-op for unordered groups.
+    fn finish_turn(&self, p: PipelineId, round: u64) {
+        if !self.ordered {
+            return;
+        }
+        let mut next = self.next_round.lock();
+        next.insert(p, round + 1);
+        drop(next);
+        self.emit_turn.notify_all();
+    }
+
+    /// Wake every replica parked on the emission gate (program teardown).
+    pub(crate) fn cancel_wake(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+        let _guard = self.next_round.lock();
+        self.emit_turn.notify_all();
     }
 }
 
@@ -264,6 +343,11 @@ pub(crate) struct Port {
     pub(crate) stop: Arc<StopFlag>,
     pub(crate) eos: bool,
     pub(crate) forwarded: bool,
+    /// A caboose popped by `accept_many` in the same batch as preceding
+    /// buffers.  Observing it immediately would mark end-of-stream before
+    /// the stage conveys those buffers, so it is held here and observed on
+    /// the next accept (or during `finish`).
+    pub(crate) deferred_caboose: bool,
 }
 
 impl Port {
@@ -279,6 +363,7 @@ impl Port {
             stop: Arc::clone(&self.stop),
             eos: false,
             forwarded: false,
+            deferred_caboose: false,
         }
     }
 }
@@ -311,6 +396,8 @@ pub struct StageCtx {
     /// accept/convey.
     observer: Option<Arc<dyn crate::observe::Observer>>,
     aux: Vec<u8>,
+    /// Reusable scratch for [`StageCtx::accept_many`] batches.
+    batch: Vec<Item>,
     registry: Arc<Registry>,
     pub(crate) stats: CtxStats,
 }
@@ -330,6 +417,7 @@ impl StageCtx {
             trace_epoch: None,
             observer: None,
             aux: Vec::new(),
+            batch: Vec::new(),
             registry,
             stats: CtxStats::default(),
         }
@@ -415,6 +503,98 @@ impl StageCtx {
         self.pop_port(0)
     }
 
+    /// Accept up to `max` buffers in one batch, amortizing queue-lock
+    /// acquisitions; only valid for a stage that belongs to exactly one
+    /// pipeline.  Appends the buffers to `out` and returns how many
+    /// arrived; `Ok(0)` means end of stream.  Blocks until at least one
+    /// buffer is available (or the stream ends), like [`StageCtx::accept`].
+    pub fn accept_many(&mut self, max: usize, out: &mut Vec<Buffer>) -> Result<usize> {
+        if self.shared_input.is_some() {
+            return Err(FgError::Usage(format!(
+                "stage `{}` is virtual; use accept_any()",
+                self.name
+            )));
+        }
+        if self.ports.len() != 1 {
+            return Err(FgError::Usage(format!(
+                "stage `{}` belongs to {} pipelines; use accept_from()",
+                self.name,
+                self.ports.len()
+            )));
+        }
+        if max == 0 {
+            return Err(FgError::Usage(format!(
+                "stage `{}` called accept_many with a zero batch size",
+                self.name
+            )));
+        }
+        loop {
+            self.take_deferred_caboose(0)?;
+            if self.ports[0].eos {
+                return Ok(0);
+            }
+            let input = match &self.ports[0].input {
+                Some(q) => Arc::clone(q),
+                None => {
+                    return Err(FgError::Usage(format!(
+                        "stage `{}` has no direct input queue for {}",
+                        self.name, self.ports[0].pipeline
+                    )))
+                }
+            };
+            let mut items = std::mem::take(&mut self.batch);
+            debug_assert!(items.is_empty());
+            let t0 = Instant::now();
+            let res = input.pop_many(max, &mut items);
+            let t1 = Instant::now();
+            self.stats.blocked_accept += t1 - t0;
+            self.record_span(crate::stats::SpanKind::Accept, t0, t1);
+            if res.is_err() {
+                self.batch = items;
+                return Err(FgError::Cancelled);
+            }
+            let mut got = 0;
+            let mut caboose = None;
+            for item in items.drain(..) {
+                match item {
+                    Item::Buf(b) => {
+                        self.stats.buffers_in += 1;
+                        if let Some(obs) = &self.observer {
+                            obs.on_accept(
+                                &self.name,
+                                b.pipeline(),
+                                b.round(),
+                                input.name(),
+                                t1 - t0,
+                            );
+                        }
+                        out.push(b);
+                        got += 1;
+                    }
+                    // The queue ends a batch at a caboose, so it can only
+                    // be the final item.
+                    Item::Caboose(p) => caboose = Some(p),
+                }
+            }
+            self.batch = items;
+            if let Some(p) = caboose {
+                debug_assert_eq!(p, self.ports[0].pipeline);
+                if got > 0 {
+                    // Buffers precede the caboose in this batch; hold the
+                    // caboose so the stage can still convey them.
+                    self.ports[0].deferred_caboose = true;
+                } else {
+                    self.observe_caboose(0, p)?;
+                }
+            }
+            if got > 0 {
+                return Ok(got);
+            }
+            // Caboose-only batch: the port is now at end of stream, so the
+            // next loop iteration returns Ok(0).
+        }
+    }
+
     /// Accept the next buffer from a specific pipeline (common stage of
     /// intersecting pipelines).  Returns `Ok(None)` once that pipeline's
     /// stream has ended.
@@ -479,7 +659,19 @@ impl StageCtx {
         }
     }
 
+    /// Observe a caboose held back by a mixed `accept_many` batch, now
+    /// that the stage has had the chance to convey the batch's buffers.
+    fn take_deferred_caboose(&mut self, idx: usize) -> Result<()> {
+        if self.ports[idx].deferred_caboose {
+            self.ports[idx].deferred_caboose = false;
+            let p = self.ports[idx].pipeline;
+            self.observe_caboose(idx, p)?;
+        }
+        Ok(())
+    }
+
     fn pop_port(&mut self, idx: usize) -> Result<Option<Buffer>> {
+        self.take_deferred_caboose(idx)?;
         if self.ports[idx].eos {
             return Ok(None);
         }
@@ -548,7 +740,21 @@ impl StageCtx {
         let pipeline = buf.pipeline();
         let round = buf.round();
         let t0 = Instant::now();
+        // In an ordered farm, wait until every earlier round has been
+        // emitted so downstream stages see rounds in order.  The wait
+        // counts as blocked-convey time: the replica is done computing and
+        // is stalled on downstream ordering.
+        if let Some(group) = self.replica_group.clone() {
+            if group.is_ordered() {
+                group.await_turn(&self.name, pipeline, round)?;
+            }
+        }
         let res = self.ports[idx].output.push(Item::Buf(buf));
+        if res.is_ok() {
+            if let Some(group) = &self.replica_group {
+                group.finish_turn(pipeline, round);
+            }
+        }
         let t1 = Instant::now();
         self.stats.blocked_convey += t1 - t0;
         self.record_span(crate::stats::SpanKind::Convey, t0, t1);
@@ -576,9 +782,21 @@ impl StageCtx {
     /// this stage is the last stage of that pipeline.
     pub fn discard(&mut self, buf: Buffer) -> Result<()> {
         let idx = self.port_index(buf.pipeline())?;
+        // An ordered farm must still take (and release) the round's
+        // emission turn: a discarded round produces nothing downstream,
+        // but later rounds may only emit after it.
+        let (pipeline, round) = (buf.pipeline(), buf.round());
+        if let Some(group) = self.replica_group.clone() {
+            if group.is_ordered() {
+                group.await_turn(&self.name, pipeline, round)?;
+            }
+        }
         // Ignore a closed recycle queue: the pipeline is stopping and the
         // buffer's memory is simply released.
         let _ = self.ports[idx].recycle.push(Item::Buf(buf));
+        if let Some(group) = &self.replica_group {
+            group.finish_turn(pipeline, round);
+        }
         Ok(())
     }
 
@@ -641,6 +859,7 @@ impl StageCtx {
         }
         // Drain per-pipeline inputs.
         for idx in 0..self.ports.len() {
+            let _ = self.take_deferred_caboose(idx);
             while !self.ports[idx].eos {
                 let input = match &self.ports[idx].input {
                     Some(q) => Arc::clone(q),

@@ -87,6 +87,9 @@ pub struct QueueDepth {
     /// marks a backpressure boundary; one pinned near zero marks a starved
     /// consumer.
     pub max_depth: usize,
+    /// Whether the planner specialized this queue to the single-producer
+    /// single-consumer ring.
+    pub spsc: bool,
 }
 
 /// The stage chain of one pipeline, recorded so post-run analysis can tell
@@ -130,6 +133,35 @@ impl Report {
     /// Look up the stats of a stage by name (first match).
     pub fn stage(&self, name: &str) -> Option<&StageStats> {
         self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Roll up the per-replica rows (`base#0`, `base#1`, …) of a
+    /// replicated stage into one aggregate: wall is the slowest replica's
+    /// wall (replicas run concurrently), blocked times and buffer counts
+    /// are summed.  Returns `None` when no replica row matches, and the
+    /// replica count alongside the aggregate otherwise.  Spans are not
+    /// merged (per-replica spans stay on the individual rows).
+    pub fn stage_rollup(&self, base: &str) -> Option<(StageStats, usize)> {
+        let prefix = format!("{base}#");
+        let mut agg: Option<StageStats> = None;
+        let mut n = 0;
+        for s in self.stages.iter().filter(|s| {
+            s.name
+                .strip_prefix(&prefix)
+                .is_some_and(|rest| rest.chars().all(|c| c.is_ascii_digit()))
+        }) {
+            n += 1;
+            let a = agg.get_or_insert_with(|| StageStats {
+                name: base.to_string(),
+                ..StageStats::default()
+            });
+            a.wall = a.wall.max(s.wall);
+            a.blocked_accept += s.blocked_accept;
+            a.blocked_convey += s.blocked_convey;
+            a.buffers_in += s.buffers_in;
+            a.buffers_out += s.buffers_out;
+        }
+        agg.map(|a| (a, n))
     }
 
     /// Sum of busy time across all stages — a proxy for total work performed.
@@ -577,6 +609,7 @@ mod render_tests {
             name: "p[1]".into(),
             capacity: 4,
             max_depth: 3,
+            spsc: true,
         });
         let reg = crate::metrics::MetricsRegistry::new();
         reg.counter("core/accepts").add(7);

@@ -16,6 +16,8 @@
 //!   --seed N                   input RNG seed            (default 51966)
 //!   --block-kib N              block/stripe size         (default 16)
 //!   --run-kib N                dsort run size            (default 64)
+//!   --workers N                replicas for the CPU-bound sort stages
+//!                              (csort/csort4)             (default 1)
 //!   --free                     zero-cost disks & network (default: paper-
 //!                              shaped cost model)
 //!   --no-verify                skip output verification
@@ -50,6 +52,7 @@ struct Options {
     seed: u64,
     block_kib: usize,
     run_kib: usize,
+    workers: usize,
     free: bool,
     verify: bool,
     trace: bool,
@@ -67,6 +70,7 @@ impl Default for Options {
             seed: 0xCAFE,
             block_kib: 16,
             run_kib: 64,
+            workers: 1,
             free: false,
             verify: true,
             trace: false,
@@ -140,6 +144,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--run-kib: {e}"))?
             }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
             "--free" => opts.free = true,
             "--no-verify" => opts.verify = false,
             "--trace" => opts.trace = true,
@@ -171,6 +180,7 @@ fn build_config(opts: &Options) -> Result<SortConfig, String> {
     cfg.block_bytes = opts.block_kib << 10;
     cfg.run_bytes = (opts.run_kib << 10).max(cfg.block_bytes);
     cfg.vertical_buf_bytes = (cfg.block_bytes / 2).max(record.record_bytes);
+    cfg.workers = opts.workers;
     cfg.trace = opts.trace;
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
@@ -194,6 +204,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "              [--seed N] [--block-kib N] [--run-kib N] [--free] [--no-verify]"
             );
+            eprintln!("              [--workers N]   (replicas for the CPU-bound sort stages; csort/csort4)");
             eprintln!("              [--trace]   (print node-0 per-pass Gantt charts; dsort only)");
             eprintln!("              [--telemetry ADDR]   (live /metrics + /report HTTP endpoint)");
             return if e == "help" {
@@ -356,7 +367,7 @@ mod tests {
     fn full_flag_set() {
         let o = parse_args(&args(
             "--program csort --nodes 4 --kib-per-node 128 --record-bytes 64 \
-             --dist poisson --seed 7 --block-kib 8 --run-kib 32 --free --no-verify",
+             --dist poisson --seed 7 --block-kib 8 --run-kib 32 --workers 4 --free --no-verify",
         ))
         .unwrap();
         assert_eq!(o.program, "csort");
@@ -367,6 +378,7 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.block_kib, 8);
         assert_eq!(o.run_kib, 32);
+        assert_eq!(o.workers, 4);
         assert!(o.free);
         assert!(!o.verify);
     }
@@ -405,6 +417,16 @@ mod tests {
         assert_eq!(cfg.total_records(), 8 * 256 * 1024 / 16);
         assert_eq!(cfg.block_bytes, 16 << 10);
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn config_rejects_zero_workers() {
+        let o = Options {
+            workers: 0,
+            free: true,
+            ..Options::default()
+        };
+        assert!(build_config(&o).is_err());
     }
 
     #[test]

@@ -124,6 +124,55 @@ pub fn coalesce_writes(mut runs: Vec<(u64, Vec<u8>)>) -> Vec<(u64, Vec<u8>)> {
     out
 }
 
+/// Allocation-free variant of [`coalesce_writes`] for write stages on the
+/// hot path: walk the chunk-framed `payload` (with `a` = file offset),
+/// coalesce offset-adjacent runs, and hand each maximal positioned write to
+/// `emit`.  A run with no adjacent neighbor is emitted straight out of
+/// `payload` without copying; only genuinely mergeable groups are gathered
+/// into `scratch`.  `runs` and `scratch` are caller-owned and reused across
+/// rounds, so a warmed-up round allocates nothing.
+///
+/// Overlap semantics match [`coalesce_writes`]: overlapping runs are issued
+/// separately in offset order.
+pub fn for_each_coalesced_write<E: From<SortError>>(
+    payload: &[u8],
+    runs: &mut Vec<(u64, std::ops::Range<usize>)>,
+    scratch: &mut Vec<u8>,
+    mut emit: impl FnMut(u64, &[u8]) -> Result<(), E>,
+) -> Result<(), E> {
+    runs.clear();
+    for chunk in iter_chunks(payload) {
+        let chunk = chunk.map_err(E::from)?;
+        if chunk.data.is_empty() {
+            continue;
+        }
+        let start = chunk.data.as_ptr() as usize - payload.as_ptr() as usize;
+        runs.push((chunk.a, start..start + chunk.data.len()));
+    }
+    runs.sort_unstable_by_key(|(off, _)| *off);
+    let mut i = 0;
+    while i < runs.len() {
+        let off = runs[i].0;
+        let mut end_off = off + runs[i].1.len() as u64;
+        let mut j = i + 1;
+        while j < runs.len() && runs[j].0 == end_off {
+            end_off += runs[j].1.len() as u64;
+            j += 1;
+        }
+        if j == i + 1 {
+            emit(off, &payload[runs[i].1.clone()])?;
+        } else {
+            scratch.clear();
+            for (_, range) in &runs[i..j] {
+                scratch.extend_from_slice(&payload[range.clone()]);
+            }
+            emit(off, scratch)?;
+        }
+        i = j;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +252,65 @@ mod coalesce_tests {
     #[test]
     fn empty_input() {
         assert!(coalesce_writes(vec![]).is_empty());
+    }
+
+    fn collect_writes(payload: &[u8]) -> Vec<(u64, Vec<u8>)> {
+        let mut runs = Vec::new();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        for_each_coalesced_write::<SortError>(payload, &mut runs, &mut scratch, |off, data| {
+            out.push((off, data.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        out
+    }
+
+    #[test]
+    fn streaming_variant_matches_batch_semantics() {
+        let mut payload = Vec::new();
+        push_chunk(&mut payload, 10, 0, &[3, 4]);
+        push_chunk(&mut payload, 0, 0, &[0, 1]);
+        push_chunk(&mut payload, 2, 0, &[2]);
+        push_chunk(&mut payload, 20, 0, &[]);
+        assert_eq!(
+            collect_writes(&payload),
+            vec![(0, vec![0, 1, 2]), (10, vec![3, 4])]
+        );
+    }
+
+    #[test]
+    fn streaming_variant_reuses_scratch_across_rounds() {
+        let mut a = Vec::new();
+        push_chunk(&mut a, 0, 0, &[1]);
+        push_chunk(&mut a, 1, 0, &[2]);
+        let mut b = Vec::new();
+        push_chunk(&mut b, 7, 0, &[9]);
+        let mut runs = Vec::new();
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        for payload in [&a, &b] {
+            for_each_coalesced_write::<SortError>(payload, &mut runs, &mut scratch, |off, data| {
+                out.push((off, data.to_vec()));
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(out, vec![(0, vec![1, 2]), (7, vec![9])]);
+    }
+
+    #[test]
+    fn streaming_variant_propagates_malformed_payload() {
+        let mut payload = Vec::new();
+        push_chunk(&mut payload, 0, 0, &[1, 2, 3]);
+        let mut runs = Vec::new();
+        let mut scratch = Vec::new();
+        let r = for_each_coalesced_write::<SortError>(
+            &payload[..payload.len() - 1],
+            &mut runs,
+            &mut scratch,
+            |_, _| Ok(()),
+        );
+        assert!(r.is_err());
     }
 }

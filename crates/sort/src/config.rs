@@ -48,6 +48,11 @@ pub struct SortConfig {
     /// charts (`fgsort --trace`).  Currently honored by dsort's two passes
     /// (which return their FG reports); the other programs ignore it.
     pub trace: bool,
+    /// Worker replicas for the CPU-bound sort stages (`fgsort --workers`).
+    /// 1 keeps every stage singular; above 1, csort and csort4 farm their
+    /// in-core sort stages with `Program::workers`, whose ordered emission
+    /// keeps the lockstep communication stages downstream correct.
+    pub workers: usize,
 }
 
 impl SortConfig {
@@ -68,6 +73,7 @@ impl SortConfig {
             pipeline_buffers: 3,
             oversample: 8,
             trace: false,
+            workers: 1,
         }
     }
 
@@ -141,6 +147,9 @@ impl SortConfig {
         }
         if self.oversample == 0 {
             return err("oversample must be positive".into());
+        }
+        if self.workers == 0 {
+            return err("workers must be positive".into());
         }
         if self.run_bytes < self.block_bytes {
             return err(format!(

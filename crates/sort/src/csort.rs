@@ -117,6 +117,34 @@ fn col_bytes(cfg: &SortConfig, m: Matrix) -> usize {
     m.r * cfg.record.record_bytes
 }
 
+/// Buffer-pool size for a (possibly farmed) pipeline: each sort worker
+/// holds a buffer in flight, so the pool must exceed the worker count or
+/// replication just starves the pool.
+pub(crate) fn effective_buffers(cfg: &SortConfig) -> usize {
+    cfg.pipeline_buffers.max(cfg.workers + 2)
+}
+
+/// Add the in-core sort stage, farmed across `cfg.workers` replicas when
+/// asked.  Each replica owns its sort scratch; `Program::workers`' ordered
+/// emission keeps the lockstep communication stages downstream correct.
+pub(crate) fn add_sort_stage(prog: &mut Program, cfg: &SortConfig) -> fg_core::StageId {
+    let fmt = cfg.record;
+    let make = move || {
+        let mut aux: Vec<u8> = Vec::new();
+        map_stage(
+            move |buf: &mut fg_core::Buffer, _ctx: &mut fg_core::StageCtx| {
+                fmt.sort_bytes(buf.filled_mut(), &mut aux);
+                Ok(())
+            },
+        )
+    };
+    if cfg.workers > 1 {
+        prog.workers("sort", cfg.workers, move |_i| make())
+    } else {
+        prog.add_stage("sort", make())
+    }
+}
+
 /// Passes 1 and 2: `read → sort → communicate → permute → write` over a
 /// single linear pipeline of `s/P` rounds.  Shared with the four-pass
 /// variant ([`crate::csort4`]), whose first two passes are identical.
@@ -155,15 +183,8 @@ pub(crate) fn pass12(
         }),
     );
 
-    // sort: odd columnsort step (1 or 3).
-    let fmt = cfg.record;
-    let sort = prog.add_stage("sort", {
-        let mut aux: Vec<u8> = Vec::new();
-        map_stage(move |buf, _ctx| {
-            fmt.sort_bytes(buf.filled_mut(), &mut aux);
-            Ok(())
-        })
-    });
+    // sort: odd columnsort step (1 or 3), farmed when cfg.workers > 1.
+    let sort = add_sort_stage(&mut prog, cfg);
 
     // communicate: balanced alltoallv; the same buffer is conveyed (§I:
     // "with balanced communication ... we can convey to the successor the
@@ -216,62 +237,58 @@ pub(crate) fn pass12(
     // offsets.  Column d's region of the output file is
     // [local_index(d)*r, ...); round t's incoming records for d are
     // appended at t * (P * r/s) records into that region.
-    let permute = prog.add_stage(
-        "permute",
-        map_stage(move |buf, ctx| {
+    let permute = prog.add_stage("permute", {
+        // Persistent scratch: the repacked payload and the bytes already
+        // appended to each destination region this round.  Each sender
+        // contributed chunk_records records; they stack in sender order
+        // (source column / P order is irrelevant: the next pass re-sorts).
+        let mut packed: Vec<u8> = Vec::new();
+        let mut appended: Vec<(usize, usize)> = Vec::new(); // (base, bytes)
+        map_stage(move |buf, _ctx| {
             let t = buf.round() as usize;
             let per_round_per_col = nodes * chunk_records; // records
-            let mut out: Vec<(u64, Vec<u8>)> = Vec::new();
+            packed.clear();
+            appended.clear();
             for chunk in chunks::iter_chunks(buf.filled()) {
                 let chunk = chunk?;
                 let d = chunk.a as usize;
                 debug_assert_eq!(m.owner(d), q, "chunk routed to wrong node");
                 let base = (m.local_index(d) * r + t * per_round_per_col) * rb;
-                // Each sender contributed chunk_records records this round;
-                // stack them in sender order (source column / P order is
-                // irrelevant: the next pass re-sorts the column).
-                let within = out
-                    .iter()
-                    .filter(|(off, _)| {
-                        (*off as usize) >= base && (*off as usize) < base + per_round_per_col * rb
-                    })
-                    .map(|(_, d2)| d2.len())
-                    .sum::<usize>();
-                out.push(((base + within) as u64, chunk.data.to_vec()));
+                let within = match appended.iter_mut().find(|(b, _)| *b == base) {
+                    Some((_, w)) => w,
+                    None => {
+                        appended.push((base, 0));
+                        &mut appended.last_mut().expect("just pushed").1
+                    }
+                };
+                // Rewrite as a (file offset, data) chunk for the writer.
+                chunks::push_chunk(&mut packed, (base + *within) as u64, 0, chunk.data);
+                *within += chunk.data.len();
             }
-            // Rewrite the buffer as (file offset, data) chunks.
-            let mut packed = Vec::with_capacity(buf.capacity());
-            for (off, data) in out {
-                chunks::push_chunk(&mut packed, off, 0, &data);
-            }
-            let _ = ctx;
             buf.copy_from(&packed);
             Ok(())
-        }),
-    );
+        })
+    });
 
-    // write: issue the positioned writes.
+    // write: issue the positioned writes, coalesced without copying each
+    // chunk out of the buffer first.
     let write_disk = Arc::clone(disk);
     let out_name = out_file.to_string();
-    let write = prog.add_stage(
-        "write",
+    let write = prog.add_stage("write", {
+        let mut runs = Vec::new();
+        let mut scratch = Vec::new();
         map_stage(move |buf, _ctx| {
-            let mut runs = Vec::new();
-            for chunk in chunks::iter_chunks(buf.filled()) {
-                let chunk = chunk?;
-                runs.push((chunk.a, chunk.data.to_vec()));
-            }
-            for (off, data) in chunks::coalesce_writes(runs) {
+            chunks::for_each_coalesced_write(buf.filled(), &mut runs, &mut scratch, |off, data| {
                 write_disk
-                    .write_at(&out_name, off, &data)
+                    .write_at(&out_name, off, data)
                     .map_err(SortError::from)?;
-            }
-            Ok(())
-        }),
-    );
+                Ok(())
+            })
+        })
+    });
 
     prog.add_pipeline(
-        PipelineCfg::new("pass", cfg.pipeline_buffers, buf_bytes).rounds(Rounds::Count(rounds)),
+        PipelineCfg::new("pass", effective_buffers(cfg), buf_bytes).rounds(Rounds::Count(rounds)),
         &[read, sort, communicate, permute, write],
     )?;
     prog.run()?;
@@ -315,15 +332,9 @@ fn pass3(
         }),
     );
 
+    // sort: step 5, farmed when cfg.workers > 1; replicas own their scratch.
     let fmt = cfg.record;
-    let sort = prog.add_stage(
-        "sort",
-        map_stage(move |buf, _ctx| {
-            let mut aux = Vec::new();
-            fmt.sort_bytes(buf.filled_mut(), &mut aux);
-            Ok(())
-        }),
-    );
+    let sort = add_sort_stage(&mut prog, cfg);
 
     // exchange-halves: after the step-5 sort, send my column's larger half
     // to the owner of column c+1 and receive the larger half of column c-1;
@@ -364,8 +375,7 @@ fn pass3(
                 aux[len..len + half].copy_from_slice(&buf.filled()[half..]);
                 len += half;
             }
-            let assembled = aux[..len].to_vec();
-            buf.copy_from(&assembled);
+            buf.copy_from(&aux[..len]);
             Ok(())
         }),
     );
@@ -421,27 +431,31 @@ fn pass3(
 
     let write_disk = Arc::clone(disk);
     let striping_w = Striping::new(nodes, cfg.block_bytes);
-    let write = prog.add_stage(
-        "write",
+    let write = prog.add_stage("write", {
+        // Rewrite global stripe offsets as local ones in place (headers
+        // only), then coalesce straight out of the buffer.
+        let mut relocated: Vec<u8> = Vec::new();
+        let mut runs = Vec::new();
+        let mut scratch = Vec::new();
         map_stage(move |buf, _ctx| {
-            let mut runs = Vec::new();
+            relocated.clear();
             for chunk in chunks::iter_chunks(buf.filled()) {
                 let chunk = chunk?;
                 let (dest, local) = striping_w.locate_byte(chunk.a);
                 debug_assert_eq!(dest, q, "stripe chunk landed on wrong node");
-                runs.push((local, chunk.data.to_vec()));
+                chunks::push_chunk(&mut relocated, local, 0, chunk.data);
             }
-            for (off, data) in chunks::coalesce_writes(runs) {
+            chunks::for_each_coalesced_write(&relocated, &mut runs, &mut scratch, |off, data| {
                 write_disk
-                    .write_at(OUTPUT_FILE, off, &data)
+                    .write_at(OUTPUT_FILE, off, data)
                     .map_err(SortError::from)?;
-            }
-            Ok(())
-        }),
-    );
+                Ok(())
+            })
+        })
+    });
 
     prog.add_pipeline(
-        PipelineCfg::new("pass3", cfg.pipeline_buffers, buf_bytes).rounds(Rounds::Count(rounds)),
+        PipelineCfg::new("pass3", effective_buffers(cfg), buf_bytes).rounds(Rounds::Count(rounds)),
         &[read, sort, exchange, merge, stripe, write],
     )?;
     prog.run()?;

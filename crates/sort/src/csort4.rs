@@ -30,7 +30,7 @@ use fg_pdm::{DiskStats, SimDisk, Striping};
 
 use crate::chunks::{self, CHUNK_HEADER_BYTES};
 use crate::config::{Matrix, SortConfig};
-use crate::csort::{merge_two_sorted, pass12, M2_FILE};
+use crate::csort::{add_sort_stage, effective_buffers, merge_two_sorted, pass12, M2_FILE};
 use crate::verify::OUTPUT_FILE;
 use crate::SortError;
 
@@ -140,14 +140,8 @@ fn pass3_shift(
         }),
     );
 
-    let fmt = cfg.record;
-    let sort = prog.add_stage("sort", {
-        let mut aux: Vec<u8> = Vec::new();
-        map_stage(move |buf, _ctx| {
-            fmt.sort_bytes(buf.filled_mut(), &mut aux);
-            Ok(())
-        })
-    });
+    // sort: step 5, farmed when cfg.workers > 1.
+    let sort = add_sort_stage(&mut prog, cfg);
 
     // shift-communicate: exchange halves so the buffer leaves holding the
     // shifted column c = [larger half of col c-1][smaller half of col c];
@@ -185,8 +179,7 @@ fn pass3_shift(
                 aux[len..len + half].copy_from_slice(&buf.filled()[half..]);
                 len += half;
             }
-            let assembled = aux[..len].to_vec();
-            buf.copy_from(&assembled);
+            buf.copy_from(&aux[..len]);
             Ok(())
         }),
     );
@@ -228,7 +221,7 @@ fn pass3_shift(
     );
 
     prog.add_pipeline(
-        PipelineCfg::new("pass3", cfg.pipeline_buffers, cbytes + half + 64)
+        PipelineCfg::new("pass3", effective_buffers(cfg), cbytes + half + 64)
             .rounds(Rounds::Count(rounds)),
         &[read, sort, shift, write],
     )?;
@@ -296,21 +289,28 @@ fn pass4_unshift(
         }),
     );
 
-    // step 7: each shifted column is two sorted halves; merge them.
+    // step 7: each shifted column is two sorted halves; merge them.  The
+    // merge is the pass's CPU-bound stage, so it farms like the sorts do
+    // (every capture is `Copy`, so each replica gets its own closure).
     let fmt = cfg.record;
-    let sort = prog.add_stage(
-        "sort",
-        map_stage(move |buf, ctx| {
-            let (c, len, _off) = col_of(buf.round() as usize);
-            if c > 0 && c < s && len == cbytes {
-                let aux = ctx.aux(len);
-                merge_two_sorted(fmt, &buf.filled()[..len], half, aux);
-                let merged = aux[..len].to_vec();
-                buf.copy_from(&merged);
-            }
-            Ok(())
-        }),
-    );
+    let make_sort = move || {
+        map_stage(
+            move |buf: &mut fg_core::Buffer, ctx: &mut fg_core::StageCtx| {
+                let (c, len, _off) = col_of(buf.round() as usize);
+                if c > 0 && c < s && len == cbytes {
+                    let aux = ctx.aux(len);
+                    merge_two_sorted(fmt, &buf.filled()[..len], half, aux);
+                    buf.copy_from(&aux[..len]);
+                }
+                Ok(())
+            },
+        )
+    };
+    let sort = if cfg.workers > 1 {
+        prog.workers("sort", cfg.workers, move |_i| make_sort())
+    } else {
+        prog.add_stage("sort", make_sort())
+    };
 
     // step 8 + striping: shifted column c covers global ranks
     // [c*r - r/2, c*r + r/2) (clamped at both ends).
@@ -342,27 +342,29 @@ fn pass4_unshift(
 
     let write_disk = Arc::clone(disk);
     let striping_w = Striping::new(nodes, cfg.block_bytes);
-    let write = prog.add_stage(
-        "write",
+    let write = prog.add_stage("write", {
+        let mut relocated: Vec<u8> = Vec::new();
+        let mut runs = Vec::new();
+        let mut scratch = Vec::new();
         map_stage(move |buf, _ctx| {
-            let mut runs = Vec::new();
+            relocated.clear();
             for chunk in chunks::iter_chunks(buf.filled()) {
                 let chunk = chunk?;
                 let (dest, local) = striping_w.locate_byte(chunk.a);
                 debug_assert_eq!(dest, q);
-                runs.push((local, chunk.data.to_vec()));
+                chunks::push_chunk(&mut relocated, local, 0, chunk.data);
             }
-            for (off, data) in chunks::coalesce_writes(runs) {
+            chunks::for_each_coalesced_write(&relocated, &mut runs, &mut scratch, |off, data| {
                 write_disk
-                    .write_at(OUTPUT_FILE, off, &data)
+                    .write_at(OUTPUT_FILE, off, data)
                     .map_err(SortError::from)?;
-            }
-            Ok(())
-        }),
-    );
+                Ok(())
+            })
+        })
+    });
 
     prog.add_pipeline(
-        PipelineCfg::new("pass4", cfg.pipeline_buffers, buf_bytes).rounds(Rounds::Count(rounds)),
+        PipelineCfg::new("pass4", effective_buffers(cfg), buf_bytes).rounds(Rounds::Count(rounds)),
         &[read, sort, stripe, write],
     )?;
     prog.run()?;

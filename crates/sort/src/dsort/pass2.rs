@@ -288,24 +288,26 @@ pub fn pass2(
 
     let write_disk = Arc::clone(disk);
     let striping_w = Striping::new(nodes, cfg.block_bytes);
-    let write = prog.add_stage(
-        "write",
+    let write = prog.add_stage("write", {
+        let mut relocated: Vec<u8> = Vec::new();
+        let mut runs = Vec::new();
+        let mut scratch = Vec::new();
         map_stage(move |buf, _ctx| {
-            let mut runs = Vec::new();
+            relocated.clear();
             for chunk in chunks::iter_chunks(buf.filled()) {
                 let chunk = chunk?;
                 let (dest, local) = striping_w.locate_byte(chunk.a);
                 debug_assert_eq!(dest, rank, "stripe piece landed on wrong node");
-                runs.push((local, chunk.data.to_vec()));
+                chunks::push_chunk(&mut relocated, local, 0, chunk.data);
             }
-            for (off, data) in chunks::coalesce_writes(runs) {
+            chunks::for_each_coalesced_write(&relocated, &mut runs, &mut scratch, |off, data| {
                 write_disk
-                    .write_at(OUTPUT_FILE, off, &data)
+                    .write_at(OUTPUT_FILE, off, data)
                     .map_err(SortError::from)?;
-            }
-            Ok(())
-        }),
-    );
+                Ok(())
+            })
+        })
+    });
 
     // ---- pipelines ----
     for (j, &len) in run_lens.iter().enumerate() {

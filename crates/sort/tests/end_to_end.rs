@@ -175,6 +175,18 @@ fn csort_sixteen_nodes_small() {
 }
 
 #[test]
+fn csort_with_sort_workers() {
+    // Farmed sort stages (Program::workers) must leave the lockstep
+    // communication stages downstream correct: the output is still exactly
+    // sorted, striped, and a permutation of the input.
+    let mut cfg = SortConfig::test_default(4, 4096);
+    cfg.workers = 3;
+    check_csort(&cfg);
+    cfg.dist = KeyDist::Poisson;
+    check_csort(&cfg);
+}
+
+#[test]
 fn dsort_sixteen_nodes_small() {
     check_dsort(&SortConfig::test_default(16, 1024));
 }
@@ -261,6 +273,13 @@ mod csort4_tests {
     #[test]
     fn csort4_sixteen_nodes() {
         check_csort4(&SortConfig::test_default(16, 1024));
+    }
+
+    #[test]
+    fn csort4_with_sort_workers() {
+        let mut cfg = SortConfig::test_default(4, 4096);
+        cfg.workers = 3;
+        check_csort4(&cfg);
     }
 
     #[test]
