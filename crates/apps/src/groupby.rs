@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 
 use fg_cluster::{Cluster, ClusterCfg, ClusterError, Communicator};
 use fg_core::{map_stage, PipelineCfg, Program, Rounds, Stage, StageCtx};
-use fg_pdm::SimDisk;
+use fg_pdm::DiskRef;
 use fg_sort::chunks::{self, CHUNK_HEADER_BYTES};
 use fg_sort::config::SortConfig;
 use fg_sort::input::INPUT_FILE;
@@ -63,7 +63,7 @@ pub fn owner_of(key: u64, nodes: usize) -> usize {
 /// Run the one-pass distributed group-by-count over the provisioned disks
 /// (each holding fg-sort's `input` file per `cfg`); leaves each node's
 /// sorted `(key, count)` table in [`COUNTS_FILE`] on its disk.
-pub fn run_groupby(cfg: &SortConfig, disks: &[Arc<SimDisk>]) -> Result<GroupByReport, SortError> {
+pub fn run_groupby(cfg: &SortConfig, disks: &[DiskRef]) -> Result<GroupByReport, SortError> {
     cfg.validate()?;
     if disks.len() != cfg.nodes {
         return Err(SortError::Config(format!(
@@ -72,8 +72,8 @@ pub fn run_groupby(cfg: &SortConfig, disks: &[Arc<SimDisk>]) -> Result<GroupByRe
             disks.len()
         )));
     }
-    let cfg = *cfg;
-    let disks_arc: Vec<Arc<SimDisk>> = disks.to_vec();
+    let cfg = cfg.clone();
+    let disks_arc: Vec<DiskRef> = disks.to_vec();
 
     let run = Cluster::run(
         ClusterCfg {
@@ -108,7 +108,7 @@ fn groupby_pass(
     cfg: &SortConfig,
     rank: usize,
     comm: &Communicator,
-    disk: &Arc<SimDisk>,
+    disk: &DiskRef,
 ) -> Result<(u64, u64), SortError> {
     let nodes = cfg.nodes;
     let input_bytes = cfg.bytes_per_node() as usize;
@@ -285,11 +285,13 @@ fn groupby_pass(
         records += count;
     }
     disk.write_at(COUNTS_FILE, 0, &bytes)?;
+    // Write barrier: the counts table is read back after the run.
+    disk.flush()?;
     Ok((pairs.len() as u64, records))
 }
 
 /// Read back a node's `(key, count)` table (verification helper).
-pub fn read_counts(disk: &Arc<SimDisk>) -> Vec<(u64, u64)> {
+pub fn read_counts(disk: &DiskRef) -> Vec<(u64, u64)> {
     let bytes = disk.snapshot(COUNTS_FILE).unwrap_or_default();
     bytes
         .chunks_exact(16)

@@ -13,10 +13,14 @@
 //! `ablation-passes` (A5), `ablation-readahead` (A6), `workers-scaling`
 //! (csort's farmed sort stages across replica counts; `--workers N` runs a
 //! single count, e.g. for gating a farmed run against a serial baseline),
-//! `all`.
+//! `io-overlap` (the out-of-core acceptance run: the I/O scheduler vs
+//! synchronous `OsDisk` syscalls on real files), `all`.
 //!
 //! `--json-out <dir>` writes one machine-readable JSON artifact per
-//! experiment into `<dir>`.  The fig8 runs are then observed: dsort runs
+//! experiment into `<dir>`.  Re-running into the same directory overwrites
+//! by default; `--json-out-suffix <tag>` names artifacts
+//! `<name>-<tag>.json` instead (pass `time` for a timestamp) so successive
+//! runs coexist.  The fig8 runs are then observed: dsort runs
 //! with span tracing and a metrics registry attached, and each cell's
 //! artifact embeds node 0's full per-pass FG reports (stage stats, queue
 //! depths, and the run's comm and disk metrics).
@@ -58,6 +62,9 @@ fn jsecs(d: Duration) -> Json {
 /// which (when gating) also diffs it against the saved baseline.
 struct ArtifactSink {
     dir: Option<PathBuf>,
+    /// Appended to artifact file stems as `<name>-<suffix>.json`, so
+    /// repeat runs into one directory don't silently clobber each other.
+    suffix: Option<String>,
     baseline: Option<PathBuf>,
     gate: GateCfg,
     regressions: RefCell<Vec<Regression>>,
@@ -71,12 +78,25 @@ impl ArtifactSink {
 
     fn write(&self, name: &str, value: Json) {
         if let Some(dir) = &self.dir {
-            let path = dir.join(format!("{name}.json"));
+            let stem = match &self.suffix {
+                Some(s) => format!("{name}-{s}"),
+                None => name.to_string(),
+            };
+            let path = dir.join(format!("{stem}.json"));
+            let clobbered = path.exists();
             if let Err(e) = std::fs::write(&path, value.to_string()) {
                 eprintln!("error: failed to write {}: {e}", path.display());
                 std::process::exit(1);
             }
-            println!("wrote {}", path.display());
+            println!(
+                "wrote {}{}",
+                path.display(),
+                if clobbered {
+                    " (overwrote previous run; use --json-out-suffix to keep both)"
+                } else {
+                    ""
+                }
+            );
         }
         if let Some(base) = self.baseline_path(name) {
             self.gate_against(name, &base, &value);
@@ -227,6 +247,19 @@ fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_out = take_value_flag(&mut args, "--json-out").map(PathBuf::from);
+    // `--json-out-suffix time` expands to the unix timestamp, giving each
+    // run a distinct artifact set without inventing a name.
+    let json_out_suffix = take_value_flag(&mut args, "--json-out-suffix").map(|s| {
+        if s == "time" {
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            format!("{now}")
+        } else {
+            s
+        }
+    });
     let baseline = take_value_flag(&mut args, "--baseline").map(PathBuf::from);
     let gate_tolerance = take_value_flag(&mut args, "--gate-tolerance").map(|v| {
         v.parse::<f64>().unwrap_or_else(|_| {
@@ -262,6 +295,7 @@ fn main() {
     }
     let sink = ArtifactSink {
         dir: json_out,
+        suffix: json_out_suffix,
         baseline,
         gate,
         regressions: RefCell::new(Vec::new()),
@@ -684,6 +718,43 @@ fn main() {
                     })
                     .collect(),
             ),
+        );
+    }
+    if run_all || cmd == "io-overlap" {
+        println!("\n=== Out-of-core: I/O scheduler vs synchronous OsDisk (real files) ===");
+        let (blocks, block_bytes, depth) = if quick {
+            (64, 64 << 10, 4)
+        } else {
+            (512, 256 << 10, 4)
+        };
+        let res =
+            fg_bench::io_overlap::run_io_overlap(blocks, block_bytes, depth).expect("io-overlap");
+        println!(
+            "{} blocks x {} KiB, depth {}: sync {:.3}s   overlapped {:.3}s   speedup {:.2}x   \
+             prefetch {:.0}% hit ({} hits, {} misses)",
+            res.blocks,
+            res.block_bytes >> 10,
+            res.io_depth,
+            res.sync.as_secs_f64(),
+            res.overlapped.as_secs_f64(),
+            res.speedup(),
+            100.0 * res.hit_rate(),
+            res.prefetch_hits,
+            res.prefetch_misses,
+        );
+        sink.write(
+            "io-overlap",
+            jobj(vec![
+                ("blocks", Json::from(res.blocks)),
+                ("block_bytes", Json::from(res.block_bytes)),
+                ("io_depth", Json::from(res.io_depth)),
+                ("compute_passes", Json::from(res.compute_passes)),
+                ("sync_s", jsecs(res.sync)),
+                ("overlapped_s", jsecs(res.overlapped)),
+                ("speedup", Json::Num(res.speedup())),
+                ("prefetch_hits", Json::from(res.prefetch_hits)),
+                ("prefetch_misses", Json::from(res.prefetch_misses)),
+            ]),
         );
     }
     if let Some((server, sampler)) = telemetry {

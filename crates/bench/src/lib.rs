@@ -11,13 +11,14 @@
 #![forbid(unsafe_code)]
 
 pub mod gate;
+pub mod io_overlap;
 pub mod overlap;
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use fg_core::MetricsRegistry;
-use fg_pdm::SimDisk;
+use fg_pdm::DiskRef;
 use fg_sort::config::SortConfig;
 use fg_sort::csort::{run_csort, CsortReport};
 use fg_sort::dsort::{run_dsort, run_dsort_with, DsortOptions, DsortReport};
@@ -596,6 +597,6 @@ pub fn run_workers_scaling(
 }
 
 /// Provision fresh disks for a config (re-export convenience for benches).
-pub fn fresh_disks(cfg: &SortConfig) -> Vec<Arc<SimDisk>> {
+pub fn fresh_disks(cfg: &SortConfig) -> Vec<DiskRef> {
     provision(cfg)
 }

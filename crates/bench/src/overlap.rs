@@ -39,7 +39,7 @@ impl OverlapResult {
 /// Busy-compute on a block for roughly `per_byte_ns` nanoseconds per byte
 /// (checksum loop — real CPU work, not a sleep, so it genuinely competes
 /// for the core the way a sort stage does).
-fn compute(data: &mut [u8], passes: usize) -> u64 {
+pub(crate) fn compute(data: &mut [u8], passes: usize) -> u64 {
     let mut acc = 0u64;
     for _ in 0..passes {
         for chunk in data.chunks(8) {

@@ -79,6 +79,30 @@ pub struct StageDiagnosis {
     pub workers: usize,
 }
 
+/// Aggregate read-ahead effectiveness across every scheduled disk, folded
+/// from the `disk/*/prefetch_hit` and `disk/*/prefetch_miss` counters in
+/// the report's metrics snapshot.  Absent when no disk ran behind an I/O
+/// scheduler (no such counters, or no reads at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchFinding {
+    /// Reads served from a completed prefetch.
+    pub hits: u64,
+    /// Reads that went to the backend synchronously.
+    pub misses: u64,
+}
+
+impl PrefetchFinding {
+    /// Fraction of reads served from the prefetcher.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A queue-level finding from the depth-gauge time series.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueueFinding {
@@ -107,6 +131,8 @@ pub struct Diagnosis {
     pub overlap_efficiency: f64,
     /// Queues that spent most of the sampled run pinned full or empty.
     pub queue_findings: Vec<QueueFinding>,
+    /// Read-ahead effectiveness, when any disk ran behind an I/O scheduler.
+    pub prefetch: Option<PrefetchFinding>,
     /// Human-readable tuning recommendations, most important first.
     pub recommendations: Vec<String>,
 }
@@ -122,6 +148,10 @@ const PINNED_FRAC: f64 = 0.5;
 /// Below this overlap efficiency the pipeline is leaving the bottleneck
 /// idle — time is going somewhere other than the limiting stage.
 const EFFICIENCY_WARN: f64 = 0.6;
+
+/// Below this prefetch hit rate the I/O scheduler's read-ahead is not
+/// keeping up with the read stream — most reads go cold to the backend.
+const PREFETCH_WARN: f64 = 0.5;
 
 /// The runtime's implicit source/sink threads: real stages for timing
 /// purposes, but not candidates for "the limiting stage" (their work is
@@ -272,6 +302,7 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
     }
 
     let queue_findings = queue_findings(report, series);
+    let prefetch = prefetch_finding(report);
 
     let mut recommendations = Vec::new();
     if let Some(name) = &limiting {
@@ -350,6 +381,19 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
             ));
         }
     }
+    if let Some(p) = &prefetch {
+        if p.hit_rate() < PREFETCH_WARN {
+            recommendations.push(format!(
+                "disk read-ahead hit rate is {:.0}% ({} of {} reads went cold to the \
+                 backend): the prefetcher is not staying ahead of the read stream — \
+                 raise the I/O scheduler depth (`--io-depth`) or check that reads are \
+                 sequential within each file",
+                p.hit_rate() * 100.0,
+                p.misses,
+                p.hits + p.misses
+            ));
+        }
+    }
     let overlap_efficiency = report.overlap_efficiency();
     if limiting.is_some() && overlap_efficiency < EFFICIENCY_WARN {
         recommendations.push(format!(
@@ -371,8 +415,30 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
         overlap_factor: report.overlap_factor(),
         overlap_efficiency,
         queue_findings,
+        prefetch,
         recommendations,
     }
+}
+
+/// Fold the per-disk `disk/*/prefetch_hit` / `disk/*/prefetch_miss`
+/// counters into one cluster-wide [`PrefetchFinding`].
+fn prefetch_finding(report: &Report) -> Option<PrefetchFinding> {
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut seen = false;
+    for (name, v) in &report.metrics.counters {
+        if !name.starts_with("disk/") {
+            continue;
+        }
+        if name.ends_with("/prefetch_hit") {
+            hits += v;
+            seen = true;
+        } else if name.ends_with("/prefetch_miss") {
+            misses += v;
+            seen = true;
+        }
+    }
+    (seen && hits + misses > 0).then_some(PrefetchFinding { hits, misses })
 }
 
 /// Fold the `core/queue_depth/<name>` gauge series into per-queue
@@ -455,6 +521,14 @@ impl Diagnosis {
                 self.overlap_efficiency * 100.0
             )),
             None => out.push_str("no stage did measurable work\n"),
+        }
+        if let Some(p) = &self.prefetch {
+            out.push_str(&format!(
+                "disk read-ahead: {:.0}% hit rate ({} hits, {} misses)\n",
+                p.hit_rate() * 100.0,
+                p.hits,
+                p.misses
+            ));
         }
         for q in &self.queue_findings {
             if q.full_frac > PINNED_FRAC || q.empty_frac > PINNED_FRAC {
@@ -731,6 +805,48 @@ mod tests {
         // Without a time series there is nothing to distinguish: no
         // findings at all, rather than findings from high-water marks.
         assert!(diagnose(&r, &[]).queue_findings.is_empty());
+    }
+
+    /// A report whose metrics carry prefetch counters for two disks.
+    fn report_with_prefetch(hits: &[(u64, u64)]) -> Report {
+        let reg = crate::metrics::MetricsRegistry::new();
+        for (i, (h, m)) in hits.iter().enumerate() {
+            reg.counter(&format!("disk/d{i}/prefetch_hit")).add(*h);
+            reg.counter(&format!("disk/d{i}/prefetch_miss")).add(*m);
+        }
+        let mut r = report();
+        r.metrics = reg.snapshot();
+        r
+    }
+
+    #[test]
+    fn cold_prefetch_recommends_raising_io_depth() {
+        let d = diagnose(&report_with_prefetch(&[(1, 9), (2, 8)]), &[]);
+        let p = d.prefetch.expect("prefetch counters present");
+        assert_eq!(p.hits, 3);
+        assert_eq!(p.misses, 17);
+        assert!((p.hit_rate() - 0.15).abs() < 1e-9);
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("read-ahead hit rate") && r.contains("--io-depth")));
+        assert!(d.render().contains("disk read-ahead: 15% hit rate"));
+    }
+
+    #[test]
+    fn warm_prefetch_reported_without_recommendation() {
+        let d = diagnose(&report_with_prefetch(&[(9, 1), (10, 0)]), &[]);
+        let p = d.prefetch.expect("prefetch counters present");
+        assert!(p.hit_rate() > 0.9);
+        assert!(!d.recommendations.iter().any(|r| r.contains("--io-depth")));
+        assert!(d.render().contains("disk read-ahead: 95% hit rate"));
+    }
+
+    #[test]
+    fn no_scheduler_means_no_prefetch_finding() {
+        let d = diagnose(&report(), &[]);
+        assert_eq!(d.prefetch, None);
+        assert!(!d.render().contains("read-ahead"));
     }
 
     #[test]

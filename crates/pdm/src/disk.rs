@@ -21,6 +21,112 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::PdmError;
 
+/// The operations every disk backend provides.
+///
+/// Pipelines hold disks as [`DiskRef`] (`Arc<dyn Disk>`) so the same sort
+/// and application code runs against the in-memory [`SimDisk`] cost model,
+/// a real-file [`OsDisk`](crate::OsDisk), or either one wrapped in the
+/// overlapping [`IoScheduler`](crate::IoScheduler).
+///
+/// Semantics all backends share:
+///
+/// * files are flat named byte arrays under one per-node namespace;
+/// * [`write_at`](Disk::write_at) past the end grows the file zero-filled;
+/// * [`load`](Disk::load)/[`snapshot`](Disk::snapshot) are *out-of-band*
+///   provisioning/verification hooks — they move bytes without charging
+///   costs or touching the I/O counters, and they keep working after an
+///   injected failure;
+/// * [`flush`](Disk::flush) is a write barrier: when it returns, every
+///   previously accepted write has reached the backend, and the first
+///   error of any *deferred* write is returned here (backends without
+///   deferred writes return `Ok(())`).
+pub trait Disk: Send + Sync {
+    /// Write `data` at byte `offset` of `name`, creating and growing the
+    /// file (zero-filled) as needed.
+    fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), PdmError>;
+    /// Append `data` to `name` (creating it), returning the offset the
+    /// data landed at.
+    fn append(&self, name: &str, data: &[u8]) -> Result<u64, PdmError>;
+    /// Read exactly `out.len()` bytes at `offset` of `name`.
+    fn read_at(&self, name: &str, offset: u64, out: &mut [u8]) -> Result<(), PdmError>;
+    /// Read up to `len` bytes at `offset` (short read at end of file).
+    fn read_up_to(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>, PdmError>;
+    /// Install a file's full contents without charging any cost — an
+    /// out-of-band provisioning hook for experiment setup.
+    fn load(&self, name: &str, bytes: Vec<u8>);
+    /// Copy a file's full contents without charging any cost — the
+    /// verification counterpart of [`Disk::load`].
+    fn snapshot(&self, name: &str) -> Option<Vec<u8>>;
+    /// Length of a file, or `None` if it does not exist.
+    fn len(&self, name: &str) -> Option<u64>;
+    /// Whether the file exists.
+    fn exists(&self, name: &str) -> bool;
+    /// Delete a file; returns whether it existed.
+    fn delete(&self, name: &str) -> bool;
+    /// Names of all files on the disk (unspecified order).
+    fn list(&self) -> Vec<String>;
+    /// Snapshot of the I/O counters.
+    fn stats(&self) -> DiskStats;
+    /// Reset the I/O counters (e.g. between experiment passes).
+    fn reset_stats(&self);
+    /// Inject a failure: after `ops` more successful operations, every
+    /// read/write fails with [`PdmError::DiskFailed`].
+    fn fail_after_ops(&self, ops: u64);
+    /// Write barrier: block until every accepted write has reached the
+    /// backend, surfacing the first deferred-write error.
+    fn flush(&self) -> Result<(), PdmError> {
+        Ok(())
+    }
+}
+
+/// Shared handle to a disk backend, as the pipelines hold it.
+pub type DiskRef = Arc<dyn Disk>;
+
+/// Failure injection shared by all backends: a count of operations
+/// remaining before the disk "dies" (`u64::MAX` = healthy).  Once it hits
+/// zero every subsequent checked operation fails with
+/// [`PdmError::DiskFailed`].
+#[derive(Debug)]
+pub(crate) struct FailGate {
+    ops_until_failure: AtomicU64,
+}
+
+impl Default for FailGate {
+    fn default() -> Self {
+        FailGate {
+            ops_until_failure: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+impl FailGate {
+    pub(crate) fn arm(&self, ops: u64) {
+        self.ops_until_failure.store(ops, Ordering::SeqCst);
+    }
+
+    pub(crate) fn check(&self) -> Result<(), PdmError> {
+        // Decrement-if-healthy; saturate at zero once dead.
+        let mut cur = self.ops_until_failure.load(Ordering::SeqCst);
+        loop {
+            if cur == u64::MAX {
+                return Ok(());
+            }
+            if cur == 0 {
+                return Err(PdmError::DiskFailed);
+            }
+            match self.ops_until_failure.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
 /// Disk cost model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskCfg {
@@ -94,12 +200,32 @@ impl DiskStats {
 }
 
 #[derive(Default)]
-struct Counters {
-    bytes_read: AtomicU64,
-    bytes_written: AtomicU64,
-    read_ops: AtomicU64,
-    write_ops: AtomicU64,
-    busy_nanos: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) bytes_read: AtomicU64,
+    pub(crate) bytes_written: AtomicU64,
+    pub(crate) read_ops: AtomicU64,
+    pub(crate) write_ops: AtomicU64,
+    pub(crate) busy_nanos: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn snapshot(&self) -> DiskStats {
+        DiskStats {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.read_ops.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+        self.busy_nanos.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Metric handles of one disk, resolved once at attachment.  Latencies are
@@ -108,15 +234,15 @@ struct Counters {
 /// the configured service cost.  Names carry the disk's label:
 /// `disk/{label}/read_ns`, `disk/{label}/write_ns`,
 /// `disk/{label}/bytes_read`, `disk/{label}/bytes_written`.
-struct DiskMetrics {
-    read_ns: Arc<Histogram>,
-    write_ns: Arc<Histogram>,
-    bytes_read: Arc<Counter>,
-    bytes_written: Arc<Counter>,
+pub(crate) struct DiskMetrics {
+    pub(crate) read_ns: Arc<Histogram>,
+    pub(crate) write_ns: Arc<Histogram>,
+    pub(crate) bytes_read: Arc<Counter>,
+    pub(crate) bytes_written: Arc<Counter>,
 }
 
 impl DiskMetrics {
-    fn new(registry: &MetricsRegistry, label: &str) -> Self {
+    pub(crate) fn new(registry: &MetricsRegistry, label: &str) -> Self {
         DiskMetrics {
             read_ns: registry.histogram(&format!("disk/{label}/read_ns")),
             write_ns: registry.histogram(&format!("disk/{label}/write_ns")),
@@ -128,9 +254,25 @@ impl DiskMetrics {
 
 /// Direction of one I/O operation, for metric recording.
 #[derive(Clone, Copy)]
-enum Dir {
+pub(crate) enum Dir {
     Read,
     Write,
+}
+
+impl DiskMetrics {
+    /// Record one operation's wall time and byte count.
+    pub(crate) fn record(&self, dir: Dir, bytes: usize, elapsed: Duration) {
+        match dir {
+            Dir::Read => {
+                self.read_ns.record_duration(elapsed);
+                self.bytes_read.add(bytes as u64);
+            }
+            Dir::Write => {
+                self.write_ns.record_duration(elapsed);
+                self.bytes_written.add(bytes as u64);
+            }
+        }
+    }
 }
 
 /// An in-memory simulated disk holding named files.
@@ -140,10 +282,8 @@ pub struct SimDisk {
     arm: Mutex<()>,
     files: RwLock<HashMap<String, Arc<Mutex<Vec<u8>>>>>,
     counters: Counters,
-    /// Failure injection: operations remaining before the disk "dies"
-    /// (`u64::MAX` = healthy).  Once it hits zero every subsequent
-    /// operation fails with [`PdmError::DiskFailed`].
-    ops_until_failure: AtomicU64,
+    /// Failure injection; see [`FailGate`].
+    fail: FailGate,
     /// Metric handles; `None` for an uninstrumented disk, making every
     /// record site a single never-taken branch.
     metrics: Option<DiskMetrics>,
@@ -157,7 +297,7 @@ impl SimDisk {
             arm: Mutex::new(()),
             files: RwLock::new(HashMap::new()),
             counters: Counters::default(),
-            ops_until_failure: AtomicU64::new(u64::MAX),
+            fail: FailGate::default(),
             metrics: None,
         })
     }
@@ -171,7 +311,7 @@ impl SimDisk {
             arm: Mutex::new(()),
             files: RwLock::new(HashMap::new()),
             counters: Counters::default(),
-            ops_until_failure: AtomicU64::new(u64::MAX),
+            fail: FailGate::default(),
             metrics: Some(DiskMetrics::new(registry, label)),
         })
     }
@@ -181,29 +321,11 @@ impl SimDisk {
     /// testing that errors propagate out of pipelines and across the
     /// cluster.
     pub fn fail_after_ops(&self, ops: u64) {
-        self.ops_until_failure.store(ops, Ordering::SeqCst);
+        self.fail.arm(ops);
     }
 
     fn check_alive(&self) -> Result<(), PdmError> {
-        // Decrement-if-healthy; saturate at zero once dead.
-        let mut cur = self.ops_until_failure.load(Ordering::SeqCst);
-        loop {
-            if cur == u64::MAX {
-                return Ok(());
-            }
-            if cur == 0 {
-                return Err(PdmError::DiskFailed);
-            }
-            match self.ops_until_failure.compare_exchange(
-                cur,
-                cur - 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
-                Ok(_) => return Ok(()),
-                Err(actual) => cur = actual,
-            }
-        }
+        self.fail.check()
     }
 
     /// The disk's cost model.
@@ -213,11 +335,21 @@ impl SimDisk {
 
     fn charge(&self, dir: Dir, bytes: usize) {
         let d = self.cfg.cost(bytes);
+        if d.is_zero() {
+            // Memory-speed disks (DiskCfg::zero) skip the clock reads, the
+            // arm, and the busy-time bookkeeping entirely.  Byte counters
+            // and (zero-duration) latency samples still record so
+            // instrumented runs account for every operation.
+            if let Some(m) = &self.metrics {
+                m.record(dir, bytes, Duration::ZERO);
+            }
+            return;
+        }
         self.counters
             .busy_nanos
             .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
-        let t0 = self.metrics.as_ref().map(|_| Instant::now());
-        if !d.is_zero() {
+        let t0 = Instant::now();
+        {
             // Hold the arm while the operation is "in flight".
             let _arm = self.arm.lock();
             std::thread::sleep(d);
@@ -225,17 +357,7 @@ impl SimDisk {
         if let Some(m) = &self.metrics {
             // Wall time including queueing behind the arm, so contention on
             // the most heavily used disk shows up in the tail.
-            let elapsed = t0.expect("timed when metrics present").elapsed();
-            match dir {
-                Dir::Read => {
-                    m.read_ns.record_duration(elapsed);
-                    m.bytes_read.add(bytes as u64);
-                }
-                Dir::Write => {
-                    m.write_ns.record_duration(elapsed);
-                    m.bytes_written.add(bytes as u64);
-                }
-            }
+            m.record(dir, bytes, t0.elapsed());
         }
     }
 
@@ -378,22 +500,70 @@ impl SimDisk {
 
     /// Snapshot of the I/O counters.
     pub fn stats(&self) -> DiskStats {
-        DiskStats {
-            bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
-            read_ops: self.counters.read_ops.load(Ordering::Relaxed),
-            write_ops: self.counters.write_ops.load(Ordering::Relaxed),
-            busy_nanos: self.counters.busy_nanos.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
     }
 
     /// Reset the I/O counters (e.g. between experiment passes).
     pub fn reset_stats(&self) {
-        self.counters.bytes_read.store(0, Ordering::Relaxed);
-        self.counters.bytes_written.store(0, Ordering::Relaxed);
-        self.counters.read_ops.store(0, Ordering::Relaxed);
-        self.counters.write_ops.store(0, Ordering::Relaxed);
-        self.counters.busy_nanos.store(0, Ordering::Relaxed);
+        self.counters.reset()
+    }
+}
+
+// The trait impl delegates to the inherent methods above (inherent methods
+// win during resolution, so there is no recursion), letting existing code
+// that holds a concrete `Arc<SimDisk>` keep working unchanged while the
+// pipelines hold `Arc<dyn Disk>`.
+impl Disk for SimDisk {
+    fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), PdmError> {
+        SimDisk::write_at(self, name, offset, data)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> Result<u64, PdmError> {
+        SimDisk::append(self, name, data)
+    }
+
+    fn read_at(&self, name: &str, offset: u64, out: &mut [u8]) -> Result<(), PdmError> {
+        SimDisk::read_at(self, name, offset, out)
+    }
+
+    fn read_up_to(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>, PdmError> {
+        SimDisk::read_up_to(self, name, offset, len)
+    }
+
+    fn load(&self, name: &str, bytes: Vec<u8>) {
+        SimDisk::load(self, name, bytes)
+    }
+
+    fn snapshot(&self, name: &str) -> Option<Vec<u8>> {
+        SimDisk::snapshot(self, name)
+    }
+
+    fn len(&self, name: &str) -> Option<u64> {
+        SimDisk::len(self, name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        SimDisk::exists(self, name)
+    }
+
+    fn delete(&self, name: &str) -> bool {
+        SimDisk::delete(self, name)
+    }
+
+    fn list(&self) -> Vec<String> {
+        SimDisk::list(self)
+    }
+
+    fn stats(&self) -> DiskStats {
+        SimDisk::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        SimDisk::reset_stats(self)
+    }
+
+    fn fail_after_ops(&self, ops: u64) {
+        SimDisk::fail_after_ops(self, ops)
     }
 }
 

@@ -5,10 +5,18 @@
 //! fixed-size blocks, final output *striped* round-robin across the disks.
 //! This crate provides:
 //!
+//! * [`Disk`] — the backend trait the pipelines program against, held as
+//!   [`DiskRef`] (`Arc<dyn Disk>`);
 //! * [`SimDisk`] — an in-memory per-node disk whose reads and writes cost
 //!   real wall-clock time under a configurable `latency + bytes/bandwidth`
 //!   model and *serialize on the disk arm*, so unbalanced I/O shows up in
 //!   measured pass times just as it does on hardware;
+//! * [`OsDisk`] — a disk backed by real files under a root directory,
+//!   served with positioned kernel I/O;
+//! * [`IoScheduler`] — a wrapper over either backend adding read-ahead
+//!   prefetching and coalescing write-behind on a dedicated I/O thread,
+//!   with a [`flush`](Disk::flush) barrier that surfaces deferred-write
+//!   errors at pass end;
 //! * [`Striping`] — PDM striping arithmetic (global ↔ per-node coordinates)
 //!   and a verification helper that reassembles the global stream.
 //!
@@ -28,9 +36,15 @@
 #![forbid(unsafe_code)]
 
 mod disk;
+mod os_disk;
+mod sched;
+mod scratch;
 mod striping;
 
-pub use disk::{DiskCfg, DiskStats, SimDisk};
+pub use disk::{Disk, DiskCfg, DiskRef, DiskStats, SimDisk};
+pub use os_disk::OsDisk;
+pub use sched::IoScheduler;
+pub use scratch::ScratchDir;
 pub use striping::Striping;
 
 use std::fmt;
@@ -53,6 +67,8 @@ pub enum PdmError {
         /// Actual file length.
         file_len: u64,
     },
+    /// An operating-system I/O error from a real-file backend.
+    Io(String),
 }
 
 impl fmt::Display for PdmError {
@@ -69,6 +85,7 @@ impl fmt::Display for PdmError {
                 f,
                 "read of {len} bytes at {offset} exceeds {file} (len {file_len})"
             ),
+            PdmError::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
 }

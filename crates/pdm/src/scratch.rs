@@ -1,0 +1,55 @@
+//! Self-cleaning scratch directories for tests and experiments.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{env, fs, process};
+
+/// A unique directory under the system temp dir, removed (recursively) on
+/// drop — the backing store for throwaway [`OsDisk`](crate::OsDisk)
+/// instances in tests and experiments, without pulling in a tempdir crate.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Create `$TMPDIR/fg-{tag}-{pid}-{seq}`.
+    pub fn new(tag: &str) -> std::io::Result<ScratchDir> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = env::temp_dir().join(format!(
+            "fg-{tag}-{}-{}",
+            process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&path)?;
+        Ok(ScratchDir { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_cleans_up() {
+        let a = ScratchDir::new("t").unwrap();
+        let b = ScratchDir::new("t").unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        fs::write(kept.join("f"), b"x").unwrap();
+        drop(a);
+        assert!(!kept.exists());
+    }
+}

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use crate::disk::SimDisk;
+use crate::disk::Disk;
 use crate::PdmError;
 
 /// Striping geometry: number of disks and the stripe block size in bytes.
@@ -103,10 +103,12 @@ impl Striping {
     /// bytes from the per-node stripe files named `name`.
     ///
     /// This is a *verification* helper: it reads through cost-free
-    /// snapshots so it perturbs neither timings nor I/O counters.
-    pub fn assemble(
+    /// snapshots so it perturbs neither timings nor I/O counters.  Works
+    /// against any backend — `&[Arc<SimDisk>]` and `&[DiskRef]` both
+    /// satisfy the bound.
+    pub fn assemble<D: Disk + ?Sized>(
         &self,
-        disks: &[Arc<SimDisk>],
+        disks: &[Arc<D>],
         name: &str,
         total: u64,
     ) -> Result<Vec<u8>, PdmError> {
@@ -144,7 +146,7 @@ impl Striping {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::disk::DiskCfg;
+    use crate::disk::{DiskCfg, SimDisk};
 
     #[test]
     fn block_round_robin() {

@@ -1,0 +1,81 @@
+//! Property-based tests across disk backends: any sequence of writes and
+//! appends must leave byte-identical files on [`SimDisk`], [`OsDisk`], and
+//! an [`IoScheduler`]-wrapped `OsDisk` (the scheduler is transparent —
+//! read-ahead and write-behind change timing, never contents).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use fg_pdm::{Disk, DiskCfg, DiskRef, IoScheduler, OsDisk, ScratchDir, SimDisk};
+
+proptest! {
+    // Each case builds real files and a scheduler thread; keep the case
+    // count modest so the suite stays quick on CI.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replaying one op sequence on all three backends produces the same
+    /// bytes, with the cost-free SimDisk as the reference semantics.
+    #[test]
+    fn backends_store_identical_bytes(
+        ops in vec(
+            (any::<bool>(), 0u64..128, vec(any::<u8>(), 1..24), any::<bool>()),
+            1..24,
+        ),
+    ) {
+        let scratch = ScratchDir::new("backend-props").unwrap();
+        let sim: DiskRef = SimDisk::new(DiskCfg::zero());
+        let os: DiskRef = OsDisk::new(scratch.path().join("bare")).unwrap();
+        let sched: DiskRef = IoScheduler::new(
+            OsDisk::new(scratch.path().join("sched")).unwrap() as DiskRef,
+            2,
+        );
+        let disks = [&sim, &os, &sched];
+        for (is_append, off, data, second_file) in &ops {
+            let name = if *second_file { "g" } else { "f" };
+            for d in disks {
+                if *is_append {
+                    let a = d.append(name, data).unwrap();
+                    let b = sim.len(name).unwrap() - data.len() as u64;
+                    prop_assert_eq!(a, b, "append offsets diverged");
+                } else {
+                    d.write_at(name, *off, data).unwrap();
+                }
+            }
+        }
+        for d in disks {
+            d.flush().unwrap();
+        }
+        for name in ["f", "g"] {
+            let want = sim.snapshot(name);
+            prop_assert_eq!(os.snapshot(name), want.clone(), "OsDisk diverged on {}", name);
+            prop_assert_eq!(sched.snapshot(name), want, "IoScheduler diverged on {}", name);
+        }
+    }
+
+    /// Sequential block reads through the scheduler return exactly the
+    /// backend's bytes at every offset, prefetched or not.
+    #[test]
+    fn scheduled_reads_match_backend_bytes(
+        blocks in 1usize..12,
+        block_bytes in 1usize..64,
+        depth in 1usize..5,
+        seed in any::<u8>(),
+    ) {
+        let scratch = ScratchDir::new("backend-props-rd").unwrap();
+        let inner = OsDisk::new(scratch.path()).unwrap();
+        let data: Vec<u8> = (0..blocks * block_bytes)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect();
+        inner.load("f", data.clone());
+        let sched = IoScheduler::new(inner as DiskRef, depth);
+        let mut buf = vec![0u8; block_bytes];
+        for b in 0..blocks {
+            sched.read_at("f", (b * block_bytes) as u64, &mut buf).unwrap();
+            prop_assert_eq!(
+                &buf[..],
+                &data[b * block_bytes..(b + 1) * block_bytes],
+                "block {} diverged", b
+            );
+        }
+    }
+}

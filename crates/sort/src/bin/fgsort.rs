@@ -18,6 +18,13 @@
 //!   --run-kib N                dsort run size            (default 64)
 //!   --workers N                replicas for the CPU-bound sort stages
 //!                              (csort/csort4)             (default 1)
+//!   --backend sim|os           storage backend: simulated in-memory disks
+//!                              or real files               (default sim)
+//!   --dir PATH                 root directory for --backend os (one
+//!                              d{rank} subdirectory per node; default
+//!                              fg-disks under the system temp dir)
+//!   --io-depth N               per-disk I/O scheduler read-ahead depth;
+//!                              0 = bare synchronous backend (default 0)
 //!   --free                     zero-cost disks & network (default: paper-
 //!                              shaped cost model)
 //!   --no-verify                skip output verification
@@ -32,12 +39,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use fg_core::{diagnose, MetricsRegistry, Sampler, TelemetryServer};
-use fg_sort::config::SortConfig;
+use fg_sort::config::{DiskBackend, SortConfig};
 use fg_sort::csort::run_csort;
 use fg_sort::csort4::run_csort4;
 use fg_sort::dsort::{run_dsort_with, DsortOptions};
 use fg_sort::dsort_linear::run_dsort_linear;
-use fg_sort::input::{provision, provision_with_metrics};
+use fg_sort::input::{try_provision, try_provision_with_metrics};
 use fg_sort::keygen::KeyDist;
 use fg_sort::record::RecordFormat;
 use fg_sort::verify::{verify_output, Strictness};
@@ -53,6 +60,9 @@ struct Options {
     block_kib: usize,
     run_kib: usize,
     workers: usize,
+    backend: String,
+    dir: Option<String>,
+    io_depth: usize,
     free: bool,
     verify: bool,
     trace: bool,
@@ -71,6 +81,9 @@ impl Default for Options {
             block_kib: 16,
             run_kib: 64,
             workers: 1,
+            backend: "sim".into(),
+            dir: None,
+            io_depth: 0,
             free: false,
             verify: true,
             trace: false,
@@ -149,6 +162,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?
             }
+            "--backend" => opts.backend = value("--backend")?.clone(),
+            "--dir" => opts.dir = Some(value("--dir")?.clone()),
+            "--io-depth" => {
+                opts.io_depth = value("--io-depth")?
+                    .parse()
+                    .map_err(|e| format!("--io-depth: {e}"))?
+            }
             "--free" => opts.free = true,
             "--no-verify" => opts.verify = false,
             "--trace" => opts.trace = true,
@@ -162,6 +182,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         "dsort" | "csort" | "csort4" | "dsort-linear"
     ) {
         return Err(format!("unknown program `{}`", opts.program));
+    }
+    if !matches!(opts.backend.as_str(), "sim" | "os") {
+        return Err(format!(
+            "unknown backend `{}` (expected sim or os)",
+            opts.backend
+        ));
+    }
+    if opts.dir.is_some() && opts.backend != "os" {
+        return Err("--dir only applies to --backend os".into());
     }
     Ok(opts)
 }
@@ -182,6 +211,14 @@ fn build_config(opts: &Options) -> Result<SortConfig, String> {
     cfg.vertical_buf_bytes = (cfg.block_bytes / 2).max(record.record_bytes);
     cfg.workers = opts.workers;
     cfg.trace = opts.trace;
+    if opts.backend == "os" {
+        let dir = match &opts.dir {
+            Some(d) => std::path::PathBuf::from(d),
+            None => std::env::temp_dir().join("fg-disks"),
+        };
+        cfg.backend = DiskBackend::Os { dir };
+    }
+    cfg.io_depth = opts.io_depth;
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -205,6 +242,10 @@ fn main() -> ExitCode {
                 "              [--seed N] [--block-kib N] [--run-kib N] [--free] [--no-verify]"
             );
             eprintln!("              [--workers N]   (replicas for the CPU-bound sort stages; csort/csort4)");
+            eprintln!("              [--backend sim|os] [--dir PATH]   (real-file disks under PATH/d{{rank}})");
+            eprintln!(
+                "              [--io-depth N]   (read-ahead + write-behind scheduler; 0 = off)"
+            );
             eprintln!("              [--trace]   (print node-0 per-pass Gantt charts; dsort only)");
             eprintln!("              [--telemetry ADDR]   (live /metrics + /report HTTP endpoint)");
             return if e == "help" {
@@ -256,10 +297,17 @@ fn main() -> ExitCode {
         None => None,
     };
 
-    let disks = if telemetry.is_some() {
-        provision_with_metrics(&cfg, &registry)
+    let provisioned = if telemetry.is_some() {
+        try_provision_with_metrics(&cfg, &registry)
     } else {
-        provision(&cfg)
+        try_provision(&cfg)
+    };
+    let disks = match provisioned {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: provisioning disks: {e}");
+            return ExitCode::FAILURE;
+        }
     };
     let mut diagnosable: Option<fg_core::Report> = None;
     let outcome: Result<(), String> = match opts.program.as_str() {
@@ -405,6 +453,42 @@ mod tests {
         assert!(parse_args(&args("--program quicksort")).is_err());
         assert!(parse_args(&args("--frobnicate")).is_err());
         assert!(parse_args(&args("--nodes")).is_err());
+    }
+
+    #[test]
+    fn backend_flags() {
+        let o = parse_args(&args("--backend os --dir /tmp/fg --io-depth 4")).unwrap();
+        assert_eq!(o.backend, "os");
+        assert_eq!(o.dir.as_deref(), Some("/tmp/fg"));
+        assert_eq!(o.io_depth, 4);
+        let cfg = build_config(&o).unwrap();
+        assert_eq!(
+            cfg.backend,
+            DiskBackend::Os {
+                dir: std::path::PathBuf::from("/tmp/fg")
+            }
+        );
+        assert_eq!(cfg.io_depth, 4);
+    }
+
+    #[test]
+    fn backend_os_defaults_dir_to_tempdir() {
+        let o = parse_args(&args("--backend os")).unwrap();
+        let cfg = build_config(&o).unwrap();
+        assert_eq!(
+            cfg.backend,
+            DiskBackend::Os {
+                dir: std::env::temp_dir().join("fg-disks")
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_backend_combinations() {
+        assert!(parse_args(&args("--backend floppy")).is_err());
+        assert!(parse_args(&args("--dir /tmp/fg")).is_err()); // sim + --dir
+        assert!(parse_args(&args("--backend sim --dir /tmp/fg")).is_err());
+        assert!(parse_args(&args("--io-depth banana")).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Experiment configuration and derived geometry.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use fg_cluster::NetCfg;
@@ -9,9 +10,26 @@ use crate::keygen::KeyDist;
 use crate::record::RecordFormat;
 use crate::SortError;
 
+/// Which storage backend [`provision`](crate::input::provision) builds the
+/// per-node disks on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DiskBackend {
+    /// In-memory [`SimDisk`](fg_pdm::SimDisk) under the configured
+    /// [`DiskCfg`] cost model.
+    #[default]
+    Sim,
+    /// Real files via [`OsDisk`](fg_pdm::OsDisk): node `r`'s disk lives
+    /// under `dir/d{r}`.  The [`DiskCfg`] cost model is ignored — kernel
+    /// I/O is the cost.
+    Os {
+        /// Root directory holding one `d{rank}` subdirectory per node.
+        dir: PathBuf,
+    },
+}
+
 /// Everything a sorting run needs: cluster shape, dataset, cost models, and
 /// buffer geometry.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SortConfig {
     /// Number of cluster nodes (`P`).
     pub nodes: usize,
@@ -53,6 +71,14 @@ pub struct SortConfig {
     /// in-core sort stages with `Program::workers`, whose ordered emission
     /// keeps the lockstep communication stages downstream correct.
     pub workers: usize,
+    /// Storage backend for the per-node disks (`fgsort --backend`).
+    pub backend: DiskBackend,
+    /// Read-ahead depth of the per-disk I/O scheduler (`fgsort
+    /// --io-depth`): 0 runs the backend bare (every read and write
+    /// synchronous); `n ≥ 1` wraps each disk in an
+    /// [`IoScheduler`](fg_pdm::IoScheduler) prefetching `n` blocks ahead
+    /// per read stream, with coalescing write-behind.
+    pub io_depth: usize,
 }
 
 impl SortConfig {
@@ -74,6 +100,8 @@ impl SortConfig {
             oversample: 8,
             trace: false,
             workers: 1,
+            backend: DiskBackend::Sim,
+            io_depth: 0,
         }
     }
 

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use fg_cluster::{Cluster, ClusterCfg, ClusterError, Communicator};
 use fg_core::{map_stage, PipelineCfg, Program, Rounds};
-use fg_pdm::{DiskStats, SimDisk, Striping};
+use fg_pdm::{DiskRef, DiskStats, Striping};
 
 use crate::chunks::{self, CHUNK_HEADER_BYTES};
 use crate::config::{Matrix, SortConfig};
@@ -62,7 +62,7 @@ pub struct CsortReport {
 
 /// Run csort on the provisioned `disks` (one per node, each holding
 /// `input`); leaves striped output in `output` on every disk.
-pub fn run_csort(cfg: &SortConfig, disks: &[Arc<SimDisk>]) -> Result<CsortReport, SortError> {
+pub fn run_csort(cfg: &SortConfig, disks: &[DiskRef]) -> Result<CsortReport, SortError> {
     cfg.validate()?;
     if disks.len() != cfg.nodes {
         return Err(SortError::Config(format!(
@@ -72,8 +72,8 @@ pub fn run_csort(cfg: &SortConfig, disks: &[Arc<SimDisk>]) -> Result<CsortReport
         )));
     }
     let matrix = Matrix::choose(cfg.total_records(), cfg.nodes)?;
-    let cfg = *cfg;
-    let disks_arc: Vec<Arc<SimDisk>> = disks.to_vec();
+    let cfg = cfg.clone();
+    let disks_arc: Vec<DiskRef> = disks.to_vec();
 
     let run = Cluster::run(
         ClusterCfg {
@@ -154,7 +154,7 @@ pub(crate) fn pass12(
     m: Matrix,
     q: usize,
     comm: &Communicator,
-    disk: &Arc<SimDisk>,
+    disk: &DiskRef,
 ) -> Result<(), SortError> {
     let rb = cfg.record.record_bytes;
     let cbytes = col_bytes(cfg, m);
@@ -292,6 +292,9 @@ pub(crate) fn pass12(
         &[read, sort, communicate, permute, write],
     )?;
     prog.run()?;
+    // Write barrier: the next pass reads this pass's output, so any
+    // write-behind must land (and surface its deferred errors) here.
+    disk.flush().map_err(SortError::from)?;
     Ok(())
 }
 
@@ -302,7 +305,7 @@ fn pass3(
     m: Matrix,
     q: usize,
     comm: &Communicator,
-    disk: &Arc<SimDisk>,
+    disk: &DiskRef,
 ) -> Result<(), SortError> {
     let rb = cfg.record.record_bytes;
     let cbytes = col_bytes(cfg, m);
@@ -459,6 +462,7 @@ fn pass3(
         &[read, sort, exchange, merge, stripe, write],
     )?;
     prog.run()?;
+    disk.flush().map_err(SortError::from)?;
     Ok(())
 }
 

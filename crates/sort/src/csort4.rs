@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use fg_cluster::{Cluster, ClusterCfg, ClusterError, Communicator};
 use fg_core::{map_stage, PipelineCfg, Program, Rounds};
-use fg_pdm::{DiskStats, SimDisk, Striping};
+use fg_pdm::{DiskRef, DiskStats, Striping};
 
 use crate::chunks::{self, CHUNK_HEADER_BYTES};
 use crate::config::{Matrix, SortConfig};
@@ -56,7 +56,7 @@ pub struct Csort4Report {
 }
 
 /// Run the four-pass columnsort; leaves striped output in `output`.
-pub fn run_csort4(cfg: &SortConfig, disks: &[Arc<SimDisk>]) -> Result<Csort4Report, SortError> {
+pub fn run_csort4(cfg: &SortConfig, disks: &[DiskRef]) -> Result<Csort4Report, SortError> {
     cfg.validate()?;
     if disks.len() != cfg.nodes {
         return Err(SortError::Config(format!(
@@ -66,8 +66,8 @@ pub fn run_csort4(cfg: &SortConfig, disks: &[Arc<SimDisk>]) -> Result<Csort4Repo
         )));
     }
     let matrix = Matrix::choose(cfg.total_records(), cfg.nodes)?;
-    let cfg = *cfg;
-    let disks_arc: Vec<Arc<SimDisk>> = disks.to_vec();
+    let cfg = cfg.clone();
+    let disks_arc: Vec<DiskRef> = disks.to_vec();
 
     let run = Cluster::run(
         ClusterCfg {
@@ -116,7 +116,7 @@ fn pass3_shift(
     m: Matrix,
     q: usize,
     comm: &Communicator,
-    disk: &Arc<SimDisk>,
+    disk: &DiskRef,
 ) -> Result<(), SortError> {
     let rb = cfg.record.record_bytes;
     let cbytes = m.r * rb;
@@ -226,6 +226,8 @@ fn pass3_shift(
         &[read, sort, shift, write],
     )?;
     prog.run()?;
+    // Write barrier before pass 4 re-reads the shifted matrix.
+    disk.flush().map_err(SortError::from)?;
     Ok(())
 }
 
@@ -236,7 +238,7 @@ fn pass4_unshift(
     m: Matrix,
     q: usize,
     comm: &Communicator,
-    disk: &Arc<SimDisk>,
+    disk: &DiskRef,
 ) -> Result<(), SortError> {
     let rb = cfg.record.record_bytes;
     let cbytes = m.r * rb;
@@ -368,5 +370,6 @@ fn pass4_unshift(
         &[read, sort, stripe, write],
     )?;
     prog.run()?;
+    disk.flush().map_err(SortError::from)?;
     Ok(())
 }

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use fg_cluster::{Cluster, ClusterCfg, ClusterError};
 use fg_core::metrics::{MetricsRegistry, MetricsSnapshot};
-use fg_pdm::{DiskStats, SimDisk};
+use fg_pdm::{DiskRef, DiskStats};
 
 use crate::config::SortConfig;
 use crate::SortError;
@@ -85,14 +85,14 @@ impl Default for DsortOptions {
 
 /// Run dsort on the provisioned `disks`; leaves striped output in
 /// `output` on every disk.
-pub fn run_dsort(cfg: &SortConfig, disks: &[Arc<SimDisk>]) -> Result<DsortReport, SortError> {
+pub fn run_dsort(cfg: &SortConfig, disks: &[DiskRef]) -> Result<DsortReport, SortError> {
     run_dsort_with(cfg, disks, DsortOptions::default())
 }
 
 /// [`run_dsort`] with explicit structural options.
 pub fn run_dsort_with(
     cfg: &SortConfig,
-    disks: &[Arc<SimDisk>],
+    disks: &[DiskRef],
     opts: DsortOptions,
 ) -> Result<DsortReport, SortError> {
     cfg.validate()?;
@@ -103,8 +103,8 @@ pub fn run_dsort_with(
             disks.len()
         )));
     }
-    let cfg = *cfg;
-    let disks_arc: Vec<Arc<SimDisk>> = disks.to_vec();
+    let cfg = cfg.clone();
+    let disks_arc: Vec<DiskRef> = disks.to_vec();
 
     #[derive(Debug)]
     struct NodeOut {

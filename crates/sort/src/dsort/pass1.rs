@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use fg_cluster::Communicator;
 use fg_core::{map_stage, PipelineCfg, Program, Rounds, Stage, StageCtx};
-use fg_pdm::SimDisk;
+use fg_pdm::DiskRef;
 use parking_lot::Mutex;
 
 use crate::chunks::{self, CHUNK_HEADER_BYTES};
@@ -61,7 +61,7 @@ pub fn pass1(
     cfg: &SortConfig,
     rank: usize,
     comm: &Communicator,
-    disk: &Arc<SimDisk>,
+    disk: &DiskRef,
     splitters: &[ExtKey],
 ) -> Result<Pass1Out, SortError> {
     let nodes = cfg.nodes;
@@ -239,6 +239,9 @@ pub fn pass1(
         &[receive, sort, write],
     )?;
     let report = prog.run()?;
+    // Write barrier: pass 2 reads the run file this pass appended behind
+    // any write-behind queue; surface deferred errors here.
+    disk.flush().map_err(SortError::from)?;
 
     let out = Pass1Out {
         run_lens: run_lens.lock().clone(),

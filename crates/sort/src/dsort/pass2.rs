@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use fg_cluster::Communicator;
 use fg_core::{map_stage, Buffer, PipelineCfg, Program, Rounds, Stage, StageCtx};
-use fg_pdm::{SimDisk, Striping};
+use fg_pdm::{DiskRef, Striping};
 
 use crate::chunks::{self, CHUNK_HEADER_BYTES};
 use crate::config::SortConfig;
@@ -58,7 +58,7 @@ pub fn pass2(
     cfg: &SortConfig,
     rank: usize,
     comm: &Communicator,
-    disk: &Arc<SimDisk>,
+    disk: &DiskRef,
     run_lens: &[u64],
     rank_offset: u64,
     use_virtual_reads: bool,
@@ -334,6 +334,8 @@ pub fn pass2(
         &[receive, write],
     )?;
     let report = prog.run()?;
+    // Write barrier: verification reads the striped output after the run.
+    disk.flush().map_err(SortError::from)?;
 
     Ok(Pass2Out {
         threads: report.threads_spawned,

@@ -8,10 +8,8 @@
 //! input partitions evenly — the paper reports all partition sizes within
 //! 10% of the average, which experiment T2 reproduces.
 
-use std::sync::Arc;
-
 use fg_cluster::Communicator;
-use fg_pdm::SimDisk;
+use fg_pdm::DiskRef;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,7 +23,7 @@ pub fn select_splitters(
     cfg: &SortConfig,
     rank: usize,
     comm: &Communicator,
-    disk: &Arc<SimDisk>,
+    disk: &DiskRef,
 ) -> Result<Vec<ExtKey>, SortError> {
     let nodes = cfg.nodes;
     let rb = cfg.record.record_bytes;

@@ -27,7 +27,7 @@ use std::time::{Duration, Instant};
 
 use fg_cluster::{Cluster, ClusterCfg, ClusterError, Communicator};
 use fg_core::{map_stage, PipelineCfg, Program, Rounds};
-use fg_pdm::{SimDisk, Striping};
+use fg_pdm::{DiskRef, Striping};
 use parking_lot::Mutex;
 
 use crate::chunks::{self, CHUNK_HEADER_BYTES};
@@ -63,7 +63,7 @@ impl DsortLinearReport {
 /// Run the single-linear-pipeline dsort variant.
 pub fn run_dsort_linear(
     cfg: &SortConfig,
-    disks: &[Arc<SimDisk>],
+    disks: &[DiskRef],
 ) -> Result<DsortLinearReport, SortError> {
     cfg.validate()?;
     if disks.len() != cfg.nodes {
@@ -73,8 +73,8 @@ pub fn run_dsort_linear(
             disks.len()
         )));
     }
-    let cfg = *cfg;
-    let disks_arc: Vec<Arc<SimDisk>> = disks.to_vec();
+    let cfg = cfg.clone();
+    let disks_arc: Vec<DiskRef> = disks.to_vec();
 
     let run = Cluster::run(
         ClusterCfg {
@@ -139,7 +139,7 @@ fn pass1_linear(
     cfg: &SortConfig,
     rank: usize,
     comm: &Communicator,
-    disk: &Arc<SimDisk>,
+    disk: &DiskRef,
     splitters: &[ExtKey],
 ) -> Result<(Vec<u64>, u64), SortError> {
     let nodes = cfg.nodes;
@@ -247,6 +247,8 @@ fn pass1_linear(
         &[read, permute, exchange, sort, write],
     )?;
     prog.run()?;
+    // Write barrier: pass 2 reads the run file this pass appended.
+    disk.flush().map_err(SortError::from)?;
 
     let lens = run_lens.lock().clone();
     let total = *received_total.lock();
@@ -259,7 +261,7 @@ fn pass2_linear(
     cfg: &SortConfig,
     rank: usize,
     comm: &Communicator,
-    disk: &Arc<SimDisk>,
+    disk: &DiskRef,
     run_lens: &[u64],
     rank_offset: u64,
     partitions: &[u64],
@@ -412,5 +414,6 @@ fn pass2_linear(
         &[mergeread, exchange, write],
     )?;
     prog.run()?;
+    disk.flush().map_err(SortError::from)?;
     Ok(())
 }

@@ -4,17 +4,23 @@
 //! whose keys follow the configured distribution; payload bytes encode the
 //! record's origin `(node, seq)` so every record is distinguishable and
 //! permutation checks are exact.  Provisioning uses the cost-free
-//! [`SimDisk::load`] hook — loading the dataset is not part of any measured
+//! [`Disk::load`] hook — loading the dataset is not part of any measured
 //! pass.
-
-use std::sync::Arc;
+//!
+//! The backend each disk is built on comes from
+//! [`SortConfig::backend`](crate::config::DiskBackend): in-memory
+//! [`SimDisk`]s under the configured cost model, or real-file
+//! [`OsDisk`](fg_pdm::OsDisk)s under `dir/d{rank}`.  With
+//! `SortConfig::io_depth > 0` every disk is additionally wrapped in an
+//! [`IoScheduler`](fg_pdm::IoScheduler) for read-ahead and write-behind.
 
 use fg_core::metrics::MetricsRegistry;
-use fg_pdm::SimDisk;
+use fg_pdm::{DiskRef, IoScheduler, OsDisk, SimDisk};
 
-use crate::config::SortConfig;
+use crate::config::{DiskBackend, SortConfig};
 use crate::keygen::KeyGen;
 use crate::record::RecordFormat;
+use crate::SortError;
 
 /// Name of the per-node input file.
 pub const INPUT_FILE: &str = "input";
@@ -37,25 +43,83 @@ pub fn generate_node_input(cfg: &SortConfig, rank: usize) -> Vec<u8> {
     out
 }
 
+/// Build node `rank`'s bare backend disk per the config, instrumented
+/// under `disk/d{rank}/…` when a registry is given.
+fn backend_disk(
+    cfg: &SortConfig,
+    rank: usize,
+    registry: Option<&MetricsRegistry>,
+) -> Result<DiskRef, SortError> {
+    let label = format!("d{rank}");
+    Ok(match &cfg.backend {
+        DiskBackend::Sim => match registry {
+            Some(reg) => SimDisk::with_metrics(cfg.disk, reg, &label) as DiskRef,
+            None => SimDisk::new(cfg.disk) as DiskRef,
+        },
+        DiskBackend::Os { dir } => {
+            let root = dir.join(&label);
+            match registry {
+                Some(reg) => OsDisk::with_metrics(root, reg, &label)? as DiskRef,
+                None => OsDisk::new(root)? as DiskRef,
+            }
+        }
+    })
+}
+
 /// Provision every node's disk with its input file; returns the disks.
-pub fn provision(cfg: &SortConfig) -> Vec<Arc<SimDisk>> {
-    (0..cfg.nodes)
-        .map(|rank| {
-            let disk = SimDisk::new(cfg.disk);
-            disk.load(INPUT_FILE, generate_node_input(cfg, rank));
-            disk
-        })
-        .collect()
+///
+/// Panics on backend setup errors (an unusable `--dir` root); use
+/// [`try_provision`] where graceful handling matters.
+pub fn provision(cfg: &SortConfig) -> Vec<DiskRef> {
+    try_provision(cfg).expect("provision disks")
 }
 
 /// [`provision`], with each disk recording I/O latency histograms and byte
-/// counters into `registry` under `disk/d{rank}/…` names.
-pub fn provision_with_metrics(cfg: &SortConfig, registry: &MetricsRegistry) -> Vec<Arc<SimDisk>> {
+/// counters into `registry` under `disk/d{rank}/…` names (plus prefetch
+/// hit/miss counters and the write-behind queue gauge when
+/// `cfg.io_depth > 0`).
+pub fn provision_with_metrics(cfg: &SortConfig, registry: &MetricsRegistry) -> Vec<DiskRef> {
+    try_provision_with(cfg, Some(registry)).expect("provision disks")
+}
+
+/// Fallible [`provision`].
+pub fn try_provision(cfg: &SortConfig) -> Result<Vec<DiskRef>, SortError> {
+    try_provision_with(cfg, None)
+}
+
+/// Fallible [`provision_with_metrics`].
+pub fn try_provision_with_metrics(
+    cfg: &SortConfig,
+    registry: &MetricsRegistry,
+) -> Result<Vec<DiskRef>, SortError> {
+    try_provision_with(cfg, Some(registry))
+}
+
+fn try_provision_with(
+    cfg: &SortConfig,
+    registry: Option<&MetricsRegistry>,
+) -> Result<Vec<DiskRef>, SortError> {
     (0..cfg.nodes)
         .map(|rank| {
-            let disk = SimDisk::with_metrics(cfg.disk, registry, &format!("d{rank}"));
+            let base = backend_disk(cfg, rank, registry)?;
+            // A reused OsDisk root may hold files from an earlier run;
+            // start every experiment from an empty disk (delete is
+            // cost-free on all backends).
+            for name in base.list() {
+                base.delete(&name);
+            }
+            let disk: DiskRef = if cfg.io_depth > 0 {
+                match registry {
+                    Some(reg) => {
+                        IoScheduler::with_metrics(base, cfg.io_depth, reg, &format!("d{rank}"))
+                    }
+                    None => IoScheduler::new(base, cfg.io_depth),
+                }
+            } else {
+                base
+            };
             disk.load(INPUT_FILE, generate_node_input(cfg, rank));
-            disk
+            Ok(disk)
         })
         .collect()
 }

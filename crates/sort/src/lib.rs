@@ -35,7 +35,7 @@ pub mod merge;
 pub mod record;
 pub mod verify;
 
-pub use config::{Matrix, SortConfig};
+pub use config::{DiskBackend, Matrix, SortConfig};
 pub use keygen::{KeyDist, KeyGen};
 pub use record::{ExtKey, RecordFormat};
 

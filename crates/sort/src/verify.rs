@@ -10,9 +10,7 @@
 //!    fingerprint, plus an exact byte comparison against the reference
 //!    sort when `strict` is requested — affordable at test scale).
 
-use std::sync::Arc;
-
-use fg_pdm::{SimDisk, Striping};
+use fg_pdm::{DiskRef, Striping};
 
 use crate::config::SortConfig;
 use crate::input;
@@ -34,7 +32,7 @@ pub enum Strictness {
 /// Verify the striped output of a finished sort run.
 pub fn verify_output(
     cfg: &SortConfig,
-    disks: &[Arc<SimDisk>],
+    disks: &[DiskRef],
     strictness: Strictness,
 ) -> Result<(), SortError> {
     let striping = Striping::new(cfg.nodes, cfg.block_bytes);
@@ -93,12 +91,12 @@ pub fn verify_output(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fg_pdm::DiskCfg;
+    use fg_pdm::{DiskCfg, SimDisk};
 
     /// Write a correct striped output for `cfg` onto fresh disks.
-    fn write_correct(cfg: &SortConfig) -> Vec<Arc<SimDisk>> {
-        let disks: Vec<_> = (0..cfg.nodes)
-            .map(|_| SimDisk::new(DiskCfg::zero()))
+    fn write_correct(cfg: &SortConfig) -> Vec<DiskRef> {
+        let disks: Vec<DiskRef> = (0..cfg.nodes)
+            .map(|_| SimDisk::new(DiskCfg::zero()) as DiskRef)
             .collect();
         let sorted = input::expected_sorted(cfg);
         let striping = Striping::new(cfg.nodes, cfg.block_bytes);

@@ -161,6 +161,63 @@ proptest! {
         }
     }
 
+    /// Any permutation of adjacent chunk frames coalesces back into the
+    /// maximal runs: one emitted write per gap-separated group, carrying
+    /// the group's bytes in offset order, regardless of arrival order.
+    #[test]
+    fn permuted_adjacent_frames_coalesce_maximally(
+        spec in vec((1u64..16, vec(1usize..12, 1..5)), 1..5),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Lay out gap-separated groups of adjacent frames; byte values
+        // record file position so placement errors are visible.
+        let mut frames: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut expected: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut cursor = 0u64;
+        for (gap, frame_lens) in &spec {
+            cursor += gap;
+            let start = cursor;
+            let mut group = Vec::new();
+            for &len in frame_lens {
+                let bytes: Vec<u8> = (0..len).map(|i| (cursor + i as u64) as u8).collect();
+                frames.push((cursor, bytes.clone()));
+                group.extend_from_slice(&bytes);
+                cursor += len as u64;
+            }
+            expected.push((start, group));
+        }
+        // Fisher–Yates with a seeded xorshift: an arbitrary permutation.
+        let mut rng = shuffle_seed | 1;
+        for i in (1..frames.len()).rev() {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            frames.swap(i, (rng % (i as u64 + 1)) as usize);
+        }
+        let mut payload = Vec::new();
+        for (off, data) in &frames {
+            chunks::push_chunk(&mut payload, *off, 0, data);
+        }
+        let mut runs = Vec::new();
+        let mut scratch = Vec::new();
+        let mut got: Vec<(u64, Vec<u8>)> = Vec::new();
+        chunks::for_each_coalesced_write::<fg_sort::SortError>(
+            &payload,
+            &mut runs,
+            &mut scratch,
+            |off, data| {
+                got.push((off, data.to_vec()));
+                Ok(())
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(&got, &expected);
+        // Maximality: no emitted run is mergeable with its successor.
+        for w in got.windows(2) {
+            prop_assert!(w[0].0 + w[0].1.len() as u64 != w[1].0);
+        }
+    }
+
     /// ExtKey serialization round-trips and preserves order.
     #[test]
     fn extkey_roundtrip_and_order(
