@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use fg_core::{
     map_stage, run_linear, CountingObserver, MetricsRegistry, Observer, PipelineCfg, Program,
-    Rounds, Sampler, SamplerCfg, TelemetryServer,
+    Rounds, Sampler, SamplerCfg, TelemetryServer, TraceSink,
 };
 use fg_sort::merge::LoserTree;
 use fg_sort::record::RecordFormat;
@@ -89,6 +89,39 @@ fn bench_observer_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The flight recorder's acceptance gate: the same no-op pipeline with no
+/// [`TraceSink`](fg_core::TraceSink) installed vs every transition writing
+/// a span record into the per-thread ring.  The no-sink case must stay
+/// within noise of the plain hot path (<3% on queue throughput) — the hook
+/// is a never-taken `Option` branch, exactly like the observer's.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_trace");
+    group.sample_size(10);
+    let build = || {
+        let mut prog = Program::new("bench");
+        let a = prog.add_stage("a", map_stage(|_, _| Ok(())));
+        let b = prog.add_stage("b", map_stage(|_, _| Ok(())));
+        let c = prog.add_stage("c", map_stage(|_, _| Ok(())));
+        prog.add_pipeline(
+            PipelineCfg::new("p", 4, 4096).rounds(Rounds::Count(1000)),
+            &[a, b, c],
+        )
+        .unwrap();
+        prog
+    };
+    group.bench_function("no_sink_1000rounds", |b| {
+        b.iter(|| build().run().expect("pipeline"))
+    });
+    group.bench_function("flight_recorder_1000rounds", |b| {
+        b.iter(|| {
+            let mut prog = build();
+            prog.set_trace_sink(TraceSink::new());
+            prog.run().expect("pipeline")
+        })
+    });
+    group.finish();
+}
+
 fn bench_loser_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("core_merge");
     for k in [4usize, 64, 256] {
@@ -136,6 +169,7 @@ criterion_group!(
     benches,
     bench_pipeline_overhead,
     bench_observer_overhead,
+    bench_trace_overhead,
     bench_loser_tree,
     bench_sort_bytes
 );

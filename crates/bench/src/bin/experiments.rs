@@ -88,15 +88,15 @@ impl ArtifactSink {
                 eprintln!("error: failed to write {}: {e}", path.display());
                 std::process::exit(1);
             }
-            println!(
-                "wrote {}{}",
-                path.display(),
-                if clobbered {
-                    " (overwrote previous run; use --json-out-suffix to keep both)"
-                } else {
-                    ""
-                }
-            );
+            println!("wrote {}", path.display());
+            // Warnings go to stderr: stdout may be piped into a JSON
+            // consumer and must carry only the advertised output.
+            if clobbered {
+                eprintln!(
+                    "warning: {} overwrote a previous run; use --json-out-suffix to keep both",
+                    path.display()
+                );
+            }
         }
         if let Some(base) = self.baseline_path(name) {
             self.gate_against(name, &base, &value);
@@ -121,7 +121,7 @@ impl ArtifactSink {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(_) => {
-                println!("gate: no baseline for {name} ({}), skipped", path.display());
+                eprintln!("gate: no baseline for {name} ({}), skipped", path.display());
                 return;
             }
         };

@@ -133,6 +133,9 @@ pub struct Diagnosis {
     pub queue_findings: Vec<QueueFinding>,
     /// Read-ahead effectiveness, when any disk ran behind an I/O scheduler.
     pub prefetch: Option<PrefetchFinding>,
+    /// Per-round critical-path reconstruction, when flight-recorder logs
+    /// were supplied (see [`diagnose_with_trace`]).
+    pub critical_path: Option<crate::critical_path::CriticalPath>,
     /// Human-readable tuning recommendations, most important first.
     pub recommendations: Vec<String>,
 }
@@ -416,8 +419,64 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
         overlap_efficiency,
         queue_findings,
         prefetch,
+        critical_path: None,
         recommendations,
     }
+}
+
+/// [`diagnose`], sharpened with flight-recorder span logs: reconstructs
+/// each traced buffer's round timeline
+/// ([`critical_path`](crate::critical_path::critical_path)) and adds
+/// findings that cite **concrete rounds** — the slowest buffer journey
+/// and the stage whose spans dominate it — instead of run-wide averages.
+///
+/// `logs` is what [`TraceSink::collect`](crate::trace::TraceSink::collect)
+/// returns after a run.  With no traced rounds in the logs, the result is
+/// identical to [`diagnose`].
+pub fn diagnose_with_trace(
+    report: &Report,
+    series: &[TimestampedSnapshot],
+    logs: &[crate::trace::ThreadLog],
+) -> Diagnosis {
+    let mut d = diagnose(report, series);
+    let cp = crate::critical_path::critical_path(logs);
+    if cp.rounds.is_empty() {
+        return d;
+    }
+    if let Some(slow) = cp.slowest_round() {
+        if let Some((stage, ns)) = slow.dominant() {
+            d.recommendations.push(format!(
+                "critical path ({} traced rounds): the slowest buffer journey is \
+                 pipeline#{} round {} at {:.3} ms, {:.3} ms of it in stage `{}` \
+                 ({:.3} ms queued) — profile that round first",
+                cp.rounds.len(),
+                slow.pipeline,
+                slow.round,
+                slow.dur_ns() as f64 / 1e6,
+                ns as f64 / 1e6,
+                stage,
+                slow.queued_ns() as f64 / 1e6
+            ));
+        }
+    }
+    if let Some(stage) = cp.dominant_stage() {
+        let ns = cp.stage_totals[0].1;
+        let pct = if cp.total_ns == 0 {
+            0.0
+        } else {
+            ns as f64 / cp.total_ns as f64 * 100.0
+        };
+        // Only worth a line when one stage really owns the path.
+        if pct > DOMINANT_FRAC * 100.0 && !is_source_or_sink(stage) {
+            d.recommendations.push(format!(
+                "stage `{stage}` carries {pct:.0}% of the end-to-end critical path \
+                 across the traced rounds — per-round evidence agreeing with (or \
+                 overriding) the busy-time averages above"
+            ));
+        }
+    }
+    d.critical_path = Some(cp);
+    d
 }
 
 /// Fold the per-disk `disk/*/prefetch_hit` / `disk/*/prefetch_miss`
@@ -546,6 +605,9 @@ impl Diagnosis {
             for r in &self.recommendations {
                 out.push_str(&format!("  - {r}\n"));
             }
+        }
+        if let Some(cp) = &self.critical_path {
+            out.push_str(&cp.render());
         }
         out
     }

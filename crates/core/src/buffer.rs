@@ -58,6 +58,7 @@ pub struct Buffer {
     len: usize,
     pipeline: PipelineId,
     round: u64,
+    trace_id: u64,
     /// Free-form metadata a stage may attach for downstream stages (e.g. a
     /// column index, a run number).  Reset to zero when the source recycles
     /// the buffer into a new round.
@@ -72,6 +73,7 @@ impl Buffer {
             len: 0,
             pipeline,
             round: 0,
+            trace_id: 0,
             meta: 0,
         }
     }
@@ -90,6 +92,21 @@ impl Buffer {
         self.round = round;
         self.len = 0;
         self.meta = 0;
+        self.trace_id = 0;
+    }
+
+    /// Causal-trace id of this buffer's current round, assigned by the
+    /// source when a [`TraceSink`](crate::trace::TraceSink) is installed.
+    /// Zero when the run is untraced.  Flight-recorder spans referring to
+    /// this buffer carry the same id, which is how
+    /// [`critical_path`](crate::critical_path) and the Chrome-trace flow
+    /// events stitch one buffer's journey across stages.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    pub(crate) fn set_trace_id(&mut self, id: u64) {
+        self.trace_id = id;
     }
 
     /// Total capacity in bytes.

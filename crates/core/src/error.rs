@@ -28,6 +28,13 @@ pub enum FgError {
     /// A stage used the context incorrectly at runtime (e.g. called
     /// `accept()` on a stage with several input pipelines).
     Usage(String),
+    /// The watchdog saw no pipeline-wide progress for its timeout and
+    /// aborted the program; `culprit` is its best guess at the wedged task.
+    Stalled {
+        /// Best-guess culprit thread/stage name ("unknown" when the
+        /// heuristic found none).
+        culprit: String,
+    },
 }
 
 impl fmt::Display for FgError {
@@ -42,6 +49,12 @@ impl fmt::Display for FgError {
             }
             FgError::Cancelled => write!(f, "FG program cancelled"),
             FgError::Usage(m) => write!(f, "FG usage error: {m}"),
+            FgError::Stalled { culprit } => {
+                write!(
+                    f,
+                    "FG watchdog aborted a stalled program (culprit: {culprit})"
+                )
+            }
         }
     }
 }

@@ -55,6 +55,7 @@
 
 pub mod analyze;
 mod buffer;
+pub mod critical_path;
 mod error;
 mod json;
 pub mod metrics;
@@ -67,9 +68,13 @@ mod runtime;
 mod stage;
 mod stats;
 pub mod telemetry;
+pub mod trace;
 
-pub use analyze::{diagnose, Diagnosis, QueueFinding, StageDiagnosis, StageVerdict};
+pub use analyze::{
+    diagnose, diagnose_with_trace, Diagnosis, QueueFinding, StageDiagnosis, StageVerdict,
+};
 pub use buffer::{Buffer, PipelineId, StageId};
+pub use critical_path::{critical_path, CriticalPath, PathSegment, RoundPath};
 pub use error::{FgError, Result};
 pub use json::Json;
 pub use metrics::{
@@ -80,3 +85,7 @@ pub use program::{run_linear, PipelineCfg, Program};
 pub use stage::{map_stage, reorder_stage, MapStage, Rounds, Stage, StageCtx};
 pub use stats::{PipelineShape, QueueDepth, Report, Span, SpanKind, StageStats};
 pub use telemetry::{Sampler, SamplerCfg, TelemetryServer, TimestampedSnapshot};
+pub use trace::{
+    Postmortem, SpanRec, SpanRing, ThreadLog, ThreadState, TraceKind, TraceSink, WatchdogAction,
+    WatchdogCfg,
+};

@@ -90,6 +90,8 @@ pub struct Program {
     trace: bool,
     observer: Option<Arc<dyn crate::observe::Observer>>,
     metrics: Option<Arc<crate::metrics::MetricsRegistry>>,
+    trace_sink: Option<Arc<crate::trace::TraceSink>>,
+    watchdog: Option<crate::trace::WatchdogCfg>,
 }
 
 impl Program {
@@ -102,6 +104,8 @@ impl Program {
             trace: false,
             observer: None,
             metrics: None,
+            trace_sink: None,
+            watchdog: None,
         }
     }
 
@@ -131,6 +135,36 @@ impl Program {
     /// same registry to land in the same report.
     pub fn set_metrics(&mut self, metrics: Arc<crate::metrics::MetricsRegistry>) {
         self.metrics = Some(metrics);
+    }
+
+    /// Install a [`TraceSink`](crate::trace::TraceSink): every runtime
+    /// thread (stages, replicas, sources, sinks) gets a flight-recorder
+    /// ring and records a causal span per transition, and every injected
+    /// buffer carries a fresh trace id.  Without a sink the hook sites
+    /// cost a single never-taken branch (like
+    /// [`Program::set_observer`]).  The sink outlives the run: collect
+    /// the log afterwards with
+    /// [`TraceSink::collect`](crate::trace::TraceSink::collect) or export
+    /// it with
+    /// [`TraceSink::to_chrome_trace`](crate::trace::TraceSink::to_chrome_trace).
+    pub fn set_trace_sink(&mut self, sink: Arc<crate::trace::TraceSink>) {
+        self.trace_sink = Some(sink);
+    }
+
+    /// Arm the stall watchdog: if no span is recorded pipeline-wide for
+    /// `cfg.timeout`, a [`Postmortem`](crate::trace::Postmortem) is
+    /// rendered to stderr (and optionally a JSON artifact), then the
+    /// program is aborted with
+    /// [`FgError::Stalled`](crate::FgError::Stalled) — or left running,
+    /// per [`WatchdogAction`](crate::trace::WatchdogAction).  Implies an
+    /// internal trace sink when none is installed.
+    pub fn set_watchdog(&mut self, cfg: crate::trace::WatchdogCfg) {
+        self.watchdog = Some(cfg);
+    }
+
+    /// Shorthand: arm an abort-on-stall watchdog with `timeout`.
+    pub fn with_watchdog(&mut self, timeout: std::time::Duration) {
+        self.set_watchdog(crate::trace::WatchdogCfg::new(timeout));
     }
 
     /// Program name (used in thread names and diagnostics).
@@ -540,7 +574,7 @@ impl Program {
             let shared_input = shared_in.get(&sid).map(Arc::clone);
             let replicas = slot.stages.len();
             let group = if replicas > 1 {
-                let g = ReplicaGroup::new(replicas, slot.ordered);
+                let g = ReplicaGroup::new(slot.name.clone(), replicas, slot.ordered);
                 registry.register_group(Arc::clone(&g));
                 Some(g)
             } else {
@@ -571,6 +605,8 @@ impl Program {
             trace: self.trace,
             observer: self.observer.clone(),
             metrics: self.metrics.clone(),
+            trace_sink: self.trace_sink.clone(),
+            watchdog: self.watchdog.clone(),
             pipelines: self
                 .pipelines
                 .iter()

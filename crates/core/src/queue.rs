@@ -199,6 +199,12 @@ impl Queue {
         self.max_depth.load(Ordering::Relaxed)
     }
 
+    /// Approximate current depth, readable from any thread without taking
+    /// the queue lock (watchdog post-mortems).
+    pub(crate) fn depth(&self) -> usize {
+        self.depth_hint.load(Ordering::Relaxed)
+    }
+
     fn record_depth(&self, depth: usize) {
         self.depth_hint.store(depth, Ordering::Relaxed);
         self.max_depth.fetch_max(depth, Ordering::Relaxed);

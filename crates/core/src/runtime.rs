@@ -3,7 +3,9 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
 
 use crate::buffer::{Buffer, PipelineId};
 use crate::error::{FgError, Result};
@@ -12,6 +14,10 @@ use crate::observe::Observer;
 use crate::queue::{Item, Queue};
 use crate::stage::{Port, Registry, ReplicaGroup, Rounds, Stage, StageCtx, StopFlag};
 use crate::stats::{Report, StageStats};
+use crate::trace::{
+    guess_culprit, Postmortem, SpanRing, ThreadPostmortem, ThreadState, TraceKind, TraceSink,
+    WatchdogAction, WatchdogCfg,
+};
 
 /// One pipeline served by a source set.
 pub(crate) struct SourcePipe {
@@ -58,6 +64,8 @@ pub(crate) struct Plan {
     pub(crate) trace: bool,
     pub(crate) observer: Option<Arc<dyn Observer>>,
     pub(crate) metrics: Option<Arc<MetricsRegistry>>,
+    pub(crate) trace_sink: Option<Arc<TraceSink>>,
+    pub(crate) watchdog: Option<WatchdogCfg>,
     pub(crate) pipelines: Vec<crate::stats::PipelineShape>,
 }
 
@@ -70,8 +78,25 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         trace,
         observer,
         metrics,
+        trace_sink,
+        watchdog,
         pipelines,
     } = plan;
+
+    // The watchdog needs the flight recorder's activity clock, so it
+    // implies an (internal, never-exported) sink when none was installed.
+    let trace_sink = match (trace_sink, &watchdog) {
+        (None, Some(_)) => Some(TraceSink::new()),
+        (sink, _) => sink,
+    };
+    if let Some(sink) = &trace_sink {
+        sink.touch();
+    }
+    let ring_for = |task: &str| {
+        trace_sink
+            .as_ref()
+            .map(|s| s.register_thread(format!("{program_name}/{task}")))
+    };
 
     let start = Instant::now();
     let mut handles = Vec::new();
@@ -80,34 +105,53 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         let registry = Arc::clone(&registry);
         let observer = observer.clone();
         let metrics = metrics.clone();
+        let ring = ring_for(&task.name);
         let name = task.name.clone();
         let thread_name = format!("{program_name}/{name}");
         let epoch = if trace { Some(start) } else { None };
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_stage_thread(task, registry, epoch, observer, metrics))
+            .spawn(move || run_stage_thread(task, registry, epoch, observer, metrics, ring))
             .map_err(|e| FgError::Config(format!("failed to spawn stage thread: {e}")))?;
         handles.push(handle);
     }
     for src in sources {
         let registry = Arc::clone(&registry);
         let observer = observer.clone();
+        let ring = ring_for(&src.label);
+        let sink_ids = trace_sink.clone();
         let thread_name = format!("{program_name}/{}", src.label);
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_source(src, registry, observer))
+            .spawn(move || run_source(src, registry, observer, ring, sink_ids))
             .map_err(|e| FgError::Config(format!("failed to spawn source thread: {e}")))?;
         handles.push(handle);
     }
     for sink in sinks {
         let observer = observer.clone();
+        let ring = ring_for(&sink.label);
         let thread_name = format!("{program_name}/{}", sink.label);
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_sink(sink, observer))
+            .spawn(move || run_sink(sink, observer, ring))
             .map_err(|e| FgError::Config(format!("failed to spawn sink thread: {e}")))?;
         handles.push(handle);
     }
+
+    // The watchdog polls the sink's pipeline-wide activity clock and fires
+    // a post-mortem if it goes quiet for the configured timeout.
+    let watchdog_handle = watchdog.map(|cfg| {
+        let sink = Arc::clone(trace_sink.as_ref().expect("watchdog implies a sink"));
+        let registry = Arc::clone(&registry);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let gate2 = Arc::clone(&gate);
+        let program = program_name.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("{program_name}/watchdog"))
+            .spawn(move || run_watchdog(cfg, sink, registry, program, gate2))
+            .expect("failed to spawn watchdog thread");
+        (handle, gate)
+    });
 
     let threads_spawned = handles.len();
     let mut stages = Vec::with_capacity(threads_spawned);
@@ -123,6 +167,12 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
                 });
             }
         }
+    }
+
+    if let Some((handle, gate)) = watchdog_handle {
+        *gate.0.lock() = true;
+        gate.1.notify_all();
+        let _ = handle.join();
     }
 
     if let Some(err) = registry.take_error() {
@@ -147,6 +197,7 @@ fn run_stage_thread(
     trace_epoch: Option<Instant>,
     observer: Option<Arc<dyn Observer>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    ring: Option<Arc<SpanRing>>,
 ) -> StageStats {
     let StageTask {
         name,
@@ -166,6 +217,10 @@ fn run_stage_thread(
     if let Some(obs) = &observer {
         ctx.set_observer(Arc::clone(obs));
         obs.on_stage_start(&name);
+    }
+    if let Some(r) = ring {
+        r.set_state(ThreadState::Busy);
+        ctx.set_ring(r);
     }
 
     let outcome = catch_unwind(AssertUnwindSafe(|| stage.run(&mut ctx)));
@@ -189,6 +244,9 @@ fn run_stage_thread(
         }
     }
     ctx.finish();
+    if let Some(r) = ctx.ring() {
+        r.set_state(ThreadState::Done);
+    }
 
     let stats = StageStats {
         name,
@@ -223,6 +281,8 @@ fn run_source(
     set: SourceSet,
     registry: Arc<Registry>,
     observer: Option<Arc<dyn Observer>>,
+    ring: Option<Arc<SpanRing>>,
+    trace_sink: Option<Arc<TraceSink>>,
 ) -> StageStats {
     let start = Instant::now();
     let mut stats = StageStats {
@@ -256,14 +316,27 @@ fn run_source(
         if done.iter().all(|&d| d) {
             break;
         }
+        // Wait for a free buffer, remembered so the wait can be recorded
+        // against the round the buffer ends up carrying.
+        let mut recycle_wait: Option<(Instant, Instant)> = None;
         let mut buf = match pending.pop_front() {
             Some(b) => b,
             None => {
+                if let Some(r) = &ring {
+                    r.set_state(ThreadState::BlockedAccept);
+                }
                 let t0 = Instant::now();
                 let popped = set.recycle.pop();
-                stats.blocked_accept += t0.elapsed();
+                let t1 = Instant::now();
+                stats.blocked_accept += t1 - t0;
+                if let Some(r) = &ring {
+                    r.set_state(ThreadState::Busy);
+                }
                 match popped {
-                    Ok(Item::Buf(b)) => b,
+                    Ok(Item::Buf(b)) => {
+                        recycle_wait = Some((t0, t1));
+                        b
+                    }
                     Ok(Item::Caboose(_)) => continue, // never produced; defensive
                     Err(_) => {
                         // Recycle closed: a stop() or program cancellation.
@@ -293,15 +366,37 @@ fn run_source(
             }
         }
         buf.begin_round(emitted[i]);
+        if let Some(s) = &trace_sink {
+            buf.set_trace_id(s.next_trace_id());
+        }
+        let (round, tid, pid) = (buf.round(), buf.trace_id(), buf.pipeline().0);
         if let Some(obs) = &observer {
             obs.on_round_begin(&set.label, set.pipes[i].pipeline, emitted[i]);
         }
         emitted[i] += 1;
+        if let Some(r) = &ring {
+            if let Some((w0, w1)) = recycle_wait.take() {
+                r.record(TraceKind::Accept, pid, round, tid, r.ns_of(w0), r.ns_of(w1));
+            }
+            r.set_state(ThreadState::BlockedConvey);
+        }
         let t0 = Instant::now();
         let pushed = set.pipes[i].first.push(Item::Buf(buf));
-        stats.blocked_convey += t0.elapsed();
+        let t1 = Instant::now();
+        stats.blocked_convey += t1 - t0;
         if pushed.is_err() {
             break; // cancelled
+        }
+        if let Some(r) = &ring {
+            r.record(
+                TraceKind::SourceInject,
+                pid,
+                round,
+                tid,
+                r.ns_of(t0),
+                r.ns_of(t1),
+            );
+            r.set_state(ThreadState::Busy);
         }
         stats.buffers_out += 1;
         if let Some(obs) = &observer {
@@ -316,12 +411,19 @@ fn run_source(
         }
     }
     let _ = registry;
+    if let Some(r) = &ring {
+        r.set_state(ThreadState::Done);
+    }
 
     stats.wall = start.elapsed();
     stats
 }
 
-fn run_sink(set: SinkSet, observer: Option<Arc<dyn Observer>>) -> StageStats {
+fn run_sink(
+    set: SinkSet,
+    observer: Option<Arc<dyn Observer>>,
+    ring: Option<Arc<SpanRing>>,
+) -> StageStats {
     let start = Instant::now();
     let mut stats = StageStats {
         name: set.label.clone(),
@@ -329,22 +431,117 @@ fn run_sink(set: SinkSet, observer: Option<Arc<dyn Observer>>) -> StageStats {
     };
     let mut remaining = set.members;
     while remaining > 0 {
+        if let Some(r) = &ring {
+            r.set_state(ThreadState::BlockedAccept);
+        }
         let t0 = Instant::now();
         let popped = set.queue.pop();
-        stats.blocked_accept += t0.elapsed();
+        let t1 = Instant::now();
+        stats.blocked_accept += t1 - t0;
+        if let Some(r) = &ring {
+            r.set_state(ThreadState::Busy);
+        }
         match popped {
             Ok(Item::Buf(b)) => {
                 stats.buffers_in += 1;
                 if let Some(obs) = &observer {
                     obs.on_sink_recycle(&set.label, b.pipeline(), b.round());
                 }
+                let (pid, round, tid) = (b.pipeline().0, b.round(), b.trace_id());
                 // The source may already have retired; dropping is fine then.
                 let _ = set.recycle.push(Item::Buf(b));
+                if let Some(r) = &ring {
+                    r.record(TraceKind::Recycle, pid, round, tid, r.ns_of(t1), r.now_ns());
+                }
             }
-            Ok(Item::Caboose(_)) => remaining -= 1,
+            Ok(Item::Caboose(p)) => {
+                remaining -= 1;
+                if let Some(r) = &ring {
+                    // Caboose progress still feeds the watchdog's clock.
+                    r.record(TraceKind::Accept, p.0, 0, 0, r.ns_of(t0), r.ns_of(t1));
+                }
+            }
             Err(_) => break,
         }
     }
+    if let Some(r) = &ring {
+        r.set_state(ThreadState::Done);
+    }
     stats.wall = start.elapsed();
     stats
+}
+
+/// Watchdog loop: poll the sink's idle clock; on a stall, assemble and
+/// report a [`Postmortem`], then abort or keep waiting per the config.
+fn run_watchdog(
+    cfg: WatchdogCfg,
+    sink: Arc<TraceSink>,
+    registry: Arc<Registry>,
+    program: String,
+    gate: Arc<(Mutex<bool>, Condvar)>,
+) {
+    let poll = (cfg.timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(100));
+    let mut reported = false;
+    loop {
+        {
+            let mut stopped = gate.0.lock();
+            if *stopped {
+                return;
+            }
+            gate.1.wait_for(&mut stopped, poll);
+            if *stopped {
+                return;
+            }
+        }
+        let idle = sink.idle();
+        if idle < cfg.timeout {
+            reported = false; // activity resumed; re-arm
+            continue;
+        }
+        if reported {
+            continue; // KeepWaiting mode: one report per stall episode
+        }
+        reported = true;
+        let threads: Vec<ThreadPostmortem> = sink
+            .rings()
+            .iter()
+            .map(|r| {
+                let (state, in_state_for) = r.state();
+                let spans = r.snapshot();
+                let keep = spans.len().saturating_sub(cfg.last_spans);
+                ThreadPostmortem {
+                    thread: r.name().to_string(),
+                    state,
+                    in_state_for,
+                    intakes: r.intakes(),
+                    emits: r.emits(),
+                    last_spans: spans[keep..].to_vec(),
+                }
+            })
+            .collect();
+        let culprit = guess_culprit(&threads);
+        let pm = Postmortem {
+            program: program.clone(),
+            stalled_for: idle,
+            threads,
+            queues: registry.live_queue_depths(),
+            turnstiles: registry.turnstiles(),
+            culprit: culprit.clone(),
+        };
+        eprint!("{}", pm.render());
+        if let Some(path) = &cfg.artifact {
+            if let Err(e) = std::fs::write(path, pm.to_json().to_string()) {
+                eprintln!(
+                    "fg watchdog: failed to write post-mortem artifact {}: {e}",
+                    path.display()
+                );
+            }
+        }
+        if cfg.action == WatchdogAction::Abort {
+            registry.cancel(FgError::Stalled {
+                culprit: culprit.unwrap_or_else(|| "unknown".into()),
+            });
+            return;
+        }
+    }
 }

@@ -201,6 +201,37 @@ impl Registry {
             })
             .collect()
     }
+
+    /// Live (approximate) depth of every queue, for watchdog post-mortems.
+    pub(crate) fn live_queue_depths(&self) -> Vec<crate::trace::QueuePostmortem> {
+        self.queues
+            .lock()
+            .iter()
+            .map(|q| crate::trace::QueuePostmortem {
+                queue: q.name().to_string(),
+                depth: q.depth(),
+                capacity: q.capacity(),
+            })
+            .collect()
+    }
+
+    /// Every ordered farm's turnstile position, for watchdog post-mortems.
+    pub(crate) fn turnstiles(&self) -> Vec<crate::trace::TurnstilePostmortem> {
+        self.groups
+            .lock()
+            .iter()
+            .flat_map(|g| {
+                let group = g.name().to_string();
+                g.turnstile_positions()
+                    .into_iter()
+                    .map(move |(p, next_round)| crate::trace::TurnstilePostmortem {
+                        group: group.clone(),
+                        pipeline: p.0,
+                        next_round,
+                    })
+            })
+            .collect()
+    }
 }
 
 /// Per-pipeline stop flag shared between stages and the pipeline's source.
@@ -249,6 +280,8 @@ impl StopFlag {
 /// unordered group (built with `add_replicated_stage`) emits as replicas
 /// finish, out of round order.
 pub(crate) struct ReplicaGroup {
+    /// Stage name the group replicates (diagnostics).
+    name: String,
     /// Per pipeline: how many replicas have not yet seen the caboose.
     remaining: parking_lot::Mutex<std::collections::HashMap<PipelineId, usize>>,
     pub(crate) replicas: usize,
@@ -262,8 +295,9 @@ pub(crate) struct ReplicaGroup {
 }
 
 impl ReplicaGroup {
-    pub(crate) fn new(replicas: usize, ordered: bool) -> Arc<Self> {
+    pub(crate) fn new(name: impl Into<String>, replicas: usize, ordered: bool) -> Arc<Self> {
         Arc::new(ReplicaGroup {
+            name: name.into(),
             remaining: parking_lot::Mutex::new(std::collections::HashMap::new()),
             replicas,
             ordered,
@@ -273,8 +307,25 @@ impl ReplicaGroup {
         })
     }
 
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
     pub(crate) fn is_ordered(&self) -> bool {
         self.ordered
+    }
+
+    /// `(pipeline, next round allowed to emit)` for every pipeline an
+    /// ordered group has seen; empty for unordered groups.
+    pub(crate) fn turnstile_positions(&self) -> Vec<(PipelineId, u64)> {
+        if !self.ordered {
+            return Vec::new();
+        }
+        self.next_round
+            .lock()
+            .iter()
+            .map(|(p, r)| (*p, *r))
+            .collect()
     }
 
     /// Record that one replica observed pipeline `p`'s caboose; returns
@@ -395,6 +446,12 @@ pub struct StageCtx {
     /// Event hooks; `None` (the default) costs one never-taken branch per
     /// accept/convey.
     observer: Option<Arc<dyn crate::observe::Observer>>,
+    /// Flight-recorder ring for causal spans; `None` (the default) costs
+    /// one never-taken branch per transition, same as `observer`.
+    ring: Option<Arc<crate::trace::SpanRing>>,
+    /// End of this thread's last queue operation (ns since the trace-sink
+    /// epoch); the gap to the next convey is attributed as a `Work` span.
+    last_qop_end_ns: u64,
     aux: Vec<u8>,
     /// Reusable scratch for [`StageCtx::accept_many`] batches.
     batch: Vec<Item>,
@@ -416,6 +473,8 @@ impl StageCtx {
             replica_group: None,
             trace_epoch: None,
             observer: None,
+            ring: None,
+            last_qop_end_ns: 0,
             aux: Vec::new(),
             batch: Vec::new(),
             registry,
@@ -433,6 +492,14 @@ impl StageCtx {
 
     pub(crate) fn set_observer(&mut self, observer: Arc<dyn crate::observe::Observer>) {
         self.observer = Some(observer);
+    }
+
+    pub(crate) fn set_ring(&mut self, ring: Arc<crate::trace::SpanRing>) {
+        self.ring = Some(ring);
+    }
+
+    pub(crate) fn ring(&self) -> Option<&Arc<crate::trace::SpanRing>> {
+        self.ring.as_ref()
     }
 
     fn record_span(&mut self, kind: crate::stats::SpanKind, t0: Instant, t1: Instant) {
@@ -544,6 +611,9 @@ impl StageCtx {
             };
             let mut items = std::mem::take(&mut self.batch);
             debug_assert!(items.is_empty());
+            if let Some(ring) = &self.ring {
+                ring.set_state(crate::trace::ThreadState::BlockedAccept);
+            }
             let t0 = Instant::now();
             let res = input.pop_many(max, &mut items);
             let t1 = Instant::now();
@@ -552,6 +622,9 @@ impl StageCtx {
             if res.is_err() {
                 self.batch = items;
                 return Err(FgError::Cancelled);
+            }
+            if let Some(ring) = &self.ring {
+                ring.set_state(crate::trace::ThreadState::Busy);
             }
             let mut got = 0;
             let mut caboose = None;
@@ -568,6 +641,7 @@ impl StageCtx {
                                 t1 - t0,
                             );
                         }
+                        self.trace_accept(&b, t0, t1);
                         out.push(b);
                         got += 1;
                     }
@@ -584,6 +658,16 @@ impl StageCtx {
                     // caboose so the stage can still convey them.
                     self.ports[0].deferred_caboose = true;
                 } else {
+                    if let Some(ring) = &self.ring {
+                        ring.record(
+                            crate::trace::TraceKind::Accept,
+                            p.0,
+                            0,
+                            0,
+                            ring.ns_of(t0),
+                            ring.ns_of(t1),
+                        );
+                    }
                     self.observe_caboose(0, p)?;
                 }
             }
@@ -626,6 +710,9 @@ impl StageCtx {
             if self.ports.iter().all(|p| p.eos) {
                 return Ok(None);
             }
+            if let Some(ring) = &self.ring {
+                ring.set_state(crate::trace::ThreadState::BlockedAccept);
+            }
             let t0 = Instant::now();
             let popped = shared.pop();
             let t1 = Instant::now();
@@ -637,9 +724,21 @@ impl StageCtx {
                     if let Some(obs) = &self.observer {
                         obs.on_accept(&self.name, b.pipeline(), b.round(), shared.name(), t1 - t0);
                     }
+                    self.trace_accept(&b, t0, t1);
                     return Ok(Some(b));
                 }
                 Ok(Item::Caboose(p)) => {
+                    if let Some(ring) = &self.ring {
+                        ring.set_state(crate::trace::ThreadState::Busy);
+                        ring.record(
+                            crate::trace::TraceKind::Accept,
+                            p.0,
+                            0,
+                            0,
+                            ring.ns_of(t0),
+                            ring.ns_of(t1),
+                        );
+                    }
                     self.mark_eos_and_forward(p)?;
                     // Keep waiting: other member pipelines may still flow.
                 }
@@ -684,6 +783,9 @@ impl StageCtx {
                 )))
             }
         };
+        if let Some(ring) = &self.ring {
+            ring.set_state(crate::trace::ThreadState::BlockedAccept);
+        }
         let t0 = Instant::now();
         let popped = input.pop();
         let t1 = Instant::now();
@@ -695,15 +797,49 @@ impl StageCtx {
                 if let Some(obs) = &self.observer {
                     obs.on_accept(&self.name, b.pipeline(), b.round(), input.name(), t1 - t0);
                 }
+                self.trace_accept(&b, t0, t1);
                 Ok(Some(b))
             }
             Ok(Item::Caboose(p)) => {
                 debug_assert_eq!(p, self.ports[idx].pipeline);
+                if let Some(ring) = &self.ring {
+                    // A caboose is still progress for the watchdog's clock.
+                    ring.set_state(crate::trace::ThreadState::Busy);
+                    ring.record(
+                        crate::trace::TraceKind::Accept,
+                        p.0,
+                        0,
+                        0,
+                        ring.ns_of(t0),
+                        ring.ns_of(t1),
+                    );
+                }
                 self.observe_caboose(idx, p)?;
                 Ok(None)
             }
             Err(_) => Err(FgError::Cancelled),
         }
+    }
+
+    /// Flight-record an accepted buffer and flip this thread back to busy.
+    fn trace_accept(&mut self, b: &Buffer, t0: Instant, t1: Instant) {
+        let end = match &self.ring {
+            Some(ring) => {
+                ring.set_state(crate::trace::ThreadState::Busy);
+                let end = ring.ns_of(t1);
+                ring.record(
+                    crate::trace::TraceKind::Accept,
+                    b.pipeline().0,
+                    b.round(),
+                    b.trace_id(),
+                    ring.ns_of(t0),
+                    end,
+                );
+                end
+            }
+            None => return,
+        };
+        self.last_qop_end_ns = end;
     }
 
     /// Handle a caboose popped from port `idx`: in a replica group, only
@@ -739,7 +875,27 @@ impl StageCtx {
         }
         let pipeline = buf.pipeline();
         let round = buf.round();
+        let tid = buf.trace_id();
+        let ordered = self.replica_group.as_ref().is_some_and(|g| g.is_ordered());
         let t0 = Instant::now();
+        // The gap since this thread's last queue operation is the stage's
+        // own computation on this buffer: record it as a `Work` span.
+        if let Some(ring) = &self.ring {
+            let now = ring.ns_of(t0);
+            if self.last_qop_end_ns > 0 && now > self.last_qop_end_ns {
+                ring.record(
+                    crate::trace::TraceKind::Work,
+                    pipeline.0,
+                    round,
+                    tid,
+                    self.last_qop_end_ns,
+                    now,
+                );
+            }
+            if ordered {
+                ring.set_state(crate::trace::ThreadState::TurnWait);
+            }
+        }
         // In an ordered farm, wait until every earlier round has been
         // emitted so downstream stages see rounds in order.  The wait
         // counts as blocked-convey time: the replica is done computing and
@@ -748,6 +904,24 @@ impl StageCtx {
             if group.is_ordered() {
                 group.await_turn(&self.name, pipeline, round)?;
             }
+        }
+        let t_push = if self.ring.is_some() && ordered {
+            Instant::now()
+        } else {
+            t0
+        };
+        if let Some(ring) = &self.ring {
+            if ordered {
+                ring.record(
+                    crate::trace::TraceKind::TurnWait,
+                    pipeline.0,
+                    round,
+                    tid,
+                    ring.ns_of(t0),
+                    ring.ns_of(t_push),
+                );
+            }
+            ring.set_state(crate::trace::ThreadState::BlockedConvey);
         }
         let res = self.ports[idx].output.push(Item::Buf(buf));
         if res.is_ok() {
@@ -758,6 +932,9 @@ impl StageCtx {
         let t1 = Instant::now();
         self.stats.blocked_convey += t1 - t0;
         self.record_span(crate::stats::SpanKind::Convey, t0, t1);
+        if res.is_ok() {
+            self.trace_convey(pipeline, round, tid, t_push, t1);
+        }
         match res {
             Ok(()) => {
                 self.stats.buffers_out += 1;
@@ -776,6 +953,34 @@ impl StageCtx {
         }
     }
 
+    /// Flight-record a completed convey and flip this thread back to busy.
+    fn trace_convey(
+        &mut self,
+        pipeline: PipelineId,
+        round: u64,
+        tid: u64,
+        t0: Instant,
+        t1: Instant,
+    ) {
+        let end = match &self.ring {
+            Some(ring) => {
+                let end = ring.ns_of(t1);
+                ring.record(
+                    crate::trace::TraceKind::Convey,
+                    pipeline.0,
+                    round,
+                    tid,
+                    ring.ns_of(t0),
+                    end,
+                );
+                ring.set_state(crate::trace::ThreadState::Busy);
+                end
+            }
+            None => return,
+        };
+        self.last_qop_end_ns = end;
+    }
+
     /// Return a buffer straight to its pipeline's buffer pool without
     /// passing it downstream (e.g. a spent input buffer the stage consumed
     /// wholesale).  Equivalent to conveying it to the pipeline's sink when
@@ -785,17 +990,28 @@ impl StageCtx {
         // An ordered farm must still take (and release) the round's
         // emission turn: a discarded round produces nothing downstream,
         // but later rounds may only emit after it.
-        let (pipeline, round) = (buf.pipeline(), buf.round());
+        let (pipeline, round, tid) = (buf.pipeline(), buf.round(), buf.trace_id());
         if let Some(group) = self.replica_group.clone() {
             if group.is_ordered() {
                 group.await_turn(&self.name, pipeline, round)?;
             }
         }
+        let t0 = Instant::now();
         // Ignore a closed recycle queue: the pipeline is stopping and the
         // buffer's memory is simply released.
         let _ = self.ports[idx].recycle.push(Item::Buf(buf));
         if let Some(group) = &self.replica_group {
             group.finish_turn(pipeline, round);
+        }
+        if let Some(ring) = &self.ring {
+            ring.record(
+                crate::trace::TraceKind::Recycle,
+                pipeline.0,
+                round,
+                tid,
+                ring.ns_of(t0),
+                ring.now_ns(),
+            );
         }
         Ok(())
     }

@@ -1,0 +1,1062 @@
+//! Causal tracing: per-buffer spans, the flight recorder, and watchdog
+//! post-mortems.
+//!
+//! Aggregate metrics (PR 1–2) say which stage is busy *on average*; they
+//! cannot explain a slow round, a tail-latency spike, or a hung farm.  This
+//! module records *what actually happened*, cheaply enough to leave on:
+//!
+//! * every buffer carries a **trace id** (assigned by the source when it
+//!   injects a round), and
+//! * every stage transition — source-inject, accept, work, convey, recycle,
+//!   farm turnstile wait, I/O-scheduler prefetch hit/miss — appends a
+//!   fixed-size [`SpanRec`] into a per-thread **flight recorder ring**
+//!   ([`SpanRing`]).
+//!
+//! The ring is bounded (overwrite-oldest), allocation-free on the hot path,
+//! and entirely absent when no [`TraceSink`] is installed: stages hold an
+//! `Option<Arc<SpanRing>>` that is `None`, so the untraced cost is one
+//! never-taken branch per transition (the same zero-cost idiom as
+//! [`Observer`](crate::Observer)).
+//!
+//! From the collected span log, [`crate::critical_path`] reconstructs
+//! per-round buffer timelines, and [`TraceSink::to_chrome_trace`] exports
+//! the spans with *flow events* linking each buffer's journey across stage
+//! tracks (loadable in <https://ui.perfetto.dev>).
+//!
+//! On top of the recorder sits the **watchdog**
+//! ([`Program::set_watchdog`](crate::Program::set_watchdog)): if no span is
+//! recorded pipeline-wide for a configurable timeout, it assembles a
+//! [`Postmortem`] — per-thread state with the last N spans, live queue
+//! depths, farm turnstile positions, and a best-guess culprit — renders it
+//! to stderr and optionally a JSON artifact, then aborts the program (or
+//! keeps waiting, per [`WatchdogAction`]).
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::json::Json;
+
+/// Sentinel `pipeline` value for spans not tied to any pipeline (the I/O
+/// scheduler's prefetch spans).
+pub const IO_PIPELINE: u32 = u32::MAX;
+
+/// Default number of span slots per thread ring.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// What a [`SpanRec`] measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// The source injected a buffer for a new round (waiting for a free
+    /// buffer from the recycle queue is part of the preceding gap, not of
+    /// this span; the span covers the push into the first stage's queue).
+    SourceInject,
+    /// A stage waited on and popped its input queue.
+    Accept,
+    /// A stage's own computation between accepting a buffer and starting to
+    /// convey it.
+    Work,
+    /// A stage pushed a buffer into its output queue (includes time blocked
+    /// on a full queue).
+    Convey,
+    /// The sink returned a buffer to its pipeline's recycle queue.
+    Recycle,
+    /// An ordered farm replica waited at the turnstile for its round's turn
+    /// to emit.
+    TurnWait,
+    /// The I/O scheduler served a read from its prefetch cache.
+    PrefetchHit,
+    /// The I/O scheduler had to issue a blocking read (prefetch miss).
+    PrefetchMiss,
+}
+
+impl TraceKind {
+    /// Short stable label (used in Chrome traces and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::SourceInject => "inject",
+            TraceKind::Accept => "accept",
+            TraceKind::Work => "work",
+            TraceKind::Convey => "convey",
+            TraceKind::Recycle => "recycle",
+            TraceKind::TurnWait => "turn-wait",
+            TraceKind::PrefetchHit => "prefetch-hit",
+            TraceKind::PrefetchMiss => "prefetch-miss",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "inject" => TraceKind::SourceInject,
+            "accept" => TraceKind::Accept,
+            "work" => TraceKind::Work,
+            "convey" => TraceKind::Convey,
+            "recycle" => TraceKind::Recycle,
+            "turn-wait" => TraceKind::TurnWait,
+            "prefetch-hit" => TraceKind::PrefetchHit,
+            "prefetch-miss" => TraceKind::PrefetchMiss,
+            _ => return None,
+        })
+    }
+
+    /// True for span kinds that consume a buffer from upstream.
+    fn is_intake(self) -> bool {
+        matches!(self, TraceKind::Accept | TraceKind::Recycle)
+    }
+
+    /// True for span kinds that hand a buffer downstream.
+    fn is_emit(self) -> bool {
+        matches!(self, TraceKind::Convey | TraceKind::SourceInject)
+    }
+}
+
+/// One fixed-size flight-recorder record: `kind` happened to the buffer
+/// `(pipeline, round, trace_id)` between `start_ns` and `end_ns`
+/// (nanoseconds since the owning [`TraceSink`]'s epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRec {
+    /// What happened.
+    pub kind: TraceKind,
+    /// Pipeline the buffer belongs to ([`IO_PIPELINE`] for scheduler spans).
+    pub pipeline: u32,
+    /// Round of the buffer involved.
+    pub round: u64,
+    /// Trace id of the buffer involved (0 when the transition involved no
+    /// traced buffer — e.g. a pop that returned a caboose).
+    pub trace_id: u64,
+    /// Span start, ns since the sink epoch.
+    pub start_ns: u64,
+    /// Span end, ns since the sink epoch.
+    pub end_ns: u64,
+}
+
+impl SpanRec {
+    const EMPTY: SpanRec = SpanRec {
+        kind: TraceKind::Accept,
+        pipeline: 0,
+        round: 0,
+        trace_id: 0,
+        start_ns: 0,
+        end_ns: 0,
+    };
+
+    /// Span duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// JSON object for this record.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str(self.kind.label().into())),
+            ("pipeline".into(), Json::Num(self.pipeline as f64)),
+            ("round".into(), Json::Num(self.round as f64)),
+            ("trace_id".into(), Json::Num(self.trace_id as f64)),
+            ("start_ns".into(), Json::Num(self.start_ns as f64)),
+            ("end_ns".into(), Json::Num(self.end_ns as f64)),
+        ])
+    }
+
+    /// Parse a record written by [`SpanRec::to_json`].
+    pub fn from_json(v: &Json) -> Option<SpanRec> {
+        Some(SpanRec {
+            kind: TraceKind::from_label(v.get("kind")?.as_str()?)?,
+            pipeline: v.get("pipeline")?.as_u64()? as u32,
+            round: v.get("round")?.as_u64()?,
+            trace_id: v.get("trace_id")?.as_u64()?,
+            start_ns: v.get("start_ns")?.as_u64()?,
+            end_ns: v.get("end_ns")?.as_u64()?,
+        })
+    }
+}
+
+/// Coarse state a traced thread advertises for the watchdog's post-mortem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Not yet past its first transition.
+    Starting,
+    /// Executing stage code (or the source generating a round).
+    Busy,
+    /// Blocked popping an input (or recycle) queue.
+    BlockedAccept,
+    /// Blocked pushing an output queue.
+    BlockedConvey,
+    /// Blocked at an ordered farm's emission turnstile.
+    TurnWait,
+    /// Finished; the thread has exited (or is draining for exit).
+    Done,
+}
+
+impl ThreadState {
+    fn as_u64(self) -> u64 {
+        match self {
+            ThreadState::Starting => 0,
+            ThreadState::Busy => 1,
+            ThreadState::BlockedAccept => 2,
+            ThreadState::BlockedConvey => 3,
+            ThreadState::TurnWait => 4,
+            ThreadState::Done => 5,
+        }
+    }
+
+    fn from_u64(v: u64) -> ThreadState {
+        match v {
+            1 => ThreadState::Busy,
+            2 => ThreadState::BlockedAccept,
+            3 => ThreadState::BlockedConvey,
+            4 => ThreadState::TurnWait,
+            5 => ThreadState::Done,
+            _ => ThreadState::Starting,
+        }
+    }
+
+    /// Short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ThreadState::Starting => "starting",
+            ThreadState::Busy => "busy",
+            ThreadState::BlockedAccept => "blocked-accept",
+            ThreadState::BlockedConvey => "blocked-convey",
+            ThreadState::TurnWait => "turn-wait",
+            ThreadState::Done => "done",
+        }
+    }
+}
+
+impl fmt::Display for ThreadState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One thread's flight recorder: a fixed number of [`SpanRec`] slots
+/// overwritten oldest-first, plus the thread's advertised [`ThreadState`].
+///
+/// `record` never allocates: it claims a slot with one `fetch_add` and
+/// overwrites it under that slot's (uncontended) mutex — the mutexes exist
+/// only so the watchdog can snapshot a consistent record without `unsafe`.
+/// Memory is bounded at `capacity * size_of::<SpanRec>()` per thread for
+/// the life of the run.
+pub struct SpanRing {
+    name: String,
+    epoch: Instant,
+    slots: Box<[Mutex<SpanRec>]>,
+    /// Total records ever written; `cursor % slots.len()` is the next slot.
+    cursor: AtomicU64,
+    /// Buffers taken in (accept/recycle spans recorded).
+    intakes: AtomicU64,
+    /// Buffers handed on (convey/inject spans recorded).
+    emits: AtomicU64,
+    state: AtomicU64,
+    state_since_ns: AtomicU64,
+    /// Shared with the owning sink: bumped on every record, pipeline-wide.
+    last_activity_ns: Arc<AtomicU64>,
+}
+
+impl SpanRing {
+    fn new(name: String, epoch: Instant, capacity: usize, last: Arc<AtomicU64>) -> SpanRing {
+        let slots: Vec<Mutex<SpanRec>> = (0..capacity.max(1))
+            .map(|_| Mutex::new(SpanRec::EMPTY))
+            .collect();
+        SpanRing {
+            name,
+            epoch,
+            slots: slots.into_boxed_slice(),
+            cursor: AtomicU64::new(0),
+            intakes: AtomicU64::new(0),
+            emits: AtomicU64::new(0),
+            state: AtomicU64::new(ThreadState::Starting.as_u64()),
+            state_since_ns: AtomicU64::new(0),
+            last_activity_ns: last,
+        }
+    }
+
+    /// Name of the thread this ring records (`program/task`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Nanoseconds since the owning sink's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Convert an [`Instant`] into sink-epoch nanoseconds (0 if earlier
+    /// than the epoch).
+    pub fn ns_of(&self, t: Instant) -> u64 {
+        t.checked_duration_since(self.epoch)
+            .map_or(0, |d| d.as_nanos() as u64)
+    }
+
+    /// Append one span record, overwriting the oldest when full.
+    pub fn record(
+        &self,
+        kind: TraceKind,
+        pipeline: u32,
+        round: u64,
+        trace_id: u64,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        let i = self.cursor.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(i % self.slots.len() as u64) as usize];
+        *slot.lock() = SpanRec {
+            kind,
+            pipeline,
+            round,
+            trace_id,
+            start_ns,
+            end_ns,
+        };
+        if kind.is_intake() {
+            self.intakes.fetch_add(1, Ordering::Relaxed);
+        } else if kind.is_emit() {
+            self.emits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.last_activity_ns.fetch_max(end_ns, Ordering::Relaxed);
+    }
+
+    /// Advertise what this thread is currently doing (for post-mortems).
+    pub fn set_state(&self, state: ThreadState) {
+        self.state.store(state.as_u64(), Ordering::Relaxed);
+        self.state_since_ns.store(self.now_ns(), Ordering::Relaxed);
+    }
+
+    /// Current advertised state and how long the thread has been in it.
+    pub fn state(&self) -> (ThreadState, Duration) {
+        let st = ThreadState::from_u64(self.state.load(Ordering::Relaxed));
+        let since = self.state_since_ns.load(Ordering::Relaxed);
+        let for_ns = self.now_ns().saturating_sub(since);
+        (st, Duration::from_nanos(for_ns))
+    }
+
+    /// Buffers this thread took in (accepts + recycles recorded).
+    pub fn intakes(&self) -> u64 {
+        self.intakes.load(Ordering::Relaxed)
+    }
+
+    /// Buffers this thread handed on (conveys + injects recorded).
+    pub fn emits(&self) -> u64 {
+        self.emits.load(Ordering::Relaxed)
+    }
+
+    /// Records written over the ring's lifetime (may exceed capacity).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Acquire)
+    }
+
+    /// Copy out the live records, oldest first.
+    ///
+    /// Concurrent writers may overwrite slots while the copy runs; each
+    /// individual record is still read consistently (per-slot lock), which
+    /// is all a diagnostic snapshot needs.
+    pub fn snapshot(&self) -> Vec<SpanRec> {
+        let n = self.cursor.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let mut out = Vec::with_capacity(n.min(cap) as usize);
+        if n <= cap {
+            for slot in &self.slots[..n as usize] {
+                out.push(*slot.lock());
+            }
+        } else {
+            let split = (n % cap) as usize;
+            for slot in &self.slots[split..] {
+                out.push(*slot.lock());
+            }
+            for slot in &self.slots[..split] {
+                out.push(*slot.lock());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("name", &self.name)
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+/// The collected span log of one thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadLog {
+    /// Thread name (`program/task`).
+    pub thread: String,
+    /// Live records, oldest first.
+    pub spans: Vec<SpanRec>,
+}
+
+impl ThreadLog {
+    /// The task part of the thread name (after the `program/` prefix).
+    pub fn task(&self) -> &str {
+        self.thread
+            .split_once('/')
+            .map_or(self.thread.as_str(), |(_, t)| t)
+    }
+
+    /// JSON object for this log.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("thread".into(), Json::Str(self.thread.clone())),
+            (
+                "spans".into(),
+                Json::Arr(self.spans.iter().map(SpanRec::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parse a log written by [`ThreadLog::to_json`].
+    pub fn from_json(v: &Json) -> Option<ThreadLog> {
+        Some(ThreadLog {
+            thread: v.get("thread")?.as_str()?.to_string(),
+            spans: v
+                .get("spans")?
+                .as_arr()?
+                .iter()
+                .map(SpanRec::from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+/// Destination for causal traces: owns the epoch all spans are measured
+/// against, hands out per-thread [`SpanRing`]s, assigns buffer trace ids,
+/// and exports the collected log.
+///
+/// Install one on a program with
+/// [`Program::set_trace_sink`](crate::Program::set_trace_sink); the sink
+/// outlives the run, so the log can be collected after `run()` returns.
+/// One sink may serve several programs (e.g. both passes of a sort) — ring
+/// names carry the program name, keeping threads distinct.
+pub struct TraceSink {
+    epoch: Instant,
+    ring_capacity: usize,
+    rings: Mutex<Vec<Arc<SpanRing>>>,
+    last_activity_ns: Arc<AtomicU64>,
+    next_trace_id: AtomicU64,
+}
+
+impl TraceSink {
+    /// A sink whose rings hold [`DEFAULT_RING_CAPACITY`] spans each.
+    pub fn new() -> Arc<TraceSink> {
+        Self::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A sink whose rings hold `capacity` spans each (min 1).
+    pub fn with_ring_capacity(capacity: usize) -> Arc<TraceSink> {
+        Arc::new(TraceSink {
+            epoch: Instant::now(),
+            ring_capacity: capacity.max(1),
+            rings: Mutex::new(Vec::new()),
+            last_activity_ns: Arc::new(AtomicU64::new(0)),
+            next_trace_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Register (and return) the flight-recorder ring for thread `name`.
+    pub fn register_thread(&self, name: impl Into<String>) -> Arc<SpanRing> {
+        let ring = Arc::new(SpanRing::new(
+            name.into(),
+            self.epoch,
+            self.ring_capacity,
+            Arc::clone(&self.last_activity_ns),
+        ));
+        self.rings.lock().push(Arc::clone(&ring));
+        ring
+    }
+
+    /// A fresh non-zero trace id for a buffer about to be injected.
+    pub fn next_trace_id(&self) -> u64 {
+        self.next_trace_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since the sink's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Mark "activity now": called at run start so a watchdog's idle clock
+    /// starts from the run, not from sink creation.
+    pub fn touch(&self) {
+        self.last_activity_ns
+            .fetch_max(self.now_ns(), Ordering::Relaxed);
+    }
+
+    /// How long since *any* ring recorded a span.
+    pub fn idle(&self) -> Duration {
+        let last = self.last_activity_ns.load(Ordering::Relaxed);
+        Duration::from_nanos(self.now_ns().saturating_sub(last))
+    }
+
+    /// Snapshot of all registered rings (for the watchdog).
+    pub(crate) fn rings(&self) -> Vec<Arc<SpanRing>> {
+        self.rings.lock().clone()
+    }
+
+    /// Collect every thread's live records, oldest first per thread.
+    pub fn collect(&self) -> Vec<ThreadLog> {
+        self.rings
+            .lock()
+            .iter()
+            .map(|r| ThreadLog {
+                thread: r.name().to_string(),
+                spans: r.snapshot(),
+            })
+            .collect()
+    }
+
+    /// Export the collected spans as a Chrome trace-event JSON document:
+    /// one track per traced thread with a slice per span, plus *flow
+    /// events* stitching each trace id's spans together across tracks —
+    /// Perfetto draws an arrow following the buffer from stage to stage.
+    pub fn to_chrome_trace(&self) -> String {
+        let logs = self.collect();
+        let mut events: Vec<Json> = Vec::new();
+        let us = |ns: u64| Json::Num(ns as f64 / 1_000.0);
+        // (tid, span) of every traced-buffer span, for flow stitching.
+        let mut flows: Vec<(u64, SpanRec)> = Vec::new();
+        for (i, log) in logs.iter().enumerate() {
+            let tid = i as u64 + 1;
+            events.push(Json::Obj(vec![
+                ("name".into(), Json::Str("thread_name".into())),
+                ("ph".into(), Json::Str("M".into())),
+                ("pid".into(), Json::Num(1.0)),
+                ("tid".into(), Json::Num(tid as f64)),
+                (
+                    "args".into(),
+                    Json::Obj(vec![("name".into(), Json::Str(log.thread.clone()))]),
+                ),
+            ]));
+            for s in &log.spans {
+                events.push(Json::Obj(vec![
+                    ("name".into(), Json::Str(s.kind.label().into())),
+                    ("cat".into(), Json::Str("span".into())),
+                    ("ph".into(), Json::Str("X".into())),
+                    ("pid".into(), Json::Num(1.0)),
+                    ("tid".into(), Json::Num(tid as f64)),
+                    ("ts".into(), us(s.start_ns)),
+                    ("dur".into(), us(s.dur_ns().max(1))),
+                    (
+                        "args".into(),
+                        Json::Obj(vec![
+                            ("pipeline".into(), Json::Num(s.pipeline as f64)),
+                            ("round".into(), Json::Num(s.round as f64)),
+                            ("trace_id".into(), Json::Num(s.trace_id as f64)),
+                        ]),
+                    ),
+                ]));
+                if s.trace_id != 0 {
+                    flows.push((tid, *s));
+                }
+            }
+        }
+        // Flow events: for each trace id, one start ("s") at the earliest
+        // span, steps ("t") in between, and a finish ("f", binding to the
+        // enclosing slice) at the last.  `ts` sits just inside each span's
+        // slice so the viewer can attach the arrow.
+        flows.sort_by_key(|(_, s)| (s.trace_id, s.start_ns, s.end_ns));
+        let mut i = 0;
+        while i < flows.len() {
+            let id = flows[i].1.trace_id;
+            let mut j = i;
+            while j < flows.len() && flows[j].1.trace_id == id {
+                j += 1;
+            }
+            if j - i >= 2 {
+                for (k, (tid, s)) in flows[i..j].iter().enumerate() {
+                    let ph = if i + k == i {
+                        "s"
+                    } else if i + k == j - 1 {
+                        "f"
+                    } else {
+                        "t"
+                    };
+                    let mut ev = vec![
+                        ("name".into(), Json::Str("buffer".into())),
+                        ("cat".into(), Json::Str("flow".into())),
+                        ("ph".into(), Json::Str(ph.into())),
+                        ("id".into(), Json::Num(id as f64)),
+                        ("pid".into(), Json::Num(1.0)),
+                        ("tid".into(), Json::Num(*tid as f64)),
+                        ("ts".into(), us(s.start_ns)),
+                    ];
+                    if ph == "f" {
+                        ev.push(("bp".into(), Json::Str("e".into())));
+                    }
+                    events.push(Json::Obj(ev));
+                }
+            }
+            i = j;
+        }
+        Json::Obj(vec![
+            ("traceEvents".into(), Json::Arr(events)),
+            ("displayTimeUnit".into(), Json::Str("ms".into())),
+        ])
+        .to_string()
+    }
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("ring_capacity", &self.ring_capacity)
+            .field("threads", &self.rings.lock().len())
+            .finish()
+    }
+}
+
+/// What the watchdog does once it has reported a stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogAction {
+    /// Cancel the program: queues close, stages unblock, and
+    /// [`Program::run`](crate::Program::run) returns
+    /// [`FgError::Stalled`](crate::FgError::Stalled) naming the culprit.
+    Abort,
+    /// Report (once per stall episode) but let the program keep waiting.
+    KeepWaiting,
+}
+
+/// Watchdog configuration: fire when no span is recorded pipeline-wide for
+/// `timeout`.
+#[derive(Debug, Clone)]
+pub struct WatchdogCfg {
+    /// Pipeline-wide idle time that counts as a stall.
+    pub timeout: Duration,
+    /// What to do after reporting.
+    pub action: WatchdogAction,
+    /// Where to write the post-mortem JSON artifact (stderr always gets the
+    /// rendered report).
+    pub artifact: Option<PathBuf>,
+    /// How many trailing spans per thread the post-mortem keeps.
+    pub last_spans: usize,
+}
+
+impl WatchdogCfg {
+    /// Abort-on-stall watchdog with the given timeout and no artifact.
+    pub fn new(timeout: Duration) -> WatchdogCfg {
+        WatchdogCfg {
+            timeout,
+            action: WatchdogAction::Abort,
+            artifact: None,
+            last_spans: 16,
+        }
+    }
+
+    /// Set the action taken after reporting.
+    pub fn action(mut self, action: WatchdogAction) -> WatchdogCfg {
+        self.action = action;
+        self
+    }
+
+    /// Write the post-mortem JSON to `path` in addition to stderr.
+    pub fn artifact(mut self, path: impl Into<PathBuf>) -> WatchdogCfg {
+        self.artifact = Some(path.into());
+        self
+    }
+}
+
+/// One thread's entry in a [`Postmortem`].
+#[derive(Debug, Clone)]
+pub struct ThreadPostmortem {
+    /// Thread name (`program/task`).
+    pub thread: String,
+    /// Advertised state when the stall was detected.
+    pub state: ThreadState,
+    /// How long the thread had been in that state.
+    pub in_state_for: Duration,
+    /// Buffers taken in over the thread's lifetime.
+    pub intakes: u64,
+    /// Buffers handed on over the thread's lifetime.
+    pub emits: u64,
+    /// The last spans the thread recorded (oldest first).
+    pub last_spans: Vec<SpanRec>,
+}
+
+/// One queue's entry in a [`Postmortem`].
+#[derive(Debug, Clone)]
+pub struct QueuePostmortem {
+    /// Queue name as built by the planner.
+    pub queue: String,
+    /// Items in the queue when the stall was detected (approximate).
+    pub depth: usize,
+    /// Queue capacity.
+    pub capacity: usize,
+}
+
+/// One ordered-farm turnstile position in a [`Postmortem`].
+#[derive(Debug, Clone)]
+pub struct TurnstilePostmortem {
+    /// Replica-group (farm) name.
+    pub group: String,
+    /// Pipeline the turnstile position belongs to.
+    pub pipeline: u32,
+    /// The round the turnstile is waiting to let through next.
+    pub next_round: u64,
+}
+
+/// Snapshot of a stalled program, assembled by the watchdog.
+#[derive(Debug, Clone)]
+pub struct Postmortem {
+    /// Program name.
+    pub program: String,
+    /// How long the pipeline had recorded no span when the snapshot was
+    /// taken.
+    pub stalled_for: Duration,
+    /// Per-thread state, counters, and trailing spans.
+    pub threads: Vec<ThreadPostmortem>,
+    /// Live depth of every queue in the program.
+    pub queues: Vec<QueuePostmortem>,
+    /// Ordered-farm turnstile positions.
+    pub turnstiles: Vec<TurnstilePostmortem>,
+    /// Best-guess culprit task name, if the heuristic found one.
+    pub culprit: Option<String>,
+}
+
+impl Postmortem {
+    /// JSON artifact for this post-mortem.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("program".into(), Json::Str(self.program.clone())),
+            (
+                "stalled_for_ms".into(),
+                Json::Num(self.stalled_for.as_secs_f64() * 1_000.0),
+            ),
+            (
+                "culprit".into(),
+                match &self.culprit {
+                    Some(c) => Json::Str(c.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "threads".into(),
+                Json::Arr(
+                    self.threads
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("thread".into(), Json::Str(t.thread.clone())),
+                                ("state".into(), Json::Str(t.state.label().into())),
+                                (
+                                    "in_state_for_ms".into(),
+                                    Json::Num(t.in_state_for.as_secs_f64() * 1_000.0),
+                                ),
+                                ("intakes".into(), Json::Num(t.intakes as f64)),
+                                ("emits".into(), Json::Num(t.emits as f64)),
+                                (
+                                    "last_spans".into(),
+                                    Json::Arr(t.last_spans.iter().map(SpanRec::to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "queues".into(),
+                Json::Arr(
+                    self.queues
+                        .iter()
+                        .map(|q| {
+                            Json::Obj(vec![
+                                ("queue".into(), Json::Str(q.queue.clone())),
+                                ("depth".into(), Json::Num(q.depth as f64)),
+                                ("capacity".into(), Json::Num(q.capacity as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "turnstiles".into(),
+                Json::Arr(
+                    self.turnstiles
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("group".into(), Json::Str(t.group.clone())),
+                                ("pipeline".into(), Json::Num(t.pipeline as f64)),
+                                ("next_round".into(), Json::Num(t.next_round as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable report (what the watchdog prints to stderr).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "=== FG watchdog: `{}` stalled for {:.1}s ===\n",
+            self.program,
+            self.stalled_for.as_secs_f64()
+        ));
+        match &self.culprit {
+            Some(c) => out.push_str(&format!("likely culprit: {c}\n")),
+            None => out.push_str("likely culprit: (none identified)\n"),
+        }
+        out.push_str("threads:\n");
+        for t in &self.threads {
+            out.push_str(&format!(
+                "  {:<28} {:<15} for {:>7.1}s  in={} out={}\n",
+                t.thread,
+                t.state.label(),
+                t.in_state_for.as_secs_f64(),
+                t.intakes,
+                t.emits
+            ));
+            if let Some(s) = t.last_spans.last() {
+                out.push_str(&format!(
+                    "    last span: {} p{} r{} id{} [{:.3}ms..{:.3}ms]\n",
+                    s.kind.label(),
+                    s.pipeline,
+                    s.round,
+                    s.trace_id,
+                    s.start_ns as f64 / 1e6,
+                    s.end_ns as f64 / 1e6,
+                ));
+            }
+        }
+        out.push_str("queues:\n");
+        for q in &self.queues {
+            out.push_str(&format!(
+                "  {:<28} {}/{}{}\n",
+                q.queue,
+                q.depth,
+                q.capacity,
+                if q.depth >= q.capacity { "  FULL" } else { "" }
+            ));
+        }
+        if !self.turnstiles.is_empty() {
+            out.push_str("turnstiles:\n");
+            for t in &self.turnstiles {
+                out.push_str(&format!(
+                    "  {:<28} pipeline#{} waiting for round {}\n",
+                    t.group, t.pipeline, t.next_round
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Best-guess culprit among a post-mortem's threads.
+///
+/// A stage that took in more buffers than it handed on is hoarding them —
+/// with a bounded pool, a hoarder starves the source and wedges everyone
+/// else, so the largest positive intake/emit imbalance wins.  When no
+/// thread is imbalanced (e.g. a genuinely slow stage), fall back to the
+/// thread longest in a blocked state, preferring stage threads over the
+/// implicit source/sink (whose blocking is a symptom, not a cause).
+pub fn guess_culprit(threads: &[ThreadPostmortem]) -> Option<String> {
+    let active = |t: &&ThreadPostmortem| t.state != ThreadState::Done;
+    let hoarder = threads
+        .iter()
+        .filter(active)
+        .filter(|t| t.intakes > t.emits)
+        .max_by_key(|t| t.intakes - t.emits);
+    if let Some(t) = hoarder {
+        return Some(t.thread.clone());
+    }
+    let is_plumbing =
+        |t: &&ThreadPostmortem| t.thread.ends_with("/source") || t.thread.ends_with("/sink");
+    let blocked = |t: &&ThreadPostmortem| {
+        matches!(
+            t.state,
+            ThreadState::BlockedAccept | ThreadState::BlockedConvey | ThreadState::TurnWait
+        ) || t.state == ThreadState::Busy
+    };
+    threads
+        .iter()
+        .filter(active)
+        .filter(blocked)
+        .filter(|t| !is_plumbing(t))
+        .max_by_key(|t| t.in_state_for)
+        .or_else(|| {
+            threads
+                .iter()
+                .filter(active)
+                .filter(blocked)
+                .max_by_key(|t| t.in_state_for)
+        })
+        .map(|t| t.thread.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_records_in_order_until_capacity() {
+        let sink = TraceSink::with_ring_capacity(8);
+        let ring = sink.register_thread("p/s");
+        for i in 0..5 {
+            ring.record(TraceKind::Accept, 0, i, i + 1, i * 10, i * 10 + 5);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 5);
+        for (i, s) in snap.iter().enumerate() {
+            assert_eq!(s.round, i as u64);
+            assert_eq!(s.trace_id, i as u64 + 1);
+        }
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.intakes(), 5);
+        assert_eq!(ring.emits(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_on_wrap() {
+        let sink = TraceSink::with_ring_capacity(4);
+        let ring = sink.register_thread("p/s");
+        for i in 0..10u64 {
+            ring.record(TraceKind::Convey, 0, i, 0, i, i + 1);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4);
+        let rounds: Vec<u64> = snap.iter().map(|s| s.round).collect();
+        assert_eq!(rounds, vec![6, 7, 8, 9]);
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.emits(), 10);
+    }
+
+    #[test]
+    fn sink_assigns_distinct_trace_ids() {
+        let sink = TraceSink::new();
+        let a = sink.next_trace_id();
+        let b = sink.next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn idle_clock_resets_on_record() {
+        let sink = TraceSink::with_ring_capacity(4);
+        let ring = sink.register_thread("p/s");
+        std::thread::sleep(Duration::from_millis(5));
+        let idle_before = sink.idle();
+        let now = ring.now_ns();
+        ring.record(TraceKind::Accept, 0, 0, 1, now, now);
+        assert!(sink.idle() < idle_before);
+    }
+
+    #[test]
+    fn span_rec_json_round_trips() {
+        let s = SpanRec {
+            kind: TraceKind::TurnWait,
+            pipeline: 3,
+            round: 17,
+            trace_id: 42,
+            start_ns: 1000,
+            end_ns: 2500,
+        };
+        let log = ThreadLog {
+            thread: "prog/worker#1".into(),
+            spans: vec![s],
+        };
+        let parsed = ThreadLog::from_json(&Json::parse(&log.to_json().to_string()).unwrap());
+        assert_eq!(parsed, Some(log));
+    }
+
+    #[test]
+    fn chrome_trace_links_buffer_spans_with_flows() {
+        let sink = TraceSink::with_ring_capacity(16);
+        let a = sink.register_thread("p/first");
+        let b = sink.register_thread("p/second");
+        // Buffer 7 visits both stages; buffer 8 only one (no flow pair).
+        a.record(TraceKind::Convey, 0, 0, 7, 100, 200);
+        b.record(TraceKind::Accept, 0, 0, 7, 250, 300);
+        a.record(TraceKind::Convey, 0, 1, 8, 400, 500);
+        let doc = Json::parse(&sink.to_chrome_trace()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("flow"))
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases, vec!["s", "f"], "one flow pair for buffer 7 only");
+        let finish = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("f"))
+            .unwrap();
+        assert_eq!(finish.get("bp").and_then(Json::as_str), Some("e"));
+        assert_eq!(finish.get("id").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn culprit_prefers_hoarder_over_blocked() {
+        let t = |name: &str, state, secs, intakes, emits| ThreadPostmortem {
+            thread: name.to_string(),
+            state,
+            in_state_for: Duration::from_secs(secs),
+            intakes,
+            emits,
+            last_spans: Vec::new(),
+        };
+        let threads = vec![
+            t("p/source", ThreadState::BlockedAccept, 60, 0, 3),
+            t("p/hoard", ThreadState::BlockedAccept, 50, 3, 0),
+            t("p/down", ThreadState::BlockedAccept, 55, 0, 0),
+        ];
+        assert_eq!(guess_culprit(&threads).as_deref(), Some("p/hoard"));
+        // Without an imbalance, the longest-blocked stage thread wins and
+        // the implicit source is skipped despite blocking longest.
+        let threads = vec![
+            t("p/source", ThreadState::BlockedAccept, 60, 3, 3),
+            t("p/slow", ThreadState::Busy, 40, 3, 3),
+            t("p/sink", ThreadState::BlockedAccept, 59, 3, 3),
+        ];
+        assert_eq!(guess_culprit(&threads).as_deref(), Some("p/slow"));
+    }
+
+    #[test]
+    fn postmortem_json_and_render_name_culprit() {
+        let pm = Postmortem {
+            program: "demo".into(),
+            stalled_for: Duration::from_secs(2),
+            threads: vec![ThreadPostmortem {
+                thread: "demo/wedge".into(),
+                state: ThreadState::BlockedAccept,
+                in_state_for: Duration::from_secs(2),
+                intakes: 4,
+                emits: 0,
+                last_spans: vec![SpanRec::EMPTY],
+            }],
+            queues: vec![QueuePostmortem {
+                queue: "p[0]".into(),
+                depth: 2,
+                capacity: 2,
+            }],
+            turnstiles: vec![TurnstilePostmortem {
+                group: "farm".into(),
+                pipeline: 0,
+                next_round: 5,
+            }],
+            culprit: Some("demo/wedge".into()),
+        };
+        let text = pm.render();
+        assert!(text.contains("demo/wedge"));
+        assert!(text.contains("FULL"));
+        assert!(text.contains("round 5"));
+        let json = Json::parse(&pm.to_json().to_string()).unwrap();
+        assert_eq!(
+            json.get("culprit").and_then(Json::as_str),
+            Some("demo/wedge")
+        );
+        assert_eq!(
+            json.get("threads").unwrap().as_arr().unwrap()[0]
+                .get("state")
+                .and_then(Json::as_str),
+            Some("blocked-accept")
+        );
+    }
+}

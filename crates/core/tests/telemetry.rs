@@ -133,6 +133,29 @@ fn metrics_endpoint_serves_valid_prometheus_text() {
 }
 
 #[test]
+fn zero_valued_gauges_keep_their_type_lines() {
+    // Regression guard: a gauge that is registered but still zero at the
+    // first scrape (a write-behind queue that never filled, say) must
+    // still be announced with a `# TYPE` line and a zero sample —
+    // dashboards discover series from the first scrape.
+    let reg = Arc::new(MetricsRegistry::new());
+    reg.gauge("core/idle_gauge").set(0);
+    reg.counter("core/idle_counter");
+    let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
+    let (_, _, body) = http_get(server.local_addr(), "/metrics");
+    assert!(
+        body.contains("# TYPE fg_core_idle_gauge gauge"),
+        "zero gauge lost its TYPE line, body:\n{body}"
+    );
+    assert!(body.contains("fg_core_idle_gauge 0"), "body:\n{body}");
+    assert!(
+        body.contains("# TYPE fg_core_idle_counter counter"),
+        "zero counter lost its TYPE line, body:\n{body}"
+    );
+    assert!(body.contains("fg_core_idle_counter 0"), "body:\n{body}");
+}
+
+#[test]
 fn scrape_counter_increments_per_request() {
     let reg = populated_registry();
     let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&reg)).expect("bind");

@@ -96,6 +96,9 @@ struct Shared {
     /// Wakes clients (writes drained, prefetch completed).
     idle_cv: Condvar,
     metrics: Option<SchedMetrics>,
+    /// Flight-recorder ring for prefetch hit/miss spans (see
+    /// [`IoScheduler::attach_trace`]); absent on untraced runs.
+    ring: Mutex<Option<Arc<fg_core::SpanRing>>>,
     /// Bound on stored prefetches; surplus results are dropped.
     fetched_cap: usize,
 }
@@ -224,6 +227,7 @@ impl IoScheduler {
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
             metrics,
+            ring: Mutex::new(None),
             fetched_cap: 8 * depth + 32,
         });
         let worker_shared = Arc::clone(&shared);
@@ -241,6 +245,15 @@ impl IoScheduler {
     /// The wrapped backend.
     pub fn inner(&self) -> &DiskRef {
         &self.shared.inner
+    }
+
+    /// Register this scheduler with a flight recorder: every `read_at`
+    /// logs a `prefetch-hit` or `prefetch-miss` span (on the
+    /// [`IO_PIPELINE`](fg_core::trace::IO_PIPELINE) sentinel track, round
+    /// = block index) into a ring named `io/{label}`, so traces show
+    /// which reads went cold to the backend and when.
+    pub fn attach_trace(&self, sink: &fg_core::TraceSink, label: &str) {
+        *self.shared.ring.lock() = Some(sink.register_thread(format!("io/{label}")));
     }
 
     /// Queue read-ahead for the blocks a sequential reader at
@@ -400,6 +413,8 @@ impl Disk for IoScheduler {
 
     fn read_at(&self, name: &str, offset: u64, out: &mut [u8]) -> Result<(), PdmError> {
         let sh = &self.shared;
+        let ring = sh.ring.lock().clone();
+        let t0 = ring.as_ref().map(|_| std::time::Instant::now());
         let key = (name.to_string(), offset);
         let mut hit = false;
         {
@@ -422,16 +437,37 @@ impl Disk for IoScheduler {
                 }
             }
         }
-        if hit {
+        let read = if hit {
             if let Some(m) = &sh.metrics {
                 m.hits.inc();
             }
+            Ok(())
         } else {
-            sh.inner.read_at(name, offset, out)?;
-            if let Some(m) = &sh.metrics {
-                m.misses.inc();
+            let res = sh.inner.read_at(name, offset, out);
+            if res.is_ok() {
+                if let Some(m) = &sh.metrics {
+                    m.misses.inc();
+                }
             }
+            res
+        };
+        if let (Some(r), Some(t0)) = (&ring, t0) {
+            let kind = if hit {
+                fg_core::TraceKind::PrefetchHit
+            } else {
+                fg_core::TraceKind::PrefetchMiss
+            };
+            let block = offset / out.len().max(1) as u64;
+            r.record(
+                kind,
+                fg_core::trace::IO_PIPELINE,
+                block,
+                0,
+                r.ns_of(t0),
+                r.now_ns(),
+            );
         }
+        read?;
         self.schedule_read_ahead(name, offset, out.len());
         Ok(())
     }

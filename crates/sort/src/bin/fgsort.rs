@@ -28,7 +28,12 @@
 //!   --free                     zero-cost disks & network (default: paper-
 //!                              shaped cost model)
 //!   --no-verify                skip output verification
-//!   --trace                    print node-0 per-pass Gantt charts (dsort)
+//!   --trace OUT                flight-record per-buffer causal spans in
+//!                              every pipeline and write a Chrome trace
+//!                              (Perfetto / chrome://tracing) to OUT; also
+//!                              prints node-0 per-pass Gantt charts (dsort)
+//!   --watchdog-secs N          abort with a post-mortem report if any
+//!                              pipeline makes no progress for N seconds
 //!   --telemetry ADDR           serve live GET /metrics (Prometheus) and
 //!                              GET /report on ADDR (e.g. 127.0.0.1:9100)
 //!                              while the sort runs; afterwards print the
@@ -65,7 +70,8 @@ struct Options {
     io_depth: usize,
     free: bool,
     verify: bool,
-    trace: bool,
+    trace: Option<String>,
+    watchdog_secs: Option<u64>,
     telemetry: Option<String>,
 }
 
@@ -86,7 +92,8 @@ impl Default for Options {
             io_depth: 0,
             free: false,
             verify: true,
-            trace: false,
+            trace: None,
+            watchdog_secs: None,
             telemetry: None,
         }
     }
@@ -171,7 +178,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--free" => opts.free = true,
             "--no-verify" => opts.verify = false,
-            "--trace" => opts.trace = true,
+            "--trace" => opts.trace = Some(value("--trace")?.clone()),
+            "--watchdog-secs" => {
+                opts.watchdog_secs = Some(
+                    value("--watchdog-secs")?
+                        .parse()
+                        .map_err(|e| format!("--watchdog-secs: {e}"))?,
+                )
+            }
             "--telemetry" => opts.telemetry = Some(value("--telemetry")?.clone()),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -210,7 +224,14 @@ fn build_config(opts: &Options) -> Result<SortConfig, String> {
     cfg.run_bytes = (opts.run_kib << 10).max(cfg.block_bytes);
     cfg.vertical_buf_bytes = (cfg.block_bytes / 2).max(record.record_bytes);
     cfg.workers = opts.workers;
-    cfg.trace = opts.trace;
+    cfg.trace = opts.trace.is_some();
+    if opts.trace.is_some() {
+        cfg.trace_sink = Some(fg_core::TraceSink::new());
+    }
+    cfg.watchdog = opts.watchdog_secs.map(Duration::from_secs);
+    if opts.watchdog_secs == Some(0) {
+        return Err("--watchdog-secs must be positive".into());
+    }
     if opts.backend == "os" {
         let dir = match &opts.dir {
             Some(d) => std::path::PathBuf::from(d),
@@ -246,7 +267,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "              [--io-depth N]   (read-ahead + write-behind scheduler; 0 = off)"
             );
-            eprintln!("              [--trace]   (print node-0 per-pass Gantt charts; dsort only)");
+            eprintln!("              [--trace OUT]   (write a Chrome/Perfetto trace of every pipeline to OUT)");
+            eprintln!("              [--watchdog-secs N]   (post-mortem + abort after N s without progress)");
             eprintln!("              [--telemetry ADDR]   (live /metrics + /report HTTP endpoint)");
             return if e == "help" {
                 ExitCode::SUCCESS
@@ -326,7 +348,7 @@ fn main() -> ExitCode {
             print_phase("total", r.total());
             println!("  partitions: {:?}", r.partition_records);
             if let Some((p1, p2)) = &r.node0_reports {
-                if opts.trace {
+                if opts.trace.is_some() {
                     println!("\nnode 0, pass 1:\n{}", p1.render_gantt(64));
                     println!("node 0, pass 2:\n{}", p2.render_gantt(64));
                 }
@@ -366,6 +388,14 @@ fn main() -> ExitCode {
             .map_err(|e| e.to_string()),
         _ => unreachable!("validated"),
     };
+    // Write the causal trace even when the run failed: a watchdog abort is
+    // exactly when the span log is most interesting.
+    if let (Some(path), Some(sink)) = (&opts.trace, &cfg.trace_sink) {
+        match std::fs::write(path, sink.to_chrome_trace()) {
+            Ok(()) => println!("trace: wrote {path} (load in Perfetto or chrome://tracing)"),
+            Err(e) => eprintln!("error: writing trace {path}: {e}"),
+        }
+    }
     if let Err(e) = outcome {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
@@ -391,7 +421,13 @@ fn main() -> ExitCode {
             server.local_addr()
         );
         if let Some(report) = diagnosable {
-            println!("\n{}", diagnose(&report, &series).render());
+            // With a flight recorder attached the diagnosis cites concrete
+            // rounds off the reconstructed critical path.
+            let d = match &cfg.trace_sink {
+                Some(sink) => fg_core::diagnose_with_trace(&report, &series, &sink.collect()),
+                None => diagnose(&report, &series),
+            };
+            println!("\n{}", d.render());
         }
     }
     ExitCode::SUCCESS
@@ -415,7 +451,8 @@ mod tests {
     fn full_flag_set() {
         let o = parse_args(&args(
             "--program csort --nodes 4 --kib-per-node 128 --record-bytes 64 \
-             --dist poisson --seed 7 --block-kib 8 --run-kib 32 --workers 4 --free --no-verify",
+             --dist poisson --seed 7 --block-kib 8 --run-kib 32 --workers 4 --free --no-verify \
+             --trace out.json --watchdog-secs 60",
         ))
         .unwrap();
         assert_eq!(o.program, "csort");
@@ -429,6 +466,34 @@ mod tests {
         assert_eq!(o.workers, 4);
         assert!(o.free);
         assert!(!o.verify);
+        assert_eq!(o.trace.as_deref(), Some("out.json"));
+        assert_eq!(o.watchdog_secs, Some(60));
+    }
+
+    #[test]
+    fn trace_and_watchdog_flags_build_instrumentation() {
+        let o = parse_args(&args("--free --trace t.json --watchdog-secs 30")).unwrap();
+        let cfg = build_config(&o).unwrap();
+        assert!(cfg.trace, "Gantt span recording rides along with --trace");
+        assert!(cfg.trace_sink.is_some());
+        assert_eq!(cfg.watchdog, Some(Duration::from_secs(30)));
+        // Neither flag: no sink allocated, no watchdog armed.
+        let cfg = build_config(&Options {
+            free: true,
+            ..Options::default()
+        })
+        .unwrap();
+        assert!(cfg.trace_sink.is_none());
+        assert_eq!(cfg.watchdog, None);
+    }
+
+    #[test]
+    fn trace_needs_a_path_and_watchdog_needs_seconds() {
+        assert!(parse_args(&args("--trace")).is_err());
+        assert!(parse_args(&args("--watchdog-secs")).is_err());
+        assert!(parse_args(&args("--watchdog-secs banana")).is_err());
+        let o = parse_args(&args("--free --watchdog-secs 0")).unwrap();
+        assert!(build_config(&o).is_err());
     }
 
     #[test]

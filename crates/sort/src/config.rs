@@ -1,6 +1,7 @@
 //! Experiment configuration and derived geometry.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use fg_cluster::NetCfg;
@@ -79,6 +80,16 @@ pub struct SortConfig {
     /// [`IoScheduler`](fg_pdm::IoScheduler) prefetching `n` blocks ahead
     /// per read stream, with coalescing write-behind.
     pub io_depth: usize,
+    /// Causal-trace sink (`fgsort --trace OUT`): every FG program the sort
+    /// runs flight-records per-buffer spans into this sink, and every
+    /// scheduled disk logs its prefetch hits/misses (export with
+    /// [`TraceSink::to_chrome_trace`](fg_core::TraceSink::to_chrome_trace)).
+    pub trace_sink: Option<Arc<fg_core::TraceSink>>,
+    /// Stall-watchdog timeout (`fgsort --watchdog-secs N`): armed on every
+    /// FG program the sort runs; a program making no progress for this
+    /// long dumps a post-mortem and aborts with
+    /// [`FgError::Stalled`](fg_core::FgError::Stalled).
+    pub watchdog: Option<Duration>,
 }
 
 impl SortConfig {
@@ -102,6 +113,8 @@ impl SortConfig {
             workers: 1,
             backend: DiskBackend::Sim,
             io_depth: 0,
+            trace_sink: None,
+            watchdog: None,
         }
     }
 
@@ -123,6 +136,22 @@ impl SortConfig {
             run_bytes: 64 * 1024,
             vertical_buf_bytes: 8 * 1024,
             ..SortConfig::test_default(nodes, records_per_node)
+        }
+    }
+
+    /// Apply this config's observability settings to an FG program: span
+    /// recording for Gantt charts (`trace`), the causal-trace sink
+    /// (`trace_sink`), and the stall watchdog (`watchdog`).  Every sort
+    /// program calls this right after `Program::new`.
+    pub fn instrument(&self, prog: &mut fg_core::Program) {
+        if self.trace {
+            prog.enable_tracing();
+        }
+        if let Some(sink) = &self.trace_sink {
+            prog.set_trace_sink(Arc::clone(sink));
+        }
+        if let Some(timeout) = self.watchdog {
+            prog.with_watchdog(timeout);
         }
     }
 

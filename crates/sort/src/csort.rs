@@ -167,6 +167,7 @@ pub(crate) fn pass12(
     };
 
     let mut prog = Program::new(format!("csort-p{pass_no}-n{q}"));
+    cfg.instrument(&mut prog);
 
     // read: local chunk t of the input file is column t*P + q.
     let read_disk = Arc::clone(disk);
@@ -321,6 +322,7 @@ fn pass3(
     let (r, s, nodes) = (m.r, m.s, m.nodes);
 
     let mut prog = Program::new(format!("csort-p3-n{q}"));
+    cfg.instrument(&mut prog);
 
     let read_disk = Arc::clone(disk);
     let read = prog.add_stage(

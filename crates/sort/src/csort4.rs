@@ -126,6 +126,7 @@ fn pass3_shift(
     let _ = r;
 
     let mut prog = Program::new(format!("csort4-p3-n{q}"));
+    cfg.instrument(&mut prog);
 
     let read_disk = Arc::clone(disk);
     let read = prog.add_stage(
@@ -254,6 +255,7 @@ fn pass4_unshift(
     let buf_bytes = cbytes + half + nodes * cfg.block_bytes + max_chunks * CHUNK_HEADER_BYTES + 64;
 
     let mut prog = Program::new(format!("csort4-p4-n{q}"));
+    cfg.instrument(&mut prog);
 
     // Which shifted column does round t hold, how long is it, and where
     // does it live in the local m3 file?  Mirrors pass 3's write layout.

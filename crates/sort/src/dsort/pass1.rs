@@ -71,9 +71,7 @@ pub fn pass1(
     let send_buf = cfg.block_bytes + nodes * CHUNK_HEADER_BYTES + 64;
 
     let mut prog = Program::new(format!("dsort-p1-n{rank}"));
-    if cfg.trace {
-        prog.enable_tracing();
-    }
+    cfg.instrument(&mut prog);
 
     // ---- send pipeline ----
     let read_disk = Arc::clone(disk);

@@ -70,9 +70,7 @@ pub fn pass2(
     let striping = Striping::new(nodes, cfg.block_bytes);
 
     let mut prog = Program::new(format!("dsort-p2-n{rank}"));
-    if cfg.trace {
-        prog.enable_tracing();
-    }
+    cfg.instrument(&mut prog);
 
     // ---- vertical read stage(s) ----
     // Run j occupies bytes [run_off[j], run_off[j] + run_lens[j]) of the

@@ -150,6 +150,7 @@ fn pass1_linear(
     let buf_bytes = nodes * cfg.block_bytes + nodes * CHUNK_HEADER_BYTES + 64;
 
     let mut prog = Program::new(format!("dsortlin-p1-n{rank}"));
+    cfg.instrument(&mut prog);
 
     let read_disk = Arc::clone(disk);
     let block_bytes = cfg.block_bytes;
@@ -276,6 +277,7 @@ fn pass2_linear(
     let buf_bytes = nodes * block + nodes * 4 * CHUNK_HEADER_BYTES + 64;
 
     let mut prog = Program::new(format!("dsortlin-p2-n{rank}"));
+    cfg.instrument(&mut prog);
 
     // merge-read: synchronous inline k-way merge, one output block per
     // round (possibly empty padding rounds at the end).

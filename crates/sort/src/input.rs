@@ -109,12 +109,16 @@ fn try_provision_with(
                 base.delete(&name);
             }
             let disk: DiskRef = if cfg.io_depth > 0 {
-                match registry {
+                let sched = match registry {
                     Some(reg) => {
                         IoScheduler::with_metrics(base, cfg.io_depth, reg, &format!("d{rank}"))
                     }
                     None => IoScheduler::new(base, cfg.io_depth),
+                };
+                if let Some(sink) = &cfg.trace_sink {
+                    sched.attach_trace(sink, &format!("d{rank}"));
                 }
+                sched
             } else {
                 base
             };
