@@ -14,7 +14,10 @@
 //! (csort's farmed sort stages across replica counts; `--workers N` runs a
 //! single count, e.g. for gating a farmed run against a serial baseline),
 //! `io-overlap` (the out-of-core acceptance run: the I/O scheduler vs
-//! synchronous `OsDisk` syscalls on real files), `all`.
+//! synchronous `OsDisk` syscalls on real files), `autotune-convergence`
+//! (the closed-loop controller started mis-configured must converge to the
+//! hand-tuned operating point; `--hand-tuned` runs the open-loop reference
+//! arm instead, e.g. to record a gate baseline), `all`.
 //!
 //! `--json-out <dir>` writes one machine-readable JSON artifact per
 //! experiment into `<dir>`.  Re-running into the same directory overwrites
@@ -756,6 +759,63 @@ fn main() {
                 ("prefetch_misses", Json::from(res.prefetch_misses)),
             ]),
         );
+    }
+    if run_all || cmd == "autotune-convergence" {
+        let hand_tuned = args.iter().any(|a| a == "--hand-tuned");
+        println!("\n=== Autotune: closed-loop controller vs hand-tuned operating point ===");
+        let shape = fg_bench::autotune::AutotuneShape::new(quick);
+        let res = if hand_tuned {
+            fg_bench::autotune::run_arm(shape, shape.width, shape.tuned_depth, false)
+        } else {
+            fg_bench::autotune::run_arm(shape, 1, 1, true)
+        }
+        .expect("autotune-convergence");
+        let mode = if hand_tuned {
+            "hand-tuned"
+        } else {
+            "autotuned"
+        };
+        println!(
+            "{} rounds ({mode}): total {:.3}s   steady-state {:.3}s   \
+             final {} workers, read-ahead depth {}",
+            res.rounds,
+            res.total.as_secs_f64(),
+            res.steady_state.as_secs_f64(),
+            res.final_workers,
+            res.final_depth,
+        );
+        // `steady_state_s` is the shared gated key: the autotuned arm's
+        // landing point vs the hand-tuned arm's whole run.  The wall times
+        // keep arm-specific names so the convergence tax is visible in the
+        // artifact without tripping the gate.
+        let mut members = vec![
+            ("mode", Json::from(mode)),
+            ("rounds", Json::from(res.rounds)),
+            ("steady_state_s", jsecs(res.steady_state)),
+            ("final_workers", Json::from(res.final_workers)),
+            ("final_io_depth", Json::from(res.final_depth)),
+            (
+                if hand_tuned {
+                    "hand_total_s"
+                } else {
+                    "autotuned_total_s"
+                },
+                jsecs(res.total),
+            ),
+        ];
+        if let Some(log) = &res.log {
+            println!(
+                "controller: {} ticks, {} actuations, {} decisions audited",
+                log.ticks,
+                log.actuations,
+                log.decisions.len()
+            );
+            for d in &log.decisions {
+                println!("  [{}] {} => {}", d.seq, d.verdict, d.action);
+            }
+            members.push(("controller", log.to_json_value()));
+        }
+        sink.write("autotune-convergence", jobj(members));
     }
     if let Some((server, sampler)) = telemetry {
         let series = sampler.stop();

@@ -139,7 +139,8 @@ pub fn run_io_overlap(
     let registry = MetricsRegistry::new();
     let inner = OsDisk::durable(scratch.path().join("sched"))?;
     inner.load("in", input);
-    let sched = IoScheduler::with_metrics(inner as DiskRef, io_depth, &registry, "d0");
+    let sched = IoScheduler::with_metrics(inner as DiskRef, io_depth, &registry, "d0")
+        .expect("io scheduler depth");
     let overlapped = stream_loop(&*sched, blocks, block_bytes, passes)?;
 
     // Same input, same compute: the two output files must be identical, or

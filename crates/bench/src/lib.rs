@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod autotune;
 pub mod gate;
 pub mod io_overlap;
 pub mod overlap;

@@ -142,11 +142,11 @@ pub struct Diagnosis {
 
 /// A stage blocked (or busy) for more than this fraction of its wall time
 /// is worth a recommendation.
-const DOMINANT_FRAC: f64 = 0.5;
+pub(crate) const DOMINANT_FRAC: f64 = 0.5;
 
 /// A queue pinned full/empty in more than this fraction of samples marks a
 /// backpressure boundary / dry pool.
-const PINNED_FRAC: f64 = 0.5;
+pub(crate) const PINNED_FRAC: f64 = 0.5;
 
 /// Below this overlap efficiency the pipeline is leaving the bottleneck
 /// idle — time is going somewhere other than the limiting stage.
@@ -154,13 +154,89 @@ const EFFICIENCY_WARN: f64 = 0.6;
 
 /// Below this prefetch hit rate the I/O scheduler's read-ahead is not
 /// keeping up with the read stream — most reads go cold to the backend.
-const PREFETCH_WARN: f64 = 0.5;
+pub(crate) const PREFETCH_WARN: f64 = 0.5;
 
 /// The runtime's implicit source/sink threads: real stages for timing
 /// purposes, but not candidates for "the limiting stage" (their work is
 /// the framework's, not the program's).
 fn is_source_or_sink(name: &str) -> bool {
     name.ends_with("/source") || name.ends_with("/sink")
+}
+
+/// Metric-name prefix of the live per-stage busy counter (nanoseconds).
+pub const STAGE_BUSY_PREFIX: &str = "core/stage_busy_ns/";
+/// Metric-name prefix of the live per-stage blocked-accept counter.
+pub const STAGE_STARVED_PREFIX: &str = "core/stage_blocked_accept_ns/";
+/// Metric-name prefix of the live per-stage blocked-convey counter.
+pub const STAGE_BACKPRESSURED_PREFIX: &str = "core/stage_blocked_convey_ns/";
+/// Metric-name prefix of the live per-stage buffers-processed counter.
+pub const STAGE_ROUNDS_PREFIX: &str = "core/stage_rounds/";
+/// Metric-name prefix of the per-queue depth gauges.
+pub const QUEUE_DEPTH_PREFIX: &str = "core/queue_depth/";
+/// Metric-name prefix of the per-queue capacity gauges (set once at wire
+/// time so windowed diagnosis can tell "full" without a [`Report`]).
+pub const QUEUE_CAPACITY_PREFIX: &str = "core/queue_capacity/";
+
+/// One stage's time attribution over some span (a whole run or a sliding
+/// window), before fractions and verdicts are derived.  The shared input
+/// to the verdict logic used by both [`diagnose`] and [`diagnose_window`].
+struct Row {
+    name: String,
+    wall: Duration,
+    busy: Duration,
+    starved: Duration,
+    backpressured: Duration,
+    /// Denominator for the fractions: the summed replica wall for a
+    /// farm, the stage's own wall otherwise.
+    denom: Duration,
+    workers: usize,
+}
+
+/// Derive per-stage fractions and verdicts from attribution rows — the
+/// verdict core shared by end-of-run and windowed diagnosis.
+fn stage_diagnoses(rows: &[Row]) -> Vec<StageDiagnosis> {
+    rows.iter()
+        .map(|r| {
+            let denom = r.denom.as_secs_f64();
+            let frac = |d: Duration| {
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    (d.as_secs_f64() / denom).clamp(0.0, 1.0)
+                }
+            };
+            let starved_frac = frac(r.starved);
+            let backpressured_frac = frac(r.backpressured);
+            let busy_frac = frac(r.busy);
+            let verdict = if busy_frac >= starved_frac && busy_frac >= backpressured_frac {
+                StageVerdict::Busy
+            } else if starved_frac >= backpressured_frac {
+                StageVerdict::Starved
+            } else {
+                StageVerdict::Backpressured
+            };
+            StageDiagnosis {
+                name: r.name.clone(),
+                wall: r.wall,
+                busy_frac,
+                starved_frac,
+                backpressured_frac,
+                verdict,
+                workers: r.workers,
+            }
+        })
+        .collect()
+}
+
+/// Name the limiting stage among attribution rows.  A farm's workers
+/// overlap with each other, so its bound on wall time is the summed busy
+/// divided by the worker count, not the sum itself.
+fn limiting_stage(rows: &[Row]) -> Option<String> {
+    rows.iter()
+        .filter(|r| !is_source_or_sink(&r.name))
+        .max_by_key(|r| r.busy / r.workers.max(1) as u32)
+        .filter(|r| r.busy > Duration::ZERO)
+        .map(|r| r.name.clone())
 }
 
 /// Attribute each stage's wall time, name the limiting stage, and read
@@ -184,18 +260,6 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
         let (base, idx) = name.rsplit_once('#')?;
         (!idx.is_empty() && idx.bytes().all(|b| b.is_ascii_digit()) && topo.contains(base))
             .then_some(base)
-    }
-
-    struct Row {
-        name: String,
-        wall: Duration,
-        busy: Duration,
-        starved: Duration,
-        backpressured: Duration,
-        /// Denominator for the fractions: the summed replica wall for a
-        /// farm, the stage's own wall otherwise.
-        denom: Duration,
-        workers: usize,
     }
 
     let mut rows: Vec<Row> = Vec::new();
@@ -241,47 +305,8 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
         }
     }
 
-    let mut stages: Vec<StageDiagnosis> = rows
-        .iter()
-        .map(|r| {
-            let denom = r.denom.as_secs_f64();
-            let frac = |d: Duration| {
-                if denom == 0.0 {
-                    0.0
-                } else {
-                    (d.as_secs_f64() / denom).clamp(0.0, 1.0)
-                }
-            };
-            let starved_frac = frac(r.starved);
-            let backpressured_frac = frac(r.backpressured);
-            let busy_frac = frac(r.busy);
-            let verdict = if busy_frac >= starved_frac && busy_frac >= backpressured_frac {
-                StageVerdict::Busy
-            } else if starved_frac >= backpressured_frac {
-                StageVerdict::Starved
-            } else {
-                StageVerdict::Backpressured
-            };
-            StageDiagnosis {
-                name: r.name.clone(),
-                wall: r.wall,
-                busy_frac,
-                starved_frac,
-                backpressured_frac,
-                verdict,
-                workers: r.workers,
-            }
-        })
-        .collect();
-
-    // A farm's workers overlap with each other, so its bound on wall time
-    // is the summed busy divided by the worker count, not the sum itself.
-    let limiting = rows
-        .iter()
-        .filter(|r| !is_source_or_sink(&r.name))
-        .max_by_key(|r| r.busy / r.workers.max(1) as u32)
-        .filter(|r| r.busy > Duration::ZERO)
-        .map(|r| r.name.clone());
+    let mut stages: Vec<StageDiagnosis> = stage_diagnoses(&rows);
+    let limiting = limiting_stage(&rows);
 
     // A starved stage upstream of the limiting stage in the same chain is
     // effectively backpressured: FG provisions every queue above the buffer
@@ -479,6 +504,205 @@ pub fn diagnose_with_trace(
     d
 }
 
+/// What [`diagnose_window`] concluded about a sliding window of telemetry
+/// samples taken *during* a run — the live counterpart of [`Diagnosis`],
+/// built from counter deltas instead of a finished [`Report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowDiagnosis {
+    /// The window's span (last sample's elapsed minus the first's).
+    pub window: Duration,
+    /// Per-stage attribution over the window.  Farm rows are folded under
+    /// their base name; `workers` counts the replicas that showed any
+    /// activity in the window (the farm's *active* width).
+    pub stages: Vec<StageDiagnosis>,
+    /// The limiting stage within the window, by the same busy-per-worker
+    /// rule as [`diagnose`].
+    pub limiting: Option<String>,
+    /// Queues pinned full/empty across the window's samples (capacities
+    /// read from the `core/queue_capacity/*` gauges).
+    pub queue_findings: Vec<QueueFinding>,
+    /// Read-ahead effectiveness over the window (hit/miss deltas).
+    pub prefetch: Option<PrefetchFinding>,
+    /// Buffers per second through the fastest stage in the window — the
+    /// controller's "is it going faster now?" yardstick.
+    pub throughput: f64,
+    /// Per-stage buffer counts over the window (farm rows folded).
+    pub stage_rounds: Vec<(String, u64)>,
+}
+
+/// The verdict half of [`diagnose`], run on a **sliding window** of
+/// [`TimestampedSnapshot`]s mid-run: stage attribution and the limiting
+/// stage come from deltas of the live `core/stage_*` counters between the
+/// window's first and last samples, queue findings from the depth gauges
+/// across the window, and prefetch effectiveness from hit/miss deltas.
+///
+/// Returns `None` when the window holds fewer than two samples or spans
+/// zero time.  Replica rows (`base#i`) are folded by name; because the
+/// live counters carry no topology, the fold applies to any numeric `#`
+/// suffix shared by two or more stages (or idle farms parked to width 1).
+pub fn diagnose_window(window: &[TimestampedSnapshot]) -> Option<WindowDiagnosis> {
+    let first = window.first()?;
+    let last = window.last()?;
+    let span = last.elapsed.checked_sub(first.elapsed)?;
+    if span.is_zero() || window.len() < 2 {
+        return None;
+    }
+
+    let delta = |name: &str| -> u64 {
+        let a = first.snapshot.counter(name).unwrap_or(0);
+        let b = last.snapshot.counter(name).unwrap_or(0);
+        b.saturating_sub(a)
+    };
+
+    // Every stage that has published a busy counter by the window's end.
+    let names: Vec<String> = last
+        .snapshot
+        .counters
+        .iter()
+        .filter_map(|(n, _)| n.strip_prefix(STAGE_BUSY_PREFIX))
+        .map(str::to_string)
+        .collect();
+
+    // Fold `base#i` replicas.  Without a Report there is no topology to
+    // check the base against; fold any group of stages sharing a base with
+    // a numeric suffix (farms always name replicas this way).
+    fn base_of(name: &str) -> Option<&str> {
+        let (base, idx) = name.rsplit_once('#')?;
+        (!base.is_empty() && !idx.is_empty() && idx.bytes().all(|b| b.is_ascii_digit()))
+            .then_some(base)
+    }
+    let mut grouped: Vec<(String, Vec<&str>)> = Vec::new();
+    for n in &names {
+        let key = base_of(n).unwrap_or(n).to_string();
+        match grouped.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(n),
+            None => grouped.push((key, vec![n])),
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut stage_rounds: Vec<(String, u64)> = Vec::new();
+    for (key, members) in &grouped {
+        let mut busy = 0u64;
+        let mut starved = 0u64;
+        let mut backp = 0u64;
+        let mut rounds = 0u64;
+        let mut active = 0usize;
+        for m in members {
+            let b = delta(&format!("{STAGE_BUSY_PREFIX}{m}"));
+            let s = delta(&format!("{STAGE_STARVED_PREFIX}{m}"));
+            let c = delta(&format!("{STAGE_BACKPRESSURED_PREFIX}{m}"));
+            rounds += delta(&format!("{STAGE_ROUNDS_PREFIX}{m}"));
+            if b + s + c > 0 {
+                active += 1;
+            }
+            busy += b;
+            starved += s;
+            backp += c;
+        }
+        let workers = if members.len() > 1 { active.max(1) } else { 1 };
+        rows.push(Row {
+            name: key.clone(),
+            wall: span,
+            busy: Duration::from_nanos(busy),
+            starved: Duration::from_nanos(starved),
+            backpressured: Duration::from_nanos(backp),
+            denom: span * workers as u32,
+            workers,
+        });
+        stage_rounds.push((key.clone(), rounds));
+    }
+
+    let stages = stage_diagnoses(&rows);
+    let limiting = limiting_stage(&rows);
+
+    // Queue findings across the window, capacities from the wire-time
+    // capacity gauges.
+    let queue_findings: Vec<QueueFinding> = last
+        .snapshot
+        .gauges
+        .iter()
+        .filter_map(|(name, cap)| {
+            let qname = name.strip_prefix(QUEUE_CAPACITY_PREFIX)?;
+            let capacity = cap.value as usize;
+            if capacity == 0 {
+                return None;
+            }
+            let depth_name = format!("{QUEUE_DEPTH_PREFIX}{qname}");
+            let mut samples = 0u64;
+            let mut full = 0u64;
+            let mut empty = 0u64;
+            for point in window {
+                let Some(g) = point.snapshot.gauge(&depth_name) else {
+                    continue;
+                };
+                samples += 1;
+                if g.value as usize >= capacity {
+                    full += 1;
+                }
+                if g.value == 0 {
+                    empty += 1;
+                }
+            }
+            (samples > 0).then(|| QueueFinding {
+                name: qname.to_string(),
+                capacity,
+                full_frac: full as f64 / samples as f64,
+                empty_frac: empty as f64 / samples as f64,
+            })
+        })
+        .collect();
+
+    // Prefetch hit/miss deltas across every scheduled disk.
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut seen = false;
+    for (name, _) in &last.snapshot.counters {
+        if !name.starts_with("disk/") {
+            continue;
+        }
+        if name.ends_with("/prefetch_hit") {
+            hits += delta(name);
+            seen = true;
+        } else if name.ends_with("/prefetch_miss") {
+            misses += delta(name);
+            seen = true;
+        }
+    }
+    let prefetch = (seen && hits + misses > 0).then_some(PrefetchFinding { hits, misses });
+
+    let throughput = stage_rounds
+        .iter()
+        .map(|(_, r)| *r as f64 / span.as_secs_f64())
+        .fold(0.0, f64::max);
+
+    Some(WindowDiagnosis {
+        window: span,
+        stages,
+        limiting,
+        queue_findings,
+        prefetch,
+        throughput,
+        stage_rounds,
+    })
+}
+
+impl WindowDiagnosis {
+    /// The window row for `name`, if present.
+    pub fn stage(&self, name: &str) -> Option<&StageDiagnosis> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Buffers conveyed by stage `name` over the window.
+    pub fn rounds(&self, name: &str) -> u64 {
+        self.stage_rounds
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| *r)
+            .unwrap_or(0)
+    }
+}
+
 /// Fold the per-disk `disk/*/prefetch_hit` / `disk/*/prefetch_miss`
 /// counters into one cluster-wide [`PrefetchFinding`].
 fn prefetch_finding(report: &Report) -> Option<PrefetchFinding> {
@@ -626,7 +850,7 @@ mod tests {
             blocked_convey: Duration::from_millis(conv_ms),
             buffers_in: 1,
             buffers_out: 1,
-            spans: Vec::new(),
+            ..StageStats::default()
         }
     }
 
@@ -935,5 +1159,113 @@ mod tests {
             .recommendations
             .iter()
             .any(|r| r.contains("recycle/g0") && r.contains("under-provisioned")));
+    }
+
+    /// Build a window sample: `(stage, busy_ms, starved_ms, backp_ms,
+    /// rounds)` rows as cumulative counters at `elapsed` ms.
+    fn window_point(ms: u64, rows: &[(&str, u64, u64, u64, u64)]) -> TimestampedSnapshot {
+        let reg = crate::metrics::MetricsRegistry::new();
+        for (name, busy, starved, backp, rounds) in rows {
+            reg.counter(&format!("{STAGE_BUSY_PREFIX}{name}"))
+                .add(busy * 1_000_000);
+            reg.counter(&format!("{STAGE_STARVED_PREFIX}{name}"))
+                .add(starved * 1_000_000);
+            reg.counter(&format!("{STAGE_BACKPRESSURED_PREFIX}{name}"))
+                .add(backp * 1_000_000);
+            reg.counter(&format!("{STAGE_ROUNDS_PREFIX}{name}"))
+                .add(*rounds);
+        }
+        TimestampedSnapshot {
+            elapsed: Duration::from_millis(ms),
+            snapshot: reg.snapshot(),
+        }
+    }
+
+    #[test]
+    fn window_needs_two_samples_and_nonzero_span() {
+        assert_eq!(diagnose_window(&[]), None);
+        let p = window_point(5, &[("a", 1, 0, 0, 1)]);
+        assert_eq!(diagnose_window(std::slice::from_ref(&p)), None);
+        assert_eq!(diagnose_window(&[p.clone(), p]), None);
+    }
+
+    #[test]
+    fn window_names_limiting_stage_from_counter_deltas() {
+        let w = vec![
+            window_point(0, &[("up", 10, 0, 0, 5), ("slow", 10, 0, 0, 5)]),
+            window_point(100, &[("up", 20, 0, 80, 10), ("slow", 105, 5, 0, 10)]),
+        ];
+        let d = diagnose_window(&w).unwrap();
+        assert_eq!(d.window, Duration::from_millis(100));
+        assert_eq!(d.limiting.as_deref(), Some("slow"));
+        assert_eq!(d.stage("slow").unwrap().verdict, StageVerdict::Busy);
+        assert_eq!(d.stage("up").unwrap().verdict, StageVerdict::Backpressured);
+        assert_eq!(d.rounds("slow"), 5);
+        // 5 buffers / 0.1 s.
+        assert!((d.throughput - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_folds_replicas_and_counts_active_workers() {
+        // Farm `w` declared with three replicas; only two did anything in
+        // the window, so the farm reads as two workers wide.
+        let w = vec![
+            window_point(
+                0,
+                &[
+                    ("w#0", 0, 0, 0, 0),
+                    ("w#1", 0, 0, 0, 0),
+                    ("w#2", 0, 0, 0, 0),
+                ],
+            ),
+            window_point(
+                100,
+                &[
+                    ("w#0", 90, 10, 0, 4),
+                    ("w#1", 80, 20, 0, 4),
+                    ("w#2", 0, 0, 0, 0),
+                ],
+            ),
+        ];
+        let d = diagnose_window(&w).unwrap();
+        let farm = d.stage("w").unwrap();
+        assert_eq!(farm.workers, 2);
+        // 170 ms busy over a 2-worker 100 ms window.
+        assert!((farm.busy_frac - 0.85).abs() < 1e-9);
+        assert_eq!(d.rounds("w"), 8);
+        assert_eq!(d.limiting.as_deref(), Some("w"));
+    }
+
+    #[test]
+    fn window_reads_queue_capacity_gauges_and_prefetch_deltas() {
+        let point = |ms: u64, depth: u64, hits: u64, misses: u64| {
+            let reg = crate::metrics::MetricsRegistry::new();
+            reg.counter(&format!("{STAGE_BUSY_PREFIX}s"))
+                .add(ms * 500_000);
+            reg.gauge(&format!("{QUEUE_CAPACITY_PREFIX}recycle/g0"))
+                .set(4);
+            reg.gauge(&format!("{QUEUE_DEPTH_PREFIX}recycle/g0"))
+                .set(depth);
+            reg.counter("disk/d0/prefetch_hit").add(hits);
+            reg.counter("disk/d0/prefetch_miss").add(misses);
+            TimestampedSnapshot {
+                elapsed: Duration::from_millis(ms),
+                snapshot: reg.snapshot(),
+            }
+        };
+        let w = vec![
+            point(0, 0, 10, 10),
+            point(50, 0, 10, 30),
+            point(100, 4, 10, 50),
+        ];
+        let d = diagnose_window(&w).unwrap();
+        let q = &d.queue_findings[0];
+        assert_eq!((q.name.as_str(), q.capacity), ("recycle/g0", 4));
+        assert!((q.empty_frac - 2.0 / 3.0).abs() < 1e-9);
+        assert!((q.full_frac - 1.0 / 3.0).abs() < 1e-9);
+        // Only the window's deltas count: 0 hits, 40 misses.
+        let p = d.prefetch.unwrap();
+        assert_eq!((p.hits, p.misses), (0, 40));
+        assert!(p.hit_rate() < PREFETCH_WARN);
     }
 }

@@ -58,6 +58,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an unsigned integer, if numeric and non-negative.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
@@ -330,9 +338,13 @@ impl Parser<'_> {
                                 self.expect(b'\\')?;
                                 self.expect(b'u')?;
                                 let lo = self.hex4()?;
-                                let code =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
-                                char::from_u32(code)
+                                if (0xDC00..0xE000).contains(&lo) {
+                                    char::from_u32(0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00))
+                                } else {
+                                    // High half paired with a non-low-half
+                                    // escape: reject instead of combining.
+                                    None
+                                }
                             } else {
                                 char::from_u32(hi)
                             };
@@ -458,6 +470,7 @@ fn stage_to_json(s: &StageStats) -> Json {
             "blocked_convey_ns",
             Json::from(s.blocked_convey.as_nanos() as u64),
         ),
+        ("parked_ns", Json::from(s.parked.as_nanos() as u64)),
         ("buffers_in", Json::from(s.buffers_in)),
         ("buffers_out", Json::from(s.buffers_out)),
         (
@@ -480,6 +493,8 @@ fn stage_from_json(j: &Json) -> Result<StageStats, String> {
         wall: Duration::from_nanos(field_u64(j, "wall_ns")?),
         blocked_accept: Duration::from_nanos(field_u64(j, "blocked_accept_ns")?),
         blocked_convey: Duration::from_nanos(field_u64(j, "blocked_convey_ns")?),
+        // Absent in artifacts written before controller-driven farm resizing.
+        parked: Duration::from_nanos(j.get("parked_ns").and_then(Json::as_u64).unwrap_or(0)),
         buffers_in: field_u64(j, "buffers_in")?,
         buffers_out: field_u64(j, "buffers_out")?,
         spans,
@@ -603,7 +618,7 @@ impl Report {
     /// The report as a [`Json`] value — use this to embed a report inside a
     /// larger document; [`Report::to_json`] is this rendered to text.
     pub fn to_json_value(&self) -> Json {
-        obj(vec![
+        let mut doc = obj(vec![
             ("wall_ns", Json::from(self.wall.as_nanos() as u64)),
             ("threads_spawned", Json::from(self.threads_spawned)),
             (
@@ -646,7 +661,13 @@ impl Report {
                 ),
             ),
             ("metrics", metrics_to_json(&self.metrics)),
-        ])
+        ]);
+        if let Some(log) = &self.controller {
+            if let Json::Obj(members) = &mut doc {
+                members.push(("controller".into(), log.to_json_value()));
+            }
+        }
+        doc
     }
 
     /// Parse a report previously produced by [`Report::to_json`].
@@ -701,6 +722,11 @@ impl Report {
             Some(m) => metrics_from_json(m)?,
             None => MetricsSnapshot::default(),
         };
+        // Absent for runs without an attached controller.
+        let controller = match j.get("controller") {
+            Some(c) => Some(crate::controller::ControllerLog::from_json_value(c)?),
+            None => None,
+        };
         Ok(Report {
             wall: Duration::from_nanos(field_u64(&j, "wall_ns")?),
             threads_spawned: field_u64(&j, "threads_spawned")? as usize,
@@ -708,6 +734,7 @@ impl Report {
             queues,
             pipelines,
             metrics,
+            controller,
         })
     }
 

@@ -55,6 +55,7 @@
 
 pub mod analyze;
 mod buffer;
+pub mod controller;
 pub mod critical_path;
 mod error;
 mod json;
@@ -71,9 +72,13 @@ pub mod telemetry;
 pub mod trace;
 
 pub use analyze::{
-    diagnose, diagnose_with_trace, Diagnosis, QueueFinding, StageDiagnosis, StageVerdict,
+    diagnose, diagnose_window, diagnose_with_trace, Diagnosis, QueueFinding, StageDiagnosis,
+    StageVerdict, WindowDiagnosis,
 };
 pub use buffer::{Buffer, PipelineId, StageId};
+pub use controller::{
+    ControlStatus, Controller, ControllerCfg, ControllerLog, Decision, DepthActuator, PoolControl,
+};
 pub use critical_path::{critical_path, CriticalPath, PathSegment, RoundPath};
 pub use error::{FgError, Result};
 pub use json::Json;

@@ -35,6 +35,7 @@ pub struct PipelineCfg {
     pub(crate) buffers: usize,
     pub(crate) buffer_size: usize,
     pub(crate) rounds: Rounds,
+    pub(crate) max_buffers: Option<usize>,
 }
 
 impl PipelineCfg {
@@ -48,7 +49,17 @@ impl PipelineCfg {
             buffers,
             buffer_size,
             rounds: Rounds::UntilStopped,
+            max_buffers: None,
         }
+    }
+
+    /// Allow a controller to grow this pipeline's buffer pool up to `n`
+    /// buffers at runtime (queues are pre-sized to admit the ceiling).
+    /// Values below `buffers` are treated as `buffers`.  Without a
+    /// controller the pool stays at `buffers`.
+    pub fn max_buffers(mut self, n: usize) -> Self {
+        self.max_buffers = Some(n);
+        self
     }
 
     /// Set how many rounds the source runs (default: until stopped).
@@ -80,6 +91,15 @@ pub(crate) struct PipeSpec {
     pub(crate) buffer_size: usize,
     pub(crate) rounds: Rounds,
     pub(crate) chain: Vec<StageId>,
+    pub(crate) max_buffers: Option<usize>,
+}
+
+impl PipeSpec {
+    /// Pool ceiling the queues must admit: the declared `max_buffers` when
+    /// at least `buffers`, else `buffers`.
+    fn pool_ceiling(&self) -> usize {
+        self.max_buffers.unwrap_or(self.buffers).max(self.buffers)
+    }
 }
 
 /// A declared FG program: pipelines of stages on one node.
@@ -92,6 +112,8 @@ pub struct Program {
     metrics: Option<Arc<crate::metrics::MetricsRegistry>>,
     trace_sink: Option<Arc<crate::trace::TraceSink>>,
     watchdog: Option<crate::trace::WatchdogCfg>,
+    controller: Option<crate::controller::ControllerCfg>,
+    depth_actuators: Vec<Arc<dyn crate::controller::DepthActuator>>,
 }
 
 impl Program {
@@ -106,6 +128,8 @@ impl Program {
             metrics: None,
             trace_sink: None,
             watchdog: None,
+            controller: None,
+            depth_actuators: Vec::new(),
         }
     }
 
@@ -165,6 +189,25 @@ impl Program {
     /// Shorthand: arm an abort-on-stall watchdog with `timeout`.
     pub fn with_watchdog(&mut self, timeout: std::time::Duration) {
         self.set_watchdog(crate::trace::WatchdogCfg::new(timeout));
+    }
+
+    /// Attach a closed-loop controller
+    /// ([`Controller`](crate::controller::Controller)): during the run it
+    /// samples the metrics registry, diagnoses a sliding window, and
+    /// actuates farm widths, buffer pools, and registered I/O depths.
+    /// Requires [`Program::set_metrics`]; without a registry the
+    /// controller is silently skipped (it would have nothing to observe).
+    /// The decision audit log lands in
+    /// [`Report::controller`](crate::Report).
+    pub fn set_controller(&mut self, cfg: crate::controller::ControllerCfg) {
+        self.controller = Some(cfg);
+    }
+
+    /// Register a resizable read-ahead depth (e.g. an I/O scheduler) for
+    /// the controller to actuate.  No-op unless
+    /// [`Program::set_controller`] is also called.
+    pub fn add_depth_actuator(&mut self, actuator: Arc<dyn crate::controller::DepthActuator>) {
+        self.depth_actuators.push(actuator);
     }
 
     /// Program name (used in thread names and diagnostics).
@@ -301,6 +344,7 @@ impl Program {
             buffer_size: cfg.buffer_size,
             rounds: cfg.rounds,
             chain: chain.to_vec(),
+            max_buffers: cfg.max_buffers,
         });
         Ok(id)
     }
@@ -420,14 +464,18 @@ impl Program {
             .collect();
 
         // Build a queue, register it for shutdown, and — when a metrics
-        // registry is attached — wire up its depth gauge.  `spsc` selects
-        // the single-producer single-consumer ring; only stage-to-stage
-        // links the planner has proven exclusive may pass true.
+        // registry is attached — wire up its depth gauge and publish its
+        // capacity (so windowed diagnosis can tell "full" without a
+        // Report).  `spsc` selects the single-producer single-consumer
+        // ring; only stage-to-stage links the planner has proven exclusive
+        // may pass true.
         let metrics = self.metrics.clone();
         let reg = |name: String, cap: usize, spsc: bool| {
-            let gauge = metrics
-                .as_ref()
-                .map(|m| m.gauge(&format!("core/queue_depth/{name}")));
+            let gauge = metrics.as_ref().map(|m| {
+                m.gauge(&format!("{}{name}", crate::analyze::QUEUE_CAPACITY_PREFIX))
+                    .set(cap as u64);
+                m.gauge(&format!("{}{name}", crate::analyze::QUEUE_DEPTH_PREFIX))
+            });
             let q = if spsc {
                 Queue::spsc_with_gauge(name, cap, gauge)
             } else {
@@ -440,10 +488,16 @@ impl Program {
         // Per-group shared recycle and sink queues: always MPMC (every
         // stage of the group discards into the recycle queue, and several
         // last stages may feed one sink).
+        // Queue capacities admit the pool *ceiling*, not just the starting
+        // pool, so a controller can grow a pool without deadlocking a
+        // too-small queue.
         let mut recycle_q: Vec<Arc<Queue>> = Vec::new();
         let mut sink_q: Vec<Arc<Queue>> = Vec::new();
         for (gi, members) in groups.iter().enumerate() {
-            let cap: usize = members.iter().map(|&m| self.pipelines[m].buffers + 1).sum();
+            let cap: usize = members
+                .iter()
+                .map(|&m| self.pipelines[m].pool_ceiling() + 1)
+                .sum();
             recycle_q.push(reg(format!("recycle/g{gi}"), cap, false));
             sink_q.push(reg(format!("sink/g{gi}"), cap, false));
         }
@@ -469,7 +523,10 @@ impl Program {
                     .filter(|(_, p)| p.chain.contains(&StageId(sid as u32)))
                     .map(|(i, _)| i)
                     .collect();
-                let cap: usize = members.iter().map(|&m| self.pipelines[m].buffers + 1).sum();
+                let cap: usize = members
+                    .iter()
+                    .map(|&m| self.pipelines[m].pool_ceiling() + 1)
+                    .sum();
                 // Shared (virtual) inputs are fed by many pipelines'
                 // upstreams: never SPSC.
                 shared_in.insert(sid, reg(format!("in/{}", slot.name), cap.max(1), false));
@@ -498,7 +555,11 @@ impl Program {
                         _ => self.stages[pipe.chain[pos - 1].index()].stages.len() == 1,
                     };
                     let spsc = consumer_single && producer_single;
-                    reg(format!("{}[{}]", pipe.name, pos), pipe.buffers + 1, spsc)
+                    reg(
+                        format!("{}[{}]", pipe.name, pos),
+                        pipe.pool_ceiling() + 1,
+                        spsc,
+                    )
                 };
                 qs.push(q);
             }
@@ -535,6 +596,26 @@ impl Program {
             }
         }
 
+        // Live buffer-pool handles, one per pipeline, only when a
+        // controller will drive them (otherwise pools stay at their
+        // declared size and the handles would be dead weight).
+        let pools: Vec<Option<Arc<crate::controller::PoolControl>>> = self
+            .pipelines
+            .iter()
+            .enumerate()
+            .map(|(pi, pipe)| {
+                self.controller.as_ref().map(|_| {
+                    crate::controller::PoolControl::new(
+                        pipe.name.clone(),
+                        format!("recycle/g{}", group_of[&pi]),
+                        pipe.buffers,
+                        1,
+                        pipe.pool_ceiling(),
+                    )
+                })
+            })
+            .collect();
+
         // Source and sink sets: one each per group.
         let mut sources = Vec::new();
         let mut sinks = Vec::new();
@@ -548,6 +629,7 @@ impl Program {
                     stop: Arc::clone(&stops[m]),
                     buffers: self.pipelines[m].buffers,
                     buffer_size: self.pipelines[m].buffer_size,
+                    pool: pools[m].clone(),
                 })
                 .collect();
             let label = if members.len() == 1 {
@@ -570,12 +652,14 @@ impl Program {
 
         // Stage tasks (one per replica; ordinary stages have one replica).
         let mut tasks = Vec::new();
+        let mut farms: Vec<Arc<ReplicaGroup>> = Vec::new();
         for (sid, slot) in self.stages.iter_mut().enumerate() {
             let shared_input = shared_in.get(&sid).map(Arc::clone);
             let replicas = slot.stages.len();
             let group = if replicas > 1 {
                 let g = ReplicaGroup::new(slot.name.clone(), replicas, slot.ordered);
                 registry.register_group(Arc::clone(&g));
+                farms.push(Arc::clone(&g));
                 Some(g)
             } else {
                 None
@@ -593,6 +677,7 @@ impl Program {
                     ports: task_ports,
                     shared_input: shared_input.clone(),
                     replica_group: group.clone(),
+                    replica_index: i,
                 });
             }
         }
@@ -607,6 +692,10 @@ impl Program {
             metrics: self.metrics.clone(),
             trace_sink: self.trace_sink.clone(),
             watchdog: self.watchdog.clone(),
+            controller: self.controller.clone(),
+            pools: pools.into_iter().flatten().collect(),
+            farms,
+            depth_actuators: self.depth_actuators.clone(),
             pipelines: self
                 .pipelines
                 .iter()

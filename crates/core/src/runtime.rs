@@ -27,6 +27,9 @@ pub(crate) struct SourcePipe {
     pub(crate) stop: Arc<StopFlag>,
     pub(crate) buffers: usize,
     pub(crate) buffer_size: usize,
+    /// Live pool handle when a controller may resize this pipeline's
+    /// buffer pool; the source grows/shrinks at its round boundary.
+    pub(crate) pool: Option<Arc<crate::controller::PoolControl>>,
 }
 
 /// A source thread: injects rounds for one pipeline, or for all pipelines
@@ -53,6 +56,8 @@ pub(crate) struct StageTask {
     pub(crate) ports: Vec<Port>,
     pub(crate) shared_input: Option<Arc<Queue>>,
     pub(crate) replica_group: Option<Arc<ReplicaGroup>>,
+    /// Index within the replica group (0 for ordinary stages).
+    pub(crate) replica_index: usize,
 }
 
 /// Everything `Program::wire` produced, ready to execute.
@@ -66,6 +71,10 @@ pub(crate) struct Plan {
     pub(crate) metrics: Option<Arc<MetricsRegistry>>,
     pub(crate) trace_sink: Option<Arc<TraceSink>>,
     pub(crate) watchdog: Option<WatchdogCfg>,
+    pub(crate) controller: Option<crate::controller::ControllerCfg>,
+    pub(crate) pools: Vec<Arc<crate::controller::PoolControl>>,
+    pub(crate) farms: Vec<Arc<ReplicaGroup>>,
+    pub(crate) depth_actuators: Vec<Arc<dyn crate::controller::DepthActuator>>,
     pub(crate) pipelines: Vec<crate::stats::PipelineShape>,
 }
 
@@ -80,6 +89,10 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         metrics,
         trace_sink,
         watchdog,
+        controller,
+        pools,
+        farms,
+        depth_actuators,
         pipelines,
     } = plan;
 
@@ -138,6 +151,24 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         handles.push(handle);
     }
 
+    // Close the observability loop: the controller samples the metrics
+    // registry and actuates farm widths, buffer pools, and I/O depths
+    // while the stage threads run.  Without a registry it has nothing to
+    // observe, so it is skipped.
+    let controller = match (&controller, &metrics) {
+        (Some(cfg), Some(m)) => Some(crate::controller::Controller::start(
+            Arc::clone(m),
+            cfg.clone(),
+            crate::controller::Actuators {
+                farms,
+                pools,
+                depths: depth_actuators,
+            },
+            ring_for("controller"),
+        )),
+        _ => None,
+    };
+
     // The watchdog polls the sink's pipeline-wide activity clock and fires
     // a post-mortem if it goes quiet for the configured timeout.
     let watchdog_handle = watchdog.map(|cfg| {
@@ -174,6 +205,7 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         gate.1.notify_all();
         let _ = handle.join();
     }
+    let controller_log = controller.map(|c| c.stop());
 
     if let Some(err) = registry.take_error() {
         return Err(err);
@@ -188,6 +220,7 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         queues: registry.queue_depths(),
         pipelines,
         metrics: metrics.map(|m| m.snapshot()).unwrap_or_default(),
+        controller: controller_log,
     })
 }
 
@@ -205,14 +238,20 @@ fn run_stage_thread(
         ports,
         shared_input,
         replica_group,
+        replica_index,
     } = task;
     let start = Instant::now();
     let mut ctx = StageCtx::new(name.clone(), ports, shared_input, Arc::clone(&registry));
     if let Some(group) = replica_group {
-        ctx.set_replica_group(group);
+        ctx.set_replica_group(group, replica_index);
     }
     if let Some(epoch) = trace_epoch {
         ctx.set_trace_epoch(epoch);
+    }
+    // Live counters let a controller (and `/metrics` scrapes) see the
+    // stage's time attribution as it evolves, not only at thread exit.
+    if let Some(m) = &metrics {
+        ctx.set_live_metrics(m, start);
     }
     if let Some(obs) = &observer {
         ctx.set_observer(Arc::clone(obs));
@@ -247,12 +286,17 @@ fn run_stage_thread(
     if let Some(r) = ctx.ring() {
         r.set_state(ThreadState::Done);
     }
+    // Converge the live per-task counters (`core/stage_busy_ns/name#i`, …)
+    // on the exact end-of-run totals; the deltas were published
+    // incrementally after every accept/convey.
+    ctx.publish_live();
 
     let stats = StageStats {
         name,
         wall: start.elapsed(),
         blocked_accept: ctx.stats.blocked_accept,
         blocked_convey: ctx.stats.blocked_convey,
+        parked: ctx.stats.parked,
         buffers_in: ctx.stats.buffers_in,
         buffers_out: ctx.stats.buffers_out,
         spans: std::mem::take(&mut ctx.stats.spans),
@@ -260,17 +304,7 @@ fn run_stage_thread(
     if let Some(obs) = &observer {
         obs.on_stage_exit(&stats.name, &stats);
     }
-    // Per-task counters (replicas publish under their `name#i` task name),
-    // so live telemetry and the final snapshot expose each replica's own
-    // busy/starved profile alongside the rolled-up `Report`.
     if let Some(m) = &metrics {
-        let ns = |d: std::time::Duration| d.as_nanos() as u64;
-        m.counter(&format!("core/stage_busy_ns/{}", stats.name))
-            .add(ns(stats.busy()));
-        m.counter(&format!("core/stage_blocked_accept_ns/{}", stats.name))
-            .add(ns(stats.blocked_accept));
-        m.counter(&format!("core/stage_blocked_convey_ns/{}", stats.name))
-            .add(ns(stats.blocked_convey));
         m.counter(&format!("core/stage_buffers/{}", stats.name))
             .add(stats.buffers_in);
     }
@@ -316,6 +350,19 @@ fn run_source(
         if done.iter().all(|&d| d) {
             break;
         }
+        // Controller-requested pool growth: inject fresh buffers at round
+        // boundaries. Queues are sized for the pool ceiling, so the extra
+        // buffers can never wedge a full queue.
+        for (i, sp) in set.pipes.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            if let Some(pool) = &sp.pool {
+                while pool.try_grow() {
+                    pending.push_back(Buffer::new(sp.buffer_size, sp.pipeline));
+                }
+            }
+        }
         // Wait for a free buffer, remembered so the wait can be recorded
         // against the round the buffer ends up carrying.
         let mut recycle_wait: Option<(Instant, Instant)> = None;
@@ -352,6 +399,12 @@ fn run_source(
             Some(i) => i,
             None => continue, // foreign buffer: impossible, but don't wedge
         };
+        // Controller-requested pool shrink: retire this recycled buffer
+        // instead of re-injecting it. Only whole buffers at a round boundary
+        // ever leave the pool, so in-flight data is untouched.
+        if set.pipes[i].pool.as_ref().is_some_and(|p| p.try_shrink()) {
+            continue;
+        }
         if done[i] {
             continue; // pipeline retired; release the buffer
         }

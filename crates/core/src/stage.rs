@@ -19,7 +19,7 @@
 //!   stages share one thread and one input queue, and buffers from any of
 //!   the member pipelines arrive interleaved (§IV, Figure 5(b)).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -292,6 +292,17 @@ pub(crate) struct ReplicaGroup {
     emit_turn: parking_lot::Condvar,
     /// Set on program teardown so emission waiters unblock.
     cancelled: AtomicBool,
+    /// How many replicas are currently *admitted* to pop input (the farm's
+    /// live width).  Replicas with index `>= active` park at the admission
+    /// gate between rounds, so a controller can grow or shrink the farm at
+    /// round boundaries without touching threads.
+    active: AtomicUsize,
+    /// Set once any replica observes a caboose: parked replicas must wake
+    /// and join the poison-pill relay so end-of-stream reaches all of them.
+    draining: AtomicBool,
+    /// Guards the admission gate's condvar.
+    admission: parking_lot::Mutex<()>,
+    admit: parking_lot::Condvar,
 }
 
 impl ReplicaGroup {
@@ -304,7 +315,64 @@ impl ReplicaGroup {
             next_round: parking_lot::Mutex::new(std::collections::HashMap::new()),
             emit_turn: parking_lot::Condvar::new(),
             cancelled: AtomicBool::new(false),
+            active: AtomicUsize::new(replicas),
+            draining: AtomicBool::new(false),
+            admission: parking_lot::Mutex::new(()),
+            admit: parking_lot::Condvar::new(),
         })
+    }
+
+    /// The declared replica count (the farm's maximum width).
+    pub(crate) fn replica_count(&self) -> usize {
+        self.replicas
+    }
+
+    /// How many replicas are currently admitted.
+    pub(crate) fn active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Set the live width to `n` (clamped to `1..=replicas`), waking any
+    /// replica the new width admits.  Shrinking never interrupts a replica
+    /// mid-buffer: a demoted replica finishes (and emits) the round it
+    /// holds, then parks before its next accept — so width changes land
+    /// exactly at round boundaries.  Returns the applied width.
+    pub(crate) fn set_active(&self, n: usize) -> usize {
+        let n = n.clamp(1, self.replicas);
+        self.active.store(n, Ordering::SeqCst);
+        let _guard = self.admission.lock();
+        self.admit.notify_all();
+        n
+    }
+
+    /// Block replica `index` until it is admitted (its index is below the
+    /// live width), the group starts draining, or the program is torn down.
+    fn await_admission(&self, index: usize) -> Result<()> {
+        let admitted = |g: &Self| {
+            index < g.active()
+                || g.draining.load(Ordering::SeqCst)
+                || g.cancelled.load(Ordering::SeqCst)
+        };
+        if admitted(self) {
+            // Fast path: no lock when running at full width.
+        } else {
+            let mut guard = self.admission.lock();
+            while !admitted(self) {
+                self.admit.wait(&mut guard);
+            }
+        }
+        if self.cancelled.load(Ordering::SeqCst) {
+            return Err(FgError::Cancelled);
+        }
+        Ok(())
+    }
+
+    /// Wake parked replicas so they can relay the caboose.
+    fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            let _guard = self.admission.lock();
+            self.admit.notify_all();
+        }
     }
 
     pub(crate) fn name(&self) -> &str {
@@ -331,6 +399,9 @@ impl ReplicaGroup {
     /// Record that one replica observed pipeline `p`'s caboose; returns
     /// true iff it was the last replica (which then owns forwarding).
     fn observe_caboose(&self, p: PipelineId) -> bool {
+        // End of stream: every replica — parked ones included — must see
+        // the caboose for the poison-pill relay to terminate.
+        self.begin_drain();
         let mut remaining = self.remaining.lock();
         let slot = remaining.entry(p).or_insert(self.replicas);
         *slot -= 1;
@@ -375,11 +446,16 @@ impl ReplicaGroup {
         self.emit_turn.notify_all();
     }
 
-    /// Wake every replica parked on the emission gate (program teardown).
+    /// Wake every replica parked on the emission or admission gate
+    /// (program teardown).
     pub(crate) fn cancel_wake(&self) {
         self.cancelled.store(true, Ordering::SeqCst);
-        let _guard = self.next_round.lock();
-        self.emit_turn.notify_all();
+        {
+            let _guard = self.next_round.lock();
+            self.emit_turn.notify_all();
+        }
+        let _guard = self.admission.lock();
+        self.admit.notify_all();
     }
 }
 
@@ -423,9 +499,28 @@ impl Port {
 pub(crate) struct CtxStats {
     pub(crate) blocked_accept: Duration,
     pub(crate) blocked_convey: Duration,
+    /// Time spent parked at a farm's admission gate (replica index above
+    /// the live width) — idle capacity, not busy and not starved.
+    pub(crate) parked: Duration,
     pub(crate) buffers_in: u64,
     pub(crate) buffers_out: u64,
     pub(crate) spans: Vec<crate::stats::Span>,
+}
+
+/// Live per-stage counters, published incrementally (after every accept
+/// and convey) so a mid-run sampler sees the stage's busy/starved profile
+/// as it evolves, not only at thread exit.  Deltas are tracked against
+/// already-published totals, so the final counter values equal the
+/// end-of-run totals exactly.
+pub(crate) struct LiveStageMetrics {
+    busy: Arc<crate::metrics::Counter>,
+    starved: Arc<crate::metrics::Counter>,
+    backpressured: Arc<crate::metrics::Counter>,
+    rounds: Arc<crate::metrics::Counter>,
+    started: Instant,
+    pub_busy: u64,
+    pub_starved: u64,
+    pub_backp: u64,
 }
 
 /// Cap on recorded spans per stage so tracing cannot grow unbounded.
@@ -440,6 +535,12 @@ pub struct StageCtx {
     shared_input: Option<Arc<Queue>>,
     /// Present iff the stage is replicated: shared caboose bookkeeping.
     replica_group: Option<Arc<ReplicaGroup>>,
+    /// This replica's index within its group (0 for ordinary stages);
+    /// compared against the group's live width at the admission gate.
+    replica_index: usize,
+    /// Incrementally-published stage counters; `None` (the default) when
+    /// no metrics registry is attached.
+    live: Option<LiveStageMetrics>,
     /// Program start time when tracing is enabled; blocked intervals are
     /// recorded relative to it.
     trace_epoch: Option<Instant>,
@@ -471,6 +572,8 @@ impl StageCtx {
             ports,
             shared_input,
             replica_group: None,
+            replica_index: 0,
+            live: None,
             trace_epoch: None,
             observer: None,
             ring: None,
@@ -482,8 +585,84 @@ impl StageCtx {
         }
     }
 
-    pub(crate) fn set_replica_group(&mut self, group: Arc<ReplicaGroup>) {
+    pub(crate) fn set_replica_group(&mut self, group: Arc<ReplicaGroup>, index: usize) {
         self.replica_group = Some(group);
+        self.replica_index = index;
+    }
+
+    /// Attach incrementally-published stage counters (named under the
+    /// `core/stage_*` prefixes with this stage's task name).
+    pub(crate) fn set_live_metrics(
+        &mut self,
+        registry: &crate::metrics::MetricsRegistry,
+        started: Instant,
+    ) {
+        use crate::analyze::{
+            STAGE_BACKPRESSURED_PREFIX, STAGE_BUSY_PREFIX, STAGE_ROUNDS_PREFIX,
+            STAGE_STARVED_PREFIX,
+        };
+        self.live = Some(LiveStageMetrics {
+            busy: registry.counter(&format!("{STAGE_BUSY_PREFIX}{}", self.name)),
+            starved: registry.counter(&format!("{STAGE_STARVED_PREFIX}{}", self.name)),
+            backpressured: registry.counter(&format!("{STAGE_BACKPRESSURED_PREFIX}{}", self.name)),
+            rounds: registry.counter(&format!("{STAGE_ROUNDS_PREFIX}{}", self.name)),
+            started,
+            pub_busy: 0,
+            pub_starved: 0,
+            pub_backp: 0,
+        });
+    }
+
+    /// Publish the delta between current totals and what was already
+    /// published.  Cheap (a few relaxed atomic adds); called after every
+    /// accept and convey, and once more by the runtime at thread exit so
+    /// the counters converge on the exact end-of-run totals.
+    pub(crate) fn publish_live(&mut self) {
+        let Some(l) = &mut self.live else {
+            return;
+        };
+        let wall = l.started.elapsed().as_nanos() as u64;
+        let acc = self.stats.blocked_accept.as_nanos() as u64;
+        let conv = self.stats.blocked_convey.as_nanos() as u64;
+        let parked = self.stats.parked.as_nanos() as u64;
+        let busy = wall.saturating_sub(acc + conv + parked);
+        if busy > l.pub_busy {
+            l.busy.add(busy - l.pub_busy);
+            l.pub_busy = busy;
+        }
+        if acc > l.pub_starved {
+            l.starved.add(acc - l.pub_starved);
+            l.pub_starved = acc;
+        }
+        if conv > l.pub_backp {
+            l.backpressured.add(conv - l.pub_backp);
+            l.pub_backp = conv;
+        }
+    }
+
+    /// Count one completed round (a conveyed or discarded buffer) on the
+    /// live throughput counter.
+    fn record_round(&self) {
+        if let Some(l) = &self.live {
+            l.rounds.inc();
+        }
+    }
+
+    /// Park at the farm's admission gate when this replica's index is
+    /// above the live width.  Called before every input pop, so width
+    /// changes land exactly at round boundaries; parked time is `parked`
+    /// in the stats — neither busy nor starved.
+    fn await_admission(&mut self) -> Result<()> {
+        if let Some(group) = self.replica_group.clone() {
+            if self.replica_index >= group.active() {
+                let t0 = Instant::now();
+                let res = group.await_admission(self.replica_index);
+                self.stats.parked += t0.elapsed();
+                self.publish_live();
+                res?;
+            }
+        }
+        Ok(())
     }
 
     pub(crate) fn set_trace_epoch(&mut self, epoch: Instant) {
@@ -600,6 +779,7 @@ impl StageCtx {
             if self.ports[0].eos {
                 return Ok(0);
             }
+            self.await_admission()?;
             let input = match &self.ports[0].input {
                 Some(q) => Arc::clone(q),
                 None => {
@@ -618,6 +798,7 @@ impl StageCtx {
             let res = input.pop_many(max, &mut items);
             let t1 = Instant::now();
             self.stats.blocked_accept += t1 - t0;
+            self.publish_live();
             self.record_span(crate::stats::SpanKind::Accept, t0, t1);
             if res.is_err() {
                 self.batch = items;
@@ -717,6 +898,7 @@ impl StageCtx {
             let popped = shared.pop();
             let t1 = Instant::now();
             self.stats.blocked_accept += t1 - t0;
+            self.publish_live();
             self.record_span(crate::stats::SpanKind::Accept, t0, t1);
             match popped {
                 Ok(Item::Buf(b)) => {
@@ -774,6 +956,7 @@ impl StageCtx {
         if self.ports[idx].eos {
             return Ok(None);
         }
+        self.await_admission()?;
         let input = match &self.ports[idx].input {
             Some(q) => Arc::clone(q),
             None => {
@@ -790,6 +973,7 @@ impl StageCtx {
         let popped = input.pop();
         let t1 = Instant::now();
         self.stats.blocked_accept += t1 - t0;
+        self.publish_live();
         self.record_span(crate::stats::SpanKind::Accept, t0, t1);
         match popped {
             Ok(Item::Buf(b)) => {
@@ -931,6 +1115,7 @@ impl StageCtx {
         }
         let t1 = Instant::now();
         self.stats.blocked_convey += t1 - t0;
+        self.publish_live();
         self.record_span(crate::stats::SpanKind::Convey, t0, t1);
         if res.is_ok() {
             self.trace_convey(pipeline, round, tid, t_push, t1);
@@ -938,6 +1123,7 @@ impl StageCtx {
         match res {
             Ok(()) => {
                 self.stats.buffers_out += 1;
+                self.record_round();
                 if let Some(obs) = &self.observer {
                     obs.on_convey(
                         &self.name,
@@ -1003,6 +1189,7 @@ impl StageCtx {
         if let Some(group) = &self.replica_group {
             group.finish_turn(pipeline, round);
         }
+        self.record_round();
         if let Some(ring) = &self.ring {
             ring.record(
                 crate::trace::TraceKind::Recycle,

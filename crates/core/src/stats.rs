@@ -47,6 +47,10 @@ pub struct StageStats {
     pub blocked_accept: Duration,
     /// Time blocked inside `convey` (downstream queue full).
     pub blocked_convey: Duration,
+    /// Time a farm replica spent parked at the admission gate while the
+    /// controller held the farm below its declared width.  Idle capacity:
+    /// counted as neither busy nor starved.
+    pub parked: Duration,
     /// Buffers this stage accepted.
     pub buffers_in: u64,
     /// Buffers this stage conveyed.
@@ -62,6 +66,7 @@ impl StageStats {
         self.wall
             .saturating_sub(self.blocked_accept)
             .saturating_sub(self.blocked_convey)
+            .saturating_sub(self.parked)
     }
 
     /// Fraction of wall time spent busy, in `[0, 1]`; zero for a zero-wall
@@ -127,6 +132,9 @@ pub struct Report {
     /// other layers (communicators, simulated disks) may merge their own
     /// snapshots in before rendering or export.
     pub metrics: MetricsSnapshot,
+    /// The autotuning controller's decision audit log, when the program
+    /// ran with a [`Controller`](crate::controller::Controller) attached.
+    pub controller: Option<crate::controller::ControllerLog>,
 }
 
 impl Report {
@@ -416,7 +424,7 @@ mod tests {
             blocked_convey: Duration::from_millis(conv_ms),
             buffers_in: 1,
             buffers_out: 1,
-            spans: Vec::new(),
+            ..StageStats::default()
         }
     }
 
@@ -482,7 +490,7 @@ mod render_tests {
                     blocked_convey: Duration::from_millis(25),
                     buffers_in: 10,
                     buffers_out: 10,
-                    spans: Vec::new(),
+                    ..StageStats::default()
                 },
                 StageStats {
                     name: "a-much-longer-stage-name".into(),
@@ -491,7 +499,7 @@ mod render_tests {
                     blocked_convey: Duration::ZERO,
                     buffers_in: 10,
                     buffers_out: 10,
-                    spans: Vec::new(),
+                    ..StageStats::default()
                 },
             ],
             threads_spawned: 4,

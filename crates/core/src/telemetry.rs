@@ -237,7 +237,12 @@ pub type ReportFn = Arc<dyn Fn() -> String + Send + Sync>;
 /// * `GET /report` — human-readable live dashboard text (by default the
 ///   metrics sections of [`Report::render_dashboard`] over the current
 ///   snapshot);
-/// * anything else — `404`.
+/// * `GET /control` — the closed-loop controller's live status as JSON
+///   (verdict, actuator positions, recent decisions; `{"active":false}`
+///   when no controller is attached — see
+///   [`ControlStatus`](crate::ControlStatus));
+/// * `GET /healthz` — liveness probe, always `200 ok`;
+/// * any other path — `404` with a body listing the routes above.
 ///
 /// Each scrape also increments the registry's `telemetry/scrapes` counter,
 /// so the exposition layer is observable through itself.  The listener
@@ -261,6 +266,19 @@ impl TelemetryServer {
         registry: Arc<MetricsRegistry>,
         report: Option<ReportFn>,
     ) -> std::io::Result<Self> {
+        Self::bind_full(addr, registry, report, None)
+    }
+
+    /// [`TelemetryServer::bind_with`] plus a live controller status for
+    /// `GET /control`.  Pass the same [`ControlStatus`](crate::ControlStatus)
+    /// handle that the program's [`ControllerCfg`](crate::ControllerCfg)
+    /// carries and the endpoint tracks the controller in real time.
+    pub fn bind_full(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        report: Option<ReportFn>,
+        control: Option<Arc<crate::controller::ControlStatus>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -283,7 +301,7 @@ impl TelemetryServer {
                         return;
                     }
                     let Ok(mut stream) = conn else { continue };
-                    serve_one(&mut stream, &registry, &report);
+                    serve_one(&mut stream, &registry, &report, control.as_deref());
                 }
             })
             .expect("spawn telemetry server");
@@ -312,7 +330,12 @@ impl Drop for TelemetryServer {
 }
 
 /// Handle one connection: parse the request line, route, respond, close.
-fn serve_one(stream: &mut TcpStream, registry: &MetricsRegistry, report: &ReportFn) {
+fn serve_one(
+    stream: &mut TcpStream,
+    registry: &MetricsRegistry,
+    report: &ReportFn,
+    control: Option<&crate::controller::ControlStatus>,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let mut buf = [0u8; 1024];
     let mut len = 0;
@@ -346,10 +369,19 @@ fn serve_one(stream: &mut TcpStream, registry: &MetricsRegistry, report: &Report
             registry.counter("telemetry/scrapes").inc();
             ("200 OK", "text/plain; charset=utf-8", report())
         }
+        ("GET", "/control") => {
+            registry.counter("telemetry/scrapes").inc();
+            let body = match control {
+                Some(status) => status.get_json(),
+                None => "{\"active\":false}".to_string(),
+            };
+            ("200 OK", "application/json; charset=utf-8", body)
+        }
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
         ("GET", _) => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics or /report\n".to_string(),
+            "not found; routes: /metrics /report /control /healthz\n".to_string(),
         ),
         _ => (
             "405 Method Not Allowed",

@@ -72,6 +72,10 @@ pub enum TraceKind {
     PrefetchHit,
     /// The I/O scheduler had to issue a blocking read (prefetch miss).
     PrefetchMiss,
+    /// The live controller applied an actuation (grew a farm, resized a
+    /// buffer pool, retuned an I/O depth).  Not tied to any buffer; the
+    /// `round` field carries the decision sequence number.
+    Actuate,
 }
 
 impl TraceKind {
@@ -86,6 +90,7 @@ impl TraceKind {
             TraceKind::TurnWait => "turn-wait",
             TraceKind::PrefetchHit => "prefetch-hit",
             TraceKind::PrefetchMiss => "prefetch-miss",
+            TraceKind::Actuate => "actuate",
         }
     }
 
@@ -99,6 +104,7 @@ impl TraceKind {
             "turn-wait" => TraceKind::TurnWait,
             "prefetch-hit" => TraceKind::PrefetchHit,
             "prefetch-miss" => TraceKind::PrefetchMiss,
+            "actuate" => TraceKind::Actuate,
             _ => return None,
         })
     }

@@ -180,9 +180,63 @@ fn report_endpoint_renders_dashboard() {
 fn unknown_path_is_404_and_server_survives() {
     let reg = populated_registry();
     let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
-    let (status, _, _) = http_get(server.local_addr(), "/nope");
+    let (status, _, body) = http_get(server.local_addr(), "/nope");
     assert!(status.contains("404"), "status was {status}");
+    // The 404 body tells the operator where to look instead.
+    for route in ["/metrics", "/report", "/control", "/healthz"] {
+        assert!(body.contains(route), "404 body missing {route}: {body}");
+    }
     // The listener keeps serving after a 404.
     let (status, _, _) = http_get(server.local_addr(), "/metrics");
     assert!(status.contains("200"), "status was {status}");
+}
+
+#[test]
+fn healthz_answers_ok() {
+    let reg = populated_registry();
+    let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
+    let (status, headers, body) = http_get(server.local_addr(), "/healthz");
+    assert!(status.contains("200"), "status was {status}");
+    assert_eq!(body, "ok\n");
+    assert_eq!(
+        headers.get("content-length").and_then(|v| v.parse().ok()),
+        Some(body.len())
+    );
+}
+
+#[test]
+fn control_endpoint_reports_inactive_without_a_controller() {
+    let reg = populated_registry();
+    let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
+    let (status, headers, body) = http_get(server.local_addr(), "/control");
+    assert!(status.contains("200"), "status was {status}");
+    assert_eq!(
+        headers.get("content-type").map(String::as_str),
+        Some("application/json; charset=utf-8")
+    );
+    let j = fg_core::Json::parse(&body).expect("control body is JSON");
+    assert_eq!(
+        j.get("active").and_then(fg_core::Json::as_bool),
+        Some(false)
+    );
+}
+
+#[test]
+fn control_endpoint_serves_the_installed_status() {
+    let reg = populated_registry();
+    let status_handle = Arc::new(fg_core::ControlStatus::default());
+    let server = TelemetryServer::bind_full(
+        "127.0.0.1:0",
+        Arc::clone(&reg),
+        None,
+        Some(Arc::clone(&status_handle)),
+    )
+    .expect("bind");
+    // Before the controller publishes anything, the stub is served.
+    let (_, _, body) = http_get(server.local_addr(), "/control");
+    let j = fg_core::Json::parse(&body).expect("control body is JSON");
+    assert_eq!(
+        j.get("active").and_then(fg_core::Json::as_bool),
+        Some(false)
+    );
 }

@@ -77,6 +77,14 @@ pub trait Disk: Send + Sync {
     fn flush(&self) -> Result<(), PdmError> {
         Ok(())
     }
+    /// The live read-ahead actuator behind this disk, if it has one.
+    ///
+    /// Plain backends have no tunable depth and return `None`; the
+    /// [`IoScheduler`](crate::IoScheduler) wrapper returns itself so a
+    /// closed-loop controller can retune its read-ahead at run time.
+    fn depth_actuator(self: Arc<Self>) -> Option<Arc<dyn fg_core::controller::DepthActuator>> {
+        None
+    }
 }
 
 /// Shared handle to a disk backend, as the pipelines hold it.

@@ -43,7 +43,7 @@ mod striping;
 
 pub use disk::{Disk, DiskCfg, DiskRef, DiskStats, SimDisk};
 pub use os_disk::OsDisk;
-pub use sched::IoScheduler;
+pub use sched::{IoScheduler, MAX_IO_DEPTH};
 pub use scratch::ScratchDir;
 pub use striping::Striping;
 
@@ -69,6 +69,8 @@ pub enum PdmError {
     },
     /// An operating-system I/O error from a real-file backend.
     Io(String),
+    /// An invalid configuration value (e.g. an I/O scheduler depth of 0).
+    Config(String),
 }
 
 impl fmt::Display for PdmError {
@@ -86,6 +88,7 @@ impl fmt::Display for PdmError {
                 "read of {len} bytes at {offset} exceeds {file} (len {file_len})"
             ),
             PdmError::Io(msg) => write!(f, "I/O error: {msg}"),
+            PdmError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

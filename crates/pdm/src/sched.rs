@@ -30,6 +30,7 @@
 //! analyzer folds into a prefetch hit rate.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -172,22 +173,32 @@ fn coalesce(ops: Vec<WriteOp>) -> Vec<WriteOp> {
     out
 }
 
+/// The largest read-ahead depth a scheduler will accept, from
+/// construction or a later [`IoScheduler::set_depth`].  Bounds the
+/// prefetch store so a runaway controller cannot buffer a whole file.
+pub const MAX_IO_DEPTH: usize = 64;
+
 /// A [`Disk`] wrapper that overlaps its backend's I/O with the caller:
 /// read-ahead prefetching and coalescing write-behind on a dedicated I/O
 /// thread per disk.  See the module docs for the full contract.
 pub struct IoScheduler {
     shared: Arc<Shared>,
     /// How many sequential blocks ahead of each read stream to prefetch.
-    depth: usize,
+    /// Atomic so a live controller can retune it mid-run
+    /// ([`set_depth`](IoScheduler::set_depth)).
+    depth: AtomicUsize,
+    /// Disk label for decisions and metrics (`d0`, …; `io` when unnamed).
+    label: String,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl IoScheduler {
     /// Wrap `inner`, prefetching up to `depth` blocks ahead of every
-    /// sequential read stream.  Panics if `depth` is zero — callers who
-    /// want no scheduling should use the backend directly.
-    pub fn new(inner: DiskRef, depth: usize) -> Arc<Self> {
-        Self::build(inner, depth, None)
+    /// sequential read stream.  Fails with [`PdmError::Config`] if `depth`
+    /// is zero or above [`MAX_IO_DEPTH`] — callers who want no scheduling
+    /// should use the backend directly.
+    pub fn new(inner: DiskRef, depth: usize) -> Result<Arc<Self>, PdmError> {
+        Self::build(inner, depth, None, "io")
     }
 
     /// Like [`IoScheduler::new`], recording prefetch hit/miss counters and
@@ -198,17 +209,27 @@ impl IoScheduler {
         depth: usize,
         registry: &MetricsRegistry,
         label: &str,
-    ) -> Arc<Self> {
+    ) -> Result<Arc<Self>, PdmError> {
         let metrics = SchedMetrics {
             hits: registry.counter(&format!("disk/{label}/prefetch_hit")),
             misses: registry.counter(&format!("disk/{label}/prefetch_miss")),
             queue_depth: registry.gauge(&format!("disk/{label}/writeback_queue_depth")),
         };
-        Self::build(inner, depth, Some(metrics))
+        Self::build(inner, depth, Some(metrics), label)
     }
 
-    fn build(inner: DiskRef, depth: usize, metrics: Option<SchedMetrics>) -> Arc<Self> {
-        assert!(depth >= 1, "io scheduler depth must be at least 1");
+    fn build(
+        inner: DiskRef,
+        depth: usize,
+        metrics: Option<SchedMetrics>,
+        label: &str,
+    ) -> Result<Arc<Self>, PdmError> {
+        if !(1..=MAX_IO_DEPTH).contains(&depth) {
+            return Err(PdmError::Config(format!(
+                "io scheduler depth must be in 1..={MAX_IO_DEPTH}, got {depth} \
+                 (use the backend directly for unscheduled I/O)"
+            )));
+        }
         let shared = Arc::new(Shared {
             inner,
             state: Mutex::new(State {
@@ -228,23 +249,46 @@ impl IoScheduler {
             idle_cv: Condvar::new(),
             metrics,
             ring: Mutex::new(None),
-            fetched_cap: 8 * depth + 32,
+            // Sized for the ceiling, not the starting depth, so a live
+            // depth raise never outgrows the store.
+            fetched_cap: 8 * MAX_IO_DEPTH + 32,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("fg-io-sched".into())
             .spawn(move || worker_loop(&worker_shared))
             .expect("spawn io scheduler thread");
-        Arc::new(IoScheduler {
+        Ok(Arc::new(IoScheduler {
             shared,
-            depth,
+            depth: AtomicUsize::new(depth),
+            label: label.to_string(),
             worker: Mutex::new(Some(worker)),
-        })
+        }))
     }
 
     /// The wrapped backend.
     pub fn inner(&self) -> &DiskRef {
         &self.shared.inner
+    }
+
+    /// Current read-ahead depth.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Retune the read-ahead depth mid-run, clamped to
+    /// `1..=`[`MAX_IO_DEPTH`].  Takes effect on the next read; already
+    /// queued prefetches are unaffected.  Returns the applied depth.
+    pub fn set_depth(&self, depth: usize) -> usize {
+        let d = depth.clamp(1, MAX_IO_DEPTH);
+        self.depth.store(d, Ordering::Relaxed);
+        d
+    }
+
+    /// The scheduler's disk label (`d0`, …; `io` when constructed without
+    /// metrics).
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// Register this scheduler with a flight recorder: every `read_at`
@@ -266,7 +310,7 @@ impl IoScheduler {
         let mut st = sh.state.lock();
         let flen = sh.logical_len(&mut st, name);
         let mut notify = false;
-        for k in 1..=self.depth {
+        for k in 1..=self.depth() {
             let off = offset + (k * len) as u64;
             // Only whole blocks: a short tail read would mismatch the
             // consumer's exact-length request anyway.
@@ -376,6 +420,10 @@ fn worker_loop(sh: &Shared) {
 }
 
 impl Disk for IoScheduler {
+    fn depth_actuator(self: Arc<Self>) -> Option<Arc<dyn fg_core::controller::DepthActuator>> {
+        Some(self)
+    }
+
     fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), PdmError> {
         let sh = &self.shared;
         let mut st = sh.state.lock();
@@ -565,6 +613,20 @@ impl Disk for IoScheduler {
     }
 }
 
+impl fg_core::controller::DepthActuator for IoScheduler {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn io_depth(&self) -> usize {
+        self.depth()
+    }
+
+    fn set_io_depth(&self, depth: usize) -> usize {
+        self.set_depth(depth)
+    }
+}
+
 impl Drop for IoScheduler {
     fn drop(&mut self) {
         {
@@ -585,8 +647,54 @@ mod tests {
 
     fn sched(depth: usize) -> (Arc<SimDisk>, Arc<IoScheduler>) {
         let inner = SimDisk::new(DiskCfg::zero());
-        let s = IoScheduler::new(inner.clone() as DiskRef, depth);
+        let s = IoScheduler::new(inner.clone() as DiskRef, depth).unwrap();
         (inner, s)
+    }
+
+    #[test]
+    fn zero_or_oversized_depth_is_a_config_error() {
+        let inner = SimDisk::new(DiskCfg::zero());
+        for bad in [0, MAX_IO_DEPTH + 1] {
+            match IoScheduler::new(inner.clone() as DiskRef, bad) {
+                Err(PdmError::Config(msg)) => assert!(msg.contains("depth"), "{msg}"),
+                Err(other) => panic!("expected Config error for depth {bad}, got {other:?}"),
+                Ok(_) => panic!("expected Config error for depth {bad}, got Ok"),
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_retunable_and_clamped() {
+        let (_inner, s) = sched(2);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.set_depth(8), 8);
+        assert_eq!(s.depth(), 8);
+        assert_eq!(s.set_depth(0), 1);
+        assert_eq!(s.set_depth(usize::MAX), MAX_IO_DEPTH);
+    }
+
+    #[test]
+    fn raised_depth_prefetches_further_ahead() {
+        use fg_core::controller::DepthActuator;
+        let reg = MetricsRegistry::new();
+        let inner = SimDisk::new(DiskCfg::zero());
+        let s = IoScheduler::with_metrics(inner as DiskRef, 1, &reg, "d7").unwrap();
+        assert_eq!(DepthActuator::label(&*s), "d7");
+        s.load("f", vec![0u8; 1024]);
+        let mut buf = [0u8; 64];
+        s.read_at("f", 0, &mut buf).unwrap();
+        s.set_io_depth(4);
+        assert_eq!(s.io_depth(), 4);
+        // The retuned depth applies to the very next read's predictions.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        s.read_at("f", 64, &mut buf).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        for block in 2..6u64 {
+            s.read_at("f", block * 64, &mut buf).unwrap();
+        }
+        let snap = reg.snapshot();
+        let hits = snap.counter("disk/d7/prefetch_hit").unwrap_or(0);
+        assert!(hits >= 4, "hits={hits}");
     }
 
     #[test]
@@ -631,7 +739,7 @@ mod tests {
     fn sequential_reads_hit_the_prefetcher() {
         let reg = MetricsRegistry::new();
         let inner = SimDisk::new(DiskCfg::zero());
-        let s = IoScheduler::with_metrics(inner as DiskRef, 2, &reg, "d0");
+        let s = IoScheduler::with_metrics(inner as DiskRef, 2, &reg, "d0").unwrap();
         let data: Vec<u8> = (0..=255).collect();
         s.load("f", data.clone());
         let mut got = Vec::new();
@@ -703,7 +811,7 @@ mod tests {
             std::time::Duration::from_millis(20),
             f64::INFINITY,
         ));
-        let s2 = IoScheduler::new(slow.clone() as DiskRef, 1);
+        let s2 = IoScheduler::new(slow.clone() as DiskRef, 1).unwrap();
         for i in 0..8u64 {
             s2.write_at("f", i * 8, &[i as u8; 8]).unwrap();
         }
@@ -722,7 +830,7 @@ mod tests {
     fn works_against_os_disk() {
         let dir = crate::ScratchDir::new("sched-os").unwrap();
         let inner = crate::OsDisk::new(dir.path()).unwrap();
-        let s = IoScheduler::new(inner as DiskRef, 2);
+        let s = IoScheduler::new(inner as DiskRef, 2).unwrap();
         let data: Vec<u8> = (0..128u8).map(|b| b.wrapping_mul(7)).collect();
         for (i, chunk) in data.chunks(32).enumerate() {
             s.write_at("f", (i * 32) as u64, chunk).unwrap();

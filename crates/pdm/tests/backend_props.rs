@@ -28,7 +28,8 @@ proptest! {
         let sched: DiskRef = IoScheduler::new(
             OsDisk::new(scratch.path().join("sched")).unwrap() as DiskRef,
             2,
-        );
+        )
+        .unwrap();
         let disks = [&sim, &os, &sched];
         for (is_append, off, data, second_file) in &ops {
             let name = if *second_file { "g" } else { "f" };
@@ -67,7 +68,7 @@ proptest! {
             .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
             .collect();
         inner.load("f", data.clone());
-        let sched = IoScheduler::new(inner as DiskRef, depth);
+        let sched = IoScheduler::new(inner as DiskRef, depth).unwrap();
         let mut buf = vec![0u8; block_bytes];
         for b in 0..blocks {
             sched.read_at("f", (b * block_bytes) as u64, &mut buf).unwrap();

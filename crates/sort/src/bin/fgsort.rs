@@ -34,10 +34,17 @@
 //!                              prints node-0 per-pass Gantt charts (dsort)
 //!   --watchdog-secs N          abort with a post-mortem report if any
 //!                              pipeline makes no progress for N seconds
-//!   --telemetry ADDR           serve live GET /metrics (Prometheus) and
-//!                              GET /report on ADDR (e.g. 127.0.0.1:9100)
-//!                              while the sort runs; afterwards print the
-//!                              bottleneck diagnosis (dsort)
+//!   --telemetry ADDR           serve live GET /metrics (Prometheus),
+//!                              GET /report, GET /control, and GET /healthz
+//!                              on ADDR (e.g. 127.0.0.1:9100) while the
+//!                              sort runs; afterwards print the bottleneck
+//!                              diagnosis (dsort)
+//!   --autotune                 attach the closed-loop controller to every
+//!                              pipeline: grows/shrinks the sort worker
+//!                              farms, resizes buffer pools, and retunes
+//!                              I/O read-ahead depth live; the decision
+//!                              audit log is printed after the run
+//!                              (csort/csort4)
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -73,6 +80,7 @@ struct Options {
     trace: Option<String>,
     watchdog_secs: Option<u64>,
     telemetry: Option<String>,
+    autotune: bool,
 }
 
 impl Default for Options {
@@ -95,6 +103,7 @@ impl Default for Options {
             trace: None,
             watchdog_secs: None,
             telemetry: None,
+            autotune: false,
         }
     }
 }
@@ -187,6 +196,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--telemetry" => opts.telemetry = Some(value("--telemetry")?.clone()),
+            "--autotune" => opts.autotune = true,
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -205,6 +215,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.dir.is_some() && opts.backend != "os" {
         return Err("--dir only applies to --backend os".into());
+    }
+    if opts.io_depth > fg_pdm::MAX_IO_DEPTH {
+        return Err(format!(
+            "--io-depth {} is out of range (use 0 to disable the scheduler, or 1..={})",
+            opts.io_depth,
+            fg_pdm::MAX_IO_DEPTH
+        ));
     }
     Ok(opts)
 }
@@ -240,6 +257,14 @@ fn build_config(opts: &Options) -> Result<SortConfig, String> {
         cfg.backend = DiskBackend::Os { dir };
     }
     cfg.io_depth = opts.io_depth;
+    if opts.autotune {
+        cfg.autotune = Some(fg_core::ControllerCfg {
+            // Start from the declared worker count; the controller grows or
+            // shrinks the farms from there.
+            initial_workers: Some(opts.workers),
+            ..fg_core::ControllerCfg::default()
+        });
+    }
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -269,7 +294,8 @@ fn main() -> ExitCode {
             );
             eprintln!("              [--trace OUT]   (write a Chrome/Perfetto trace of every pipeline to OUT)");
             eprintln!("              [--watchdog-secs N]   (post-mortem + abort after N s without progress)");
-            eprintln!("              [--telemetry ADDR]   (live /metrics + /report HTTP endpoint)");
+            eprintln!("              [--telemetry ADDR]   (live /metrics + /report + /control + /healthz HTTP endpoint)");
+            eprintln!("              [--autotune]   (closed-loop controller: live farm/pool/io-depth retuning)");
             return if e == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -278,7 +304,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let cfg = match build_config(&opts) {
+    let mut cfg = match build_config(&opts) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
@@ -301,25 +327,33 @@ fn main() -> ExitCode {
     // live HTTP endpoint; dsort additionally publishes its queue and comm
     // metrics and prints a bottleneck diagnosis after the run.
     let registry = Arc::new(MetricsRegistry::new());
+    if opts.telemetry.is_some() || cfg.autotune.is_some() {
+        cfg.metrics = Some(Arc::clone(&registry));
+    }
+    let control = cfg.autotune.as_ref().map(|a| Arc::clone(&a.status));
     let telemetry = match &opts.telemetry {
-        Some(addr) => match TelemetryServer::bind(addr.as_str(), Arc::clone(&registry)) {
-            Ok(server) => {
-                println!(
-                    "telemetry: serving /metrics and /report on http://{}",
-                    server.local_addr()
-                );
-                let sampler = Sampler::start(Arc::clone(&registry), Default::default());
-                Some((server, sampler))
+        Some(addr) => {
+            match TelemetryServer::bind_full(addr.as_str(), Arc::clone(&registry), None, control) {
+                Ok(server) => {
+                    println!(
+                        "telemetry: serving /metrics, /report, /control, /healthz on http://{}",
+                        server.local_addr()
+                    );
+                    let sampler = Sampler::start(Arc::clone(&registry), Default::default());
+                    Some((server, sampler))
+                }
+                Err(e) => {
+                    eprintln!("error: failed to bind telemetry server on {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("error: failed to bind telemetry server on {addr}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
+        }
         None => None,
     };
 
-    let provisioned = if telemetry.is_some() {
+    // Metrics-instrumented disks whenever a shared registry exists (live
+    // telemetry or the autotune controller, which watches prefetch rates).
+    let provisioned = if cfg.metrics.is_some() {
         try_provision_with_metrics(&cfg, &registry)
     } else {
         try_provision(&cfg)
@@ -412,6 +446,10 @@ fn main() -> ExitCode {
     }
     let io: u64 = disks.iter().map(|d| d.stats().bytes_total()).sum();
     println!("disk I/O: {:.2} MiB total", io as f64 / (1 << 20) as f64);
+
+    if let Some(ac) = &cfg.autotune {
+        println!("autotune: {}", ac.status.get_json());
+    }
 
     if let Some((server, sampler)) = telemetry {
         let series = sampler.stop();
@@ -554,6 +592,35 @@ mod tests {
         assert!(parse_args(&args("--dir /tmp/fg")).is_err()); // sim + --dir
         assert!(parse_args(&args("--backend sim --dir /tmp/fg")).is_err());
         assert!(parse_args(&args("--io-depth banana")).is_err());
+    }
+
+    #[test]
+    fn io_depth_out_of_range_is_a_friendly_parse_error() {
+        // Depth 0 is valid: it means "no scheduler", not a crash.
+        let o = parse_args(&args("--io-depth 0 --free")).unwrap();
+        assert_eq!(o.io_depth, 0);
+        build_config(&o).unwrap();
+        // Beyond the scheduler's maximum is rejected at parse time with a
+        // message naming the flag and the valid range.
+        let err =
+            parse_args(&args(&format!("--io-depth {}", fg_pdm::MAX_IO_DEPTH + 1))).unwrap_err();
+        assert!(err.contains("--io-depth"), "{err}");
+        assert!(err.contains(&fg_pdm::MAX_IO_DEPTH.to_string()), "{err}");
+    }
+
+    #[test]
+    fn autotune_flag_builds_a_controller_config() {
+        let o = parse_args(&args("--autotune --workers 2 --free")).unwrap();
+        assert!(o.autotune);
+        let cfg = build_config(&o).unwrap();
+        let ac = cfg.autotune.as_ref().expect("controller config");
+        assert_eq!(ac.initial_workers, Some(2));
+        // Farms declare headroom beyond the starting width.
+        assert!(cfg.farm_capacity() >= 4);
+        // Without the flag the config stays open-loop.
+        let cfg = build_config(&parse_args(&args("--free")).unwrap()).unwrap();
+        assert!(cfg.autotune.is_none());
+        assert_eq!(cfg.farm_capacity(), 1);
     }
 
     #[test]

@@ -90,6 +90,18 @@ pub struct SortConfig {
     /// long dumps a post-mortem and aborts with
     /// [`FgError::Stalled`](fg_core::FgError::Stalled).
     pub watchdog: Option<Duration>,
+    /// Closed-loop controller configuration (`fgsort --autotune`): when
+    /// set, every FG program the sort runs samples its own telemetry and
+    /// live-retunes worker-farm widths, buffer-pool sizes, and I/O
+    /// read-ahead depth; the decision audit log lands in each pass's
+    /// [`Report`](fg_core::Report).  `None` runs open-loop with the
+    /// configured geometry.
+    pub autotune: Option<fg_core::ControllerCfg>,
+    /// Metrics registry shared across the run (`fgsort --telemetry` /
+    /// `--autotune`): every FG program publishes its queue and stage
+    /// metrics here, making them scrapeable while the sort runs and
+    /// giving the controller its observation stream.
+    pub metrics: Option<Arc<fg_core::MetricsRegistry>>,
 }
 
 impl SortConfig {
@@ -115,6 +127,8 @@ impl SortConfig {
             io_depth: 0,
             trace_sink: None,
             watchdog: None,
+            autotune: None,
+            metrics: None,
         }
     }
 
@@ -152,6 +166,43 @@ impl SortConfig {
         }
         if let Some(timeout) = self.watchdog {
             prog.with_watchdog(timeout);
+        }
+        if let Some(reg) = &self.metrics {
+            prog.set_metrics(Arc::clone(reg));
+        }
+    }
+
+    /// [`instrument`](SortConfig::instrument) plus the closed-loop
+    /// controller: registers each scheduled disk's read-ahead depth as a
+    /// live actuator and attaches the controller when `autotune` is set.
+    /// Programs that declare worker farms should size them with
+    /// [`farm_capacity`](SortConfig::farm_capacity) so the controller has
+    /// headroom to grow into.
+    pub fn instrument_with_disks(&self, prog: &mut fg_core::Program, disks: &[fg_pdm::DiskRef]) {
+        self.instrument(prog);
+        if let Some(cfg) = &self.autotune {
+            // The controller observes through the program's registry; give
+            // the program a private one if the run didn't share any.
+            if self.metrics.is_none() {
+                prog.set_metrics(Arc::new(fg_core::MetricsRegistry::new()));
+            }
+            for disk in disks {
+                if let Some(actuator) = Arc::clone(disk).depth_actuator() {
+                    prog.add_depth_actuator(actuator);
+                }
+            }
+            prog.set_controller(cfg.clone());
+        }
+    }
+
+    /// Declared width of the CPU-bound sort farms: the configured
+    /// `workers` open-loop, but at least 4 replicas under `autotune` so
+    /// the controller can grow a deliberately under-provisioned farm.
+    pub fn farm_capacity(&self) -> usize {
+        if self.autotune.is_some() {
+            self.workers.max(4)
+        } else {
+            self.workers
         }
     }
 

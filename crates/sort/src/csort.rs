@@ -119,9 +119,27 @@ fn col_bytes(cfg: &SortConfig, m: Matrix) -> usize {
 
 /// Buffer-pool size for a (possibly farmed) pipeline: each sort worker
 /// holds a buffer in flight, so the pool must exceed the worker count or
-/// replication just starves the pool.
+/// replication just starves the pool.  Sized to the *declared* farm width
+/// ([`SortConfig::farm_capacity`]) so a controller growing the farm never
+/// outruns the pool.
 pub(crate) fn effective_buffers(cfg: &SortConfig) -> usize {
-    cfg.pipeline_buffers.max(cfg.workers + 2)
+    cfg.pipeline_buffers.max(cfg.farm_capacity() + 2)
+}
+
+/// The pass pipeline's configuration: `effective_buffers` in the pool,
+/// with headroom for controller-driven pool growth when autotuning.
+pub(crate) fn pass_pipeline(
+    cfg: &SortConfig,
+    name: &str,
+    buf_bytes: usize,
+    rounds: u64,
+) -> PipelineCfg {
+    let buffers = effective_buffers(cfg);
+    let mut pc = PipelineCfg::new(name, buffers, buf_bytes).rounds(Rounds::Count(rounds));
+    if cfg.autotune.is_some() {
+        pc = pc.max_buffers(buffers * 2);
+    }
+    pc
 }
 
 /// Add the in-core sort stage, farmed across `cfg.workers` replicas when
@@ -138,8 +156,8 @@ pub(crate) fn add_sort_stage(prog: &mut Program, cfg: &SortConfig) -> fg_core::S
             },
         )
     };
-    if cfg.workers > 1 {
-        prog.workers("sort", cfg.workers, move |_i| make())
+    if cfg.farm_capacity() > 1 {
+        prog.workers("sort", cfg.farm_capacity(), move |_i| make())
     } else {
         prog.add_stage("sort", make())
     }
@@ -167,7 +185,7 @@ pub(crate) fn pass12(
     };
 
     let mut prog = Program::new(format!("csort-p{pass_no}-n{q}"));
-    cfg.instrument(&mut prog);
+    cfg.instrument_with_disks(&mut prog, std::slice::from_ref(disk));
 
     // read: local chunk t of the input file is column t*P + q.
     let read_disk = Arc::clone(disk);
@@ -289,7 +307,7 @@ pub(crate) fn pass12(
     });
 
     prog.add_pipeline(
-        PipelineCfg::new("pass", effective_buffers(cfg), buf_bytes).rounds(Rounds::Count(rounds)),
+        pass_pipeline(cfg, "pass", buf_bytes, rounds),
         &[read, sort, communicate, permute, write],
     )?;
     prog.run()?;
@@ -322,7 +340,7 @@ fn pass3(
     let (r, s, nodes) = (m.r, m.s, m.nodes);
 
     let mut prog = Program::new(format!("csort-p3-n{q}"));
-    cfg.instrument(&mut prog);
+    cfg.instrument_with_disks(&mut prog, std::slice::from_ref(disk));
 
     let read_disk = Arc::clone(disk);
     let read = prog.add_stage(
@@ -460,7 +478,7 @@ fn pass3(
     });
 
     prog.add_pipeline(
-        PipelineCfg::new("pass3", effective_buffers(cfg), buf_bytes).rounds(Rounds::Count(rounds)),
+        pass_pipeline(cfg, "pass3", buf_bytes, rounds),
         &[read, sort, exchange, merge, stripe, write],
     )?;
     prog.run()?;

@@ -126,7 +126,7 @@ fn pass3_shift(
     let _ = r;
 
     let mut prog = Program::new(format!("csort4-p3-n{q}"));
-    cfg.instrument(&mut prog);
+    cfg.instrument_with_disks(&mut prog, std::slice::from_ref(disk));
 
     let read_disk = Arc::clone(disk);
     let read = prog.add_stage(
@@ -255,7 +255,7 @@ fn pass4_unshift(
     let buf_bytes = cbytes + half + nodes * cfg.block_bytes + max_chunks * CHUNK_HEADER_BYTES + 64;
 
     let mut prog = Program::new(format!("csort4-p4-n{q}"));
-    cfg.instrument(&mut prog);
+    cfg.instrument_with_disks(&mut prog, std::slice::from_ref(disk));
 
     // Which shifted column does round t hold, how long is it, and where
     // does it live in the local m3 file?  Mirrors pass 3's write layout.
@@ -310,8 +310,8 @@ fn pass4_unshift(
             },
         )
     };
-    let sort = if cfg.workers > 1 {
-        prog.workers("sort", cfg.workers, move |_i| make_sort())
+    let sort = if cfg.farm_capacity() > 1 {
+        prog.workers("sort", cfg.farm_capacity(), move |_i| make_sort())
     } else {
         prog.add_stage("sort", make_sort())
     };

@@ -114,7 +114,8 @@ fn try_provision_with(
                         IoScheduler::with_metrics(base, cfg.io_depth, reg, &format!("d{rank}"))
                     }
                     None => IoScheduler::new(base, cfg.io_depth),
-                };
+                }
+                .map_err(|e| SortError::Config(e.to_string()))?;
                 if let Some(sink) = &cfg.trace_sink {
                     sched.attach_trace(sink, &format!("d{rank}"));
                 }
