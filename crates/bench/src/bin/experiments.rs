@@ -8,7 +8,10 @@
 //!
 //! Subcommands (see DESIGN.md's experiment index):
 //! `fig8a`, `fig8b`, `ratio-table` (T1), `splitter-balance` (T2),
-//! `io-volume` (T3), `unbalanced` (T4), `ablation-linear` (A1),
+//! `io-volume` (T3), `unbalanced` (T4), `unbalanced-comm` (the observed
+//! skewed scatter of Figure 4: per-rank telemetry folded into a cluster
+//! report whose diagnosis must name rank 0 as the hot receiver),
+//! `ablation-linear` (A1),
 //! `ablation-virtual` (A2), `ablation-overlap` (A3), `buffer-sweep` (A4),
 //! `ablation-passes` (A5), `ablation-readahead` (A6), `workers-scaling`
 //! (csort's farmed sort stages across replica counts; `--workers N` runs a
@@ -499,6 +502,40 @@ fn main() {
                     })
                     .collect(),
             ),
+        );
+    }
+    if run_all || cmd == "unbalanced-comm" {
+        println!("\n=== Cluster observability: skewed scatter (70% of traffic to rank 0) ===");
+        let (nodes, blocks) = if quick { (4, 16) } else { (4, 32) };
+        let res = fg_bench::unbalanced_comm::run_unbalanced_comm(nodes, blocks, None)
+            .expect("unbalanced-comm");
+        println!("blocks received per node (sent {blocks} each):");
+        for (rank, b) in res.received.iter().enumerate() {
+            println!(
+                "  node {rank}: {b:>3} blocks  {}",
+                "#".repeat(*b as usize / 2)
+            );
+        }
+        println!("\n{}", res.report.render());
+        println!("{}", res.diagnosis.render());
+        // `hot_rank` is the machine-checked acceptance criterion: the
+        // comm-aware diagnosis must name rank 0 from telemetry alone.
+        sink.write(
+            "unbalanced-comm",
+            jobj(vec![
+                ("nodes", Json::from(nodes)),
+                ("blocks_per_node", Json::from(blocks)),
+                (
+                    "received",
+                    Json::Arr(res.received.iter().map(|&b| Json::from(b)).collect()),
+                ),
+                (
+                    "hot_rank",
+                    res.diagnosis.hot_rank.map(Json::from).unwrap_or(Json::Null),
+                ),
+                ("cluster", res.report.to_json_value()),
+                ("diagnosis", res.diagnosis.to_json_value()),
+            ]),
         );
     }
     if run_all || cmd == "ablation-linear" {

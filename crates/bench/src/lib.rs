@@ -14,6 +14,7 @@ pub mod autotune;
 pub mod gate;
 pub mod io_overlap;
 pub mod overlap;
+pub mod unbalanced_comm;
 
 use std::sync::Arc;
 use std::time::Duration;

@@ -12,6 +12,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use fg_core::metrics::{MetricsRegistry, MetricsSnapshot};
+use fg_core::TraceSink;
 
 use crate::comm::Communicator;
 use crate::cost::NetCfg;
@@ -37,9 +38,44 @@ impl ClusterCfg {
     }
 }
 
-/// Everything a node function gets: identity and connectivity.
+/// Observability wiring for a cluster run: one metrics registry **per
+/// rank** (the shape a real distributed deployment has — each process owns
+/// its registry and ships snapshots home) and an optional shared trace
+/// sink whose rings are tagged with each rank's track group.
+#[derive(Clone)]
+pub struct ClusterObs {
+    /// Per-rank registries, indexed by rank; must match the cluster size.
+    pub registries: Vec<Arc<MetricsRegistry>>,
+    /// Span recording for communicator sends/recvs/collectives, and for
+    /// node functions to install on their FG programs (via
+    /// [`NodeCtx::trace`]).
+    pub trace: Option<Arc<TraceSink>>,
+}
+
+impl ClusterObs {
+    /// Fresh per-rank registries for a cluster of `nodes`, no tracing.
+    pub fn per_node(nodes: usize) -> ClusterObs {
+        ClusterObs {
+            registries: (0..nodes)
+                .map(|_| Arc::new(MetricsRegistry::new()))
+                .collect(),
+            trace: None,
+        }
+    }
+
+    /// Attach a trace sink (builder style).
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> ClusterObs {
+        self.trace = Some(sink);
+        self
+    }
+}
+
+/// Everything a node function gets: identity, connectivity, and (when the
+/// run is observed) its observability handles.
 pub struct NodeCtx {
     comm: Communicator,
+    registry: Option<Arc<MetricsRegistry>>,
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl NodeCtx {
@@ -57,6 +93,21 @@ impl NodeCtx {
     pub fn comm(&self) -> &Communicator {
         &self.comm
     }
+
+    /// This node's metrics registry, when launched with
+    /// [`Cluster::run_observed`] — install it on the node's FG programs so
+    /// stage metrics land next to the rank's `comm/*` metrics.
+    pub fn registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.registry.as_ref()
+    }
+
+    /// The cluster's trace sink, when the run is observed with tracing —
+    /// install it on the node's FG programs (with
+    /// [`Program::set_trace_group`](fg_core::Program::set_trace_group) set
+    /// to this rank) so pipeline spans join the comm spans in one export.
+    pub fn trace(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
+    }
 }
 
 /// Result of a cluster run: each node's return value plus traffic stats.
@@ -67,10 +118,15 @@ pub struct ClusterRun<R> {
     /// Per-node traffic counters, indexed by rank.
     pub traffic: Vec<NodeTraffic>,
     /// Snapshot of the communication metrics (`comm/…` names), when the
-    /// run was launched with [`Cluster::run_with_metrics`]; empty
-    /// otherwise.  Merge it into an FG
+    /// run was launched with [`Cluster::run_with_metrics`] or
+    /// [`Cluster::run_observed`]; empty otherwise.  For observed runs this
+    /// is the union of the per-rank snapshots (lossless: every `comm/*`
+    /// name is rank-qualified).  Merge it into an FG
     /// [`Report`](fg_core::Report)'s metrics to render one dashboard.
     pub metrics: MetricsSnapshot,
+    /// Per-rank registry snapshots when launched with
+    /// [`Cluster::run_observed`]; empty otherwise.
+    pub node_metrics: Vec<MetricsSnapshot>,
 }
 
 /// A simulated distributed-memory cluster.
@@ -87,7 +143,7 @@ impl Cluster {
         R: Send + 'static,
         F: Fn(NodeCtx) -> Result<R, ClusterError> + Send + Sync + 'static,
     {
-        Self::launch(cfg, None, f)
+        Self::launch(cfg, Launch::Plain, f)
     }
 
     /// Like [`Cluster::run`], but every node's communicator records per-peer
@@ -103,14 +159,36 @@ impl Cluster {
         R: Send + 'static,
         F: Fn(NodeCtx) -> Result<R, ClusterError> + Send + Sync + 'static,
     {
-        Self::launch(cfg, Some(registry), f)
+        Self::launch(cfg, Launch::Shared(registry), f)
     }
 
-    fn launch<R, F>(
+    /// Like [`Cluster::run`], but with full per-node observability: each
+    /// rank's communicator records into *its own* registry from
+    /// `obs.registries`, and when `obs.trace` is set, sends/recvs and
+    /// collectives record spans into a per-rank `node{rank}/comm` ring
+    /// (grouped per node in the Chrome export).  Node functions see their
+    /// handles via [`NodeCtx::registry`] / [`NodeCtx::trace`].  The
+    /// returned [`ClusterRun::node_metrics`] holds one snapshot per rank.
+    pub fn run_observed<R, F>(
         cfg: ClusterCfg,
-        registry: Option<Arc<MetricsRegistry>>,
+        obs: ClusterObs,
         f: F,
     ) -> Result<ClusterRun<R>, ClusterError>
+    where
+        R: Send + 'static,
+        F: Fn(NodeCtx) -> Result<R, ClusterError> + Send + Sync + 'static,
+    {
+        if obs.registries.len() != cfg.nodes {
+            return Err(ClusterError::Config(format!(
+                "ClusterObs has {} registries for {} nodes",
+                obs.registries.len(),
+                cfg.nodes
+            )));
+        }
+        Self::launch(cfg, Launch::Observed(obs), f)
+    }
+
+    fn launch<R, F>(cfg: ClusterCfg, launch: Launch, f: F) -> Result<ClusterRun<R>, ClusterError>
     where
         R: Send + 'static,
         F: Fn(NodeCtx) -> Result<R, ClusterError> + Send + Sync + 'static,
@@ -127,15 +205,32 @@ impl Cluster {
         for rank in 0..cfg.nodes {
             let fabric = Arc::clone(&fabric);
             let f = Arc::clone(&f);
-            let registry = registry.clone();
+            let launch = launch.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("node{rank}"))
                 .spawn(move || {
-                    let comm = match &registry {
-                        Some(reg) => Communicator::with_metrics(Arc::clone(&fabric), rank, reg),
-                        None => Communicator::new(Arc::clone(&fabric), rank),
+                    let (comm, registry, trace) = match &launch {
+                        Launch::Plain => (Communicator::new(Arc::clone(&fabric), rank), None, None),
+                        Launch::Shared(reg) => (
+                            Communicator::with_metrics(Arc::clone(&fabric), rank, reg),
+                            None,
+                            None,
+                        ),
+                        Launch::Observed(obs) => {
+                            let reg = &obs.registries[rank];
+                            let mut comm =
+                                Communicator::with_metrics(Arc::clone(&fabric), rank, reg);
+                            if let Some(sink) = &obs.trace {
+                                comm.attach_trace(sink);
+                            }
+                            (comm, Some(Arc::clone(reg)), obs.trace.clone())
+                        }
                     };
-                    let ctx = NodeCtx { comm };
+                    let ctx = NodeCtx {
+                        comm,
+                        registry,
+                        trace,
+                    };
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(ctx)));
                     match outcome {
                         Ok(Ok(r)) => Ok(r),
@@ -188,12 +283,39 @@ impl Cluster {
             return Err(e);
         }
         let traffic = (0..cfg.nodes).map(|n| fabric.traffic(n)).collect();
+        let (metrics, node_metrics) = match launch {
+            Launch::Plain => (MetricsSnapshot::default(), Vec::new()),
+            Launch::Shared(reg) => (reg.snapshot(), Vec::new()),
+            Launch::Observed(obs) => {
+                let node_metrics: Vec<MetricsSnapshot> =
+                    obs.registries.iter().map(|r| r.snapshot()).collect();
+                // Per-rank names are disjoint, so the union loses nothing.
+                let mut merged = MetricsSnapshot::default();
+                for snap in &node_metrics {
+                    merged.merge(snap);
+                }
+                (merged, node_metrics)
+            }
+        };
         Ok(ClusterRun {
             results: results.into_iter().map(|r| r.expect("no error")).collect(),
             traffic,
-            metrics: registry.map(|r| r.snapshot()).unwrap_or_default(),
+            metrics,
+            node_metrics,
         })
     }
+}
+
+/// How a cluster run wires observability into its nodes.
+#[derive(Clone)]
+enum Launch {
+    /// No metrics, no tracing.
+    Plain,
+    /// One shared registry for every rank (the pre-cluster-report shape;
+    /// still lossless because all `comm/*` names are rank-qualified).
+    Shared(Arc<MetricsRegistry>),
+    /// Per-rank registries and optional tracing.
+    Observed(ClusterObs),
 }
 
 /// Whether an error is a downstream symptom of another node's failure

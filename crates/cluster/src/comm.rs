@@ -20,6 +20,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fg_core::metrics::{Counter, Histogram, MetricsRegistry};
+use fg_core::trace::COMM_PIPELINE;
+use fg_core::{SpanRing, TraceCtx, TraceKind, TraceSink};
 
 use crate::fabric::{Fabric, NodeTraffic};
 use crate::CommError;
@@ -30,8 +32,14 @@ const COLLECTIVE_BIT: u64 = 1 << 63;
 /// Maximum user tag value.
 pub const MAX_USER_TAG: u64 = COLLECTIVE_BIT - 1;
 
+/// Trace ids for collectives live in a reserved namespace so every rank's
+/// span for collective call `seq` shares one id — the Chrome export then
+/// stitches one cross-rank flow per collective — without colliding with
+/// buffer trace ids (which count up from 1).
+const COLLECTIVE_TRACE_BIT: u64 = 1 << 62;
+
 /// A node's handle to the cluster interconnect.  Cheap to clone; clones
-/// share the node's identity and collective sequence.
+/// share the node's identity, collective sequence, and trace ring.
 #[derive(Clone)]
 pub struct Communicator {
     fabric: Arc<Fabric>,
@@ -42,19 +50,29 @@ pub struct Communicator {
     /// Pre-resolved metric handles; `None` when the cluster runs without a
     /// registry, making every fire site a single never-taken branch.
     metrics: Option<Arc<CommMetrics>>,
+    /// Span recording; `None` when the cluster runs untraced.
+    trace: Option<Arc<CommTrace>>,
 }
 
 /// Metric handles of one node's communicator, resolved once at
 /// construction so the per-message cost is only relaxed atomics.
 ///
 /// Names: per-peer byte/message counters `comm/bytes/{src}->{dst}` and
-/// `comm/msgs/{src}->{dst}`, and cluster-wide collective latency histograms
-/// `comm/{barrier,allgather,alltoallv}_ns` (every node records into the
-/// same histogram).
+/// `comm/msgs/{src}->{dst}` (which include collective-internal traffic, so
+/// their totals match the fabric's byte accounting), plus **per-rank**
+/// latency histograms `comm/{send,recv_wait}_ns/r{rank}` for user
+/// point-to-point calls and `comm/{barrier,broadcast,allgather,alltoallv}_ns/r{rank}`
+/// for collectives.  Labelling by rank keeps each histogram's `count` equal
+/// to the number of operations *that rank* performed — merging N per-node
+/// registries is lossless, and a cluster-wide view sums the per-rank rows
+/// instead of multiplying counts by N as a shared histogram would.
 struct CommMetrics {
     bytes_to: Vec<Arc<Counter>>,
     msgs_to: Vec<Arc<Counter>>,
+    send_ns: Arc<Histogram>,
+    recv_wait_ns: Arc<Histogram>,
     barrier_ns: Arc<Histogram>,
+    broadcast_ns: Arc<Histogram>,
     allgather_ns: Arc<Histogram>,
     alltoallv_ns: Arc<Histogram>,
 }
@@ -68,18 +86,33 @@ impl CommMetrics {
             msgs_to: (0..nodes)
                 .map(|dst| registry.counter(&format!("comm/msgs/{rank}->{dst}")))
                 .collect(),
-            barrier_ns: registry.histogram("comm/barrier_ns"),
-            allgather_ns: registry.histogram("comm/allgather_ns"),
-            alltoallv_ns: registry.histogram("comm/alltoallv_ns"),
+            send_ns: registry.histogram(&format!("comm/send_ns/r{rank}")),
+            recv_wait_ns: registry.histogram(&format!("comm/recv_wait_ns/r{rank}")),
+            barrier_ns: registry.histogram(&format!("comm/barrier_ns/r{rank}")),
+            broadcast_ns: registry.histogram(&format!("comm/broadcast_ns/r{rank}")),
+            allgather_ns: registry.histogram(&format!("comm/allgather_ns/r{rank}")),
+            alltoallv_ns: registry.histogram(&format!("comm/alltoallv_ns/r{rank}")),
         }
     }
 }
 
-/// A received message: its payload and the rank that sent it.
+/// One node's communication flight recorder: a dedicated `node{rank}/comm`
+/// ring (registered in the rank's track group) shared by every clone of the
+/// node's communicator, plus the node's point-to-point send sequence.
+struct CommTrace {
+    ring: Arc<SpanRing>,
+    send_seq: AtomicU64,
+}
+
+/// A received message: its payload, the rank that sent it, and the trace
+/// context it carried.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     /// Sender's rank.
     pub src: usize,
+    /// The trace context the sender attached ([`TraceCtx::NONE`] on
+    /// untraced runs).
+    pub ctx: TraceCtx,
     /// The payload bytes.
     pub payload: Vec<u8>,
 }
@@ -91,6 +124,7 @@ impl Communicator {
             rank,
             coll_seq: Arc::new(AtomicU64::new(0)),
             metrics: None,
+            trace: None,
         }
     }
 
@@ -105,13 +139,32 @@ impl Communicator {
             rank,
             coll_seq: Arc::new(AtomicU64::new(0)),
             metrics: Some(Arc::new(CommMetrics::new(registry, rank, nodes))),
+            trace: None,
         }
+    }
+
+    /// Attach span recording: registers a `node{rank}/comm` ring in this
+    /// rank's track group on `sink`.  Every clone made afterwards shares
+    /// the ring.
+    pub(crate) fn attach_trace(&mut self, sink: &TraceSink) {
+        let ring =
+            sink.register_thread_in_group(format!("node{}/comm", self.rank), self.rank as u32);
+        self.trace = Some(Arc::new(CommTrace {
+            ring,
+            send_seq: AtomicU64::new(0),
+        }));
     }
 
     /// Instrumented counterpart of `fabric.send` for traffic originating at
     /// this node; all sends (point-to-point and collective-internal) route
     /// through here.
-    fn send_raw(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
+    fn send_raw(
+        &self,
+        dst: usize,
+        tag: u64,
+        ctx: TraceCtx,
+        payload: Vec<u8>,
+    ) -> Result<(), CommError> {
         // Self-sends never cross the interconnect; keep the counters in
         // agreement with the fabric's traffic accounting, which also
         // excludes them.
@@ -119,24 +172,43 @@ impl Communicator {
             m.bytes_to[dst].add(payload.len() as u64);
             m.msgs_to[dst].inc();
         }
-        self.fabric.send(self.rank, dst, tag, payload)
+        self.fabric.send(self.rank, dst, tag, ctx, payload)
     }
 
-    /// Time `op` into `pick(metrics)` when a registry is attached.
-    fn timed<T>(
+    /// Observe one collective call: time it into `pick(metrics)` and record
+    /// one `kind` span under the collective's shared cross-rank trace id.
+    ///
+    /// The trace id is derived from the collective sequence number *before*
+    /// `op` consumes it — all ranks observe the same call under the same id,
+    /// which is what joins their spans into one Perfetto flow.  `op` is the
+    /// *unobserved* implementation; composed collectives (allgather is
+    /// gather then broadcast) call the `_impl` variants internally so each
+    /// public call records exactly one span and one histogram entry per rank.
+    fn collective<T>(
         &self,
+        kind: TraceKind,
         pick: impl Fn(&CommMetrics) -> &Histogram,
         op: impl FnOnce() -> Result<T, CommError>,
     ) -> Result<T, CommError> {
-        match &self.metrics {
-            Some(m) => {
-                let t0 = Instant::now();
-                let out = op()?;
-                pick(m).record_duration(t0.elapsed());
-                Ok(out)
-            }
-            None => op(),
+        let seq = self.coll_seq.load(Ordering::SeqCst);
+        let start_ns = self.trace.as_ref().map(|t| t.ring.now_ns());
+        let timer = self.metrics.as_ref().map(|_| Instant::now());
+        let out = op()?;
+        if let (Some(m), Some(t0)) = (&self.metrics, timer) {
+            pick(m).record_duration(t0.elapsed());
         }
+        if let (Some(t), Some(start_ns)) = (&self.trace, start_ns) {
+            let end_ns = t.ring.now_ns();
+            t.ring.record(
+                kind,
+                COMM_PIPELINE,
+                seq,
+                COLLECTIVE_TRACE_BIT | seq,
+                start_ns,
+                end_ns,
+            );
+        }
+        Ok(out)
     }
 
     /// This node's rank in `0..nodes()`.
@@ -165,17 +237,78 @@ impl Communicator {
     /// Send `payload` to `dst` with a user `tag`.  Buffered: completes
     /// without waiting for the receiver (after charging the network cost).
     pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
+        self.send_traced(dst, tag, payload, 0)
+    }
+
+    /// [`Communicator::send`], propagating the sender's buffer `trace_id`
+    /// in the message's [`TraceCtx`]: the receiving rank's `comm-recv` span
+    /// then shares the id, stitching the buffer's journey across ranks in
+    /// the Chrome export.  `trace_id = 0` sends untraced (same as `send`).
+    pub fn send_traced(
+        &self,
+        dst: usize,
+        tag: u64,
+        payload: Vec<u8>,
+        trace_id: u64,
+    ) -> Result<(), CommError> {
         Self::check_tag(tag)?;
-        self.send_raw(dst, tag, payload)
+        let (ctx, start_ns) = match &self.trace {
+            Some(t) => {
+                let seq = t.send_seq.fetch_add(1, Ordering::Relaxed);
+                (
+                    TraceCtx {
+                        origin: self.rank as u32,
+                        trace_id,
+                        seq,
+                    },
+                    Some(t.ring.now_ns()),
+                )
+            }
+            None => (TraceCtx::NONE, None),
+        };
+        let timer = self.metrics.as_ref().map(|_| Instant::now());
+        self.send_raw(dst, tag, ctx, payload)?;
+        if let (Some(m), Some(t0)) = (&self.metrics, timer) {
+            m.send_ns.record_duration(t0.elapsed());
+        }
+        if let (Some(t), Some(start_ns)) = (&self.trace, start_ns) {
+            t.ring.record(
+                TraceKind::CommSend,
+                COMM_PIPELINE,
+                ctx.seq,
+                trace_id,
+                start_ns,
+                t.ring.now_ns(),
+            );
+        }
+        Ok(())
     }
 
     /// Receive the next message with `tag` from `src` (or from any source
     /// when `src` is `None`).  Blocks until one arrives.
     pub fn recv(&self, src: Option<usize>, tag: u64) -> Result<Message, CommError> {
         Self::check_tag(tag)?;
+        let start_ns = self.trace.as_ref().map(|t| t.ring.now_ns());
+        let timer = self.metrics.as_ref().map(|_| Instant::now());
         let env = self.fabric.recv(self.rank, src, tag)?;
+        if let (Some(m), Some(t0)) = (&self.metrics, timer) {
+            m.recv_wait_ns.record_duration(t0.elapsed());
+        }
+        if let (Some(t), Some(start_ns)) = (&self.trace, start_ns) {
+            // Record under the *sender's* trace context: this is the other
+            // half of the cross-rank flow.
+            t.ring.record(
+                TraceKind::CommRecv,
+                COMM_PIPELINE,
+                env.ctx.seq,
+                env.ctx.trace_id,
+                start_ns,
+                t.ring.now_ns(),
+            );
+        }
         Ok(Message {
             src: env.src,
+            ctx: env.ctx,
             payload: env.payload,
         })
     }
@@ -190,46 +323,79 @@ impl Communicator {
         tag: u64,
     ) -> Result<Vec<u8>, CommError> {
         Self::check_tag(tag)?;
-        self.send_raw(dst, tag, payload)?;
+        let ctx = match &self.trace {
+            Some(t) => TraceCtx {
+                origin: self.rank as u32,
+                trace_id: 0,
+                seq: t.send_seq.fetch_add(1, Ordering::Relaxed),
+            },
+            None => TraceCtx::NONE,
+        };
+        self.send_raw(dst, tag, ctx, payload)?;
         let env = self.fabric.recv(self.rank, Some(src), tag)?;
         Ok(env.payload)
     }
 
+    /// Reserve the next collective tag; the sequence half is also the
+    /// collective's cross-rank span identity.
     fn next_coll_tag(&self) -> u64 {
         COLLECTIVE_BIT | self.coll_seq.fetch_add(1, Ordering::SeqCst)
     }
 
+    /// Untraced send used inside collectives: the collective's own span
+    /// covers the whole call, so internal messages carry only the
+    /// collective's identity, not a per-message one.
+    fn coll_send(&self, dst: usize, tag: u64, payload: Vec<u8>) -> Result<(), CommError> {
+        let ctx = TraceCtx {
+            origin: self.rank as u32,
+            trace_id: 0,
+            seq: tag & !COLLECTIVE_BIT,
+        };
+        self.send_raw(dst, tag, ctx, payload)
+    }
+
     /// Synchronize all nodes.
     pub fn barrier(&self) -> Result<(), CommError> {
-        self.timed(
+        self.collective(
+            TraceKind::Barrier,
             |m| &m.barrier_ns,
-            || {
-                let tag = self.next_coll_tag();
-                // Gather empty payloads at 0, then 0 releases everyone.
-                if self.rank == 0 {
-                    for _ in 1..self.nodes() {
-                        self.fabric.recv(0, None, tag)?;
-                    }
-                    for dst in 1..self.nodes() {
-                        self.send_raw(dst, tag, Vec::new())?;
-                    }
-                } else {
-                    self.send_raw(0, tag, Vec::new())?;
-                    self.fabric.recv(self.rank, Some(0), tag)?;
-                }
-                Ok(())
-            },
+            || self.barrier_impl(),
         )
+    }
+
+    fn barrier_impl(&self) -> Result<(), CommError> {
+        let tag = self.next_coll_tag();
+        // Gather empty payloads at 0, then 0 releases everyone.
+        if self.rank == 0 {
+            for _ in 1..self.nodes() {
+                self.fabric.recv(0, None, tag)?;
+            }
+            for dst in 1..self.nodes() {
+                self.coll_send(dst, tag, Vec::new())?;
+            }
+        } else {
+            self.coll_send(0, tag, Vec::new())?;
+            self.fabric.recv(self.rank, Some(0), tag)?;
+        }
+        Ok(())
     }
 
     /// Broadcast `data` from `root` to every node; returns the broadcast
     /// payload on all nodes (`data` is ignored on non-roots).
     pub fn broadcast(&self, root: usize, data: &[u8]) -> Result<Vec<u8>, CommError> {
+        self.collective(
+            TraceKind::Broadcast,
+            |m| &m.broadcast_ns,
+            || self.broadcast_impl(root, data),
+        )
+    }
+
+    fn broadcast_impl(&self, root: usize, data: &[u8]) -> Result<Vec<u8>, CommError> {
         let tag = self.next_coll_tag();
         if self.rank == root {
             for dst in 0..self.nodes() {
                 if dst != root {
-                    self.send_raw(dst, tag, data.to_vec())?;
+                    self.coll_send(dst, tag, data.to_vec())?;
                 }
             }
             Ok(data.to_vec())
@@ -251,7 +417,7 @@ impl Communicator {
             }
             Ok(Some(parts))
         } else {
-            self.send_raw(root, tag, data)?;
+            self.coll_send(root, tag, data)?;
             Ok(None)
         }
     }
@@ -259,16 +425,19 @@ impl Communicator {
     /// All nodes contribute `data`; all nodes receive every node's
     /// contribution, indexed by rank.
     pub fn allgather(&self, data: Vec<u8>) -> Result<Vec<Vec<u8>>, CommError> {
-        self.timed(
+        self.collective(
+            TraceKind::Allgather,
             |m| &m.allgather_ns,
             || {
                 // gather at 0 + broadcast of the length-prefixed concatenation.
+                // Composed from the unobserved internals so the public call
+                // records one span, not nested broadcast spans.
                 let gathered = self.gather(0, data)?;
                 let packed = match gathered {
                     Some(parts) => pack_parts(&parts),
                     None => Vec::new(),
                 };
-                let bytes = self.broadcast(0, &packed)?;
+                let bytes = self.broadcast_impl(0, &packed)?;
                 unpack_parts(&bytes)
             },
         )
@@ -285,14 +454,15 @@ impl Communicator {
                 parts.len()
             )));
         }
-        self.timed(
+        self.collective(
+            TraceKind::Alltoallv,
             |m| &m.alltoallv_ns,
             move || {
                 let tag = self.next_coll_tag();
                 let mine = std::mem::take(&mut parts[self.rank]);
                 for (dst, part) in parts.iter_mut().enumerate() {
                     if dst != self.rank {
-                        self.send_raw(dst, tag, std::mem::take(part))?;
+                        self.coll_send(dst, tag, std::mem::take(part))?;
                     }
                 }
                 let mut received: Vec<Vec<u8>> = vec![Vec::new(); self.nodes()];

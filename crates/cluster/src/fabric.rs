@@ -11,16 +11,21 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use fg_core::TraceCtx;
 use parking_lot::{Condvar, Mutex};
 
 use crate::cost::NetCfg;
 use crate::CommError;
 
-/// A message in flight.
+/// A message in flight.  The [`TraceCtx`] rides the envelope so the
+/// receiver can attribute the message to the sender's trace — a network
+/// transport must carry [`TraceCtx::encode`]'s fixed-size header in each
+/// frame to preserve this.
 #[derive(Debug)]
 pub(crate) struct Envelope {
     pub(crate) src: usize,
     pub(crate) tag: u64,
+    pub(crate) ctx: TraceCtx,
     pub(crate) payload: Vec<u8>,
 }
 
@@ -95,6 +100,7 @@ impl Fabric {
         src: usize,
         dst: usize,
         tag: u64,
+        ctx: TraceCtx,
         payload: Vec<u8>,
     ) -> Result<(), CommError> {
         if dst >= self.mailboxes.len() {
@@ -115,7 +121,12 @@ impl Fabric {
         }
         let mb = &self.mailboxes[dst];
         let mut inbox = mb.inbox.lock();
-        inbox.push_back(Envelope { src, tag, payload });
+        inbox.push_back(Envelope {
+            src,
+            tag,
+            ctx,
+            payload,
+        });
         drop(inbox);
         mb.arrived.notify_all();
         Ok(())
@@ -163,17 +174,29 @@ mod tests {
     #[test]
     fn point_to_point_delivery() {
         let f = Fabric::new(2, NetCfg::zero());
-        f.send(0, 1, 7, vec![1, 2, 3]).unwrap();
+        f.send(0, 1, 7, TraceCtx::NONE, vec![1, 2, 3]).unwrap();
         let e = f.recv(1, Some(0), 7).unwrap();
         assert_eq!(e.payload, vec![1, 2, 3]);
         assert_eq!(e.src, 0);
     }
 
     #[test]
+    fn trace_ctx_rides_the_envelope() {
+        let f = Fabric::new(2, NetCfg::zero());
+        let ctx = TraceCtx {
+            origin: 0,
+            trace_id: 77,
+            seq: 3,
+        };
+        f.send(0, 1, 7, ctx, vec![1]).unwrap();
+        assert_eq!(f.recv(1, Some(0), 7).unwrap().ctx, ctx);
+    }
+
+    #[test]
     fn tag_matching_skips_other_tags() {
         let f = Fabric::new(2, NetCfg::zero());
-        f.send(0, 1, 1, vec![1]).unwrap();
-        f.send(0, 1, 2, vec![2]).unwrap();
+        f.send(0, 1, 1, TraceCtx::NONE, vec![1]).unwrap();
+        f.send(0, 1, 2, TraceCtx::NONE, vec![2]).unwrap();
         assert_eq!(f.recv(1, Some(0), 2).unwrap().payload, vec![2]);
         assert_eq!(f.recv(1, Some(0), 1).unwrap().payload, vec![1]);
     }
@@ -181,8 +204,8 @@ mod tests {
     #[test]
     fn any_source_matches_first_arrival() {
         let f = Fabric::new(3, NetCfg::zero());
-        f.send(2, 0, 9, vec![2]).unwrap();
-        f.send(1, 0, 9, vec![1]).unwrap();
+        f.send(2, 0, 9, TraceCtx::NONE, vec![2]).unwrap();
+        f.send(1, 0, 9, TraceCtx::NONE, vec![1]).unwrap();
         let e = f.recv(0, None, 9).unwrap();
         assert_eq!(e.src, 2, "FIFO across sources for ANY_SOURCE");
     }
@@ -191,7 +214,7 @@ mod tests {
     fn same_src_tag_is_fifo() {
         let f = Fabric::new(2, NetCfg::zero());
         for i in 0..10u8 {
-            f.send(0, 1, 5, vec![i]).unwrap();
+            f.send(0, 1, 5, TraceCtx::NONE, vec![i]).unwrap();
         }
         for i in 0..10u8 {
             assert_eq!(f.recv(1, Some(0), 5).unwrap().payload, vec![i]);
@@ -204,7 +227,7 @@ mod tests {
         let f2 = Arc::clone(&f);
         let h = thread::spawn(move || f2.recv(1, Some(0), 3).unwrap().payload);
         thread::sleep(Duration::from_millis(10));
-        f.send(0, 1, 3, vec![9]).unwrap();
+        f.send(0, 1, 3, TraceCtx::NONE, vec![9]).unwrap();
         assert_eq!(h.join().unwrap(), vec![9]);
     }
 
@@ -216,20 +239,26 @@ mod tests {
         thread::sleep(Duration::from_millis(10));
         f.poison();
         assert_eq!(h.join().unwrap().unwrap_err(), CommError::Poisoned);
-        assert_eq!(f.send(0, 1, 0, vec![]).unwrap_err(), CommError::Poisoned);
+        assert_eq!(
+            f.send(0, 1, 0, TraceCtx::NONE, vec![]).unwrap_err(),
+            CommError::Poisoned
+        );
     }
 
     #[test]
     fn bad_rank_rejected() {
         let f = Fabric::new(2, NetCfg::zero());
-        assert_eq!(f.send(0, 5, 0, vec![]).unwrap_err(), CommError::BadRank(5));
+        assert_eq!(
+            f.send(0, 5, 0, TraceCtx::NONE, vec![]).unwrap_err(),
+            CommError::BadRank(5)
+        );
     }
 
     #[test]
     fn traffic_counters_accumulate() {
         let f = Fabric::new(2, NetCfg::zero());
-        f.send(0, 1, 0, vec![0; 100]).unwrap();
-        f.send(0, 1, 0, vec![0; 50]).unwrap();
+        f.send(0, 1, 0, TraceCtx::NONE, vec![0; 100]).unwrap();
+        f.send(0, 1, 0, TraceCtx::NONE, vec![0; 50]).unwrap();
         let t = f.traffic(0);
         assert_eq!(t.bytes_sent, 150);
         assert_eq!(t.msgs_sent, 2);
@@ -246,8 +275,8 @@ mod tests {
         let ha = thread::spawn(move || fa.recv(1, None, 100).unwrap().payload);
         let hb = thread::spawn(move || fb.recv(1, None, 200).unwrap().payload);
         thread::sleep(Duration::from_millis(5));
-        f.send(0, 1, 200, vec![2]).unwrap();
-        f.send(0, 1, 100, vec![1]).unwrap();
+        f.send(0, 1, 200, TraceCtx::NONE, vec![2]).unwrap();
+        f.send(0, 1, 100, TraceCtx::NONE, vec![1]).unwrap();
         assert_eq!(ha.join().unwrap(), vec![1]);
         assert_eq!(hb.join().unwrap(), vec![2]);
     }

@@ -37,7 +37,7 @@ mod comm;
 mod cost;
 mod fabric;
 
-pub use cluster::{Cluster, ClusterCfg, ClusterRun, NodeCtx};
+pub use cluster::{Cluster, ClusterCfg, ClusterObs, ClusterRun, NodeCtx};
 pub use comm::{Communicator, Message, MAX_USER_TAG};
 pub use cost::NetCfg;
 pub use fabric::NodeTraffic;

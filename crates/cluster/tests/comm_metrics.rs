@@ -34,10 +34,26 @@ fn run_with_metrics_counts_peer_traffic_and_collectives() {
         assert!(bytes >= 100, "rank {rank} sent {bytes} bytes");
         assert!(m.counter(&format!("comm/msgs/{rank}->{next}")).unwrap() >= 1);
     }
-    // Each node recorded one latency sample per collective.
-    for name in ["comm/barrier_ns", "comm/allgather_ns", "comm/alltoallv_ns"] {
-        let h = m.histogram(name).unwrap();
-        assert_eq!(h.count, NODES as u64, "{name}");
+    // Collective latency histograms are labelled per rank, so each one
+    // holds exactly one sample per collective call that rank made — the
+    // count is per-operation, not multiplied by the cluster size.
+    for rank in 0..NODES {
+        for op in ["barrier", "allgather", "alltoallv"] {
+            let name = format!("comm/{op}_ns/r{rank}");
+            let h = m.histogram(&name).unwrap();
+            assert_eq!(h.count, 1, "{name}");
+        }
+        // One point-to-point send and one receive per rank.
+        assert_eq!(
+            m.histogram(&format!("comm/send_ns/r{rank}")).unwrap().count,
+            1
+        );
+        assert_eq!(
+            m.histogram(&format!("comm/recv_wait_ns/r{rank}"))
+                .unwrap()
+                .count,
+            1
+        );
     }
     // Metric totals agree with the fabric's own traffic accounting.
     let fabric_bytes: u64 = run.traffic.iter().map(|t| t.bytes_sent).sum();

@@ -1,0 +1,201 @@
+//! Tests of cross-node trace propagation: per-node comm rings, collective
+//! span counts, cluster-report traffic totals, and the stitched Chrome
+//! export.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fg_cluster::{Cluster, ClusterCfg, ClusterObs};
+use fg_core::cluster_report::{ClusterReport, RankReport};
+use fg_core::{Json, TraceKind, TraceSink};
+
+const COLLECTIVE_TRACE_BIT: u64 = 1 << 62;
+
+/// Three nodes, each making a fixed schedule of comm calls under a shared
+/// trace sink; returns the sink and the run's fabric traffic and metrics.
+fn traced_run(nodes: usize) -> (Arc<TraceSink>, fg_cluster::ClusterRun<()>) {
+    let sink = TraceSink::new();
+    let obs = ClusterObs::per_node(nodes).with_trace(Arc::clone(&sink));
+    let run = Cluster::run_observed(ClusterCfg::zero_cost(nodes), obs, move |ctx| {
+        let comm = ctx.comm();
+        let next = (ctx.rank() + 1) % ctx.nodes();
+        let prev = (ctx.rank() + ctx.nodes() - 1) % ctx.nodes();
+        comm.send_traced(next, 7, vec![0u8; 256], 1000 + ctx.rank() as u64)?;
+        comm.recv(Some(prev), 7)?;
+        comm.barrier()?;
+        comm.barrier()?;
+        comm.broadcast(0, &[1, 2, 3])?;
+        comm.allgather(vec![ctx.rank() as u8])?;
+        comm.alltoallv(vec![vec![9u8; 16]; ctx.nodes()])?;
+        Ok(())
+    })
+    .unwrap();
+    (sink, run)
+}
+
+#[test]
+fn each_collective_records_exactly_one_span_per_node_per_call() {
+    const NODES: usize = 3;
+    let (sink, _run) = traced_run(NODES);
+    let logs = sink.collect();
+    for rank in 0..NODES {
+        let ring = logs
+            .iter()
+            .find(|l| l.thread == format!("node{rank}/comm"))
+            .unwrap_or_else(|| panic!("no comm ring for rank {rank}"));
+        let count = |kind: TraceKind| ring.spans.iter().filter(|s| s.kind == kind).count();
+        // The schedule above: 2 barriers, 1 broadcast, 1 allgather,
+        // 1 alltoallv, 1 send, 1 recv — and exactly that many spans, not
+        // multiplied by the cluster size.
+        assert_eq!(count(TraceKind::Barrier), 2, "rank {rank} barrier spans");
+        assert_eq!(
+            count(TraceKind::Broadcast),
+            1,
+            "rank {rank} broadcast spans"
+        );
+        assert_eq!(
+            count(TraceKind::Allgather),
+            1,
+            "rank {rank} allgather spans"
+        );
+        assert_eq!(
+            count(TraceKind::Alltoallv),
+            1,
+            "rank {rank} alltoallv spans"
+        );
+        assert_eq!(count(TraceKind::CommSend), 1, "rank {rank} send spans");
+        assert_eq!(count(TraceKind::CommRecv), 1, "rank {rank} recv spans");
+    }
+}
+
+#[test]
+fn collective_spans_share_one_trace_id_across_ranks() {
+    const NODES: usize = 3;
+    let (sink, _run) = traced_run(NODES);
+    let logs = sink.collect();
+    // The first barrier on every rank carries the same collective trace id
+    // (bit 62 | collective sequence) — that id is what joins the per-rank
+    // spans into one cross-rank flow.
+    let mut first_barrier_ids = Vec::new();
+    for rank in 0..NODES {
+        let ring = logs
+            .iter()
+            .find(|l| l.thread == format!("node{rank}/comm"))
+            .unwrap();
+        let id = ring
+            .spans
+            .iter()
+            .find(|s| s.kind == TraceKind::Barrier)
+            .map(|s| s.trace_id)
+            .unwrap();
+        assert!(id & COLLECTIVE_TRACE_BIT != 0, "collective bit set");
+        first_barrier_ids.push(id);
+    }
+    assert!(
+        first_barrier_ids.windows(2).all(|w| w[0] == w[1]),
+        "barrier trace ids differ across ranks: {first_barrier_ids:?}"
+    );
+    // A point-to-point send's trace id survives the hop: the sender's
+    // comm-send span and the receiver's comm-recv span share it.
+    let send_ids: Vec<u64> = (0..NODES)
+        .map(|rank| {
+            logs.iter()
+                .find(|l| l.thread == format!("node{rank}/comm"))
+                .unwrap()
+                .spans
+                .iter()
+                .find(|s| s.kind == TraceKind::CommSend)
+                .map(|s| s.trace_id)
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(send_ids, vec![1000, 1001, 1002]);
+    for rank in 0..NODES {
+        let prev = (rank + NODES - 1) % NODES;
+        let recv_id = logs
+            .iter()
+            .find(|l| l.thread == format!("node{rank}/comm"))
+            .unwrap()
+            .spans
+            .iter()
+            .find(|s| s.kind == TraceKind::CommRecv)
+            .map(|s| s.trace_id)
+            .unwrap();
+        assert_eq!(recv_id, 1000 + prev as u64, "rank {rank} recv trace id");
+    }
+}
+
+#[test]
+fn cluster_report_traffic_totals_equal_fabric_bytes_moved() {
+    const NODES: usize = 3;
+    let (_sink, run) = traced_run(NODES);
+    let mut report = ClusterReport::new(NODES);
+    for rank in 0..NODES {
+        report.push(RankReport {
+            rank,
+            wall: Duration::from_millis(1),
+            reports: Vec::new(),
+            metrics: run.node_metrics[rank].clone(),
+        });
+    }
+    let fabric_sent: u64 = run.traffic.iter().map(|t| t.bytes_sent).sum();
+    let matrix = report.traffic_matrix();
+    let matrix_total: u64 = matrix.iter().flatten().sum();
+    assert_eq!(matrix_total, fabric_sent, "matrix total vs fabric bytes");
+    let by_row: u64 = report.bytes_sent().iter().sum();
+    let by_col: u64 = report.bytes_received().iter().sum();
+    assert_eq!(by_row, fabric_sent);
+    assert_eq!(by_col, fabric_sent);
+}
+
+#[test]
+fn chrome_export_groups_nodes_and_stitches_cross_rank_flows() {
+    const NODES: usize = 3;
+    let (sink, _run) = traced_run(NODES);
+    let doc = Json::parse(&sink.to_chrome_trace()).expect("valid chrome JSON");
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("no traceEvents array: {other:?}"),
+    };
+    // One process track per node.
+    let mut track_names = Vec::new();
+    for e in events {
+        if e.get("name").and_then(Json::as_str) == Some("process_name") {
+            let name = e
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string();
+            track_names.push(name);
+        }
+    }
+    for rank in 0..NODES {
+        assert!(
+            track_names.iter().any(|n| n == &format!("node{rank}")),
+            "missing track group node{rank} in {track_names:?}"
+        );
+    }
+    // At least one flow (same id) starts on one node's track and finishes
+    // on another's — the cross-rank stitch.
+    let mut flow_pids: std::collections::HashMap<String, Vec<(String, f64)>> =
+        std::collections::HashMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        if ph == "s" || ph == "f" {
+            let id = e.get("id").and_then(Json::as_str).expect("string flow id");
+            let pid = e.get("pid").and_then(Json::as_f64).unwrap();
+            flow_pids
+                .entry(id.to_string())
+                .or_default()
+                .push((ph.to_string(), pid));
+        }
+    }
+    assert!(!flow_pids.is_empty(), "no flow events in export");
+    let cross_rank = flow_pids.values().any(|touches| {
+        let pids: std::collections::HashSet<u64> =
+            touches.iter().map(|(_, pid)| *pid as u64).collect();
+        pids.len() >= 2
+    });
+    assert!(cross_rank, "no flow spans more than one node track");
+}

@@ -837,6 +837,277 @@ impl Diagnosis {
     }
 }
 
+/// A rank's wall time must exceed the cluster mean by this ratio to be
+/// called a straggler.
+pub(crate) const STRAGGLER_RATIO: f64 = 1.25;
+
+/// A rank must receive this many times the mean bytes to be called the hot
+/// rank of a skewed exchange.
+pub(crate) const SKEW_RATIO: f64 = 1.5;
+
+/// A rank spending more than this fraction of its wall time inside
+/// communicator operations is comm-bound.
+pub(crate) const COMM_BOUND_FRAC: f64 = 0.5;
+
+/// One rank's attribution inside a [`ClusterDiagnosis`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankVerdict {
+    /// The rank.
+    pub rank: usize,
+    /// The rank's node-function wall time.
+    pub wall: Duration,
+    /// Total stage busy time across the rank's FG programs.
+    pub busy: Duration,
+    /// Time inside communicator operations (user sends, blocked receives,
+    /// collectives), ns.
+    pub comm_ns: u64,
+    /// Of [`RankVerdict::comm_ns`], time blocked in `recv` — waiting on a
+    /// peer rather than moving bytes.
+    pub recv_wait_ns: u64,
+    /// Bytes this rank sent (traffic-matrix row sum).
+    pub bytes_sent: u64,
+    /// Bytes this rank received (traffic-matrix column sum).
+    pub bytes_recv: u64,
+    /// Whether communication dominates the rank's wall time
+    /// (`comm_ns > `[`COMM_BOUND_FRAC`]` * wall`).
+    pub comm_bound: bool,
+}
+
+/// What [`diagnose_cluster`] concluded about a cluster run: which rank (if
+/// any) drags the run, whether the exchange pattern is skewed, and whether
+/// ranks are comm- or compute-bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterDiagnosis {
+    /// Per-rank attribution, in rank order.
+    pub ranks: Vec<RankVerdict>,
+    /// The straggler rank, when one rank's wall time exceeds the mean by
+    /// [`STRAGGLER_RATIO`] — the whole run ends when it does.
+    pub straggler: Option<usize>,
+    /// The hot rank of a skewed exchange, when one rank receives more than
+    /// [`SKEW_RATIO`] times the mean bytes.
+    pub hot_rank: Option<usize>,
+    /// Human-readable findings, most important first.
+    pub recommendations: Vec<String>,
+}
+
+/// Diagnose a cluster run from its merged [`ClusterReport`]: straggler
+/// detection from per-rank wall imbalance, exchange skew from the traffic
+/// matrix, and comm-bound vs compute-bound attribution per rank.
+pub fn diagnose_cluster(report: &crate::cluster_report::ClusterReport) -> ClusterDiagnosis {
+    let sent = report.bytes_sent();
+    let recv = report.bytes_received();
+    let ranks: Vec<RankVerdict> = report
+        .ranks
+        .iter()
+        .map(|r| {
+            let recv_wait_ns = r.recv_wait_ns();
+            let comm_ns = r.send_ns() + recv_wait_ns + r.collective_ns();
+            RankVerdict {
+                rank: r.rank,
+                wall: r.wall,
+                busy: r.busy(),
+                comm_ns,
+                recv_wait_ns,
+                bytes_sent: sent.get(r.rank).copied().unwrap_or(0),
+                bytes_recv: recv.get(r.rank).copied().unwrap_or(0),
+                comm_bound: comm_ns as f64 > COMM_BOUND_FRAC * r.wall.as_nanos() as f64,
+            }
+        })
+        .collect();
+    let mut recommendations = Vec::new();
+
+    // Straggler: the run ends when the slowest rank does, so one rank with
+    // outsized wall time caps the whole cluster.
+    let straggler = argmax_over_mean(
+        ranks.iter().map(|r| r.wall.as_nanos() as f64),
+        STRAGGLER_RATIO,
+    )
+    .map(|i| ranks[i].rank);
+    if let Some(rank) = straggler {
+        let v = ranks.iter().find(|r| r.rank == rank).unwrap();
+        let mean = ranks.iter().map(|r| r.wall.as_secs_f64()).sum::<f64>() / ranks.len() as f64;
+        recommendations.push(format!(
+            "rank {rank} is a straggler: its wall time ({:.3}s) is {:.1}x the cluster \
+             mean ({mean:.3}s) — every other rank waits for it at the next collective",
+            v.wall.as_secs_f64(),
+            v.wall.as_secs_f64() / mean.max(f64::MIN_POSITIVE),
+        ));
+    }
+
+    // Exchange skew: one rank receiving an outsized share of the bytes.
+    let hot_rank = argmax_over_mean(ranks.iter().map(|r| r.bytes_recv as f64), SKEW_RATIO)
+        .map(|i| ranks[i].rank);
+    if let Some(rank) = hot_rank {
+        let v = ranks.iter().find(|r| r.rank == rank).unwrap();
+        let mean = ranks.iter().map(|r| r.bytes_recv as f64).sum::<f64>() / ranks.len() as f64;
+        recommendations.push(format!(
+            "the exchange is skewed: rank {rank} receives {} — {:.1}x the mean — so its \
+             receive pipeline (and the senders blocked on it) governs the exchange; \
+             rebalance the partition (e.g. sample splitters from more data) or give \
+             rank {rank}'s receive pipeline more buffers",
+            crate::cluster_report::fmt_bytes(v.bytes_recv),
+            v.bytes_recv as f64 / mean.max(f64::MIN_POSITIVE),
+        ));
+    }
+
+    // Comm- vs compute-bound attribution.
+    let comm_bound: Vec<usize> = ranks
+        .iter()
+        .filter(|r| r.comm_bound)
+        .map(|r| r.rank)
+        .collect();
+    if !comm_bound.is_empty() && comm_bound.len() < ranks.len() {
+        for &rank in &comm_bound {
+            let v = ranks.iter().find(|r| r.rank == rank).unwrap();
+            let wait_frac = if v.comm_ns > 0 {
+                v.recv_wait_ns as f64 / v.comm_ns as f64
+            } else {
+                0.0
+            };
+            if wait_frac > 0.5 {
+                recommendations.push(format!(
+                    "rank {rank} is comm-bound and mostly *waiting* ({:.0}% of its comm \
+                     time is blocked receives): it is starved by a slow or overloaded \
+                     peer, not by its own traffic",
+                    wait_frac * 100.0
+                ));
+            } else {
+                recommendations.push(format!(
+                    "rank {rank} is comm-bound ({:.0}% of wall inside communicator \
+                     operations): overlap the exchange with compute by splitting \
+                     send/receive into disjoint pipelines",
+                    100.0 * v.comm_ns as f64 / (v.wall.as_nanos() as f64).max(1.0)
+                ));
+            }
+        }
+    } else if !ranks.is_empty() && comm_bound.len() == ranks.len() {
+        recommendations.push(
+            "every rank is comm-bound: the interconnect (or the exchange pattern) limits \
+             the run — reduce bytes on the wire or raise effective bandwidth before \
+             tuning pipelines"
+                .into(),
+        );
+    }
+    if straggler.is_none() && hot_rank.is_none() && comm_bound.is_empty() && ranks.len() > 1 {
+        recommendations.push(
+            "the cluster is balanced and compute-bound: per-rank pipeline tuning (see \
+             per-rank diagnoses) is the next lever"
+                .into(),
+        );
+    }
+
+    ClusterDiagnosis {
+        ranks,
+        straggler,
+        hot_rank,
+        recommendations,
+    }
+}
+
+/// Index of the maximum of `vals` when it exceeds `ratio` times the mean;
+/// `None` for empty/degenerate inputs or a balanced distribution.
+fn argmax_over_mean(vals: impl Iterator<Item = f64>, ratio: f64) -> Option<usize> {
+    let vals: Vec<f64> = vals.collect();
+    if vals.len() < 2 {
+        return None;
+    }
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    if mean <= 0.0 {
+        return None;
+    }
+    let (i, &max) = vals.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
+    (max > ratio * mean).then_some(i)
+}
+
+impl ClusterDiagnosis {
+    /// Render the cluster diagnosis as text: a per-rank attribution table
+    /// and the recommendation list.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== cluster diagnosis ==\n");
+        out.push_str(&format!(
+            "{:<6} {:>8} {:>8} {:>7} {:>10} {:>10}  verdict\n",
+            "rank", "wall s", "busy s", "comm%", "sent", "recv"
+        ));
+        for v in &self.ranks {
+            let comm_frac = if v.wall.as_nanos() > 0 {
+                v.comm_ns as f64 / v.wall.as_nanos() as f64
+            } else {
+                0.0
+            };
+            let mut verdict = if v.comm_bound {
+                "comm-bound"
+            } else {
+                "compute-bound"
+            }
+            .to_string();
+            if self.straggler == Some(v.rank) {
+                verdict.push_str(", straggler");
+            }
+            if self.hot_rank == Some(v.rank) {
+                verdict.push_str(", hot");
+            }
+            out.push_str(&format!(
+                "{:<6} {:>8.3} {:>8.3} {:>6.0}% {:>10} {:>10}  {}\n",
+                format!("r{}", v.rank),
+                v.wall.as_secs_f64(),
+                v.busy.as_secs_f64(),
+                comm_frac * 100.0,
+                crate::cluster_report::fmt_bytes(v.bytes_sent),
+                crate::cluster_report::fmt_bytes(v.bytes_recv),
+                verdict,
+            ));
+        }
+        if !self.recommendations.is_empty() {
+            out.push_str("recommendations:\n");
+            for r in &self.recommendations {
+                out.push_str(&format!("  - {r}\n"));
+            }
+        }
+        out
+    }
+
+    /// The diagnosis as a [`Json`] value (the `hot_rank` / `straggler`
+    /// fields are what CI gates assert against).
+    pub fn to_json_value(&self) -> crate::json::Json {
+        use crate::json::{obj, Json};
+        let opt = |v: Option<usize>| v.map_or(Json::Null, Json::from);
+        obj(vec![
+            (
+                "ranks",
+                Json::Arr(
+                    self.ranks
+                        .iter()
+                        .map(|v| {
+                            obj(vec![
+                                ("rank", Json::from(v.rank)),
+                                ("wall_ns", Json::from(v.wall.as_nanos() as u64)),
+                                ("busy_ns", Json::from(v.busy.as_nanos() as u64)),
+                                ("comm_ns", Json::from(v.comm_ns)),
+                                ("recv_wait_ns", Json::from(v.recv_wait_ns)),
+                                ("bytes_sent", Json::from(v.bytes_sent)),
+                                ("bytes_recv", Json::from(v.bytes_recv)),
+                                ("comm_bound", Json::Bool(v.comm_bound)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("straggler", opt(self.straggler)),
+            ("hot_rank", opt(self.hot_rank)),
+            (
+                "recommendations",
+                Json::Arr(
+                    self.recommendations
+                        .iter()
+                        .map(|r| Json::from(r.as_str()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1267,5 +1538,93 @@ mod tests {
         let p = d.prefetch.unwrap();
         assert_eq!((p.hits, p.misses), (0, 40));
         assert!(p.hit_rate() < PREFETCH_WARN);
+    }
+
+    /// Build a rank report with given wall time and received-byte counters
+    /// credited to it by its peers.
+    fn cluster_rank(
+        rank: usize,
+        nodes: usize,
+        wall_ms: u64,
+        send_to_next: u64,
+        comm_ms: u64,
+    ) -> crate::cluster_report::RankReport {
+        let reg = crate::metrics::MetricsRegistry::new();
+        reg.counter(&format!("comm/bytes/{rank}->{}", (rank + 1) % nodes))
+            .add(send_to_next);
+        reg.histogram(&format!("comm/send_ns/r{rank}"))
+            .record(comm_ms * 1_000_000);
+        crate::cluster_report::RankReport {
+            rank,
+            wall: Duration::from_millis(wall_ms),
+            reports: Vec::new(),
+            metrics: reg.snapshot(),
+        }
+    }
+
+    #[test]
+    fn cluster_diagnosis_names_the_straggler() {
+        let mut cr = crate::cluster_report::ClusterReport::new(4);
+        for rank in 0..4 {
+            let wall = if rank == 2 { 400 } else { 100 };
+            cr.push(cluster_rank(rank, 4, wall, 1000, 1));
+        }
+        let d = diagnose_cluster(&cr);
+        assert_eq!(d.straggler, Some(2));
+        assert_eq!(d.hot_rank, None);
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("rank 2 is a straggler")));
+        assert!(d.render().contains("straggler"));
+    }
+
+    #[test]
+    fn cluster_diagnosis_names_the_hot_rank_of_a_skewed_exchange() {
+        let mut cr = crate::cluster_report::ClusterReport::new(4);
+        for rank in 0..4 {
+            // Everyone sends to its neighbor; rank 3 sends a flood to rank 0.
+            let bytes = if rank == 3 { 100_000 } else { 1000 };
+            cr.push(cluster_rank(rank, 4, 100, bytes, 1));
+        }
+        let d = diagnose_cluster(&cr);
+        assert_eq!(d.hot_rank, Some(0));
+        assert_eq!(d.straggler, None);
+        let json = d.to_json_value();
+        assert_eq!(
+            json.get("hot_rank").and_then(crate::json::Json::as_u64),
+            Some(0)
+        );
+        assert!(json.get("straggler").is_some());
+    }
+
+    #[test]
+    fn cluster_diagnosis_flags_comm_bound_ranks() {
+        let mut cr = crate::cluster_report::ClusterReport::new(2);
+        // Rank 0 spends 80 of its 100ms wall inside sends; rank 1 does not.
+        cr.push(cluster_rank(0, 2, 100, 1000, 80));
+        cr.push(cluster_rank(1, 2, 100, 1000, 1));
+        let d = diagnose_cluster(&cr);
+        assert!(d.ranks[0].comm_bound);
+        assert!(!d.ranks[1].comm_bound);
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("rank 0 is comm-bound")));
+    }
+
+    #[test]
+    fn balanced_cluster_diagnosis_is_quiet() {
+        let mut cr = crate::cluster_report::ClusterReport::new(3);
+        for rank in 0..3 {
+            cr.push(cluster_rank(rank, 3, 100, 1000, 1));
+        }
+        let d = diagnose_cluster(&cr);
+        assert_eq!(d.straggler, None);
+        assert_eq!(d.hot_rank, None);
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("balanced and compute-bound")));
     }
 }

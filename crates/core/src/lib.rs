@@ -55,6 +55,7 @@
 
 pub mod analyze;
 mod buffer;
+pub mod cluster_report;
 pub mod controller;
 pub mod critical_path;
 mod error;
@@ -72,10 +73,11 @@ pub mod telemetry;
 pub mod trace;
 
 pub use analyze::{
-    diagnose, diagnose_window, diagnose_with_trace, Diagnosis, QueueFinding, StageDiagnosis,
-    StageVerdict, WindowDiagnosis,
+    diagnose, diagnose_cluster, diagnose_window, diagnose_with_trace, ClusterDiagnosis, Diagnosis,
+    QueueFinding, RankVerdict, StageDiagnosis, StageVerdict, WindowDiagnosis,
 };
 pub use buffer::{Buffer, PipelineId, StageId};
+pub use cluster_report::{ClusterReport, CollectiveStat, RankReport};
 pub use controller::{
     ControlStatus, Controller, ControllerCfg, ControllerLog, Decision, DepthActuator, PoolControl,
 };
@@ -91,6 +93,6 @@ pub use stage::{map_stage, reorder_stage, MapStage, Rounds, Stage, StageCtx};
 pub use stats::{PipelineShape, QueueDepth, Report, Span, SpanKind, StageStats};
 pub use telemetry::{Sampler, SamplerCfg, TelemetryServer, TimestampedSnapshot};
 pub use trace::{
-    Postmortem, SpanRec, SpanRing, ThreadLog, ThreadState, TraceKind, TraceSink, WatchdogAction,
-    WatchdogCfg,
+    Postmortem, SpanRec, SpanRing, ThreadLog, ThreadState, TraceCtx, TraceKind, TraceSink,
+    WatchdogAction, WatchdogCfg,
 };

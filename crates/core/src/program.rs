@@ -111,6 +111,7 @@ pub struct Program {
     observer: Option<Arc<dyn crate::observe::Observer>>,
     metrics: Option<Arc<crate::metrics::MetricsRegistry>>,
     trace_sink: Option<Arc<crate::trace::TraceSink>>,
+    trace_group: Option<u32>,
     watchdog: Option<crate::trace::WatchdogCfg>,
     controller: Option<crate::controller::ControllerCfg>,
     depth_actuators: Vec<Arc<dyn crate::controller::DepthActuator>>,
@@ -127,6 +128,7 @@ impl Program {
             observer: None,
             metrics: None,
             trace_sink: None,
+            trace_group: None,
             watchdog: None,
             controller: None,
             depth_actuators: Vec::new(),
@@ -173,6 +175,14 @@ impl Program {
     /// [`TraceSink::to_chrome_trace`](crate::trace::TraceSink::to_chrome_trace).
     pub fn set_trace_sink(&mut self, sink: Arc<crate::trace::TraceSink>) {
         self.trace_sink = Some(sink);
+    }
+
+    /// Put every thread this program registers with its trace sink into
+    /// track group `group` (a cluster rank): the Chrome export then renders
+    /// this program's threads under a per-node `node{group}` track group.
+    /// No effect without a trace sink.
+    pub fn set_trace_group(&mut self, group: u32) {
+        self.trace_group = Some(group);
     }
 
     /// Arm the stall watchdog: if no span is recorded pipeline-wide for
@@ -691,6 +701,7 @@ impl Program {
             observer: self.observer.clone(),
             metrics: self.metrics.clone(),
             trace_sink: self.trace_sink.clone(),
+            trace_group: self.trace_group,
             watchdog: self.watchdog.clone(),
             controller: self.controller.clone(),
             pools: pools.into_iter().flatten().collect(),

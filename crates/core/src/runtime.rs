@@ -70,6 +70,7 @@ pub(crate) struct Plan {
     pub(crate) observer: Option<Arc<dyn Observer>>,
     pub(crate) metrics: Option<Arc<MetricsRegistry>>,
     pub(crate) trace_sink: Option<Arc<TraceSink>>,
+    pub(crate) trace_group: Option<u32>,
     pub(crate) watchdog: Option<WatchdogCfg>,
     pub(crate) controller: Option<crate::controller::ControllerCfg>,
     pub(crate) pools: Vec<Arc<crate::controller::PoolControl>>,
@@ -88,6 +89,7 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         observer,
         metrics,
         trace_sink,
+        trace_group,
         watchdog,
         controller,
         pools,
@@ -106,9 +108,13 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         sink.touch();
     }
     let ring_for = |task: &str| {
-        trace_sink
-            .as_ref()
-            .map(|s| s.register_thread(format!("{program_name}/{task}")))
+        trace_sink.as_ref().map(|s| {
+            let name = format!("{program_name}/{task}");
+            match trace_group {
+                Some(g) => s.register_thread_in_group(name, g),
+                None => s.register_thread(name),
+            }
+        })
     };
 
     let start = Instant::now();

@@ -364,6 +364,55 @@ impl Report {
                 ));
             }
         }
+        // When the metrics carry per-peer traffic counters (a cluster
+        // run's `comm/bytes/{src}->{dst}` names), render them as a matrix
+        // heatmap and roll the per-rank comm histograms up into one table.
+        let peers: Vec<(usize, usize, u64)> = self
+            .metrics
+            .counters
+            .iter()
+            .filter_map(|(k, v)| {
+                crate::cluster_report::parse_peer_counter(k, "comm/bytes/").map(|(s, d)| (s, d, *v))
+            })
+            .collect();
+        if !peers.is_empty() {
+            let nodes = peers.iter().map(|&(s, d, _)| s.max(d) + 1).max().unwrap();
+            let mut matrix = vec![vec![0u64; nodes]; nodes];
+            for (s, d, v) in peers {
+                matrix[s][d] = matrix[s][d].max(v);
+            }
+            out.push_str("\n== traffic ==\n");
+            out.push_str(&crate::cluster_report::render_traffic_matrix(&matrix));
+            let mut rollup = String::new();
+            for rank in 0..nodes {
+                let mut cells = Vec::new();
+                for op in [
+                    "send",
+                    "recv_wait",
+                    "barrier",
+                    "broadcast",
+                    "allgather",
+                    "alltoallv",
+                ] {
+                    if let Some(h) = self.metrics.histogram(&format!("comm/{op}_ns/r{rank}")) {
+                        if h.count > 0 {
+                            cells.push(format!(
+                                "{op} n={} total={}",
+                                h.count,
+                                crate::cluster_report::fmt_dur_ns(h.sum)
+                            ));
+                        }
+                    }
+                }
+                if !cells.is_empty() {
+                    rollup.push_str(&format!("  r{rank}: {}\n", cells.join(", ")));
+                }
+            }
+            if !rollup.is_empty() {
+                out.push_str("per-rank comm time:\n");
+                out.push_str(&rollup);
+            }
+        }
         if !self.metrics.is_empty() {
             // Group by the metric name's first path segment so each layer
             // (core, comm, disk, …) renders as its own section.
@@ -637,5 +686,28 @@ mod render_tests {
         }
         assert!(text.contains("core/accepts = 7"));
         assert!(text.contains("p[1]"));
+        // No per-peer counters -> no traffic section.
+        assert!(!text.contains("== traffic =="));
+    }
+
+    #[test]
+    fn dashboard_renders_traffic_matrix_from_peer_counters() {
+        let mut report = gantt_report();
+        let reg = crate::metrics::MetricsRegistry::new();
+        reg.counter("comm/bytes/0->1").add(4096);
+        reg.counter("comm/bytes/1->0").add(1024);
+        reg.histogram("comm/send_ns/r0").record(2_000_000);
+        reg.histogram("comm/barrier_ns/r1").record(500_000);
+        report.metrics = reg.snapshot();
+        let text = report.render_dashboard();
+        assert!(text.contains("== traffic =="), "missing section:\n{text}");
+        assert!(text.contains("traffic matrix"), "missing matrix:\n{text}");
+        assert!(text.contains("4.0K"), "missing cell:\n{text}");
+        assert!(
+            text.contains("per-rank comm time:"),
+            "missing rollup:\n{text}"
+        );
+        assert!(text.contains("r0: send n=1"), "missing r0 row:\n{text}");
+        assert!(text.contains("r1: barrier n=1"), "missing r1 row:\n{text}");
     }
 }

@@ -241,6 +241,9 @@ pub type ReportFn = Arc<dyn Fn() -> String + Send + Sync>;
 ///   (verdict, actuator positions, recent decisions; `{"active":false}`
 ///   when no controller is attached — see
 ///   [`ControlStatus`](crate::ControlStatus));
+/// * `GET /cluster` — the merged [`ClusterReport`](crate::ClusterReport)
+///   as JSON, when a cluster source was installed with
+///   [`TelemetryServer::bind_all`] (`404` otherwise);
 /// * `GET /healthz` — liveness probe, always `200 ok`;
 /// * any other path — `404` with a body listing the routes above.
 ///
@@ -279,6 +282,21 @@ impl TelemetryServer {
         report: Option<ReportFn>,
         control: Option<Arc<crate::controller::ControlStatus>>,
     ) -> std::io::Result<Self> {
+        Self::bind_all(addr, registry, report, control, None)
+    }
+
+    /// [`TelemetryServer::bind_full`] plus a cluster-report source for
+    /// `GET /cluster`.  `cluster` should return the current
+    /// [`ClusterReport`](crate::ClusterReport) serialized as JSON
+    /// ([`ClusterReport::to_json`](crate::ClusterReport::to_json)); without
+    /// it the route answers `404`.
+    pub fn bind_all(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        report: Option<ReportFn>,
+        control: Option<Arc<crate::controller::ControlStatus>>,
+        cluster: Option<ReportFn>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -301,7 +319,13 @@ impl TelemetryServer {
                         return;
                     }
                     let Ok(mut stream) = conn else { continue };
-                    serve_one(&mut stream, &registry, &report, control.as_deref());
+                    serve_one(
+                        &mut stream,
+                        &registry,
+                        &report,
+                        control.as_deref(),
+                        cluster.as_ref(),
+                    );
                 }
             })
             .expect("spawn telemetry server");
@@ -335,6 +359,7 @@ fn serve_one(
     registry: &MetricsRegistry,
     report: &ReportFn,
     control: Option<&crate::controller::ControlStatus>,
+    cluster: Option<&ReportFn>,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let mut buf = [0u8; 1024];
@@ -377,11 +402,19 @@ fn serve_one(
             };
             ("200 OK", "application/json; charset=utf-8", body)
         }
+        ("GET", "/cluster") if cluster.is_some() => {
+            registry.counter("telemetry/scrapes").inc();
+            (
+                "200 OK",
+                "application/json; charset=utf-8",
+                cluster.unwrap()(),
+            )
+        }
         ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
         ("GET", _) => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; routes: /metrics /report /control /healthz\n".to_string(),
+            "not found; routes: /metrics /report /control /cluster /healthz\n".to_string(),
         ),
         _ => (
             "405 Method Not Allowed",

@@ -45,8 +45,75 @@ use crate::json::Json;
 /// scheduler's prefetch spans).
 pub const IO_PIPELINE: u32 = u32::MAX;
 
+/// Sentinel `pipeline` value for cluster-communication spans (p2p sends and
+/// receives, collectives) recorded by a `Communicator` rather than a
+/// pipeline stage.
+pub const COMM_PIPELINE: u32 = u32::MAX - 1;
+
 /// Default number of span slots per thread ring.
 pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Trace context that rides every fabric message envelope: which rank
+/// originated the message, the trace id of the buffer (or collective) it
+/// carries, and the sender's per-communicator sequence number.
+///
+/// This is the **cross-node causality contract**: a receiver records its
+/// `comm-recv` span under the *sender's* trace id, so the Chrome-trace
+/// exporter can stitch one flow arrow from the sending rank's pipeline
+/// through the fabric into the receiving rank's pipeline.  The simulated
+/// fabric passes the struct by value; a network transport must carry
+/// [`TraceCtx::encode`]'s fixed [`TraceCtx::WIRE_LEN`]-byte frame header
+/// (all fields little-endian) so traces survive the socket boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// Rank that originated the message.
+    pub origin: u32,
+    /// Trace id of the buffer or collective the message belongs to
+    /// (0 = untraced).
+    pub trace_id: u64,
+    /// The sender's send/collective sequence number when it sent.
+    pub seq: u64,
+}
+
+impl TraceCtx {
+    /// Encoded size in bytes: origin (4) + trace_id (8) + seq (8).
+    pub const WIRE_LEN: usize = 20;
+
+    /// The "no tracing" context (untraced runs send this).
+    pub const NONE: TraceCtx = TraceCtx {
+        origin: 0,
+        trace_id: 0,
+        seq: 0,
+    };
+
+    /// True when the context carries no trace id (untraced message).
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    /// Fixed-size little-endian wire encoding (the TCP frame-header
+    /// contract for the trace context).
+    pub fn encode(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0..4].copy_from_slice(&self.origin.to_le_bytes());
+        out[4..12].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[12..20].copy_from_slice(&self.seq.to_le_bytes());
+        out
+    }
+
+    /// Parse an encoding written by [`TraceCtx::encode`].  `None` when the
+    /// slice is not exactly [`TraceCtx::WIRE_LEN`] bytes.
+    pub fn decode(bytes: &[u8]) -> Option<TraceCtx> {
+        if bytes.len() != Self::WIRE_LEN {
+            return None;
+        }
+        Some(TraceCtx {
+            origin: u32::from_le_bytes(bytes[0..4].try_into().ok()?),
+            trace_id: u64::from_le_bytes(bytes[4..12].try_into().ok()?),
+            seq: u64::from_le_bytes(bytes[12..20].try_into().ok()?),
+        })
+    }
+}
 
 /// What a [`SpanRec`] measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +143,22 @@ pub enum TraceKind {
     /// buffer pool, retuned an I/O depth).  Not tied to any buffer; the
     /// `round` field carries the decision sequence number.
     Actuate,
+    /// A `Communicator` handed a tagged point-to-point message to the
+    /// fabric.  `round` carries the sender's send sequence; `trace_id` the
+    /// buffer's id when the caller propagated one.
+    CommSend,
+    /// A `Communicator` waited for and received a point-to-point message.
+    /// `round` and `trace_id` come from the *sender's* [`TraceCtx`], which
+    /// is what stitches the cross-rank flow.
+    CommRecv,
+    /// One rank's participation in a `barrier` call (entry to release).
+    Barrier,
+    /// One rank's participation in a `broadcast` call.
+    Broadcast,
+    /// One rank's participation in an `allgather` call.
+    Allgather,
+    /// One rank's participation in an `alltoallv` call.
+    Alltoallv,
 }
 
 impl TraceKind {
@@ -91,6 +174,12 @@ impl TraceKind {
             TraceKind::PrefetchHit => "prefetch-hit",
             TraceKind::PrefetchMiss => "prefetch-miss",
             TraceKind::Actuate => "actuate",
+            TraceKind::CommSend => "comm-send",
+            TraceKind::CommRecv => "comm-recv",
+            TraceKind::Barrier => "barrier",
+            TraceKind::Broadcast => "broadcast",
+            TraceKind::Allgather => "allgather",
+            TraceKind::Alltoallv => "alltoallv",
         }
     }
 
@@ -105,6 +194,12 @@ impl TraceKind {
             "prefetch-hit" => TraceKind::PrefetchHit,
             "prefetch-miss" => TraceKind::PrefetchMiss,
             "actuate" => TraceKind::Actuate,
+            "comm-send" => TraceKind::CommSend,
+            "comm-recv" => TraceKind::CommRecv,
+            "barrier" => TraceKind::Barrier,
+            "broadcast" => TraceKind::Broadcast,
+            "allgather" => TraceKind::Allgather,
+            "alltoallv" => TraceKind::Alltoallv,
             _ => return None,
         })
     }
@@ -249,6 +344,9 @@ impl fmt::Display for ThreadState {
 /// the life of the run.
 pub struct SpanRing {
     name: String,
+    /// Track group (cluster rank) this thread belongs to, if any; grouped
+    /// rings render under a per-node track group in the Chrome export.
+    group: Option<u32>,
     epoch: Instant,
     slots: Box<[Mutex<SpanRec>]>,
     /// Total records ever written; `cursor % slots.len()` is the next slot.
@@ -264,12 +362,19 @@ pub struct SpanRing {
 }
 
 impl SpanRing {
-    fn new(name: String, epoch: Instant, capacity: usize, last: Arc<AtomicU64>) -> SpanRing {
+    fn new(
+        name: String,
+        group: Option<u32>,
+        epoch: Instant,
+        capacity: usize,
+        last: Arc<AtomicU64>,
+    ) -> SpanRing {
         let slots: Vec<Mutex<SpanRec>> = (0..capacity.max(1))
             .map(|_| Mutex::new(SpanRec::EMPTY))
             .collect();
         SpanRing {
             name,
+            group,
             epoch,
             slots: slots.into_boxed_slice(),
             cursor: AtomicU64::new(0),
@@ -284,6 +389,11 @@ impl SpanRing {
     /// Name of the thread this ring records (`program/task`).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Track group (cluster rank) this thread was registered under, if any.
+    pub fn group(&self) -> Option<u32> {
+        self.group
     }
 
     /// Nanoseconds since the owning sink's epoch.
@@ -469,8 +579,20 @@ impl TraceSink {
 
     /// Register (and return) the flight-recorder ring for thread `name`.
     pub fn register_thread(&self, name: impl Into<String>) -> Arc<SpanRing> {
+        self.register(name.into(), None)
+    }
+
+    /// Register a ring under track group `group` (a cluster rank): the
+    /// Chrome export renders all of a group's threads under one per-node
+    /// process track instead of the flat default.
+    pub fn register_thread_in_group(&self, name: impl Into<String>, group: u32) -> Arc<SpanRing> {
+        self.register(name.into(), Some(group))
+    }
+
+    fn register(&self, name: String, group: Option<u32>) -> Arc<SpanRing> {
         let ring = Arc::new(SpanRing::new(
-            name.into(),
+            name,
+            group,
             self.epoch,
             self.ring_capacity,
             Arc::clone(&self.last_activity_ns),
@@ -523,30 +645,54 @@ impl TraceSink {
     /// one track per traced thread with a slice per span, plus *flow
     /// events* stitching each trace id's spans together across tracks —
     /// Perfetto draws an arrow following the buffer from stage to stage.
+    ///
+    /// Rings registered with [`TraceSink::register_thread_in_group`] render
+    /// under a per-group *process* track (`pid = group + 2`, named
+    /// `node{group}`), so a cluster run shows one track group per rank and
+    /// the flow arrows cross rank boundaries; ungrouped rings keep the flat
+    /// single-process layout (`pid = 1`).
     pub fn to_chrome_trace(&self) -> String {
-        let logs = self.collect();
+        let rings = self.rings.lock().clone();
         let mut events: Vec<Json> = Vec::new();
         let us = |ns: u64| Json::Num(ns as f64 / 1_000.0);
-        // (tid, span) of every traced-buffer span, for flow stitching.
-        let mut flows: Vec<(u64, SpanRec)> = Vec::new();
-        for (i, log) in logs.iter().enumerate() {
+        let pid_of = |group: Option<u32>| group.map_or(1u64, |g| g as u64 + 2);
+        // Name each grouped process track once.
+        let mut named_pids: Vec<u64> = Vec::new();
+        // (pid, tid, span) of every traced-buffer span, for flow stitching.
+        let mut flows: Vec<(u64, u64, SpanRec)> = Vec::new();
+        for (i, ring) in rings.iter().enumerate() {
             let tid = i as u64 + 1;
+            let pid = pid_of(ring.group());
+            if let Some(g) = ring.group() {
+                if !named_pids.contains(&pid) {
+                    named_pids.push(pid);
+                    events.push(Json::Obj(vec![
+                        ("name".into(), Json::Str("process_name".into())),
+                        ("ph".into(), Json::Str("M".into())),
+                        ("pid".into(), Json::Num(pid as f64)),
+                        (
+                            "args".into(),
+                            Json::Obj(vec![("name".into(), Json::Str(format!("node{g}")))]),
+                        ),
+                    ]));
+                }
+            }
             events.push(Json::Obj(vec![
                 ("name".into(), Json::Str("thread_name".into())),
                 ("ph".into(), Json::Str("M".into())),
-                ("pid".into(), Json::Num(1.0)),
+                ("pid".into(), Json::Num(pid as f64)),
                 ("tid".into(), Json::Num(tid as f64)),
                 (
                     "args".into(),
-                    Json::Obj(vec![("name".into(), Json::Str(log.thread.clone()))]),
+                    Json::Obj(vec![("name".into(), Json::Str(ring.name().to_string()))]),
                 ),
             ]));
-            for s in &log.spans {
+            for s in ring.snapshot() {
                 events.push(Json::Obj(vec![
                     ("name".into(), Json::Str(s.kind.label().into())),
                     ("cat".into(), Json::Str("span".into())),
                     ("ph".into(), Json::Str("X".into())),
-                    ("pid".into(), Json::Num(1.0)),
+                    ("pid".into(), Json::Num(pid as f64)),
                     ("tid".into(), Json::Num(tid as f64)),
                     ("ts".into(), us(s.start_ns)),
                     ("dur".into(), us(s.dur_ns().max(1))),
@@ -560,7 +706,7 @@ impl TraceSink {
                     ),
                 ]));
                 if s.trace_id != 0 {
-                    flows.push((tid, *s));
+                    flows.push((pid, tid, s));
                 }
             }
         }
@@ -568,16 +714,16 @@ impl TraceSink {
         // span, steps ("t") in between, and a finish ("f", binding to the
         // enclosing slice) at the last.  `ts` sits just inside each span's
         // slice so the viewer can attach the arrow.
-        flows.sort_by_key(|(_, s)| (s.trace_id, s.start_ns, s.end_ns));
+        flows.sort_by_key(|(_, _, s)| (s.trace_id, s.start_ns, s.end_ns));
         let mut i = 0;
         while i < flows.len() {
-            let id = flows[i].1.trace_id;
+            let id = flows[i].2.trace_id;
             let mut j = i;
-            while j < flows.len() && flows[j].1.trace_id == id {
+            while j < flows.len() && flows[j].2.trace_id == id {
                 j += 1;
             }
             if j - i >= 2 {
-                for (k, (tid, s)) in flows[i..j].iter().enumerate() {
+                for (k, (pid, tid, s)) in flows[i..j].iter().enumerate() {
                     let ph = if i + k == i {
                         "s"
                     } else if i + k == j - 1 {
@@ -585,12 +731,15 @@ impl TraceSink {
                     } else {
                         "t"
                     };
+                    // The id is a hex *string*: collective trace ids set
+                    // bit 62, beyond f64's exact-integer range, and a
+                    // numeric id would collapse distinct collectives.
                     let mut ev = vec![
                         ("name".into(), Json::Str("buffer".into())),
                         ("cat".into(), Json::Str("flow".into())),
                         ("ph".into(), Json::Str(ph.into())),
-                        ("id".into(), Json::Num(id as f64)),
-                        ("pid".into(), Json::Num(1.0)),
+                        ("id".into(), Json::Str(format!("{id:x}"))),
+                        ("pid".into(), Json::Num(*pid as f64)),
                         ("tid".into(), Json::Num(*tid as f64)),
                         ("ts".into(), us(s.start_ns)),
                     ];
@@ -995,7 +1144,115 @@ mod tests {
             .find(|e| e.get("ph").and_then(Json::as_str) == Some("f"))
             .unwrap();
         assert_eq!(finish.get("bp").and_then(Json::as_str), Some("e"));
-        assert_eq!(finish.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(finish.get("id").and_then(Json::as_str), Some("7"));
+    }
+
+    #[test]
+    fn chrome_trace_flow_ids_with_high_bits_stay_distinct() {
+        // Collective trace ids set bit 62 — past f64's exact range — so the
+        // exporter must not round two adjacent ids onto each other.
+        let sink = TraceSink::with_ring_capacity(16);
+        let a = sink.register_thread("n0/comm");
+        let b = sink.register_thread("n1/comm");
+        let base = 1u64 << 62;
+        for seq in 0..2u64 {
+            a.record(
+                TraceKind::Barrier,
+                0,
+                seq,
+                base | seq,
+                seq * 100,
+                seq * 100 + 10,
+            );
+            b.record(
+                TraceKind::Barrier,
+                0,
+                seq,
+                base | seq,
+                seq * 100,
+                seq * 100 + 10,
+            );
+        }
+        let doc = Json::parse(&sink.to_chrome_trace()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let ids: std::collections::HashSet<&str> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("flow"))
+            .map(|e| e.get("id").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(ids.len(), 2, "adjacent high-bit ids collapsed: {ids:?}");
+    }
+
+    #[test]
+    fn trace_ctx_wire_round_trips() {
+        let ctx = TraceCtx {
+            origin: 3,
+            trace_id: 0xDEAD_BEEF_CAFE,
+            seq: 42,
+        };
+        let bytes = ctx.encode();
+        assert_eq!(bytes.len(), TraceCtx::WIRE_LEN);
+        assert_eq!(TraceCtx::decode(&bytes), Some(ctx));
+        assert_eq!(TraceCtx::decode(&bytes[..19]), None);
+        assert!(TraceCtx::NONE.is_none());
+        assert!(!ctx.is_none());
+    }
+
+    #[test]
+    fn comm_kind_labels_round_trip() {
+        for kind in [
+            TraceKind::CommSend,
+            TraceKind::CommRecv,
+            TraceKind::Barrier,
+            TraceKind::Broadcast,
+            TraceKind::Allgather,
+            TraceKind::Alltoallv,
+        ] {
+            assert_eq!(TraceKind::from_label(kind.label()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_groups_rings_into_per_node_processes() {
+        let sink = TraceSink::with_ring_capacity(16);
+        let r0 = sink.register_thread_in_group("node0/send", 0);
+        let r1 = sink.register_thread_in_group("node1/recv", 1);
+        let ungrouped = sink.register_thread("io/disk0");
+        // Buffer 9 crosses from rank 0 to rank 1.
+        r0.record(TraceKind::CommSend, COMM_PIPELINE, 0, 9, 100, 200);
+        r1.record(TraceKind::CommRecv, COMM_PIPELINE, 0, 9, 250, 300);
+        ungrouped.record(TraceKind::PrefetchHit, IO_PIPELINE, 0, 0, 10, 20);
+        let doc = Json::parse(&sink.to_chrome_trace()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let proc_names: Vec<(u64, &str)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .map(|e| {
+                (
+                    e.get("pid").unwrap().as_u64().unwrap(),
+                    e.get("args")
+                        .unwrap()
+                        .get("name")
+                        .unwrap()
+                        .as_str()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(proc_names, vec![(2, "node0"), (3, "node1")]);
+        // The flow pair for buffer 9 spans two distinct pids.
+        let flow_pids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("flow"))
+            .map(|e| e.get("pid").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(flow_pids, vec![2, 3]);
+        // Ungrouped ring stays on the flat pid 1.
+        let io_slice = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("prefetch-hit"))
+            .unwrap();
+        assert_eq!(io_slice.get("pid").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -183,7 +183,7 @@ fn unknown_path_is_404_and_server_survives() {
     let (status, _, body) = http_get(server.local_addr(), "/nope");
     assert!(status.contains("404"), "status was {status}");
     // The 404 body tells the operator where to look instead.
-    for route in ["/metrics", "/report", "/control", "/healthz"] {
+    for route in ["/metrics", "/report", "/control", "/cluster", "/healthz"] {
         assert!(body.contains(route), "404 body missing {route}: {body}");
     }
     // The listener keeps serving after a 404.
@@ -239,4 +239,44 @@ fn control_endpoint_serves_the_installed_status() {
         j.get("active").and_then(fg_core::Json::as_bool),
         Some(false)
     );
+}
+
+#[test]
+fn cluster_endpoint_serves_the_installed_report() {
+    use std::time::Duration;
+
+    let reg = populated_registry();
+    // Without a cluster source, the route 404s.
+    let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
+    let (status, _, _) = http_get(server.local_addr(), "/cluster");
+    assert!(status.contains("404"), "status was {status}");
+    drop(server);
+
+    // With one, it serves the merged report as JSON.
+    let mut cr = fg_core::ClusterReport::new(2);
+    for rank in 0..2 {
+        cr.push(fg_core::RankReport {
+            rank,
+            wall: Duration::from_millis(10),
+            reports: Vec::new(),
+            metrics: fg_core::MetricsSnapshot::default(),
+        });
+    }
+    let body_src = cr.to_json();
+    let server = TelemetryServer::bind_all(
+        "127.0.0.1:0",
+        Arc::clone(&reg),
+        None,
+        None,
+        Some(Arc::new(move || body_src.clone())),
+    )
+    .expect("bind");
+    let (status, headers, body) = http_get(server.local_addr(), "/cluster");
+    assert!(status.contains("200"), "status was {status}");
+    assert_eq!(
+        headers.get("content-type").map(String::as_str),
+        Some("application/json; charset=utf-8")
+    );
+    let parsed = fg_core::ClusterReport::from_json(&body).expect("cluster body parses");
+    assert_eq!(parsed, cr);
 }

@@ -170,11 +170,13 @@ fn chrome_trace_parses_and_carries_flow_events() {
 
     // Every traced round (6 of them) threads a flow through >= 2 spans, so
     // each gets a start and a binding finish.
+    // Flow ids are hex strings (numeric ids above 2^53 would alias as f64).
     let flow_ids = |ph: &str| {
         events
             .iter()
             .filter(|e| phase(e).as_deref() == Some(ph))
-            .filter_map(|e| e.get("id").and_then(Json::as_u64))
+            .filter_map(|e| e.get("id").and_then(Json::as_str))
+            .map(|s| u64::from_str_radix(s, 16).expect("hex flow id"))
             .collect::<std::collections::BTreeSet<u64>>()
     };
     let starts = flow_ids("s");

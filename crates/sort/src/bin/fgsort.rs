@@ -39,6 +39,12 @@
 //!                              on ADDR (e.g. 127.0.0.1:9100) while the
 //!                              sort runs; afterwards print the bottleneck
 //!                              diagnosis (dsort)
+//!   --cluster OUT              run with full per-node observability
+//!                              (dsort only): every rank gets its own
+//!                              metrics registry, the merged ClusterReport
+//!                              JSON is written to OUT, and the per-rank
+//!                              rollup plus straggler/skew diagnosis is
+//!                              printed after the run
 //!   --autotune                 attach the closed-loop controller to every
 //!                              pipeline: grows/shrinks the sort worker
 //!                              farms, resizes buffer pools, and retunes
@@ -81,6 +87,7 @@ struct Options {
     watchdog_secs: Option<u64>,
     telemetry: Option<String>,
     autotune: bool,
+    cluster: Option<String>,
 }
 
 impl Default for Options {
@@ -104,6 +111,7 @@ impl Default for Options {
             watchdog_secs: None,
             telemetry: None,
             autotune: false,
+            cluster: None,
         }
     }
 }
@@ -197,6 +205,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--telemetry" => opts.telemetry = Some(value("--telemetry")?.clone()),
             "--autotune" => opts.autotune = true,
+            "--cluster" => opts.cluster = Some(value("--cluster")?.clone()),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -215,6 +224,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.dir.is_some() && opts.backend != "os" {
         return Err("--dir only applies to --backend os".into());
+    }
+    if opts.cluster.is_some() && opts.program != "dsort" {
+        return Err("--cluster is only wired for --program dsort".into());
     }
     if opts.io_depth > fg_pdm::MAX_IO_DEPTH {
         return Err(format!(
@@ -296,6 +308,7 @@ fn main() -> ExitCode {
             eprintln!("              [--watchdog-secs N]   (post-mortem + abort after N s without progress)");
             eprintln!("              [--telemetry ADDR]   (live /metrics + /report + /control + /healthz HTTP endpoint)");
             eprintln!("              [--autotune]   (closed-loop controller: live farm/pool/io-depth retuning)");
+            eprintln!("              [--cluster OUT]   (dsort: per-rank registries; write merged ClusterReport JSON + diagnosis to OUT)");
             return if e == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -372,10 +385,11 @@ fn main() -> ExitCode {
             &disks,
             DsortOptions {
                 metrics: telemetry.is_some().then(|| Arc::clone(&registry)),
+                observe: opts.cluster.is_some(),
                 ..DsortOptions::default()
             },
         )
-        .map(|r| {
+        .and_then(|r| {
             print_phase("sampling", r.sampling);
             print_phase("pass 1", r.pass1);
             print_phase("pass 2", r.pass2);
@@ -387,12 +401,25 @@ fn main() -> ExitCode {
                     println!("node 0, pass 2:\n{}", p2.render_gantt(64));
                 }
             }
+            if let (Some(path), Some(cluster)) = (&opts.cluster, &r.cluster) {
+                let diagnosis = fg_core::diagnose_cluster(cluster);
+                println!("\n{}", cluster.render());
+                println!("{}", diagnosis.render());
+                let doc = fg_core::Json::Obj(vec![
+                    ("cluster".into(), cluster.to_json_value()),
+                    ("diagnosis".into(), diagnosis.to_json_value()),
+                ]);
+                std::fs::write(path, doc.to_string())
+                    .map_err(|e| fg_sort::SortError::Config(format!("writing {path}: {e}")))?;
+                println!("cluster report: wrote {path}");
+            }
             if telemetry.is_some() {
                 diagnosable = r.node0_reports.map(|(_, mut pass2)| {
                     pass2.metrics.merge(&r.metrics);
                     pass2
                 });
             }
+            Ok(())
         })
         .map_err(|e| e.to_string()),
         "csort" => run_csort(&cfg, &disks)
@@ -548,6 +575,15 @@ mod tests {
         assert!(parse_dist("zipf").is_err());
         assert!(parse_dist("zipf:x").is_err());
         assert!(parse_dist("shifted:x").is_err());
+    }
+
+    #[test]
+    fn cluster_flag_parses_and_requires_dsort() {
+        let o = parse_args(&args("--cluster out.json")).unwrap();
+        assert_eq!(o.cluster.as_deref(), Some("out.json"));
+        assert!(parse_args(&args("--cluster")).is_err());
+        let err = parse_args(&args("--program csort --cluster out.json")).unwrap_err();
+        assert!(err.contains("--cluster"), "{err}");
     }
 
     #[test]

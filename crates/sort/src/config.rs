@@ -102,6 +102,11 @@ pub struct SortConfig {
     /// metrics here, making them scrapeable while the sort runs and
     /// giving the controller its observation stream.
     pub metrics: Option<Arc<fg_core::MetricsRegistry>>,
+    /// Chrome-trace track group for this node's FG programs: cluster sorts
+    /// set it to the node's rank (per node, after cloning the config into
+    /// the node function) so every program's spans land in that node's
+    /// track group of the merged export.
+    pub trace_group: Option<u32>,
 }
 
 impl SortConfig {
@@ -129,6 +134,7 @@ impl SortConfig {
             watchdog: None,
             autotune: None,
             metrics: None,
+            trace_group: None,
         }
     }
 
@@ -169,6 +175,9 @@ impl SortConfig {
         }
         if let Some(reg) = &self.metrics {
             prog.set_metrics(Arc::clone(reg));
+        }
+        if let Some(group) = self.trace_group {
+            prog.set_trace_group(group);
         }
     }
 

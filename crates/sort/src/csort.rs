@@ -84,6 +84,10 @@ pub fn run_csort(cfg: &SortConfig, disks: &[DiskRef]) -> Result<CsortReport, Sor
             let q = node.rank();
             let comm = node.comm().clone();
             let disk = Arc::clone(&disks_arc[q]);
+            // Group each node's pipeline spans under its own track in the
+            // merged Chrome export.
+            let mut cfg = cfg.clone();
+            cfg.trace_group = Some(q as u32);
             let mut times = [Duration::ZERO; 3];
             for (pass_idx, pass_no) in [1u8, 2, 3].into_iter().enumerate() {
                 comm.barrier()?;

@@ -78,6 +78,10 @@ pub fn run_csort4(cfg: &SortConfig, disks: &[DiskRef]) -> Result<Csort4Report, S
             let q = node.rank();
             let comm = node.comm().clone();
             let disk = Arc::clone(&disks_arc[q]);
+            // Group each node's pipeline spans under its own track in the
+            // merged Chrome export.
+            let mut cfg = cfg.clone();
+            cfg.trace_group = Some(q as u32);
             let mut times = [Duration::ZERO; 4];
             for pass_no in 1u8..=4 {
                 comm.barrier()?;

@@ -17,7 +17,8 @@ pub mod sampling;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fg_cluster::{Cluster, ClusterCfg, ClusterError};
+use fg_cluster::{Cluster, ClusterCfg, ClusterError, ClusterObs};
+use fg_core::cluster_report::{ClusterReport, RankReport};
 use fg_core::metrics::{MetricsRegistry, MetricsSnapshot};
 use fg_pdm::{DiskRef, DiskStats};
 
@@ -53,6 +54,11 @@ pub struct DsortReport {
     /// [`provision_with_metrics`](crate::input::provision_with_metrics));
     /// empty when no registry was attached.
     pub metrics: MetricsSnapshot,
+    /// The merged cluster report (every rank's FG reports, wall time, and
+    /// registry snapshot) when the run was launched with
+    /// [`DsortOptions::observe`]; feed it to
+    /// [`fg_core::diagnose_cluster`] for straggler/skew analysis.
+    pub cluster: Option<ClusterReport>,
 }
 
 impl DsortReport {
@@ -72,6 +78,14 @@ pub struct DsortOptions {
     /// collective latencies into this registry, and
     /// [`DsortReport::metrics`] carries the final snapshot.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Full per-node observability: each rank gets its *own* metrics
+    /// registry (its FG programs and communicator record into it), every
+    /// rank's FG reports are collected, and [`DsortReport::cluster`]
+    /// carries the merged [`ClusterReport`].  When the config also sets a
+    /// `trace_sink`, each rank's spans land in that rank's track group and
+    /// sends carry their buffer's trace id across the wire.  Supersedes
+    /// [`DsortOptions::metrics`] when both are set.
+    pub observe: bool,
 }
 
 impl Default for DsortOptions {
@@ -79,6 +93,7 @@ impl Default for DsortOptions {
         DsortOptions {
             virtual_reads: true,
             metrics: None,
+            observe: false,
         }
     }
 }
@@ -109,6 +124,7 @@ pub fn run_dsort_with(
     #[derive(Debug)]
     struct NodeOut {
         times: [Duration; 3],
+        wall: Duration,
         partitions: Vec<u64>,
         runs: Vec<u64>,
         threads: Vec<u64>,
@@ -121,10 +137,23 @@ pub fn run_dsort_with(
     };
     let registry = opts.metrics.clone();
     let virtual_reads = opts.virtual_reads;
+    let observed = opts.observe;
+    let trace_sink = cfg.trace_sink.clone();
     let node_fn = move |node: fg_cluster::NodeCtx| -> Result<NodeOut, ClusterError> {
         let rank = node.rank();
         let comm = node.comm().clone();
         let disk = Arc::clone(&disks_arc[rank]);
+        let wall_start = Instant::now();
+        // Observed runs give each rank its own registry and track group:
+        // the rank's FG programs record next to its communicator.
+        let cfg = if observed {
+            let mut cfg = cfg.clone();
+            cfg.metrics = node.registry().cloned();
+            cfg.trace_group = Some(rank as u32);
+            cfg
+        } else {
+            cfg.clone()
+        };
 
         // Phase 0: sampling.
         comm.barrier()?;
@@ -170,18 +199,44 @@ pub fn run_dsort_with(
                 Duration::from_nanos(pass1_ns),
                 Duration::from_nanos(pass2_ns),
             ],
+            wall: wall_start.elapsed(),
             partitions,
             runs,
             threads,
-            reports: (rank == 0).then(|| (p1.report.clone(), p2.report.clone())),
+            reports: (rank == 0 || observed).then(|| (p1.report.clone(), p2.report.clone())),
         })
     };
-    let run = match registry {
-        Some(reg) => Cluster::run_with_metrics(cluster_cfg, reg, node_fn),
-        None => Cluster::run(cluster_cfg, node_fn),
+    let run = if observed {
+        let mut obs = ClusterObs::per_node(cluster_cfg.nodes);
+        if let Some(sink) = &trace_sink {
+            obs = obs.with_trace(Arc::clone(sink));
+        }
+        Cluster::run_observed(cluster_cfg, obs, node_fn)
+    } else {
+        match registry {
+            Some(reg) => Cluster::run_with_metrics(cluster_cfg, reg, node_fn),
+            None => Cluster::run(cluster_cfg, node_fn),
+        }
     }
     .map_err(|e| SortError::Comm(e.to_string()))?;
 
+    let cluster = observed.then(|| {
+        let mut cr = ClusterReport::new(cluster_cfg.nodes);
+        for (rank, out) in run.results.iter().enumerate() {
+            let reports = out
+                .reports
+                .as_ref()
+                .map(|(p1, p2)| vec![p1.clone(), p2.clone()])
+                .unwrap_or_default();
+            cr.push(RankReport {
+                rank,
+                wall: out.wall,
+                reports,
+                metrics: run.node_metrics.get(rank).cloned().unwrap_or_default(),
+            });
+        }
+        cr
+    });
     let node0 = &run.results[0];
     Ok(DsortReport {
         sampling: node0.times[0],
@@ -194,5 +249,6 @@ pub fn run_dsort_with(
         bytes_sent: run.traffic.iter().map(|t| t.bytes_sent).collect(),
         node0_reports: run.results[0].reports.clone(),
         metrics: run.metrics,
+        cluster,
     })
 }

@@ -134,13 +134,17 @@ pub fn pass1(
         "send",
         Box::new(move |ctx: &mut StageCtx| {
             while let Some(buf) = ctx.accept()? {
+                // Propagate the buffer's trace id with each chunk so the
+                // receiving rank's comm-recv span joins this buffer's flow
+                // in the merged Chrome export.
+                let trace_id = buf.trace_id();
                 for chunk in chunks::iter_chunks(buf.filled()) {
                     let chunk = chunk?;
                     let mut payload = Vec::with_capacity(1 + chunk.data.len());
                     payload.push(MSG_DATA);
                     payload.extend_from_slice(chunk.data);
                     comm_send
-                        .send(chunk.a as usize, TAG_PASS1, payload)
+                        .send_traced(chunk.a as usize, TAG_PASS1, payload, trace_id)
                         .map_err(SortError::from)?;
                 }
                 ctx.convey(buf)?;

@@ -125,7 +125,12 @@ fn dsort_with_metrics_collects_comm_and_disk_metrics() {
         .map(|(_, v)| *v)
         .sum();
     assert_eq!(fabric_bytes, metric_bytes);
-    assert!(m.histogram("comm/barrier_ns").unwrap().count >= cfg.nodes as u64);
+    // Collective latencies are labelled per rank: every node timed its own
+    // barrier calls.
+    for rank in 0..cfg.nodes {
+        let h = m.histogram(&format!("comm/barrier_ns/r{rank}")).unwrap();
+        assert!(h.count >= 1, "rank {rank} recorded no barriers");
+    }
     // Disk: each labeled disk's byte counters match its own stats.
     for (rank, disk) in disks.iter().enumerate() {
         let stats = disk.stats();
@@ -139,6 +144,85 @@ fn dsort_with_metrics_collects_comm_and_disk_metrics() {
         );
         assert!(m.histogram(&format!("disk/d{rank}/read_ns")).unwrap().count > 0);
     }
+}
+
+#[test]
+fn dsort_observed_builds_cluster_report_and_cross_rank_trace() {
+    let mut cfg = SortConfig::test_default(4, 2048);
+    let sink = fg_core::TraceSink::new();
+    cfg.trace_sink = Some(Arc::clone(&sink));
+    let disks = provision(&cfg);
+    let report = run_dsort_with(
+        &cfg,
+        &disks,
+        DsortOptions {
+            observe: true,
+            ..DsortOptions::default()
+        },
+    )
+    .expect("dsort run");
+    verify_output(&cfg, &disks, Strictness::Exact).expect("output");
+
+    // Every rank's FG reports and registry snapshot are in the merged
+    // cluster report.
+    let cluster = report.cluster.as_ref().expect("cluster report");
+    assert_eq!(cluster.nodes, cfg.nodes);
+    assert_eq!(cluster.ranks.len(), cfg.nodes);
+    for r in &cluster.ranks {
+        assert_eq!(r.reports.len(), 2, "rank {} pass reports", r.rank);
+        assert!(r.wall > std::time::Duration::ZERO);
+        assert!(
+            r.collective_ns() > 0,
+            "rank {} timed no collectives",
+            r.rank
+        );
+    }
+    // The traffic matrix accounts for every byte the fabric moved.
+    let matrix_total: u64 = cluster.traffic_matrix().iter().flatten().sum();
+    let fabric_total: u64 = report.bytes_sent.iter().sum();
+    assert_eq!(matrix_total, fabric_total);
+    // The cluster diagnosis runs off the same report (balanced input:
+    // nothing should scream).
+    let d = fg_core::diagnose_cluster(cluster);
+    assert_eq!(d.ranks.len(), cfg.nodes);
+
+    // The merged Chrome trace has one track group per rank and at least
+    // one flow that crosses rank boundaries (a pass-1 send stitched to a
+    // remote comm-recv, or a collective spanning all ranks).
+    let trace = sink.to_chrome_trace();
+    let j = fg_core::Json::parse(&trace).expect("chrome trace is JSON");
+    let events = j
+        .get("traceEvents")
+        .and_then(|e| e.as_arr().map(<[_]>::to_vec))
+        .unwrap();
+    let mut node_pids = std::collections::HashSet::new();
+    for e in &events {
+        if e.get("name").and_then(fg_core::Json::as_str) == Some("process_name") {
+            node_pids.insert(e.get("pid").and_then(fg_core::Json::as_u64).unwrap());
+        }
+    }
+    assert_eq!(node_pids.len(), cfg.nodes, "one track group per rank");
+    // Group flow events by id; a cross-rank flow touches >= 2 pids.
+    let mut flow_pids: std::collections::HashMap<String, std::collections::HashSet<u64>> =
+        std::collections::HashMap::new();
+    for e in &events {
+        if matches!(
+            e.get("ph").and_then(fg_core::Json::as_str),
+            Some("s") | Some("t") | Some("f")
+        ) {
+            let id = e
+                .get("id")
+                .and_then(fg_core::Json::as_str)
+                .unwrap()
+                .to_string();
+            let pid = e.get("pid").and_then(fg_core::Json::as_u64).unwrap();
+            flow_pids.entry(id).or_default().insert(pid);
+        }
+    }
+    assert!(
+        flow_pids.values().any(|pids| pids.len() >= 2),
+        "no flow crosses rank boundaries"
+    );
 }
 
 #[test]
