@@ -20,7 +20,9 @@
 //! synchronous `OsDisk` syscalls on real files), `autotune-convergence`
 //! (the closed-loop controller started mis-configured must converge to the
 //! hand-tuned operating point; `--hand-tuned` runs the open-loop reference
-//! arm instead, e.g. to record a gate baseline), `all`.
+//! arm instead, e.g. to record a gate baseline), `kernel-bench` (the sort
+//! and merge kernels: radix vs comparison, batched vs scalar merge —
+//! best-of-N timings sized for the CI smoke gate), `all`.
 //!
 //! `--json-out <dir>` writes one machine-readable JSON artifact per
 //! experiment into `<dir>`.  Re-running into the same directory overwrites
@@ -853,6 +855,53 @@ fn main() {
             members.push(("controller", log.to_json_value()));
         }
         sink.write("autotune-convergence", jobj(members));
+    }
+    if run_all || cmd == "kernel-bench" {
+        println!("\n=== Sort/merge kernels: radix vs comparison, batched vs scalar merge ===");
+        let res = fg_bench::kernel_bench::run_kernel_bench(quick);
+        println!(
+            "sort {} records (uniform REC16): radix {:.3}s   comparison {:.3}s   speedup {:.2}x",
+            res.records,
+            res.radix.as_secs_f64(),
+            res.comparison.as_secs_f64(),
+            res.sort_speedup(),
+        );
+        for cell in &res.merge {
+            println!(
+                "merge k={:3} x {:6} records/lane: scalar {:.3}s   batched {:.3}s   speedup {:.2}x",
+                cell.k,
+                cell.per_lane,
+                cell.scalar.as_secs_f64(),
+                cell.batched.as_secs_f64(),
+                cell.speedup(),
+            );
+        }
+        sink.write(
+            "kernel-bench",
+            jobj(vec![
+                ("records", Json::from(res.records)),
+                ("radix_s", jsecs(res.radix)),
+                ("comparison_s", jsecs(res.comparison)),
+                ("sort_speedup", Json::Num(res.sort_speedup())),
+                (
+                    "merge",
+                    Json::Arr(
+                        res.merge
+                            .iter()
+                            .map(|cell| {
+                                jobj(vec![
+                                    ("k", Json::from(cell.k)),
+                                    ("per_lane", Json::from(cell.per_lane)),
+                                    ("scalar_s", jsecs(cell.scalar)),
+                                    ("batched_s", jsecs(cell.batched)),
+                                    ("speedup", Json::Num(cell.speedup())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        );
     }
     if let Some((server, sampler)) = telemetry {
         let series = sampler.stop();

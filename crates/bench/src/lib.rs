@@ -13,6 +13,7 @@
 pub mod autotune;
 pub mod gate;
 pub mod io_overlap;
+pub mod kernel_bench;
 pub mod overlap;
 pub mod unbalanced_comm;
 

@@ -204,6 +204,16 @@ impl SortConfig {
         }
     }
 
+    /// Fresh kernel scratch for a pipeline's sort stage, wired to this
+    /// config's metrics registry (when present) so the `kernel/*` counters
+    /// are published.  One scratch per stage replica.
+    pub fn sort_scratch(&self) -> crate::kernels::SortScratch {
+        match &self.metrics {
+            Some(reg) => crate::kernels::SortScratch::with_registry(reg),
+            None => crate::kernels::SortScratch::new(),
+        }
+    }
+
     /// Declared width of the CPU-bound sort farms: the configured
     /// `workers` open-loop, but at least 4 replicas under `autotune` so
     /// the controller can grow a deliberately under-provisioned farm.

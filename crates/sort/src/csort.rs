@@ -147,15 +147,20 @@ pub(crate) fn pass_pipeline(
 }
 
 /// Add the in-core sort stage, farmed across `cfg.workers` replicas when
-/// asked.  Each replica owns its sort scratch; `Program::workers`' ordered
+/// asked.  Each replica owns its kernel scratch ([`crate::kernels`]), so
+/// steady-state rounds allocate nothing; `Program::workers`' ordered
 /// emission keeps the lockstep communication stages downstream correct.
 pub(crate) fn add_sort_stage(prog: &mut Program, cfg: &SortConfig) -> fg_core::StageId {
     let fmt = cfg.record;
+    let metrics = cfg.metrics.clone();
     let make = move || {
-        let mut aux: Vec<u8> = Vec::new();
+        let mut scratch = match &metrics {
+            Some(reg) => crate::kernels::SortScratch::with_registry(reg),
+            None => crate::kernels::SortScratch::new(),
+        };
         map_stage(
             move |buf: &mut fg_core::Buffer, _ctx: &mut fg_core::StageCtx| {
-                fmt.sort_bytes(buf.filled_mut(), &mut aux);
+                fmt.sort_bytes_with(buf.filled_mut(), &mut scratch);
                 Ok(())
             },
         )
@@ -492,6 +497,12 @@ fn pass3(
 
 /// Merge `data` (two sorted runs: `[0, split_bytes)` and
 /// `[split_bytes, len)`) into `out[..len]`.
+///
+/// Gallops ([`crate::kernels::run_len`]): instead of one key comparison
+/// and one `memcpy` per record, each iteration finds the whole run of
+/// records the leading side contributes and copies it at once — on the
+/// nearly-sorted boundary windows of pass 3 this collapses to a handful
+/// of bulk copies.
 pub(crate) fn merge_two_sorted(
     fmt: crate::record::RecordFormat,
     data: &[u8],
@@ -502,15 +513,24 @@ pub(crate) fn merge_two_sorted(
     let (a, b) = data.split_at(split_bytes);
     let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
     while i < a.len() && j < b.len() {
-        let take_a = fmt.key(&a[i..i + rb]) <= fmt.key(&b[j..j + rb]);
-        if take_a {
-            out[o..o + rb].copy_from_slice(&a[i..i + rb]);
-            i += rb;
-        } else {
-            out[o..o + rb].copy_from_slice(&b[j..j + rb]);
-            j += rb;
+        // Ties favor `a` (the run holding the earlier global ranks).
+        let bkey = fmt.key(&b[j..]);
+        let run = crate::kernels::run_len(fmt, &a[i..], |k| k <= bkey) * rb;
+        if run > 0 {
+            out[o..o + run].copy_from_slice(&a[i..i + run]);
+            i += run;
+            o += run;
+            if i == a.len() {
+                break;
+            }
         }
-        o += rb;
+        // `a`'s (new) head strictly beats `b`'s, so `b` contributes at
+        // least one record here — the loop always makes progress.
+        let akey = fmt.key(&a[i..]);
+        let run = crate::kernels::run_len(fmt, &b[j..], |k| k < akey) * rb;
+        out[o..o + run].copy_from_slice(&b[j..j + run]);
+        j += run;
+        o += run;
     }
     if i < a.len() {
         out[o..o + a.len() - i].copy_from_slice(&a[i..]);

@@ -297,9 +297,14 @@ fn pass4_unshift(
         }),
     );
 
-    // step 7: each shifted column is two sorted halves; merge them.  The
-    // merge is the pass's CPU-bound stage, so it farms like the sorts do
-    // (every capture is `Copy`, so each replica gets its own closure).
+    // step 7: each shifted column is two sorted halves; merge them with
+    // the galloping two-run kernel (`merge_two_sorted` → `kernels::
+    // run_len`) — boundary windows are nearly sorted, so the merge
+    // collapses to a few bulk copies.  The merge is the pass's CPU-bound
+    // stage, so it farms like the sorts do (every capture is `Copy`, so
+    // each replica gets its own closure; the sort stages themselves go
+    // through `add_sort_stage`, which threads a kernel scratch per
+    // replica).
     let fmt = cfg.record;
     let make_sort = move || {
         map_stage(

@@ -211,9 +211,9 @@ pub fn pass1(
 
     let fmt2 = cfg.record;
     let sort = prog.add_stage("sort", {
-        let mut aux: Vec<u8> = Vec::new();
+        let mut scratch = cfg.sort_scratch();
         map_stage(move |buf, _ctx| {
-            fmt2.sort_bytes(buf.filled_mut(), &mut aux);
+            fmt2.sort_bytes_with(buf.filled_mut(), &mut scratch);
             Ok(())
         })
     });

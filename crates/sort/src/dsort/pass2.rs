@@ -119,6 +119,10 @@ pub fn pass2(
 
     // ---- merge stage (common to all verticals + the horizontal) ----
     let fmt = cfg.record;
+    let batch_hist = cfg
+        .metrics
+        .as_ref()
+        .map(|r| r.histogram("kernel/merge_batch_records"));
     let merge = prog.add_stage(
         "merge",
         Box::new(move |ctx: &mut StageCtx| {
@@ -163,11 +167,24 @@ pub fn pass2(
             let mut produced = 0u64; // records emitted so far
             out.meta = rank_offset; // global rank of this buffer's first record
 
+            let mut policy = crate::merge::BatchPolicy::new();
             while let Some((lane, _)) = tree.as_ref().and_then(|t| t.winner()) {
                 let (buf, off) = heads[lane].take().expect("winner lane has a head");
-                out.append(&buf.filled()[off..off + rb]);
-                produced += 1;
-                let noff = off + rb;
+                // MergeRun fast path: emit every buffered record of this
+                // lane that still beats the tree's runner-up in one copy,
+                // capped by the output buffer's space, instead of one
+                // record (and one tree replay) at a time.  The policy
+                // backs off to scalar steps while the runs interleave too
+                // finely to batch.
+                let avail = &buf.filled()[off..];
+                let run = policy.merge_run(tree.as_ref().expect("tree exists"), fmt, avail);
+                let n = run.min(out.remaining() / rb).max(1);
+                out.append(&avail[..n * rb]);
+                if let Some(h) = &batch_hist {
+                    h.record(n as u64);
+                }
+                produced += n as u64;
+                let noff = off + n * rb;
                 if noff < buf.len() {
                     heads[lane] = Some((buf, noff));
                 } else {

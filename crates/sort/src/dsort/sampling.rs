@@ -60,11 +60,28 @@ pub fn select_splitters(
                 pool.push(ExtKey::from_bytes(raw)?);
             }
         }
-        pool.sort_unstable();
+        // Selection, not a full sort: the splitter ranks are known up
+        // front, so partition the pool once per rank with
+        // `select_nth_unstable` — expected linear total work — instead of
+        // sorting all `oversample · P²` samples.  Each selection leaves
+        // `pool[..at]` ≤ `pool[at]` ≤ `pool[at+1..]`, so later (larger)
+        // ranks only need to search the suffix.
         let mut out = Vec::with_capacity((nodes - 1) * ExtKey::BYTES);
+        let mut done = 0usize; // everything before `done` is already placed
+        let mut prev: Option<(usize, ExtKey)> = None;
         for i in 1..nodes {
-            let at = i * pool.len() / nodes;
-            out.extend_from_slice(&pool[at.min(pool.len() - 1)].to_bytes());
+            let at = (i * pool.len() / nodes).min(pool.len() - 1);
+            let key = match prev {
+                Some((prev_at, prev_key)) if prev_at == at => prev_key,
+                _ => {
+                    let (_, nth, _) = pool[done..].select_nth_unstable(at - done);
+                    let key = *nth;
+                    done = at + 1;
+                    key
+                }
+            };
+            out.extend_from_slice(&key.to_bytes());
+            prev = Some((at, key));
         }
         out
     } else {

@@ -217,9 +217,9 @@ fn pass1_linear(
 
     let fmt2 = cfg.record;
     let sort = prog.add_stage("sort", {
-        let mut aux: Vec<u8> = Vec::new();
+        let mut scratch = cfg.sort_scratch();
         map_stage(move |buf, _ctx| {
-            fmt2.sort_bytes(buf.filled_mut(), &mut aux);
+            fmt2.sort_bytes_with(buf.filled_mut(), &mut scratch);
             Ok(())
         })
     });
@@ -305,6 +305,7 @@ fn pass2_linear(
         let mut caches: Vec<Vec<u8>> = vec![Vec::new(); run_lens_v.len()];
         let mut cache_pos: Vec<usize> = vec![0; run_lens_v.len()];
         let mut tree: Option<LoserTree> = None;
+        let mut batch_policy = crate::merge::BatchPolicy::new();
         let mut produced = 0u64;
         map_stage(move |buf, _ctx| {
             let k = run_lens_v.len();
@@ -347,10 +348,17 @@ fn pass2_linear(
                     Some(w) => w,
                     None => break,
                 };
+                // MergeRun fast path: batch every cached record of this
+                // lane that still beats the runner-up, capped to the
+                // block's remaining space.  The policy backs off to scalar
+                // steps while the runs interleave too finely to batch.
                 let pos = cache_pos[lane];
-                buf.append(&caches[lane][pos..pos + rb]);
-                cache_pos[lane] += rb;
-                produced += 1;
+                let avail = &caches[lane][pos..];
+                let run = batch_policy.merge_run(tree.as_ref().expect("tree"), fmt, avail);
+                let n = run.min((block - buf.len()) / rb).max(1);
+                buf.append(&avail[..n * rb]);
+                cache_pos[lane] += n * rb;
+                produced += n as u64;
                 let next = refill(lane, &mut caches, &mut cache_pos)?.map(|key| (key, 0));
                 tree.as_mut().expect("tree").replace(lane, next);
             }

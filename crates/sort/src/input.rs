@@ -137,8 +137,8 @@ pub fn expected_sorted(cfg: &SortConfig) -> Vec<u8> {
     for rank in 0..cfg.nodes {
         all.extend_from_slice(&generate_node_input(cfg, rank));
     }
-    let mut aux = Vec::new();
-    cfg.record.sort_bytes(&mut all, &mut aux);
+    let mut scratch = crate::kernels::SortScratch::new();
+    cfg.record.sort_bytes_with(&mut all, &mut scratch);
     let _ = rb;
     all
 }

@@ -30,6 +30,7 @@ pub mod csort4;
 pub mod dsort;
 pub mod dsort_linear;
 pub mod input;
+pub mod kernels;
 pub mod keygen;
 pub mod merge;
 pub mod record;

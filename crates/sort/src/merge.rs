@@ -106,6 +106,123 @@ impl LoserTree {
     pub fn lanes(&self) -> usize {
         self.k
     }
+
+    /// The lane that would win if the current winner's lane were exhausted
+    /// — the best live contender along the winner's tournament path — and
+    /// its key.  `None` when every other lane is exhausted.  `O(log k)`.
+    pub fn runner_up(&self) -> Option<(usize, MergeKey)> {
+        if self.k == 1 {
+            return None;
+        }
+        let winner = self.losers[0];
+        let mut best: Option<usize> = None;
+        let mut node = (self.k + winner) / 2;
+        while node >= 1 {
+            let contender = self.losers[node];
+            if self.keys[contender].is_some() && best.is_none_or(|b| self.beats(contender, b)) {
+                best = Some(contender);
+            }
+            node /= 2;
+        }
+        best.map(|b| (b, self.keys[b].expect("live contender has a key")))
+    }
+
+    /// The `MergeRun` fast path: how many leading records of `lane_data` —
+    /// the current winner's buffered, sorted records, merged with tiebreak
+    /// 0 — can be emitted in one batch before the tree must be consulted
+    /// again, i.e. every record that still beats the runner-up.  At least 1
+    /// (the head itself is the winner), at most the records in `lane_data`.
+    /// The caller copies the whole range with one `copy_from_slice`, then
+    /// calls [`LoserTree::replace`] once.
+    pub fn merge_run(&self, fmt: crate::record::RecordFormat, lane_data: &[u8]) -> usize {
+        let lane = self.losers[0];
+        let n = lane_data.len() / fmt.record_bytes;
+        debug_assert!(n >= 1, "winner lane must have buffered records");
+        debug_assert_eq!(
+            self.keys[lane],
+            Some((fmt.key(lane_data), 0)),
+            "lane_data must start at the winner's head (tiebreak 0)"
+        );
+        let Some((r_lane, (r_key, r_tie))) = self.runner_up() else {
+            return n; // every other lane exhausted: drain this one
+        };
+        // A record with key `k` (tiebreak 0) beats the runner-up when
+        // (k, 0, lane) < (r_key, r_tie, r_lane); with `k` non-decreasing
+        // along the run this reduces to a single key bound, strict or not
+        // depending on how the (tiebreak, lane) comparison falls.
+        let len = if (0u64, lane) < (r_tie, r_lane) {
+            crate::kernels::run_len(fmt, lane_data, |k| k <= r_key)
+        } else {
+            crate::kernels::run_len(fmt, lane_data, |k| k < r_key)
+        };
+        len.clamp(1, n)
+    }
+}
+
+/// Adaptive gate in front of [`LoserTree::merge_run`].
+///
+/// Batching pays for a runner-up walk plus a galloping probe per tree
+/// consultation.  When runs barely interleave (splitter-partitioned,
+/// presorted data) batches are long and that cost amortizes to nothing;
+/// when they interleave record-by-record (uniform random keys) every
+/// batch is 1 and the probe is pure overhead on top of the scalar path.
+/// This policy backs off exponentially on batch-of-1 results: after each
+/// failed probe it serves twice as many scalar steps (batch 1, no probe)
+/// before probing again, up to [`BatchPolicy::MAX_BACKOFF`], and resets
+/// on any successful batch.  A fully interleaved stream thus pays only
+/// `O(log)` probes plus one per `MAX_BACKOFF` records — overhead that
+/// vanishes — while a regime change to run-structured data is still
+/// noticed within `MAX_BACKOFF` records.
+#[derive(Debug)]
+pub struct BatchPolicy {
+    /// Scalar steps remaining before the next probe.
+    skip: u32,
+    /// Scalar steps the *next* failed probe will cost.
+    backoff: u32,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchPolicy {
+    /// First backoff after a failed probe (doubles per consecutive miss).
+    pub const MIN_BACKOFF: u32 = 4;
+    /// Backoff ceiling: the most records a newly run-structured stretch
+    /// can go unnoticed.
+    pub const MAX_BACKOFF: u32 = 1024;
+
+    /// A fresh policy that probes on its first step.
+    pub fn new() -> Self {
+        BatchPolicy {
+            skip: 0,
+            backoff: Self::MIN_BACKOFF,
+        }
+    }
+
+    /// [`LoserTree::merge_run`] behind the backoff gate: the batch length
+    /// (in records) to emit from the current winner's `lane_data`.
+    pub fn merge_run(
+        &mut self,
+        tree: &LoserTree,
+        fmt: crate::record::RecordFormat,
+        lane_data: &[u8],
+    ) -> usize {
+        if self.skip > 0 {
+            self.skip -= 1;
+            return 1;
+        }
+        let n = tree.merge_run(fmt, lane_data);
+        if n <= 1 {
+            self.skip = self.backoff;
+            self.backoff = (self.backoff * 2).min(Self::MAX_BACKOFF);
+        } else {
+            self.backoff = Self::MIN_BACKOFF;
+        }
+        n
+    }
 }
 
 /// Merge fully-materialized sorted runs of records (test and ablation
@@ -131,10 +248,14 @@ pub fn merge_runs(format: crate::record::RecordFormat, runs: &[&[u8]]) -> Vec<u8
     );
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut out = Vec::with_capacity(total);
+    let mut policy = BatchPolicy::new();
     while let Some((lane, _)) = tree.winner() {
         let off = offsets[lane];
-        out.extend_from_slice(&runs[lane][off..off + rb]);
-        offsets[lane] += rb;
+        // MergeRun fast path: emit the whole batch that beats the
+        // runner-up with one copy, then replay the tree once.
+        let batch = policy.merge_run(&tree, format, &runs[lane][off..]) * rb;
+        out.extend_from_slice(&runs[lane][off..off + batch]);
+        offsets[lane] += batch;
         tree.replace(lane, head(runs[lane], offsets[lane]));
     }
     out
@@ -224,6 +345,88 @@ mod tests {
             all.sort_unstable();
             assert_eq!(drain(lanes), all);
         }
+    }
+
+    #[test]
+    fn runner_up_tracks_second_best() {
+        let mut tree = LoserTree::new(vec![Some((3, 0)), Some((1, 0)), Some((2, 0))]);
+        assert_eq!(tree.winner(), Some((1, (1, 0))));
+        assert_eq!(tree.runner_up(), Some((2, (2, 0))));
+        tree.replace(1, Some((9, 0)));
+        assert_eq!(tree.winner(), Some((2, (2, 0))));
+        assert_eq!(tree.runner_up(), Some((0, (3, 0))));
+        tree.replace(2, None);
+        tree.replace(0, None);
+        assert_eq!(tree.winner(), Some((1, (9, 0))));
+        assert_eq!(tree.runner_up(), None);
+        assert_eq!(LoserTree::new(vec![Some((5, 0))]).runner_up(), None);
+    }
+
+    #[test]
+    fn merge_run_batches_up_to_runner_up() {
+        let f = RecordFormat::REC16;
+        let mk = |keys: &[u64]| {
+            let mut out = vec![0u8; keys.len() * 16];
+            for (i, &k) in keys.iter().enumerate() {
+                f.set_key(&mut out[i * 16..(i + 1) * 16], k);
+            }
+            out
+        };
+        // Lane 0 holds 1,2,3,7; lane 1 holds 4: the batch is the 3 records
+        // strictly below the runner-up's key.
+        let lane0 = mk(&[1, 2, 3, 7]);
+        let tree = LoserTree::new(vec![Some((1, 0)), Some((4, 0))]);
+        assert_eq!(tree.merge_run(f, &lane0), 3);
+        // Equal keys: the lower lane index wins ties, so lane 0 may emit
+        // through the tie; a higher-lane winner must stop before it.
+        let lane = mk(&[4, 4, 5]);
+        let tree = LoserTree::new(vec![Some((4, 0)), Some((4, 0))]);
+        assert_eq!(tree.winner(), Some((0, (4, 0))));
+        assert_eq!(tree.merge_run(f, &lane), 2);
+        let tree = LoserTree::new(vec![None, Some((4, 0))]);
+        assert_eq!(tree.winner(), Some((1, (4, 0))));
+        assert_eq!(tree.merge_run(f, &lane), 3); // lane 0 exhausted: drain
+    }
+
+    #[test]
+    fn batch_policy_backs_off_exponentially() {
+        let f = RecordFormat::REC16;
+        let mk = |keys: &[u64]| {
+            let mut out = vec![0u8; keys.len() * 16];
+            for (i, &k) in keys.iter().enumerate() {
+                f.set_key(&mut out[i * 16..(i + 1) * 16], k);
+            }
+            out
+        };
+        // Fully interleaved: the winner's next key loses to the
+        // runner-up, so every probe yields a batch of 1.
+        let lane = mk(&[4, 10, 10]);
+        let tree = LoserTree::new(vec![Some((5, 0)), Some((4, 0))]);
+        let mut policy = BatchPolicy::new();
+        assert_eq!(tree.winner(), Some((1, (4, 0))));
+        // First call probes (batch 1), then serves MIN_BACKOFF scalar
+        // steps, probes again, serves 2x, and so on.
+        let mut probes = 0;
+        let mut steps = 0u32;
+        let total = BatchPolicy::MIN_BACKOFF * 8;
+        for _ in 0..total {
+            let before = policy.skip;
+            assert_eq!(policy.merge_run(&tree, f, &lane), 1);
+            if before == 0 {
+                probes += 1;
+            }
+            steps += 1;
+        }
+        assert!(
+            probes <= 4,
+            "{probes} probes in {steps} interleaved steps (want O(log))"
+        );
+        // A successful batch resets the backoff.
+        let runny = mk(&[1, 2, 3]);
+        let tree = LoserTree::new(vec![Some((1, 0)), Some((9, 0))]);
+        let mut policy = BatchPolicy::new();
+        assert_eq!(policy.merge_run(&tree, f, &runny), 3);
+        assert_eq!(policy.backoff, BatchPolicy::MIN_BACKOFF);
     }
 
     #[test]

@@ -76,25 +76,24 @@ impl RecordFormat {
     /// Stable sort of the records in `bytes` by key, out of place through
     /// `aux` (FG's auxiliary-buffer pattern: the permutation need not be
     /// performed in place).
+    ///
+    /// Convenience wrapper over [`RecordFormat::sort_bytes_with`] that
+    /// reuses only the caller's record scratch; hot loops thread a full
+    /// [`crate::kernels::SortScratch`] instead so the permutation pairs are
+    /// reused across rounds too.
     pub fn sort_bytes(&self, bytes: &mut [u8], aux: &mut Vec<u8>) {
-        let n = self.count(bytes);
-        let mut order: Vec<(u64, u32)> = self
-            .records(bytes)
-            .enumerate()
-            .map(|(i, r)| (self.key(r), i as u32))
-            .collect();
-        // Stable by construction: the original index breaks ties.
-        order.sort_unstable();
-        if aux.len() < bytes.len() {
-            aux.resize(bytes.len(), 0);
-        }
-        let rb = self.record_bytes;
-        for (dst, (_, src)) in order.iter().enumerate() {
-            let s = *src as usize * rb;
-            aux[dst * rb..(dst + 1) * rb].copy_from_slice(&bytes[s..s + rb]);
-        }
-        bytes.copy_from_slice(&aux[..bytes.len()]);
-        let _ = n;
+        let mut scratch = crate::kernels::SortScratch::new();
+        std::mem::swap(&mut scratch.aux, aux);
+        self.sort_bytes_with(bytes, &mut scratch);
+        std::mem::swap(&mut scratch.aux, aux);
+    }
+
+    /// Stable sort of the records in `bytes` by key through the kernel
+    /// scratch: LSD radix with digit skipping for large batches, a
+    /// comparison sort below [`crate::kernels::RADIX_MIN_RECORDS`], and no
+    /// allocation once the scratch is warm.
+    pub fn sort_bytes_with(&self, bytes: &mut [u8], scratch: &mut crate::kernels::SortScratch) {
+        crate::kernels::sort_records(*self, bytes, scratch);
     }
 
     /// Whether the records in `bytes` are sorted by key (non-decreasing).

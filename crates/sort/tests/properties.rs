@@ -5,8 +5,21 @@ use proptest::prelude::*;
 
 use fg_sort::chunks;
 use fg_sort::columnsort::{boundary_merge, columnsort, sort_columns, transpose, untranspose};
+use fg_sort::kernels::{sort_records_using, Kernel, SortScratch};
 use fg_sort::merge::{merge_runs, LoserTree};
 use fg_sort::record::{partition_of, ExtKey, RecordFormat};
+
+/// Build records with distinct payloads so stability is observable.
+fn records_with_payloads(f: RecordFormat, keys: &[u64]) -> Vec<u8> {
+    let rb = f.record_bytes;
+    let mut bytes = vec![0u8; keys.len() * rb];
+    for (i, &k) in keys.iter().enumerate() {
+        f.set_key(&mut bytes[i * rb..(i + 1) * rb], k);
+        bytes[i * rb + 8] = i as u8;
+        bytes[i * rb + 9] = (i >> 8) as u8;
+    }
+    bytes
+}
 
 proptest! {
     /// Columnsort sorts any input meeting Leighton's geometry (r = 12,
@@ -267,5 +280,75 @@ proptest! {
         f.sort_bytes(&mut bytes, &mut aux);
         prop_assert!(f.is_sorted(&bytes));
         prop_assert_eq!(f.multiset_fingerprint(&bytes), before);
+    }
+
+    /// The radix kernel is byte-identical to the stable comparison kernel
+    /// — including duplicate-key stability via the index tiebreak — on
+    /// both record formats.  Narrow key ranges force duplicates and
+    /// degenerate (skippable) high digits.
+    #[test]
+    fn radix_kernel_is_byte_identical_to_comparison(
+        keys in vec(0u64..32, 0..400),
+        wide in any::<bool>(),
+    ) {
+        for f in [RecordFormat::REC16, RecordFormat::REC64] {
+            let keys: Vec<u64> = if wide {
+                // Spread across all eight digits too.
+                keys.iter().map(|&k| k.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()
+            } else {
+                keys.clone()
+            };
+            let pristine = records_with_payloads(f, &keys);
+            let mut via_radix = pristine.clone();
+            let mut via_cmp = pristine;
+            let mut scratch = SortScratch::new();
+            sort_records_using(f, &mut via_radix, &mut scratch, Kernel::Radix);
+            sort_records_using(f, &mut via_cmp, &mut scratch, Kernel::Comparison);
+            prop_assert_eq!(&via_radix, &via_cmp);
+        }
+    }
+
+    /// Batched (galloping) merge output equals a scalar one-record-at-a-
+    /// time LoserTree oracle under random lane contents and exhaustion
+    /// patterns — byte-identical, so equal keys resolve to the same lane.
+    #[test]
+    fn batched_merge_matches_scalar_oracle(lanes in vec(vec(0u64..40, 0..50), 1..8)) {
+        let f = RecordFormat::REC16;
+        let rb = f.record_bytes;
+        let runs: Vec<Vec<u8>> = lanes
+            .iter()
+            .enumerate()
+            .map(|(lane, keys)| {
+                let mut keys = keys.clone();
+                keys.sort_unstable();
+                let mut bytes = records_with_payloads(f, &keys);
+                // Stamp the lane so cross-lane ties are distinguishable.
+                for rec in bytes.chunks_exact_mut(rb) {
+                    rec[10] = lane as u8;
+                }
+                bytes
+            })
+            .collect();
+        let run_refs: Vec<&[u8]> = runs.iter().map(|r| r.as_slice()).collect();
+
+        // Scalar oracle: one winner/replace per record.
+        let mut offsets = vec![0usize; runs.len()];
+        let head = |run: &[u8], off: usize| -> Option<(u64, u64)> {
+            (off < run.len()).then(|| (f.key(&run[off..off + rb]), 0))
+        };
+        let mut tree = LoserTree::new(
+            runs.iter().zip(&offsets).map(|(r, &o)| head(r, o)).collect(),
+        );
+        let mut oracle = Vec::new();
+        while let Some((lane, _)) = tree.winner() {
+            let off = offsets[lane];
+            oracle.extend_from_slice(&runs[lane][off..off + rb]);
+            offsets[lane] += rb;
+            tree.replace(lane, head(&runs[lane], offsets[lane]));
+        }
+
+        // merge_runs takes the batched MergeRun path.
+        let batched = merge_runs(f, &run_refs);
+        prop_assert_eq!(&batched, &oracle);
     }
 }
