@@ -52,21 +52,23 @@ fn one_to_one(q: BenchQueue, batch_pop: bool) {
     producer.join().unwrap();
 }
 
-/// `n` producers and `n` consumers hammer one MPMC queue.
-fn contended(n: usize) {
-    let q = BenchQueue::mpmc(CAP);
+/// `producers` x `consumers` threads hammer one MPMC queue (either
+/// flavor) until `ITEMS` buffers have crossed.
+fn contended(q: BenchQueue, producers: usize, consumers: usize) {
     let got = Arc::new(AtomicUsize::new(0));
-    let producers: Vec<_> = (0..n)
-        .map(|_| {
+    let producer_h: Vec<_> = (0..producers)
+        .map(|i| {
             let q = q.clone();
+            // Distribute the remainder so the totals always sum to ITEMS.
+            let share = ITEMS / producers + usize::from(i < ITEMS % producers);
             thread::spawn(move || {
-                for _ in 0..ITEMS / n {
+                for _ in 0..share {
                     q.push(BenchQueue::buffer(BUF_BYTES));
                 }
             })
         })
         .collect();
-    let consumers: Vec<_> = (0..n)
+    let consumer_h: Vec<_> = (0..consumers)
         .map(|_| {
             let q = q.clone();
             let got = Arc::clone(&got);
@@ -78,11 +80,11 @@ fn contended(n: usize) {
             })
         })
         .collect();
-    for p in producers {
+    for p in producer_h {
         p.join().unwrap();
     }
     q.close();
-    for c in consumers {
+    for c in consumer_h {
         c.join().unwrap();
     }
     assert_eq!(got.load(Ordering::Relaxed), ITEMS);
@@ -122,7 +124,25 @@ fn queue_throughput(c: &mut Criterion) {
     group.bench_function("spsc_shape/spsc_batched", |b| {
         b.iter(|| one_to_one(BenchQueue::spsc(CAP), true))
     });
-    group.bench_function("contended/mpmc_2p2c", |b| b.iter(|| contended(2)));
+    // Contended matrix: both MPMC flavors at symmetric producer/consumer
+    // counts, plus the recycle-queue shape (every stage of a group pushes
+    // discards, one source drains).  The lock-free ring is the planner's
+    // default for these queues; the mutex flavor is the baseline the CI
+    // gate compares against.
+    for n in [1usize, 2, 4, 8] {
+        group.bench_function(format!("contended/mutex_{n}p{n}c"), |b| {
+            b.iter(|| contended(BenchQueue::mpmc(CAP), n, n))
+        });
+        group.bench_function(format!("contended/lockfree_{n}p{n}c"), |b| {
+            b.iter(|| contended(BenchQueue::mpmc_lock_free(CAP), n, n))
+        });
+    }
+    group.bench_function("recycle_shape/mutex_8p1c", |b| {
+        b.iter(|| contended(BenchQueue::mpmc(CAP), 8, 1))
+    });
+    group.bench_function("recycle_shape/lockfree_8p1c", |b| {
+        b.iter(|| contended(BenchQueue::mpmc_lock_free(CAP), 8, 1))
+    });
     group.finish();
 }
 

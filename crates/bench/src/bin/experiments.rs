@@ -22,7 +22,10 @@
 //! hand-tuned operating point; `--hand-tuned` runs the open-loop reference
 //! arm instead, e.g. to record a gate baseline), `kernel-bench` (the sort
 //! and merge kernels: radix vs comparison, batched vs scalar merge —
-//! best-of-N timings sized for the CI smoke gate), `all`.
+//! best-of-N timings sized for the CI smoke gate), `queue-bench` (the
+//! lock-free MPMC ring vs the mutex deque under the contended farm and
+//! recycle traffic shapes; CI gates lock-free ≥1.2× at 4×4 on multi-core
+//! runners), `all`.
 //!
 //! `--json-out <dir>` writes one machine-readable JSON artifact per
 //! experiment into `<dir>`.  Re-running into the same directory overwrites
@@ -900,6 +903,64 @@ fn main() {
                             .collect(),
                     ),
                 ),
+            ]),
+        );
+    }
+    if run_all || cmd == "queue-bench" {
+        println!("\n=== Queue flavors: lock-free MPMC ring vs mutex deque ===");
+        let res = fg_bench::queue_bench::run_queue_bench(quick);
+        for c in &res.contended {
+            println!(
+                "contended {}p x {}c, {:6} items: mutex {:8.3} ms   lockfree {:8.3} ms   speedup {:.2}x",
+                c.producers,
+                c.consumers,
+                c.items,
+                c.mutex.as_secs_f64() * 1e3,
+                c.lock_free.as_secs_f64() * 1e3,
+                c.speedup(),
+            );
+        }
+        let c = &res.recycle;
+        println!(
+            "recycle   {}p x {}c, {:6} items: mutex {:8.3} ms   lockfree {:8.3} ms   speedup {:.2}x",
+            c.producers,
+            c.consumers,
+            c.items,
+            c.mutex.as_secs_f64() * 1e3,
+            c.lock_free.as_secs_f64() * 1e3,
+            c.speedup(),
+        );
+        if !res.multi_core() {
+            println!(
+                "note: single-core host ({} core): flavors take turns on the scheduler, \
+                 so the lock-free speedup is not gateable here",
+                res.cores
+            );
+        }
+        let cell_json = |c: &fg_bench::queue_bench::QueueCell| {
+            jobj(vec![
+                ("producers", Json::from(c.producers)),
+                ("consumers", Json::from(c.consumers)),
+                ("items", Json::from(c.items)),
+                ("mutex_s", jsecs(c.mutex)),
+                ("lockfree_s", jsecs(c.lock_free)),
+                ("speedup", Json::Num(c.speedup())),
+            ])
+        };
+        sink.write(
+            "queue-bench",
+            jobj(vec![
+                ("cores", Json::from(res.cores)),
+                ("multi_core", Json::Bool(res.multi_core())),
+                (
+                    "gated_speedup",
+                    Json::Num(res.gated_speedup().unwrap_or(0.0)),
+                ),
+                (
+                    "contended",
+                    Json::Arr(res.contended.iter().map(cell_json).collect()),
+                ),
+                ("recycle", cell_json(&res.recycle)),
             ]),
         );
     }

@@ -15,6 +15,7 @@ pub mod gate;
 pub mod io_overlap;
 pub mod kernel_bench;
 pub mod overlap;
+pub mod queue_bench;
 pub mod unbalanced_comm;
 
 use std::sync::Arc;

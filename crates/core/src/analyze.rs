@@ -116,6 +116,39 @@ pub struct QueueFinding {
     pub empty_frac: f64,
 }
 
+/// Contention profile of one queue, folded from the
+/// `core/queue_cas_retries/*`, `core/queue_*_parks/*`, and
+/// `core/queue_items/*` counters the queue layer publishes.  Separates
+/// "the queue itself is the fight" (CAS retries on the lock-free ring,
+/// park storms) from "a stage is slow" (which shows up as depth pinning,
+/// not retries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentionFinding {
+    /// Queue name as wired (`csort/in`, `recycle/g0`, …).
+    pub name: String,
+    /// Failed position CASes on the lock-free ring.
+    pub cas_retries: u64,
+    /// Producer condvar waits.
+    pub push_parks: u64,
+    /// Consumer condvar waits.
+    pub pop_parks: u64,
+    /// Slow-path notifications issued for advertised sleepers.
+    pub wakes: u64,
+    /// Successful pushes — the per-item denominator.
+    pub items: u64,
+}
+
+impl ContentionFinding {
+    /// CAS retries per successfully pushed item; zero when nothing flowed.
+    pub fn retries_per_item(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.cas_retries as f64 / self.items as f64
+        }
+    }
+}
+
 /// What [`diagnose`] concluded about a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnosis {
@@ -131,6 +164,10 @@ pub struct Diagnosis {
     pub overlap_efficiency: f64,
     /// Queues that spent most of the sampled run pinned full or empty.
     pub queue_findings: Vec<QueueFinding>,
+    /// Queues whose producers/consumers collided hard enough to matter
+    /// (CAS-retry rate above [`CONTENTION_WARN`] with meaningful traffic),
+    /// sorted by retry rate descending.
+    pub contention: Vec<ContentionFinding>,
     /// Read-ahead effectiveness, when any disk ran behind an I/O scheduler.
     pub prefetch: Option<PrefetchFinding>,
     /// Per-round critical-path reconstruction, when flight-recorder logs
@@ -156,6 +193,15 @@ const EFFICIENCY_WARN: f64 = 0.6;
 /// keeping up with the read stream — most reads go cold to the backend.
 pub(crate) const PREFETCH_WARN: f64 = 0.5;
 
+/// A lock-free queue averaging more failed CASes than this per pushed item
+/// is contended: producers/consumers are fighting over the ring's position
+/// words rather than the data being slow to arrive.
+pub(crate) const CONTENTION_WARN: f64 = 0.5;
+
+/// Ignore contention on queues that moved fewer items than this — retry
+/// rates over a handful of pushes are noise, not a bottleneck.
+pub(crate) const CONTENTION_MIN_ITEMS: u64 = 100;
+
 /// The runtime's implicit source/sink threads: real stages for timing
 /// purposes, but not candidates for "the limiting stage" (their work is
 /// the framework's, not the program's).
@@ -176,6 +222,19 @@ pub const QUEUE_DEPTH_PREFIX: &str = "core/queue_depth/";
 /// Metric-name prefix of the per-queue capacity gauges (set once at wire
 /// time so windowed diagnosis can tell "full" without a [`Report`]).
 pub const QUEUE_CAPACITY_PREFIX: &str = "core/queue_capacity/";
+/// Metric-name prefix of the per-queue failed-CAS counters (lock-free
+/// flavor only; each count is one producer/consumer collision on the
+/// ring's position words).
+pub const QUEUE_CAS_RETRY_PREFIX: &str = "core/queue_cas_retries/";
+/// Metric-name prefix of the per-queue producer condvar-wait counters.
+pub const QUEUE_PUSH_PARK_PREFIX: &str = "core/queue_push_parks/";
+/// Metric-name prefix of the per-queue consumer condvar-wait counters.
+pub const QUEUE_POP_PARK_PREFIX: &str = "core/queue_pop_parks/";
+/// Metric-name prefix of the per-queue slow-path wake counters.
+pub const QUEUE_WAKE_PREFIX: &str = "core/queue_wakes/";
+/// Metric-name prefix of the per-queue successful-push counters — the
+/// denominator that turns CAS retries into a per-item collision rate.
+pub const QUEUE_ITEMS_PREFIX: &str = "core/queue_items/";
 
 /// One stage's time attribution over some span (a whole run or a sliding
 /// window), before fractions and verdicts are derived.  The shared input
@@ -330,6 +389,7 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
     }
 
     let queue_findings = queue_findings(report, series);
+    let contention = contention_findings(report);
     let prefetch = prefetch_finding(report);
 
     let mut recommendations = Vec::new();
@@ -338,9 +398,17 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
             .iter()
             .find(|d| &d.name == name)
             .expect("limiting stage is in stages");
+        // Where the limiting stage physically ran, when the run was pinned
+        // — lets the reader connect "this stage bounds the run" with the
+        // core layout they asked for.
+        let placement = report
+            .stage(name)
+            .and_then(|s| s.core)
+            .map(|c| format!(" (pinned to core {c})"))
+            .unwrap_or_default();
         if d.workers > 1 {
             recommendations.push(format!(
-                "stage `{name}` is the limiting stage (busy {:.0}% across its {} workers): \
+                "stage `{name}`{placement} is the limiting stage (busy {:.0}% across its {} workers): \
                  raise its worker count (`workers({})`), split it into substages, or \
                  reduce its per-buffer work",
                 d.busy_frac * 100.0,
@@ -349,7 +417,7 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
             ));
         } else {
             recommendations.push(format!(
-                "stage `{name}` is the limiting stage (busy {:.0}% of its wall time): \
+                "stage `{name}`{placement} is the limiting stage (busy {:.0}% of its wall time): \
                  its busy time bounds the whole pipeline — farm it across replicas \
                  (`workers(n)`), split it into substages, or reduce its per-buffer work",
                 d.busy_frac * 100.0
@@ -409,6 +477,27 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
             ));
         }
     }
+    for c in &contention {
+        let pinned = report.stages.iter().any(|s| s.core.is_some());
+        recommendations.push(format!(
+            "queue `{}` is contended, not its stages busy: {} CAS retries over {} \
+             pushes (~{:.1} per item), {} producer and {} consumer parks — the \
+             threads are fighting over the queue itself{}",
+            c.name,
+            c.cas_retries,
+            c.items,
+            c.retries_per_item(),
+            c.push_parks,
+            c.pop_parks,
+            if pinned {
+                "; the run was already pinned, so reduce the number of threads \
+                 sharing this queue or batch more work per buffer"
+            } else {
+                "; pin stage threads to distinct cores (`--pin` / \
+                 `Program::set_pinning`) to stop the cache line ping-ponging"
+            }
+        ));
+    }
     if let Some(p) = &prefetch {
         if p.hit_rate() < PREFETCH_WARN {
             recommendations.push(format!(
@@ -443,6 +532,7 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
         overlap_factor: report.overlap_factor(),
         overlap_efficiency,
         queue_findings,
+        contention,
         prefetch,
         critical_path: None,
         recommendations,
@@ -724,6 +814,40 @@ fn prefetch_finding(report: &Report) -> Option<PrefetchFinding> {
     (seen && hits + misses > 0).then_some(PrefetchFinding { hits, misses })
 }
 
+/// Fold the per-queue contention counters into [`ContentionFinding`]s for
+/// every queue whose CAS-retry rate crosses [`CONTENTION_WARN`] with at
+/// least [`CONTENTION_MIN_ITEMS`] items of traffic, sorted worst first.
+fn contention_findings(report: &Report) -> Vec<ContentionFinding> {
+    let counter = |prefix: &str, name: &str| {
+        report
+            .metrics
+            .counter(&format!("{prefix}{name}"))
+            .unwrap_or(0)
+    };
+    let mut findings: Vec<ContentionFinding> = report
+        .queues
+        .iter()
+        .filter_map(|q| {
+            let f = ContentionFinding {
+                name: q.name.clone(),
+                cas_retries: counter(QUEUE_CAS_RETRY_PREFIX, &q.name),
+                push_parks: counter(QUEUE_PUSH_PARK_PREFIX, &q.name),
+                pop_parks: counter(QUEUE_POP_PARK_PREFIX, &q.name),
+                wakes: counter(QUEUE_WAKE_PREFIX, &q.name),
+                items: counter(QUEUE_ITEMS_PREFIX, &q.name),
+            };
+            (f.items >= CONTENTION_MIN_ITEMS && f.retries_per_item() >= CONTENTION_WARN)
+                .then_some(f)
+        })
+        .collect();
+    findings.sort_by(|a, b| {
+        b.retries_per_item()
+            .partial_cmp(&a.retries_per_item())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    findings
+}
+
 /// Fold the `core/queue_depth/<name>` gauge series into per-queue
 /// full/empty fractions, matched against the report's queue capacities.
 fn queue_findings(report: &Report, series: &[TimestampedSnapshot]) -> Vec<QueueFinding> {
@@ -823,6 +947,18 @@ impl Diagnosis {
                     q.empty_frac * 100.0
                 ));
             }
+        }
+        for c in &self.contention {
+            out.push_str(&format!(
+                "queue {:<12} contended: {:.1} CAS retries/item ({} over {} pushes), \
+                 parks {}+{}\n",
+                c.name,
+                c.retries_per_item(),
+                c.cas_retries,
+                c.items,
+                c.push_parks,
+                c.pop_parks
+            ));
         }
         if !self.recommendations.is_empty() {
             out.push_str("recommendations:\n");
@@ -1323,12 +1459,14 @@ mod tests {
                 capacity: 3,
                 max_depth: 3,
                 spsc: false,
+                flavor: "mutex".into(),
             },
             QueueDepth {
                 name: "p[2]".into(),
                 capacity: 3,
                 max_depth: 3,
                 spsc: false,
+                flavor: "mutex".into(),
             },
         ];
         // p[1] pinned at capacity in every sample; p[2] touched it once.
@@ -1415,6 +1553,7 @@ mod tests {
             capacity: 4,
             max_depth: 4,
             spsc: false,
+            flavor: "lockfree".into(),
         }];
         let point = |depth: u64, ms: u64| {
             let reg = crate::metrics::MetricsRegistry::new();
@@ -1430,6 +1569,71 @@ mod tests {
             .recommendations
             .iter()
             .any(|r| r.contains("recycle/g0") && r.contains("under-provisioned")));
+    }
+
+    fn report_with_contention(retries: u64, items: u64) -> Report {
+        use crate::stats::QueueDepth;
+        let reg = crate::metrics::MetricsRegistry::new();
+        reg.counter("core/queue_cas_retries/in/sort").add(retries);
+        reg.counter("core/queue_items/in/sort").add(items);
+        reg.counter("core/queue_push_parks/in/sort").add(7);
+        reg.counter("core/queue_pop_parks/in/sort").add(3);
+        reg.counter("core/queue_wakes/in/sort").add(10);
+        let mut r = report();
+        r.queues = vec![QueueDepth {
+            name: "in/sort".into(),
+            capacity: 8,
+            max_depth: 8,
+            spsc: false,
+            flavor: "lockfree".into(),
+        }];
+        r.metrics = reg.snapshot();
+        r
+    }
+
+    #[test]
+    fn contended_queue_flagged_with_pin_recommendation() {
+        let d = diagnose(&report_with_contention(900, 1000), &[]);
+        assert_eq!(d.contention.len(), 1);
+        let c = &d.contention[0];
+        assert_eq!(c.name, "in/sort");
+        assert_eq!(
+            (c.cas_retries, c.items, c.push_parks, c.pop_parks),
+            (900, 1000, 7, 3)
+        );
+        assert!((c.retries_per_item() - 0.9).abs() < 1e-9);
+        // Unpinned run: the fix on offer is pinning, and the verdict names
+        // the queue, not a stage, as the fight.
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("`in/sort`") && r.contains("contended") && r.contains("--pin")));
+        assert!(d.render().contains("contended: 0.9 CAS retries/item"));
+    }
+
+    #[test]
+    fn contended_queue_on_pinned_run_suggests_fewer_threads() {
+        let mut r = report_with_contention(900, 1000);
+        r.stages[0].core = Some(2);
+        let d = diagnose(&r, &[]);
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("already pinned")));
+        assert!(!d.recommendations.iter().any(|r| r.contains("--pin")));
+    }
+
+    #[test]
+    fn quiet_queues_produce_no_contention_finding() {
+        // Below the traffic floor: 90 retries over 99 pushes is a hot rate
+        // but too few items to trust.
+        assert!(diagnose(&report_with_contention(90, 99), &[])
+            .contention
+            .is_empty());
+        // Plenty of traffic, low rate.
+        assert!(diagnose(&report_with_contention(100, 1000), &[])
+            .contention
+            .is_empty());
     }
 
     /// Build a window sample: `(stage, busy_ms, starved_ms, backp_ms,

@@ -459,7 +459,7 @@ fn field_str(j: &Json, key: &str) -> Result<String, String> {
 }
 
 fn stage_to_json(s: &StageStats) -> Json {
-    obj(vec![
+    let mut members = vec![
         ("name", Json::from(s.name.as_str())),
         ("wall_ns", Json::from(s.wall.as_nanos() as u64)),
         (
@@ -477,7 +477,12 @@ fn stage_to_json(s: &StageStats) -> Json {
             "spans",
             Json::Arr(s.spans.iter().map(span_to_json).collect()),
         ),
-    ])
+    ];
+    // Written only for pinned stages, so unpinned artifacts are unchanged.
+    if let Some(core) = s.core {
+        members.push(("core", Json::from(core as u64)));
+    }
+    obj(members)
 }
 
 fn stage_from_json(j: &Json) -> Result<StageStats, String> {
@@ -490,6 +495,8 @@ fn stage_from_json(j: &Json) -> Result<StageStats, String> {
         .collect::<Result<Vec<_>, _>>()?;
     Ok(StageStats {
         name: field_str(j, "name")?,
+        // Absent for unpinned runs and in artifacts written before pinning.
+        core: j.get("core").and_then(Json::as_u64).map(|c| c as usize),
         wall: Duration::from_nanos(field_u64(j, "wall_ns")?),
         blocked_accept: Duration::from_nanos(field_u64(j, "blocked_accept_ns")?),
         blocked_convey: Duration::from_nanos(field_u64(j, "blocked_convey_ns")?),
@@ -636,6 +643,7 @@ impl Report {
                                 ("capacity", Json::from(q.capacity)),
                                 ("max_depth", Json::from(q.max_depth)),
                                 ("spsc", Json::Bool(q.spsc)),
+                                ("flavor", Json::from(q.flavor.as_str())),
                             ])
                         })
                         .collect(),
@@ -692,6 +700,14 @@ impl Report {
                     max_depth: field_u64(q, "max_depth")? as usize,
                     // Absent in artifacts written before the SPSC flavor.
                     spsc: matches!(q.get("spsc"), Some(Json::Bool(true))),
+                    // Absent in artifacts written before the lock-free MPMC
+                    // flavor; derive from the spsc bool (MPMC then meant
+                    // the mutex deque).
+                    flavor: match q.get("flavor").and_then(Json::as_str) {
+                        Some(f) => f.to_string(),
+                        None if matches!(q.get("spsc"), Some(Json::Bool(true))) => "spsc".into(),
+                        None => "mutex".into(),
+                    },
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod affinity;
 pub mod analyze;
 mod buffer;
 pub mod cluster_report;
@@ -72,9 +73,11 @@ mod stats;
 pub mod telemetry;
 pub mod trace;
 
+pub use affinity::PinMode;
 pub use analyze::{
-    diagnose, diagnose_cluster, diagnose_window, diagnose_with_trace, ClusterDiagnosis, Diagnosis,
-    QueueFinding, RankVerdict, StageDiagnosis, StageVerdict, WindowDiagnosis,
+    diagnose, diagnose_cluster, diagnose_window, diagnose_with_trace, ClusterDiagnosis,
+    ContentionFinding, Diagnosis, QueueFinding, RankVerdict, StageDiagnosis, StageVerdict,
+    WindowDiagnosis,
 };
 pub use buffer::{Buffer, PipelineId, StageId};
 pub use cluster_report::{ClusterReport, CollectiveStat, RankReport};

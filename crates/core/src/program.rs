@@ -21,9 +21,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::affinity::PinMode;
 use crate::buffer::{PipelineId, StageId};
 use crate::error::{FgError, Result};
-use crate::queue::Queue;
+use crate::queue::{FlavorKind, Queue, QueueMetrics};
 use crate::runtime;
 use crate::stage::{Port, Registry, ReplicaGroup, Rounds, Stage, StopFlag};
 use crate::stats::Report;
@@ -115,6 +116,7 @@ pub struct Program {
     watchdog: Option<crate::trace::WatchdogCfg>,
     controller: Option<crate::controller::ControllerCfg>,
     depth_actuators: Vec<Arc<dyn crate::controller::DepthActuator>>,
+    pin: Option<PinMode>,
 }
 
 impl Program {
@@ -132,7 +134,20 @@ impl Program {
             watchdog: None,
             controller: None,
             depth_actuators: Vec::new(),
+            pin: None,
         }
+    }
+
+    /// Pin every runtime thread (stages, replicas, sources, sinks) to a
+    /// core chosen by `mode` at spawn.  Placement is recorded per thread
+    /// in the [`Report`](crate::Report)
+    /// ([`StageStats::core`](crate::StageStats)).  On hosts where
+    /// affinity cannot be changed (non-Linux, no `taskset`) threads run
+    /// unpinned and record no placement.  Off by default: the OS
+    /// scheduler usually wins until queue contention dominates — see
+    /// `diagnose`'s contention findings for when to turn this on.
+    pub fn set_pinning(&mut self, mode: PinMode) {
+        self.pin = Some(mode);
     }
 
     /// Record every stage's blocked intervals so the finished
@@ -474,23 +489,28 @@ impl Program {
             .collect();
 
         // Build a queue, register it for shutdown, and — when a metrics
-        // registry is attached — wire up its depth gauge and publish its
-        // capacity (so windowed diagnosis can tell "full" without a
-        // Report).  `spsc` selects the single-producer single-consumer
-        // ring; only stage-to-stage links the planner has proven exclusive
-        // may pass true.
+        // registry is attached — wire up its depth gauge, contention
+        // counters, and capacity (so windowed diagnosis can tell "full"
+        // without a Report).  `FlavorKind::Spsc` may only be passed for
+        // stage-to-stage links the planner has proven exclusive; every
+        // other queue takes the lock-free MPMC ring (the mutex flavor
+        // survives as the property-test oracle and `Queue::new` default).
         let metrics = self.metrics.clone();
-        let reg = |name: String, cap: usize, spsc: bool| {
+        let reg = |name: String, cap: usize, kind: FlavorKind| {
             let gauge = metrics.as_ref().map(|m| {
                 m.gauge(&format!("{}{name}", crate::analyze::QUEUE_CAPACITY_PREFIX))
                     .set(cap as u64);
                 m.gauge(&format!("{}{name}", crate::analyze::QUEUE_DEPTH_PREFIX))
             });
-            let q = if spsc {
-                Queue::spsc_with_gauge(name, cap, gauge)
-            } else {
-                Queue::with_gauge(name, cap, gauge)
-            };
+            let qmetrics = metrics.as_ref().map(|m| QueueMetrics {
+                cas_retries: m
+                    .counter(&format!("{}{name}", crate::analyze::QUEUE_CAS_RETRY_PREFIX)),
+                push_parks: m.counter(&format!("{}{name}", crate::analyze::QUEUE_PUSH_PARK_PREFIX)),
+                pop_parks: m.counter(&format!("{}{name}", crate::analyze::QUEUE_POP_PARK_PREFIX)),
+                wakes: m.counter(&format!("{}{name}", crate::analyze::QUEUE_WAKE_PREFIX)),
+                items: m.counter(&format!("{}{name}", crate::analyze::QUEUE_ITEMS_PREFIX)),
+            });
+            let q = Queue::flavored(name, cap, kind, gauge, qmetrics);
             registry.register(Arc::clone(&q));
             q
         };
@@ -508,8 +528,8 @@ impl Program {
                 .iter()
                 .map(|&m| self.pipelines[m].pool_ceiling() + 1)
                 .sum();
-            recycle_q.push(reg(format!("recycle/g{gi}"), cap, false));
-            sink_q.push(reg(format!("sink/g{gi}"), cap, false));
+            recycle_q.push(reg(format!("recycle/g{gi}"), cap, FlavorKind::LockFree));
+            sink_q.push(reg(format!("sink/g{gi}"), cap, FlavorKind::LockFree));
         }
 
         // Stop flags per pipeline, attached to their (possibly shared)
@@ -539,7 +559,14 @@ impl Program {
                     .sum();
                 // Shared (virtual) inputs are fed by many pipelines'
                 // upstreams: never SPSC.
-                shared_in.insert(sid, reg(format!("in/{}", slot.name), cap.max(1), false));
+                shared_in.insert(
+                    sid,
+                    reg(
+                        format!("in/{}", slot.name),
+                        cap.max(1),
+                        FlavorKind::LockFree,
+                    ),
+                );
             }
         }
 
@@ -564,11 +591,18 @@ impl Program {
                         0 => true, // one source thread per group
                         _ => self.stages[pipe.chain[pos - 1].index()].stages.len() == 1,
                     };
-                    let spsc = consumer_single && producer_single;
+                    // Proven-exclusive links get the SPSC ring; the rest —
+                    // farm inputs/outputs, whose replicas both pop and
+                    // push (caboose handoff) — get the lock-free MPMC ring.
+                    let kind = if consumer_single && producer_single {
+                        FlavorKind::Spsc
+                    } else {
+                        FlavorKind::LockFree
+                    };
                     reg(
                         format!("{}[{}]", pipe.name, pos),
                         pipe.pool_ceiling() + 1,
-                        spsc,
+                        kind,
                     )
                 };
                 qs.push(q);
@@ -707,6 +741,7 @@ impl Program {
             pools: pools.into_iter().flatten().collect(),
             farms,
             depth_actuators: self.depth_actuators.clone(),
+            pin: self.pin.clone(),
             pipelines: self
                 .pipelines
                 .iter()

@@ -53,6 +53,14 @@ impl BenchQueue {
         }
     }
 
+    /// A queue using the lock-free MPMC ring flavor (the planner's default
+    /// for farm inputs and recycle/sink queues).
+    pub fn mpmc_lock_free(capacity: usize) -> Self {
+        BenchQueue {
+            q: Queue::lock_free("bench/lockfree", capacity),
+        }
+    }
+
     /// A queue using the single-producer single-consumer ring flavor.  The
     /// caller promises at most one pushing and one popping thread.
     pub fn spsc(capacity: usize) -> Self {
@@ -84,6 +92,23 @@ impl BenchQueue {
     pub fn pop_many(&self, max: usize, batch: &mut Batch) -> bool {
         batch.0.clear();
         self.q.pop_many(max, &mut batch.0).is_ok()
+    }
+
+    /// Non-blocking push; false when the queue is full or closed (the
+    /// buffer is dropped then — bench/property harnesses track counts, not
+    /// identities, on the failure path).
+    pub fn try_push(&self, buf: Buffer) -> bool {
+        self.q.try_push(Item::Buf(buf)).is_ok()
+    }
+
+    /// Implementation label: `"mutex"`, `"lockfree"`, or `"spsc"`.
+    pub fn flavor(&self) -> &'static str {
+        self.q.flavor_label()
+    }
+
+    /// Failed position CASes so far (lock-free flavor; zero elsewhere).
+    pub fn cas_retries(&self) -> u64 {
+        self.q.cas_retries()
     }
 
     /// Close the queue, waking blocked producers and consumers.

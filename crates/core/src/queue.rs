@@ -8,10 +8,14 @@
 //!
 //! Queues are multi-producer multi-consumer because *virtual* stages share a
 //! single queue among many pipelines, and several stages may discard buffers
-//! into the same recycle queue.  When the planner can prove a queue has
-//! exactly one producer and one consumer thread (a plain stage-to-stage
-//! link with no replication on either side), it builds the queue with the
-//! lock-free SPSC ring flavor instead; both flavors share the same API.
+//! into the same recycle queue.  Three flavors share one API: a
+//! mutex-guarded deque (the conservative baseline and property-test
+//! oracle), a bounded lock-free MPMC ring with per-slot sequence numbers
+//! (Vyukov-style; the planner's default for farm inputs, recycle and sink
+//! queues, and virtual shared inputs), and — when the planner can prove a
+//! queue has exactly one producer and one consumer thread (a plain
+//! stage-to-stage link with no replication on either side) — a lock-free
+//! SPSC ring.
 //!
 //! Waiting is *spin-then-park*: a blocked thread first spins a few hundred
 //! iterations (the common case when the peer stage is about to act) and only
@@ -29,19 +33,32 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use crate::buffer::{Buffer, PipelineId};
-use crate::metrics::Gauge;
+use crate::metrics::{Counter, Gauge};
 
 /// Iterations a blocked push/pop spins before parking on a condvar.  Zero
 /// on a single-core host: there the peer stage cannot make progress while
 /// we spin, so the spin phase only burns the time slice the peer needs.
+///
+/// The `FG_SPIN` environment variable overrides the heuristic (bench runs
+/// sweep spin budgets without recompiling); it is read once and cached.
 fn spin_limit() -> usize {
     static LIMIT: AtomicUsize = AtomicUsize::new(usize::MAX);
     let cached = LIMIT.load(Ordering::Relaxed);
     if cached != usize::MAX {
         return cached;
     }
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let limit = if cores > 1 { 256 } else { 0 };
+    let limit = match std::env::var("FG_SPIN").ok().and_then(|v| v.parse().ok()) {
+        // usize::MAX is the "not yet computed" sentinel; clamp under it.
+        Some(n) => std::cmp::min(n, usize::MAX - 1),
+        None => {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            if cores > 1 {
+                256
+            } else {
+                0
+            }
+        }
+    };
     LIMIT.store(limit, Ordering::Relaxed);
     limit
 }
@@ -79,13 +96,85 @@ struct Ring {
     tail: AtomicU64,
 }
 
+/// One slot of the lock-free MPMC ring: a sequence number plus the item.
+///
+/// The sequence number carries the Vyukov protocol: it equals the slot's
+/// position when the slot is free for the producer claiming that position,
+/// position + 1 once the item is published, and position + capacity once
+/// the consumer has released the slot for the next lap.  As in the SPSC
+/// ring, the per-slot mutex is uncontended by construction — the position
+/// CAS grants exclusive access — and exists only to move `Item`s without
+/// `unsafe`.
+struct LfSlot {
+    seq: AtomicU64,
+    val: Mutex<Option<Item>>,
+}
+
+/// Bounded lock-free MPMC ring (Vyukov-style): producers claim positions
+/// by CAS on `tail`, consumers by CAS on `head`; the per-slot sequence
+/// numbers publish item visibility, so no operation ever holds a lock
+/// across the queue.
+struct LfRing {
+    slots: Vec<LfSlot>,
+    /// Next position a consumer will claim.
+    head: AtomicU64,
+    /// Next position a producer will claim.
+    tail: AtomicU64,
+}
+
 enum Flavor {
     /// General case: a mutex-protected deque, usable from any number of
     /// producer and consumer threads.
     Mpmc(Mutex<Inner>),
+    /// Lock-free fast path for the same MPMC contract: a bounded ring with
+    /// per-slot sequence numbers, usable from any number of producer and
+    /// consumer threads.
+    LockFree(LfRing),
     /// Fast path: a lock-free ring, valid only with exactly one producer
     /// thread and one consumer thread.
     Spsc(Ring),
+}
+
+/// Which queue implementation to build; the planner picks per queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlavorKind {
+    /// Mutex-guarded deque (the conservative MPMC baseline and the oracle
+    /// the lock-free flavor is property-tested against).
+    Mutex,
+    /// Lock-free MPMC ring.
+    LockFree,
+    /// SPSC ring; caller promises one producer and one consumer thread.
+    Spsc,
+}
+
+/// Registry-backed contention counters for one queue, present only when
+/// the program runs with a metrics registry attached.  The queue also
+/// keeps always-on local atomics (see [`Queue::cas_retries`]) so tests and
+/// post-mortems can read contention without a registry.
+pub(crate) struct QueueMetrics {
+    /// `core/queue_cas_retries/<queue>`: failed position CASes (lock-free
+    /// flavor only; a proxy for producer/consumer collision rate).
+    pub(crate) cas_retries: Arc<Counter>,
+    /// `core/queue_push_parks/<queue>`: producer condvar waits.
+    pub(crate) push_parks: Arc<Counter>,
+    /// `core/queue_pop_parks/<queue>`: consumer condvar waits.
+    pub(crate) pop_parks: Arc<Counter>,
+    /// `core/queue_wakes/<queue>`: slow-path notifications issued because a
+    /// peer had advertised itself parked (non-mutex flavors).
+    pub(crate) wakes: Arc<Counter>,
+    /// `core/queue_items/<queue>`: successful pushes — the denominator
+    /// that turns raw CAS-retry counts into a per-item collision rate.
+    pub(crate) items: Arc<Counter>,
+}
+
+/// Always-on local contention counters (relaxed atomics; negligible cost).
+#[derive(Default)]
+struct ContentionStats {
+    cas_retries: AtomicU64,
+    push_parks: AtomicU64,
+    pop_parks: AtomicU64,
+    wakes: AtomicU64,
+    items: AtomicU64,
 }
 
 /// A bounded blocking queue of [`Item`]s.
@@ -114,6 +203,10 @@ pub(crate) struct Queue {
     /// Depth gauge sampled once per push/pop/batch, present only when the
     /// program runs with a metrics registry attached.
     gauge: Option<Arc<Gauge>>,
+    /// Always-on local contention counters.
+    contention: ContentionStats,
+    /// Registry mirrors of the contention counters (when attached).
+    metrics: Option<QueueMetrics>,
 }
 
 impl Queue {
@@ -128,16 +221,13 @@ impl Queue {
         capacity: usize,
         gauge: Option<Arc<Gauge>>,
     ) -> Arc<Self> {
-        assert!(capacity > 0, "queue capacity must be positive");
-        Arc::new(Self::build(
-            name.into(),
-            capacity,
-            gauge,
-            Flavor::Mpmc(Mutex::new(Inner {
-                items: VecDeque::with_capacity(capacity),
-                closed: false,
-            })),
-        ))
+        Self::flavored(name, capacity, FlavorKind::Mutex, gauge, None)
+    }
+
+    /// Create a lock-free MPMC queue (bench/test convenience).
+    #[allow(dead_code)] // exercised via qbench and unit tests
+    pub(crate) fn lock_free(name: impl Into<String>, capacity: usize) -> Arc<Self> {
+        Self::flavored(name, capacity, FlavorKind::LockFree, None, None)
     }
 
     /// Create an SPSC queue.  The caller promises that at most one thread
@@ -148,22 +238,41 @@ impl Queue {
         capacity: usize,
         gauge: Option<Arc<Gauge>>,
     ) -> Arc<Self> {
+        Self::flavored(name, capacity, FlavorKind::Spsc, gauge, None)
+    }
+
+    /// Create a queue of the given flavor with optional depth gauge and
+    /// contention counters.  The planner's one construction point.
+    pub(crate) fn flavored(
+        name: impl Into<String>,
+        capacity: usize,
+        kind: FlavorKind,
+        gauge: Option<Arc<Gauge>>,
+        metrics: Option<QueueMetrics>,
+    ) -> Arc<Self> {
         assert!(capacity > 0, "queue capacity must be positive");
-        let slots = (0..capacity).map(|_| Mutex::new(None)).collect();
-        Arc::new(Self::build(
-            name.into(),
-            capacity,
-            gauge,
-            Flavor::Spsc(Ring {
-                slots,
+        let flavor = match kind {
+            FlavorKind::Mutex => Flavor::Mpmc(Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            })),
+            FlavorKind::LockFree => Flavor::LockFree(LfRing {
+                slots: (0..capacity)
+                    .map(|i| LfSlot {
+                        seq: AtomicU64::new(i as u64),
+                        val: Mutex::new(None),
+                    })
+                    .collect(),
                 head: AtomicU64::new(0),
                 tail: AtomicU64::new(0),
             }),
-        ))
-    }
-
-    fn build(name: String, capacity: usize, gauge: Option<Arc<Gauge>>, flavor: Flavor) -> Self {
-        Queue {
+            FlavorKind::Spsc => Flavor::Spsc(Ring {
+                slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+                head: AtomicU64::new(0),
+                tail: AtomicU64::new(0),
+            }),
+        };
+        Arc::new(Queue {
             flavor,
             closed: AtomicBool::new(false),
             depth_hint: AtomicUsize::new(0),
@@ -174,9 +283,11 @@ impl Queue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
-            name,
+            name: name.into(),
             gauge,
-        }
+            contention: ContentionStats::default(),
+            metrics,
+        })
     }
 
     /// Debug name of this queue.
@@ -192,6 +303,65 @@ impl Queue {
     /// Whether this queue uses the single-producer single-consumer ring.
     pub(crate) fn is_spsc(&self) -> bool {
         matches!(self.flavor, Flavor::Spsc(_))
+    }
+
+    /// Stable label of this queue's flavor (reports, dashboards, JSON).
+    pub(crate) fn flavor_label(&self) -> &'static str {
+        match self.flavor {
+            Flavor::Mpmc(_) => "mutex",
+            Flavor::LockFree(_) => "lockfree",
+            Flavor::Spsc(_) => "spsc",
+        }
+    }
+
+    /// Failed position CASes over the queue's lifetime (lock-free flavor;
+    /// always zero for the others).
+    pub(crate) fn cas_retries(&self) -> u64 {
+        self.contention.cas_retries.load(Ordering::Relaxed)
+    }
+
+    /// Producer and consumer condvar waits over the queue's lifetime.
+    #[cfg(test)]
+    pub(crate) fn parks(&self) -> (u64, u64) {
+        (
+            self.contention.push_parks.load(Ordering::Relaxed),
+            self.contention.pop_parks.load(Ordering::Relaxed),
+        )
+    }
+
+    fn note_cas_retries(&self, n: u64) {
+        self.contention.cas_retries.fetch_add(n, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.cas_retries.add(n);
+        }
+    }
+
+    fn note_push_park(&self) {
+        self.contention.push_parks.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.push_parks.inc();
+        }
+    }
+
+    fn note_pop_park(&self) {
+        self.contention.pop_parks.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.pop_parks.inc();
+        }
+    }
+
+    fn note_wake(&self) {
+        self.contention.wakes.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.wakes.inc();
+        }
+    }
+
+    fn note_item(&self) {
+        self.contention.items.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.items.inc();
+        }
     }
 
     /// High-water mark of the queue's depth over its lifetime.
@@ -234,6 +404,7 @@ impl Queue {
                 }
                 let mut inner = lock.lock();
                 while inner.items.len() >= self.capacity && !inner.closed {
+                    self.note_push_park();
                     self.not_full.wait(&mut inner);
                 }
                 if inner.closed {
@@ -244,9 +415,11 @@ impl Queue {
                 self.record_depth(depth);
                 drop(inner);
                 self.sample_depth(depth);
+                self.note_item();
                 self.not_empty.notify_one();
                 Ok(())
             }
+            Flavor::LockFree(ring) => self.lf_push(ring, item),
             Flavor::Spsc(ring) => self.spsc_push(ring, item),
         }
     }
@@ -265,8 +438,22 @@ impl Queue {
                 self.record_depth(depth);
                 drop(inner);
                 self.sample_depth(depth);
+                self.note_item();
                 self.not_empty.notify_one();
                 Ok(())
+            }
+            Flavor::LockFree(ring) => {
+                if self.closed.load(Ordering::SeqCst) {
+                    return Err((item, Closed));
+                }
+                match self.lf_try_push(ring, item) {
+                    Ok(()) => {
+                        self.note_item();
+                        self.after_lf_push(ring);
+                        Ok(())
+                    }
+                    Err(item) => Err((item, Closed)),
+                }
             }
             Flavor::Spsc(ring) => {
                 if self.closed.load(Ordering::SeqCst) {
@@ -274,6 +461,7 @@ impl Queue {
                 }
                 match self.spsc_try_push(ring, item) {
                     Ok(()) => {
+                        self.note_item();
                         self.after_spsc_push(ring);
                         Ok(())
                     }
@@ -301,9 +489,11 @@ impl Queue {
                     if inner.closed {
                         return Err(Closed);
                     }
+                    self.note_pop_park();
                     self.not_empty.wait(&mut inner);
                 }
             }
+            Flavor::LockFree(ring) => self.lf_pop(ring),
             Flavor::Spsc(ring) => self.spsc_pop(ring),
         }
     }
@@ -349,8 +539,27 @@ impl Queue {
                     if inner.closed {
                         return Err(Closed);
                     }
+                    self.note_pop_park();
                     self.not_empty.wait(&mut inner);
                 }
+            }
+            Flavor::LockFree(ring) => {
+                let first = self.lf_pop_raw(ring)?;
+                let mut stop = matches!(first, Item::Caboose(_));
+                out.push(first);
+                let mut n = 1;
+                while n < max && !stop {
+                    match self.lf_try_pop(ring) {
+                        Some(item) => {
+                            stop = matches!(item, Item::Caboose(_));
+                            out.push(item);
+                            n += 1;
+                        }
+                        None => break,
+                    }
+                }
+                self.after_lf_pop(ring);
+                Ok(n)
             }
             Flavor::Spsc(ring) => {
                 let first = self.spsc_pop_raw(ring)?;
@@ -396,6 +605,11 @@ impl Queue {
     pub(crate) fn len(&self) -> usize {
         match &self.flavor {
             Flavor::Mpmc(lock) => lock.lock().items.len(),
+            Flavor::LockFree(ring) => {
+                ring.tail
+                    .load(Ordering::SeqCst)
+                    .saturating_sub(ring.head.load(Ordering::SeqCst)) as usize
+            }
             Flavor::Spsc(ring) => {
                 (ring.tail.load(Ordering::SeqCst) - ring.head.load(Ordering::SeqCst)) as usize
             }
@@ -415,6 +629,231 @@ impl Queue {
                 std::hint::spin_loop();
             }
         }
+    }
+
+    // --- Lock-free MPMC flavor internals ---------------------------------
+    //
+    // Vyukov's bounded MPMC algorithm: a producer claims position `p` by
+    // CAS on `tail` when slot `p % cap` carries sequence `p` (free this
+    // lap), writes the item, then publishes by storing sequence `p + 1`.
+    // A consumer claims position `p` by CAS on `head` when the slot
+    // carries `p + 1` (published), takes the item, then releases the slot
+    // for the next lap by storing `p + cap`.  Every access uses `SeqCst`:
+    // the park slow path reuses the SPSC flavor's Dekker-style sleeper
+    // handshake, which needs a single total order between the ring
+    // indices, the sleeper counters, and the closed flag.
+
+    /// Attempt the lock-free push; returns the item back when the ring is
+    /// full.  Failed position CASes are counted as contention.
+    fn lf_try_push(&self, ring: &LfRing, item: Item) -> Result<(), Item> {
+        let cap = self.capacity as u64;
+        let mut retries = 0u64;
+        let mut pos = ring.tail.load(Ordering::SeqCst);
+        let result = loop {
+            let slot = &ring.slots[(pos % cap) as usize];
+            let seq = slot.seq.load(Ordering::SeqCst);
+            if seq == pos {
+                // `seq == pos` is ambiguous at capacity 1, where the
+                // publish value of the previous lap (`pos - cap + 1`)
+                // collides with this lap's free value; the explicit
+                // in-flight check below disambiguates (and is a no-op for
+                // larger rings, where a genuinely free slot always has
+                // fewer than `cap` items ahead of `head`).
+                if pos.saturating_sub(ring.head.load(Ordering::SeqCst)) >= cap {
+                    break Err(item);
+                }
+                match ring.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => {
+                        let prev = slot.val.lock().replace(item);
+                        debug_assert!(prev.is_none(), "lock-free slot overwritten");
+                        slot.seq.store(pos + 1, Ordering::SeqCst);
+                        break Ok(pos);
+                    }
+                    Err(cur) => {
+                        retries += 1;
+                        pos = cur;
+                    }
+                }
+            } else if seq < pos {
+                // The consumer lap hasn't released this slot yet: full.
+                break Err(item);
+            } else {
+                // Another producer claimed `pos` first; chase the tail.
+                pos = ring.tail.load(Ordering::SeqCst);
+            }
+        };
+        if retries > 0 {
+            self.note_cas_retries(retries);
+        }
+        match result {
+            Ok(pos) => {
+                let head = ring.head.load(Ordering::SeqCst);
+                self.record_depth((pos + 1).saturating_sub(head) as usize);
+                Ok(())
+            }
+            Err(item) => Err(item),
+        }
+    }
+
+    /// Attempt the lock-free pop; `None` when the ring is empty (or every
+    /// published item is being claimed by another consumer).
+    fn lf_try_pop(&self, ring: &LfRing) -> Option<Item> {
+        let cap = self.capacity as u64;
+        let mut retries = 0u64;
+        let mut pos = ring.head.load(Ordering::SeqCst);
+        let result = loop {
+            let slot = &ring.slots[(pos % cap) as usize];
+            let seq = slot.seq.load(Ordering::SeqCst);
+            if seq == pos + 1 {
+                match ring.head.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => {
+                        let item = slot
+                            .val
+                            .lock()
+                            .take()
+                            .expect("lock-free slot unexpectedly empty");
+                        slot.seq.store(pos + cap, Ordering::SeqCst);
+                        break Some((item, pos));
+                    }
+                    Err(cur) => {
+                        retries += 1;
+                        pos = cur;
+                    }
+                }
+            } else if seq <= pos {
+                // Nothing published at this position yet: empty.
+                break None;
+            } else {
+                // Another consumer claimed `pos` first; chase the head.
+                pos = ring.head.load(Ordering::SeqCst);
+            }
+        };
+        if retries > 0 {
+            self.note_cas_retries(retries);
+        }
+        result.map(|(item, pos)| {
+            let tail = ring.tail.load(Ordering::SeqCst);
+            self.depth_hint
+                .store(tail.saturating_sub(pos + 1) as usize, Ordering::Relaxed);
+            item
+        })
+    }
+
+    fn lf_full(&self, ring: &LfRing) -> bool {
+        let tail = ring.tail.load(Ordering::SeqCst);
+        let head = ring.head.load(Ordering::SeqCst);
+        tail.saturating_sub(head) as usize >= self.capacity
+    }
+
+    fn lf_empty(&self, ring: &LfRing) -> bool {
+        ring.tail.load(Ordering::SeqCst) <= ring.head.load(Ordering::SeqCst)
+    }
+
+    /// Post-push bookkeeping: sample the gauge and wake parked consumers.
+    fn after_lf_push(&self, ring: &LfRing) {
+        let depth = ring
+            .tail
+            .load(Ordering::SeqCst)
+            .saturating_sub(ring.head.load(Ordering::SeqCst));
+        self.sample_depth(depth as usize);
+        if self.pop_sleepers.load(Ordering::SeqCst) > 0 {
+            self.note_wake();
+            let _guard = self.park.lock();
+            self.not_empty.notify_all();
+        }
+    }
+
+    /// Post-pop bookkeeping: sample the gauge and wake parked producers.
+    fn after_lf_pop(&self, ring: &LfRing) {
+        let depth = ring
+            .tail
+            .load(Ordering::SeqCst)
+            .saturating_sub(ring.head.load(Ordering::SeqCst));
+        self.sample_depth(depth as usize);
+        if self.push_sleepers.load(Ordering::SeqCst) > 0 {
+            self.note_wake();
+            let _guard = self.park.lock();
+            self.not_full.notify_all();
+        }
+    }
+
+    fn lf_push(&self, ring: &LfRing, mut item: Item) -> Result<(), (Item, Closed)> {
+        // As in `spsc_push`: the attempt lives in the spin loop, so even
+        // with a zero spin limit each pass tries (then parks) at least once.
+        let attempts = spin_limit().max(1);
+        loop {
+            for _ in 0..attempts {
+                if self.closed.load(Ordering::SeqCst) {
+                    return Err((item, Closed));
+                }
+                match self.lf_try_push(ring, item) {
+                    Ok(()) => {
+                        self.note_item();
+                        self.after_lf_push(ring);
+                        return Ok(());
+                    }
+                    Err(back) => item = back,
+                }
+                std::hint::spin_loop();
+            }
+            // Park until a consumer frees a slot or the queue closes.  The
+            // predicate uses the ring indices, so a pop that is mid-claim
+            // (head advanced, slot not yet released) reads as "not full"
+            // and sends us back to the attempt loop rather than to sleep.
+            self.push_sleepers.fetch_add(1, Ordering::SeqCst);
+            {
+                let mut guard = self.park.lock();
+                while self.lf_full(ring) && !self.closed.load(Ordering::SeqCst) {
+                    self.note_push_park();
+                    self.not_full.wait(&mut guard);
+                }
+            }
+            self.push_sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Blocking single pop on the lock-free ring, without the gauge/wake
+    /// epilogue (batched pops amortize those via [`Queue::after_lf_pop`]).
+    fn lf_pop_raw(&self, ring: &LfRing) -> Result<Item, Closed> {
+        let attempts = spin_limit().max(1);
+        loop {
+            for _ in 0..attempts {
+                if let Some(item) = self.lf_try_pop(ring) {
+                    return Ok(item);
+                }
+                if self.closed.load(Ordering::SeqCst) {
+                    // Drain any item published before the close landed.
+                    return self.lf_try_pop(ring).ok_or(Closed);
+                }
+                std::hint::spin_loop();
+            }
+            // Park until a producer publishes or the queue closes.
+            self.pop_sleepers.fetch_add(1, Ordering::SeqCst);
+            {
+                let mut guard = self.park.lock();
+                while self.lf_empty(ring) && !self.closed.load(Ordering::SeqCst) {
+                    self.note_pop_park();
+                    self.not_empty.wait(&mut guard);
+                }
+            }
+            self.pop_sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn lf_pop(&self, ring: &LfRing) -> Result<Item, Closed> {
+        let item = self.lf_pop_raw(ring)?;
+        self.after_lf_pop(ring);
+        Ok(item)
     }
 
     // --- SPSC flavor internals -------------------------------------------
@@ -448,6 +887,7 @@ impl Queue {
         let depth = ring.tail.load(Ordering::SeqCst) - ring.head.load(Ordering::SeqCst);
         self.sample_depth(depth as usize);
         if self.pop_sleepers.load(Ordering::SeqCst) > 0 {
+            self.note_wake();
             let _guard = self.park.lock();
             self.not_empty.notify_all();
         }
@@ -464,6 +904,7 @@ impl Queue {
                 }
                 match self.spsc_try_push(ring, item) {
                     Ok(()) => {
+                        self.note_item();
                         self.after_spsc_push(ring);
                         return Ok(());
                     }
@@ -476,6 +917,7 @@ impl Queue {
             {
                 let mut guard = self.park.lock();
                 while self.spsc_full(ring) && !self.closed.load(Ordering::SeqCst) {
+                    self.note_push_park();
                     self.not_full.wait(&mut guard);
                 }
             }
@@ -510,6 +952,7 @@ impl Queue {
         let depth = ring.tail.load(Ordering::SeqCst) - ring.head.load(Ordering::SeqCst);
         self.sample_depth(depth as usize);
         if self.push_sleepers.load(Ordering::SeqCst) > 0 {
+            self.note_wake();
             let _guard = self.park.lock();
             self.not_full.notify_all();
         }
@@ -535,6 +978,7 @@ impl Queue {
             {
                 let mut guard = self.park.lock();
                 while self.spsc_empty(ring) && !self.closed.load(Ordering::SeqCst) {
+                    self.note_pop_park();
                     self.not_empty.wait(&mut guard);
                 }
             }
@@ -572,14 +1016,16 @@ mod tests {
         }
     }
 
-    /// Run a closure against both queue flavors.
+    /// Run a closure against all three queue flavors.
     fn for_both(f: impl Fn(Arc<Queue>)) {
         f(Queue::new("mpmc", 4));
+        f(Queue::lock_free("lf", 4));
         f(Queue::spsc_with_gauge("spsc", 4, None));
     }
 
     fn both_cap1(f: impl Fn(Arc<Queue>)) {
         f(Queue::new("mpmc", 1));
+        f(Queue::lock_free("lf", 1));
         f(Queue::spsc_with_gauge("spsc", 1, None));
     }
 
@@ -797,7 +1243,142 @@ mod tests {
     #[test]
     fn spsc_flavor_is_reported() {
         assert!(!Queue::new("m", 2).is_spsc());
+        assert!(!Queue::lock_free("l", 2).is_spsc());
         assert!(Queue::spsc_with_gauge("s", 2, None).is_spsc());
+    }
+
+    #[test]
+    fn flavor_labels_are_stable() {
+        assert_eq!(Queue::new("m", 2).flavor_label(), "mutex");
+        assert_eq!(Queue::lock_free("l", 2).flavor_label(), "lockfree");
+        assert_eq!(Queue::spsc_with_gauge("s", 2, None).flavor_label(), "spsc");
+    }
+
+    #[test]
+    fn lock_free_order_survives_many_wraparounds() {
+        // A cap-2 ring forced through thousands of laps exercises the
+        // sequence-number lap arithmetic (`pos + 1` publish, `pos + cap`
+        // release) far past the first wrap.
+        let q = Queue::lock_free("l", 2);
+        for i in 0..5_000u64 {
+            q.push(buf_item(0, 2 * i)).unwrap();
+            q.push(buf_item(0, 2 * i + 1)).unwrap();
+            assert_eq!(tag_of(&q.pop().unwrap()), 2 * i);
+            assert_eq!(tag_of(&q.pop().unwrap()), 2 * i + 1);
+        }
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn lock_free_stress_preserves_item_count() {
+        let q = Queue::lock_free("l", 8);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        q.push(buf_item(0, (p * 100 + i) as u64)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..100 {
+                        got.push(tag_of(&q.pop().unwrap()));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..400).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn lock_free_preserves_per_producer_fifo() {
+        // Tags carry (producer, seq); a single consumer must see each
+        // producer's items in increasing seq order even though the
+        // interleaving across producers is arbitrary.
+        let q = Queue::lock_free("l", 4);
+        let producers: Vec<_> = (0..3u64)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..500u64 {
+                        q.push(buf_item(0, (p << 32) | i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut next = [0u64; 3];
+        for _ in 0..1500 {
+            let tag = tag_of(&q.pop().unwrap());
+            let (p, i) = ((tag >> 32) as usize, tag & 0xffff_ffff);
+            assert_eq!(i, next[p], "producer {p} items reordered");
+            next[p] += 1;
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn close_wakes_every_parked_popper() {
+        for_both(|q| {
+            let waiters: Vec<_> = (0..3)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    thread::spawn(move || q.pop().is_err())
+                })
+                .collect();
+            thread::sleep(Duration::from_millis(30));
+            q.close();
+            for w in waiters {
+                assert!(w.join().unwrap());
+            }
+        });
+    }
+
+    #[test]
+    fn park_counters_record_blocked_waits() {
+        // On a host where the spin budget never expires this would be
+        // flaky, so only assert the counters move when a wait certainly
+        // parked: a cap-1 queue with the peer delayed past any spin phase.
+        let q = Queue::lock_free("l", 1);
+        q.push(buf_item(0, 0)).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.push(buf_item(0, 1)).is_ok());
+        // Wait until the producer has actually parked: the queue stays
+        // full until we pop, so the park counter must eventually move.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while q.parks().0 == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "producer never parked"
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+        q.pop().unwrap();
+        assert!(h.join().unwrap());
+        let (push_parks, _) = q.parks();
+        assert!(push_parks > 0, "blocked push should count a park");
+        assert_eq!(
+            q.cas_retries(),
+            0,
+            "uncontended run must not count CAS retries"
+        );
     }
 
     #[test]

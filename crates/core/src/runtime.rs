@@ -77,6 +77,41 @@ pub(crate) struct Plan {
     pub(crate) farms: Vec<Arc<ReplicaGroup>>,
     pub(crate) depth_actuators: Vec<Arc<dyn crate::controller::DepthActuator>>,
     pub(crate) pipelines: Vec<crate::stats::PipelineShape>,
+    pub(crate) pin: Option<crate::affinity::PinMode>,
+}
+
+/// Round-robin core assigner over the plan's pin map.  Threads draw cores
+/// in spawn order — stage/replica threads first, then sources, then sinks
+/// — so the stage threads claim the distinct cores before the (mostly
+/// blocked) source/sink threads wrap around the list.
+struct CorePlacement {
+    cores: Vec<usize>,
+    next: usize,
+}
+
+impl CorePlacement {
+    fn new(pin: Option<crate::affinity::PinMode>) -> Self {
+        CorePlacement {
+            cores: pin.map(|m| m.cores()).unwrap_or_default(),
+            next: 0,
+        }
+    }
+
+    fn assign(&mut self) -> Option<usize> {
+        if self.cores.is_empty() {
+            return None;
+        }
+        let core = self.cores[self.next % self.cores.len()];
+        self.next += 1;
+        Some(core)
+    }
+}
+
+/// Apply a [`CorePlacement`] assignment on the calling thread.  Returns
+/// the core only when the affinity change actually took hold, so reports
+/// never show a placement the scheduler is free to ignore.
+fn pin_self(core: Option<usize>) -> Option<usize> {
+    core.filter(|&c| crate::affinity::pin_current_thread(c))
 }
 
 pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
@@ -96,7 +131,9 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         farms,
         depth_actuators,
         pipelines,
+        pin,
     } = plan;
+    let mut placement = CorePlacement::new(pin);
 
     // The watchdog needs the flight recorder's activity clock, so it
     // implies an (internal, never-exported) sink when none was installed.
@@ -128,9 +165,10 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         let name = task.name.clone();
         let thread_name = format!("{program_name}/{name}");
         let epoch = if trace { Some(start) } else { None };
+        let core = placement.assign();
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_stage_thread(task, registry, epoch, observer, metrics, ring))
+            .spawn(move || run_stage_thread(task, registry, epoch, observer, metrics, ring, core))
             .map_err(|e| FgError::Config(format!("failed to spawn stage thread: {e}")))?;
         handles.push(handle);
     }
@@ -140,9 +178,10 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         let ring = ring_for(&src.label);
         let sink_ids = trace_sink.clone();
         let thread_name = format!("{program_name}/{}", src.label);
+        let core = placement.assign();
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_source(src, registry, observer, ring, sink_ids))
+            .spawn(move || run_source(src, registry, observer, ring, sink_ids, core))
             .map_err(|e| FgError::Config(format!("failed to spawn source thread: {e}")))?;
         handles.push(handle);
     }
@@ -150,9 +189,10 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         let observer = observer.clone();
         let ring = ring_for(&sink.label);
         let thread_name = format!("{program_name}/{}", sink.label);
+        let core = placement.assign();
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_sink(sink, observer, ring))
+            .spawn(move || run_sink(sink, observer, ring, core))
             .map_err(|e| FgError::Config(format!("failed to spawn sink thread: {e}")))?;
         handles.push(handle);
     }
@@ -237,7 +277,9 @@ fn run_stage_thread(
     observer: Option<Arc<dyn Observer>>,
     metrics: Option<Arc<MetricsRegistry>>,
     ring: Option<Arc<SpanRing>>,
+    core: Option<usize>,
 ) -> StageStats {
+    let core = pin_self(core);
     let StageTask {
         name,
         mut stage,
@@ -299,6 +341,7 @@ fn run_stage_thread(
 
     let stats = StageStats {
         name,
+        core,
         wall: start.elapsed(),
         blocked_accept: ctx.stats.blocked_accept,
         blocked_convey: ctx.stats.blocked_convey,
@@ -323,10 +366,12 @@ fn run_source(
     observer: Option<Arc<dyn Observer>>,
     ring: Option<Arc<SpanRing>>,
     trace_sink: Option<Arc<TraceSink>>,
+    core: Option<usize>,
 ) -> StageStats {
     let start = Instant::now();
     let mut stats = StageStats {
         name: set.label.clone(),
+        core: pin_self(core),
         ..StageStats::default()
     };
 
@@ -482,10 +527,12 @@ fn run_sink(
     set: SinkSet,
     observer: Option<Arc<dyn Observer>>,
     ring: Option<Arc<SpanRing>>,
+    core: Option<usize>,
 ) -> StageStats {
     let start = Instant::now();
     let mut stats = StageStats {
         name: set.label.clone(),
+        core: pin_self(core),
         ..StageStats::default()
     };
     let mut remaining = set.members;

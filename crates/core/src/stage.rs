@@ -198,6 +198,7 @@ impl Registry {
                 capacity: q.capacity(),
                 max_depth: q.max_depth(),
                 spsc: q.is_spsc(),
+                flavor: q.flavor_label().to_string(),
             })
             .collect()
     }

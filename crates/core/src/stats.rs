@@ -41,6 +41,11 @@ pub struct Span {
 pub struct StageStats {
     /// Stage name as given at construction.
     pub name: String,
+    /// CPU core this stage's thread was pinned to, when the program ran
+    /// with [`Program::set_pinning`](crate::Program::set_pinning) and the
+    /// affinity change took hold; `None` for unpinned runs and on hosts
+    /// where pinning degraded to a no-op.
+    pub core: Option<usize>,
     /// Wall-clock time from thread start to thread exit.
     pub wall: Duration,
     /// Time blocked inside `accept`/`accept_from`/`accept_any`.
@@ -95,6 +100,10 @@ pub struct QueueDepth {
     /// Whether the planner specialized this queue to the single-producer
     /// single-consumer ring.
     pub spsc: bool,
+    /// Queue implementation label (`"mutex"`, `"lockfree"`, or `"spsc"`);
+    /// redundant with [`spsc`](QueueDepth::spsc) for the SPSC ring but the
+    /// only way to tell the two MPMC flavors apart.
+    pub flavor: String,
 }
 
 /// The stage chain of one pipeline, recorded so post-run analysis can tell
@@ -309,13 +318,20 @@ impl Report {
             .max()
             .unwrap_or(5)
             .max(5);
+        // The core column only exists when some thread was actually
+        // pinned; unpinned runs keep the historical table shape.
+        let pinned = self.stages.iter().any(|s| s.core.is_some());
         out.push_str(&format!(
-            "{:<name_w$} {:>9} {:>9} {:>9} {:>6} {:>8} {:>8}\n",
+            "{:<name_w$} {:>9} {:>9} {:>9} {:>6} {:>8} {:>8}",
             "stage", "busy ms", "starve ms", "backp ms", "util", "bufs in", "bufs out",
         ));
+        if pinned {
+            out.push_str(&format!(" {:>4}", "core"));
+        }
+        out.push('\n');
         for s in &self.stages {
             out.push_str(&format!(
-                "{:<name_w$} {:>9.1} {:>9.1} {:>9.1} {:>5.0}% {:>8} {:>8}\n",
+                "{:<name_w$} {:>9.1} {:>9.1} {:>9.1} {:>5.0}% {:>8} {:>8}",
                 s.name,
                 s.busy().as_secs_f64() * 1e3,
                 s.blocked_accept.as_secs_f64() * 1e3,
@@ -324,6 +340,13 @@ impl Report {
                 s.buffers_in,
                 s.buffers_out,
             ));
+            if pinned {
+                match s.core {
+                    Some(c) => out.push_str(&format!(" {c:>4}")),
+                    None => out.push_str(&format!(" {:>4}", "-")),
+                }
+            }
+            out.push('\n');
         }
         out
     }
@@ -349,8 +372,8 @@ impl Report {
                 .unwrap_or(5)
                 .max(5);
             out.push_str(&format!(
-                "{:<name_w$} {:>8} {:>9} {:>6}\n",
-                "queue", "capacity", "max depth", "fill"
+                "{:<name_w$} {:>8} {:>9} {:>6} {:>8}\n",
+                "queue", "capacity", "max depth", "fill", "flavor"
             ));
             for q in &self.queues {
                 let fill = if q.capacity == 0 {
@@ -359,8 +382,8 @@ impl Report {
                     q.max_depth as f64 / q.capacity as f64 * 100.0
                 };
                 out.push_str(&format!(
-                    "{:<name_w$} {:>8} {:>9} {:>5.0}%\n",
-                    q.name, q.capacity, q.max_depth, fill
+                    "{:<name_w$} {:>8} {:>9} {:>5.0}% {:>8}\n",
+                    q.name, q.capacity, q.max_depth, fill, q.flavor
                 ));
             }
         }
@@ -667,6 +690,7 @@ mod render_tests {
             capacity: 4,
             max_depth: 3,
             spsc: true,
+            flavor: "spsc".into(),
         });
         let reg = crate::metrics::MetricsRegistry::new();
         reg.counter("core/accepts").add(7);

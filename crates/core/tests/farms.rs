@@ -244,27 +244,29 @@ fn spsc_detection_specializes_plain_chains_only() {
         .unwrap();
     let report = prog.run().unwrap();
     let flavor = |name: &str| {
-        report
+        let q = report
             .queues
             .iter()
             .find(|q| q.name == name)
-            .unwrap_or_else(|| panic!("queue {name} missing"))
-            .spsc
+            .unwrap_or_else(|| panic!("queue {name} missing"));
+        assert_eq!(q.spsc, q.flavor == "spsc", "spsc bool disagrees with label");
+        q.flavor.clone()
     };
     // source -> a: single producer (source thread), single consumer.
-    assert!(flavor("p[0]"));
-    // a -> farm: the farm's replicas also push (caboose handoff): MPMC.
-    assert!(!flavor("p[1]"));
+    assert_eq!(flavor("p[0]"), "spsc");
+    // a -> farm: the farm's replicas also push (caboose handoff): MPMC,
+    // on the lock-free ring.
+    assert_eq!(flavor("p[1]"), "lockfree");
     // farm -> b: two replica producers: MPMC.
-    assert!(!flavor("p[2]"));
+    assert_eq!(flavor("p[2]"), "lockfree");
     // Shared virtual input: fed by two pipelines' sources: MPMC.
-    assert!(!flavor("in/v"));
-    // Recycle and sink queues collect from many threads: MPMC.
+    assert_eq!(flavor("in/v"), "lockfree");
+    // Recycle and sink queues collect from many threads: MPMC, lock-free.
     assert!(report
         .queues
         .iter()
         .filter(|q| q.name.starts_with("recycle/") || q.name.starts_with("sink/"))
-        .all(|q| !q.spsc));
+        .all(|q| !q.spsc && q.flavor == "lockfree"));
 }
 
 proptest! {

@@ -1,0 +1,222 @@
+//! Property tests pitting the lock-free MPMC ring against the mutex-deque
+//! oracle (the `Queue::new` default), via the benchmark-only [`BenchQueue`]
+//! surface: same items in, same items out — no loss, no duplication, FIFO
+//! per producer — plus the blocking contract around `close()` that every
+//! flavor must honor (drain after close, then fail; close wakes everyone).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+
+use fg_core::qbench::{Batch, BenchQueue};
+
+/// Tag a buffer with `(producer, seq)` so consumers can check identity and
+/// per-producer order after the fact.
+fn tagged(producer: u64, seq: u64) -> fg_core::Buffer {
+    let mut b = BenchQueue::buffer(16);
+    b.space_mut()[..8].copy_from_slice(&producer.to_le_bytes());
+    b.space_mut()[8..16].copy_from_slice(&seq.to_le_bytes());
+    b.set_filled(16);
+    b
+}
+
+fn tag_of(b: &fg_core::Buffer) -> (u64, u64) {
+    let bytes = b.filled();
+    (
+        u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+        u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+    )
+}
+
+/// Drive `producers` threads pushing `per_producer` tagged buffers each and
+/// `consumers` threads draining until close; returns every tag each
+/// consumer saw, in its observation order.
+fn run_flavor(
+    q: BenchQueue,
+    producers: u64,
+    per_producer: u64,
+    consumers: usize,
+) -> Vec<Vec<(u64, u64)>> {
+    let q = Arc::new(q);
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let q = Arc::clone(&q);
+        handles.push(thread::spawn(move || {
+            for i in 0..per_producer {
+                assert!(q.push(tagged(p, i)), "queue closed under the producer");
+            }
+        }));
+    }
+    let mut consumers_h = Vec::new();
+    for _ in 0..consumers {
+        let q = Arc::clone(&q);
+        consumers_h.push(thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Some(b) = q.pop() {
+                seen.push(tag_of(&b));
+            }
+            seen
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    q.close();
+    consumers_h.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// Flatten, then assert the exact multiset `{(p, 0..per_producer)}` came
+/// out: nothing lost, nothing duplicated, nothing invented.
+fn assert_exact_multiset(seen: &[Vec<(u64, u64)>], producers: u64, per_producer: u64) {
+    let mut all: Vec<(u64, u64)> = seen.iter().flatten().copied().collect();
+    all.sort_unstable();
+    let expected: Vec<(u64, u64)> = (0..producers)
+        .flat_map(|p| (0..per_producer).map(move |i| (p, i)))
+        .collect();
+    assert_eq!(all, expected);
+}
+
+/// Per-producer FIFO: within one consumer's observation order, a given
+/// producer's sequence numbers must be strictly increasing.  (Across
+/// consumers no order is promised — each item goes to exactly one.)
+fn assert_per_producer_fifo(seen: &[Vec<(u64, u64)>]) {
+    for consumer in seen {
+        let mut last: HashMap<u64, u64> = HashMap::new();
+        for &(p, i) in consumer {
+            if let Some(&prev) = last.get(&p) {
+                assert!(i > prev, "producer {p}: {i} after {prev}");
+            }
+            last.insert(p, i);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The lock-free ring and the mutex oracle deliver the identical
+    /// multiset of items under arbitrary producer/consumer/capacity mixes.
+    #[test]
+    fn lock_free_matches_mutex_oracle(
+        producers in 1u64..5,
+        consumers in 1usize..5,
+        per_producer in 1u64..60,
+        capacity in 1usize..9,
+    ) {
+        for q in [BenchQueue::mpmc(capacity), BenchQueue::mpmc_lock_free(capacity)] {
+            let seen = run_flavor(q, producers, per_producer, consumers);
+            assert_exact_multiset(&seen, producers, per_producer);
+        }
+    }
+
+    /// FIFO per producer holds for both MPMC flavors with a single
+    /// consumer observing the global order (the only setup where the
+    /// observation order is well-defined), and with several consumers
+    /// each checking their own sub-order.
+    #[test]
+    fn per_producer_fifo_holds(
+        producers in 1u64..4,
+        consumers in 1usize..4,
+        per_producer in 1u64..80,
+        capacity in 1usize..6,
+    ) {
+        for q in [BenchQueue::mpmc(capacity), BenchQueue::mpmc_lock_free(capacity)] {
+            let seen = run_flavor(q, producers, per_producer, consumers);
+            assert_per_producer_fifo(&seen);
+        }
+    }
+
+    /// Close-then-drain: whatever sat in the queue at close time is still
+    /// handed out (in order), and only then do pops fail.
+    #[test]
+    fn drain_after_close_then_fail(
+        prefill in 0u64..6,
+        capacity in 6usize..10,
+    ) {
+        for q in [
+            BenchQueue::mpmc(capacity),
+            BenchQueue::mpmc_lock_free(capacity),
+            BenchQueue::spsc(capacity),
+        ] {
+            for i in 0..prefill {
+                assert!(q.try_push(tagged(0, i)));
+            }
+            q.close();
+            assert!(!q.push(tagged(0, 999)), "push must fail after close");
+            for i in 0..prefill {
+                let b = q.pop().expect("closed queue still drains");
+                assert_eq!(tag_of(&b), (0, i));
+            }
+            assert!(q.pop().is_none(), "drained closed queue must fail");
+        }
+    }
+}
+
+/// Close must wake every blocked thread — producers stuck on a full queue
+/// and consumers stuck on an empty one — whether they are still spinning
+/// or already parked.  A missed wake here hangs the whole test binary, so
+/// the join is the assertion.
+#[test]
+fn close_wakes_all_blocked_threads_in_both_mpmc_flavors() {
+    for make in [
+        BenchQueue::mpmc as fn(usize) -> BenchQueue,
+        BenchQueue::mpmc_lock_free as fn(usize) -> BenchQueue,
+    ] {
+        let full = Arc::new(make(1));
+        assert!(full.push(tagged(0, 0)));
+        let empty = Arc::new(make(1));
+        let mut handles = Vec::new();
+        for p in 0..3u64 {
+            let q = Arc::clone(&full);
+            handles.push(thread::spawn(move || {
+                // Blocks: the queue is full and nobody pops.
+                q.push(tagged(p, 1))
+            }));
+        }
+        for _ in 0..3 {
+            let q = Arc::clone(&empty);
+            handles.push(thread::spawn(move || {
+                // Blocks: the queue is empty and nobody pushes.
+                q.pop().is_none()
+            }));
+        }
+        // Let some threads reach the parked slow path while others spin.
+        thread::sleep(std::time::Duration::from_millis(20));
+        full.close();
+        empty.close();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}
+
+/// The SPSC ring is untouched by the MPMC work: a 1-producer/1-consumer
+/// ping-pong through the new builder surface still delivers every item in
+/// order, batched pops included.
+#[test]
+fn spsc_flavor_unaffected() {
+    let q = Arc::new(BenchQueue::spsc(4));
+    assert_eq!(q.flavor(), "spsc");
+    let producer = {
+        let q = Arc::clone(&q);
+        thread::spawn(move || {
+            for i in 0..500u64 {
+                assert!(q.push(tagged(0, i)));
+            }
+            q.close();
+        })
+    };
+    let mut batch = Batch::default();
+    let mut next = 0u64;
+    while q.pop_many(8, &mut batch) {
+        batch.drain_buffers(|b| {
+            assert_eq!(tag_of(&b), (0, next));
+            next += 1;
+        });
+    }
+    producer.join().unwrap();
+    assert_eq!(next, 500);
+    assert_eq!(q.cas_retries(), 0, "spsc path never CASes");
+}

@@ -107,6 +107,11 @@ pub struct SortConfig {
     /// the node function) so every program's spans land in that node's
     /// track group of the merged export.
     pub trace_group: Option<u32>,
+    /// Core pinning for every FG program the sort runs (`fgsort --pin` /
+    /// `--pin-cores`): threads are placed round-robin over all cores or an
+    /// explicit list at spawn, and the per-thread placement lands in each
+    /// pass's report.  `None` leaves placement to the OS scheduler.
+    pub pin: Option<fg_core::PinMode>,
 }
 
 impl SortConfig {
@@ -135,6 +140,7 @@ impl SortConfig {
             autotune: None,
             metrics: None,
             trace_group: None,
+            pin: None,
         }
     }
 
@@ -178,6 +184,9 @@ impl SortConfig {
         }
         if let Some(group) = self.trace_group {
             prog.set_trace_group(group);
+        }
+        if let Some(pin) = &self.pin {
+            prog.set_pinning(pin.clone());
         }
     }
 
@@ -277,6 +286,11 @@ impl SortConfig {
         }
         if self.workers == 0 {
             return err("workers must be positive".into());
+        }
+        if let Some(fg_core::PinMode::Cores(cores)) = &self.pin {
+            if cores.is_empty() {
+                return err("pin core list must be non-empty".into());
+            }
         }
         if self.run_bytes < self.block_bytes {
             return err(format!(
