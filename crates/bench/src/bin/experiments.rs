@@ -24,8 +24,8 @@
 //! and merge kernels: radix vs comparison, batched vs scalar merge —
 //! best-of-N timings sized for the CI smoke gate), `queue-bench` (the
 //! lock-free MPMC ring vs the mutex deque under the contended farm and
-//! recycle traffic shapes; CI gates lock-free ≥1.2× at 4×4 on multi-core
-//! runners), `all`.
+//! recycle traffic shapes; CI gates lock-free ≥1.2× at 4×4 on runners
+//! with 4+ cores), `all`.
 //!
 //! `--json-out <dir>` writes one machine-readable JSON artifact per
 //! experiment into `<dir>`.  Re-running into the same directory overwrites
@@ -930,10 +930,10 @@ fn main() {
             c.lock_free.as_secs_f64() * 1e3,
             c.speedup(),
         );
-        if !res.multi_core() {
+        if !res.gate_eligible() {
             println!(
-                "note: single-core host ({} core): flavors take turns on the scheduler, \
-                 so the lock-free speedup is not gateable here",
+                "note: {}-core host: the 4x4 cell's 8 threads mostly take turns \
+                 on the scheduler, so the lock-free speedup is not gateable here",
                 res.cores
             );
         }
@@ -951,7 +951,7 @@ fn main() {
             "queue-bench",
             jobj(vec![
                 ("cores", Json::from(res.cores)),
-                ("multi_core", Json::Bool(res.multi_core())),
+                ("gate_eligible", Json::Bool(res.gate_eligible())),
                 (
                     "gated_speedup",
                     Json::Num(res.gated_speedup().unwrap_or(0.0)),

@@ -5,10 +5,12 @@
 //! grid; this module is the CI-sized cut — one best-of-N wall timing per
 //! cell — whose artifact the perf gate consumes (`queue-bench`
 //! experiments subcommand).  CI additionally gates the lock-free flavor
-//! at ≥1.2× over the mutex flavor on the 4×4 cell, but only on
-//! multi-core runners: on one core the flavors just take turns on the
-//! scheduler, so [`QueueBenchResult::multi_core`] lets the job skip with
-//! a notice instead of gating noise.
+//! at ≥1.2× over the mutex flavor on the 4×4 cell, but only on hosts
+//! with at least 4 cores: below that the 8 threads of the gated cell
+//! mostly take turns on the scheduler (on 2 shared cores the 1.2× bar is
+//! intermittently missed even best-of-N), so
+//! [`QueueBenchResult::gate_eligible`] lets the job skip with a notice
+//! instead of gating noise.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -48,7 +50,7 @@ impl QueueCell {
 #[derive(Debug)]
 pub struct QueueBenchResult {
     /// Cores the scheduler grants this process; the CI gate only fires
-    /// when this is > 1.
+    /// when this is >= 4.
     pub cores: usize,
     /// Symmetric contended cells (1×1, 2×2, 4×4, 8×8).
     pub contended: Vec<QueueCell>,
@@ -57,10 +59,13 @@ pub struct QueueBenchResult {
 }
 
 impl QueueBenchResult {
-    /// Whether the host can actually run producers and consumers in
-    /// parallel — the precondition for gating the speedup.
-    pub fn multi_core(&self) -> bool {
-        self.cores > 1
+    /// Whether the host can run the gated 4×4 cell's producers and
+    /// consumers in genuine parallel — the precondition for holding the
+    /// speedup to a hard bar.  Two or three cores technically overlap,
+    /// but with 8 threads time-slicing them the lock-free margin gets
+    /// noisy enough to flake a CI gate.
+    pub fn gate_eligible(&self) -> bool {
+        self.cores >= 4
     }
 
     /// The gated cell: lock-free speedup at 4 producers × 4 consumers.

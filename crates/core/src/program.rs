@@ -558,12 +558,14 @@ impl Program {
                     .map(|&m| self.pipelines[m].pool_ceiling() + 1)
                     .sum();
                 // Shared (virtual) inputs are fed by many pipelines'
-                // upstreams: never SPSC.
+                // upstreams: never SPSC.  Floor at 2: the lock-free ring
+                // needs at least two slots (`Queue::flavored` would fall
+                // back to the mutex flavor for a capacity-1 request).
                 shared_in.insert(
                     sid,
                     reg(
                         format!("in/{}", slot.name),
-                        cap.max(1),
+                        cap.max(2),
                         FlavorKind::LockFree,
                     ),
                 );

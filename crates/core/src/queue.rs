@@ -251,6 +251,18 @@ impl Queue {
         metrics: Option<QueueMetrics>,
     ) -> Arc<Self> {
         assert!(capacity > 0, "queue capacity must be positive");
+        // Vyukov's bounded MPMC algorithm requires capacity >= 2: at
+        // `cap == 1` the publish value of lap n (`pos + 1`) collides with
+        // the free value of lap n+1, and no head-based pre-check can
+        // close the race against a consumer that has claimed the slot
+        // (head CAS won) but not yet released it (seq store pending).
+        // Degenerate capacity-1 requests fall back to the mutex flavor,
+        // which carries no precondition.
+        let kind = if kind == FlavorKind::LockFree && capacity < 2 {
+            FlavorKind::Mutex
+        } else {
+            kind
+        };
         let flavor = match kind {
             FlavorKind::Mutex => Flavor::Mpmc(Mutex::new(Inner {
                 items: VecDeque::with_capacity(capacity),
@@ -638,7 +650,10 @@ impl Queue {
     // lap), writes the item, then publishes by storing sequence `p + 1`.
     // A consumer claims position `p` by CAS on `head` when the slot
     // carries `p + 1` (published), takes the item, then releases the slot
-    // for the next lap by storing `p + cap`.  Every access uses `SeqCst`:
+    // for the next lap by storing `p + cap`.  The algorithm requires
+    // `cap >= 2` — enforced in [`Queue::flavored`], which builds the
+    // mutex flavor instead for capacity-1 requests — so the sequence
+    // values of consecutive laps never collide.  Every access uses `SeqCst`:
     // the park slow path reuses the SPSC flavor's Dekker-style sleeper
     // handshake, which needs a single total order between the ring
     // indices, the sleeper counters, and the closed flag.
@@ -653,15 +668,6 @@ impl Queue {
             let slot = &ring.slots[(pos % cap) as usize];
             let seq = slot.seq.load(Ordering::SeqCst);
             if seq == pos {
-                // `seq == pos` is ambiguous at capacity 1, where the
-                // publish value of the previous lap (`pos - cap + 1`)
-                // collides with this lap's free value; the explicit
-                // in-flight check below disambiguates (and is a no-op for
-                // larger rings, where a genuinely free slot always has
-                // fewer than `cap` items ahead of `head`).
-                if pos.saturating_sub(ring.head.load(Ordering::SeqCst)) >= cap {
-                    break Err(item);
-                }
                 match ring.tail.compare_exchange_weak(
                     pos,
                     pos + 1,
@@ -832,8 +838,20 @@ impl Queue {
                     return Ok(item);
                 }
                 if self.closed.load(Ordering::SeqCst) {
-                    // Drain any item published before the close landed.
-                    return self.lf_try_pop(ring).ok_or(Closed);
+                    // Drain after close: anything in the ring must still
+                    // come out.  `tail > head` with nothing poppable means
+                    // a producer won its tail CAS just before the close
+                    // and is mid-publish (seq store pending) — wait it
+                    // out rather than strand the item behind a `Closed`.
+                    loop {
+                        if let Some(item) = self.lf_try_pop(ring) {
+                            return Ok(item);
+                        }
+                        if self.lf_empty(ring) {
+                            return Err(Closed);
+                        }
+                        std::thread::yield_now();
+                    }
                 }
                 std::hint::spin_loop();
             }
@@ -1025,6 +1043,10 @@ mod tests {
 
     fn both_cap1(f: impl Fn(Arc<Queue>)) {
         f(Queue::new("mpmc", 1));
+        // A cap-1 lock-free request builds the mutex fallback (the ring
+        // needs two slots); included so the fallback honors the same
+        // blocking contract.  Ring-flavor blocking is covered at cap >= 2
+        // below and in tests/queue_flavors.rs.
         f(Queue::lock_free("lf", 1));
         f(Queue::spsc_with_gauge("spsc", 1, None));
     }
@@ -1355,11 +1377,14 @@ mod tests {
     fn park_counters_record_blocked_waits() {
         // On a host where the spin budget never expires this would be
         // flaky, so only assert the counters move when a wait certainly
-        // parked: a cap-1 queue with the peer delayed past any spin phase.
-        let q = Queue::lock_free("l", 1);
+        // parked: a full queue with the peer delayed past any spin phase.
+        // (Cap 2, the ring's minimum — a cap-1 request would build the
+        // mutex fallback and bypass the lock-free park path under test.)
+        let q = Queue::lock_free("l", 2);
         q.push(buf_item(0, 0)).unwrap();
+        q.push(buf_item(0, 1)).unwrap();
         let q2 = Arc::clone(&q);
-        let h = thread::spawn(move || q2.push(buf_item(0, 1)).is_ok());
+        let h = thread::spawn(move || q2.push(buf_item(0, 2)).is_ok());
         // Wait until the producer has actually parked: the queue stays
         // full until we pop, so the park counter must eventually move.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);

@@ -98,6 +98,9 @@ proptest! {
 
     /// The lock-free ring and the mutex oracle deliver the identical
     /// multiset of items under arbitrary producer/consumer/capacity mixes.
+    /// (Capacity 1 is included deliberately: the Vyukov ring needs two
+    /// slots, so a cap-1 lock-free request builds the mutex fallback —
+    /// which must honor the same contract.)
     #[test]
     fn lock_free_matches_mutex_oracle(
         producers in 1u64..5,
@@ -164,9 +167,11 @@ fn close_wakes_all_blocked_threads_in_both_mpmc_flavors() {
         BenchQueue::mpmc as fn(usize) -> BenchQueue,
         BenchQueue::mpmc_lock_free as fn(usize) -> BenchQueue,
     ] {
-        let full = Arc::new(make(1));
-        assert!(full.push(tagged(0, 0)));
-        let empty = Arc::new(make(1));
+        // Capacity 2, not 1: a cap-1 lock-free request falls back to the
+        // mutex flavor, which would leave the ring's wake paths untested.
+        let full = Arc::new(make(2));
+        while full.try_push(tagged(0, 0)) {}
+        let empty = Arc::new(make(2));
         let mut handles = Vec::new();
         for p in 0..3u64 {
             let q = Arc::clone(&full);
@@ -190,6 +195,16 @@ fn close_wakes_all_blocked_threads_in_both_mpmc_flavors() {
             h.join().unwrap();
         }
     }
+}
+
+/// The Vyukov ring's documented precondition is capacity >= 2 (one slot
+/// cannot keep consecutive laps' sequence values distinct), so a cap-1
+/// lock-free request must degrade to the mutex flavor rather than build a
+/// racy ring.
+#[test]
+fn capacity_one_lock_free_falls_back_to_mutex() {
+    assert_eq!(BenchQueue::mpmc_lock_free(1).flavor(), "mutex");
+    assert_eq!(BenchQueue::mpmc_lock_free(2).flavor(), "lockfree");
 }
 
 /// The SPSC ring is untouched by the MPMC work: a 1-producer/1-consumer
