@@ -25,7 +25,15 @@
 //! best-of-N timings sized for the CI smoke gate), `queue-bench` (the
 //! lock-free MPMC ring vs the mutex deque under the contended farm and
 //! recycle traffic shapes; CI gates lock-free ≥1.2× at 4×4 on runners
-//! with 4+ cores), `all`.
+//! with 4+ cores), `resource-profile` (R1: the resource profiler's own
+//! overhead — a base csort arm vs one carrying registry + ledger +
+//! profiler, best-of-N, with the profiled arm's full resource report in
+//! the artifact; CI gates overhead < 2%), `all`.
+//!
+//! `--bench-out <file>` additionally flattens every produced artifact's
+//! `_s` timing leaves into one normalized benchmark JSON (flat
+//! `<artifact>.<path>` keys, seconds as values) — the repo's committed
+//! `BENCH_fgsort.json` is generated this way.
 //!
 //! `--json-out <dir>` writes one machine-readable JSON artifact per
 //! experiment into `<dir>`.  Re-running into the same directory overwrites
@@ -80,6 +88,11 @@ struct ArtifactSink {
     gate: GateCfg,
     regressions: RefCell<Vec<Regression>>,
     compared: RefCell<usize>,
+    /// With `--bench-out <file>`, every produced artifact's `_s` timing
+    /// leaves are also flattened into one normalized benchmark file
+    /// (written by [`ArtifactSink::finish_bench`]).
+    bench_out: Option<PathBuf>,
+    bench_rows: RefCell<Vec<(String, f64)>>,
 }
 
 impl ArtifactSink {
@@ -112,6 +125,28 @@ impl ArtifactSink {
         if let Some(base) = self.baseline_path(name) {
             self.gate_against(name, &base, &value);
         }
+        if self.bench_out.is_some() {
+            self.bench_rows
+                .borrow_mut()
+                .extend(fg_bench::gate::flatten_timings(name, &value));
+        }
+    }
+
+    /// Write the flat `--bench-out` benchmark file: one JSON object whose
+    /// keys are `<artifact>.<path>` and whose values are seconds.
+    fn finish_bench(&self) {
+        let Some(path) = &self.bench_out else { return };
+        let rows = self.bench_rows.borrow();
+        let doc = Json::Obj(
+            rows.iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        if let Err(e) = std::fs::write(path, doc.to_string()) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("bench: wrote {} ({} timings)", path.display(), rows.len());
     }
 
     /// Resolve the baseline artifact for `name`: `<dir>/<name>.json` when
@@ -272,6 +307,7 @@ fn main() {
         }
     });
     let baseline = take_value_flag(&mut args, "--baseline").map(PathBuf::from);
+    let bench_out = take_value_flag(&mut args, "--bench-out").map(PathBuf::from);
     let gate_tolerance = take_value_flag(&mut args, "--gate-tolerance").map(|v| {
         v.parse::<f64>().unwrap_or_else(|_| {
             eprintln!("--gate-tolerance needs a fraction, e.g. 0.30");
@@ -311,6 +347,8 @@ fn main() {
         gate,
         regressions: RefCell::new(Vec::new()),
         compared: RefCell::new(0),
+        bench_out,
+        bench_rows: RefCell::new(Vec::new()),
     };
 
     // With --telemetry, the fig8 dsort runs publish into this registry and
@@ -964,6 +1002,33 @@ fn main() {
             ]),
         );
     }
+    if run_all || cmd == "resource-profile" {
+        println!("\n=== R1: resource profiler overhead (base vs profiled, best-of-N) ===");
+        let res =
+            fg_bench::resource_profile::run_resource_profile(quick).expect("resource-profile");
+        println!(
+            "{} nodes x {} KiB/node, best of {}: base {:.3}s   profiled {:.3}s   overhead {:+.2}%",
+            res.nodes,
+            res.bytes_per_node >> 10,
+            res.reps,
+            res.base.as_secs_f64(),
+            res.profiled.as_secs_f64(),
+            100.0 * res.overhead_frac(),
+        );
+        println!("{}", res.resources.render());
+        sink.write(
+            "resource-profile",
+            jobj(vec![
+                ("nodes", Json::from(res.nodes)),
+                ("bytes_per_node", Json::from(res.bytes_per_node)),
+                ("reps", Json::from(res.reps)),
+                ("base_s", jsecs(res.base)),
+                ("profiled_s", jsecs(res.profiled)),
+                ("overhead_frac", Json::Num(res.overhead_frac())),
+                ("resources", res.resources.to_json_value()),
+            ]),
+        );
+    }
     if let Some((server, sampler)) = telemetry {
         let series = sampler.stop();
         println!(
@@ -972,6 +1037,7 @@ fn main() {
             server.local_addr()
         );
     }
+    sink.finish_bench();
     let gate_ok = sink.finish_gate().is_ok();
     println!("\ndone.");
     if !gate_ok {

@@ -119,6 +119,40 @@ fn regressed(baseline: f64, current: f64, cfg: &GateCfg) -> bool {
     current - baseline > cfg.abs_floor_s && current > baseline * (1.0 + cfg.rel_tolerance)
 }
 
+/// Collect every `_s` timing leaf of `value` as a flat
+/// `("<artifact>.<path>", seconds)` row — the same tree walk the gate
+/// uses, reused by `--bench-out` to emit a normalized `BENCH_fgsort.json`
+/// whose leaves downstream dashboards can diff without knowing each
+/// experiment's shape.
+pub fn flatten_timings(artifact: &str, value: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    collect(artifact, value, &mut out);
+    out
+}
+
+fn collect(path: &str, value: &Json, out: &mut Vec<(String, f64)>) {
+    match value {
+        Json::Obj(members) => {
+            for (key, child) in members {
+                let child_path = format!("{path}.{key}");
+                if let Json::Num(n) = child {
+                    if is_timing_key(key) {
+                        out.push((child_path, *n));
+                    }
+                } else {
+                    collect(&child_path, child, out);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                collect(&format!("{path}[{i}]"), child, out);
+            }
+        }
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,6 +16,7 @@ pub mod io_overlap;
 pub mod kernel_bench;
 pub mod overlap;
 pub mod queue_bench;
+pub mod resource_profile;
 pub mod unbalanced_comm;
 
 use std::sync::Arc;

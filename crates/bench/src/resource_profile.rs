@@ -1,0 +1,98 @@
+//! R1: the resource profiler's own cost.
+//!
+//! Two arms of the same csort run on the simulated backend: a **base** arm
+//! with no instrumentation, and a **profiled** arm carrying the full
+//! resource stack — metrics registry, memory ledger, and a
+//! [`fg_core::ResourceProfiler`] at its default 100 ms cadence.  Each arm
+//! is best-of-N (the sampler cost is a floor effect, so min wall time is
+//! the honest comparison), and the profiled arm's final
+//! [`fg_core::ResourceReport`] rides along in the artifact so CI can
+//! assert the attribution is actually populated while it gates the
+//! overhead.
+//!
+//! The acceptance bound is `overhead_frac < 0.02`: the profiler reads two
+//! small `/proc` files per registered thread per tick, which at tens of
+//! threads and 10 Hz is microseconds of work per second of run.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fg_core::{MemoryLedger, MetricsRegistry, ResourceProfiler, ResourceReport};
+use fg_sort::config::SortConfig;
+use fg_sort::csort::run_csort;
+use fg_sort::input::provision;
+use fg_sort::record::RecordFormat;
+use fg_sort::SortError;
+
+/// Both arms of the profiler-overhead experiment.
+#[derive(Debug)]
+pub struct ResourceProfileResult {
+    /// Cluster nodes in each run.
+    pub nodes: usize,
+    /// Input bytes per node.
+    pub bytes_per_node: usize,
+    /// Runs per arm (both arms report best-of-N).
+    pub reps: usize,
+    /// Best wall time with no instrumentation attached.
+    pub base: Duration,
+    /// Best wall time with registry + ledger + profiler attached.
+    pub profiled: Duration,
+    /// The resource report captured by the profiled arm's best run.
+    pub resources: ResourceReport,
+}
+
+impl ResourceProfileResult {
+    /// Fractional slowdown of the profiled arm: `profiled/base - 1`.
+    /// Negative values (noise) mean the profiler cost is unmeasurable.
+    pub fn overhead_frac(&self) -> f64 {
+        self.profiled.as_secs_f64() / self.base.as_secs_f64() - 1.0
+    }
+}
+
+/// Run both arms and return the paired timings.
+pub fn run_resource_profile(quick: bool) -> Result<ResourceProfileResult, SortError> {
+    let (nodes, bytes_per_node, reps) = if quick {
+        (2, 256 << 10, 3)
+    } else {
+        (4, 1 << 20, 5)
+    };
+    let cfg = SortConfig::test_default(nodes, bytes_per_node / RecordFormat::REC16.record_bytes);
+
+    let mut base = Duration::MAX;
+    for _ in 0..reps {
+        let disks = provision(&cfg);
+        let r = run_csort(&cfg, &disks)?;
+        base = base.min(r.total);
+    }
+
+    let mut profiled = Duration::MAX;
+    let mut resources = ResourceReport::default();
+    for _ in 0..reps {
+        let registry = Arc::new(MetricsRegistry::new());
+        let ledger = Arc::new(MemoryLedger::new());
+        let mut armed = cfg.clone();
+        armed.metrics = Some(Arc::clone(&registry));
+        armed.ledger = Some(Arc::clone(&ledger));
+        let profiler = ResourceProfiler::start_with(
+            Arc::clone(&registry),
+            Default::default(),
+            Some(Arc::clone(&ledger)),
+        );
+        let disks = provision(&armed);
+        let r = run_csort(&armed, &disks)?;
+        profiler.stop();
+        if r.total < profiled {
+            profiled = r.total;
+            resources = ResourceReport::from_metrics(&registry.snapshot()).unwrap_or_default();
+        }
+    }
+
+    Ok(ResourceProfileResult {
+        nodes,
+        bytes_per_node,
+        reps,
+        base,
+        profiled,
+        resources,
+    })
+}

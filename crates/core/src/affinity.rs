@@ -17,7 +17,8 @@
 //! recorded no-op: the run proceeds unpinned and the report shows no
 //! placement rather than wrong placement.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::degrade::WarnOnce;
+use crate::profile::current_tid;
 
 /// How a [`Program`](crate::Program) maps runtime threads onto cores.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,10 +59,13 @@ pub(crate) fn core_count() -> usize {
 /// change was applied, `false` when pinning is unavailable on this host
 /// (the thread keeps running unpinned).
 pub(crate) fn pin_current_thread(core: usize) -> bool {
+    // First pinning failure is reported once per process: a fleet of
+    // stage threads failing identically should not flood the log.
+    static WARN: WarnOnce = WarnOnce::new();
     match try_pin(core) {
         Ok(()) => true,
         Err(reason) => {
-            warn_once(&reason);
+            WARN.warn(|| format!("fg: core pinning unavailable, running unpinned ({reason})"));
             false
         }
     }
@@ -80,27 +84,6 @@ fn try_pin(core: usize) -> Result<(), String> {
             "taskset -p -c {core} {tid} failed: {}",
             String::from_utf8_lossy(&out.stderr).trim()
         ))
-    }
-}
-
-/// The calling thread's kernel TID, via the `/proc/thread-self` symlink
-/// (`<pid>/task/<tid>`).  Linux-only by construction; elsewhere the
-/// readlink fails and pinning degrades to a no-op.
-fn current_tid() -> Result<u64, String> {
-    let link = std::fs::read_link("/proc/thread-self")
-        .map_err(|e| format!("/proc/thread-self unavailable: {e}"))?;
-    link.to_str()
-        .and_then(|s| s.rsplit('/').next())
-        .and_then(|tid| tid.parse().ok())
-        .ok_or_else(|| format!("unparseable /proc/thread-self target {link:?}"))
-}
-
-/// Report the first pinning failure to stderr, once per process: a fleet
-/// of stage threads failing identically should not flood the log.
-fn warn_once(reason: &str) {
-    static WARNED: AtomicBool = AtomicBool::new(false);
-    if !WARNED.swap(true, Ordering::Relaxed) {
-        eprintln!("fg: core pinning unavailable, running unpinned ({reason})");
     }
 }
 

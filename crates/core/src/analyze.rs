@@ -149,6 +149,36 @@ impl ContentionFinding {
     }
 }
 
+/// Why [`diagnose`] raised a [`ResourceFinding`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceFindingKind {
+    /// Peak memory came within [`MEMORY_BOUND_FRAC`] of the configured
+    /// ledger budget — the run is memory-bound, not compute-bound.
+    MemoryBound,
+    /// A stage allocated heap memory at a high rate in its steady state
+    /// (tracked by [`FgAlloc`](crate::alloc::FgAlloc) when installed).
+    AllocChurn,
+    /// A thread was involuntarily descheduled at a high rate — more
+    /// runnable threads than cores to run them on.
+    Oversubscribed,
+}
+
+/// A resource-level observation from the run's [`ResourceReport`]
+/// (per-thread CPU attribution, the tracking allocator, and the memory
+/// ledger): memory pressure, allocation churn, or core oversubscription.
+///
+/// [`ResourceReport`]: crate::profile::ResourceReport
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceFinding {
+    /// What class of problem this is.
+    pub kind: ResourceFindingKind,
+    /// What the finding is about: a stage name, a thread name, or
+    /// `"process"` for whole-process findings.
+    pub subject: String,
+    /// Human-readable evidence with the numbers that triggered it.
+    pub detail: String,
+}
+
 /// What [`diagnose`] concluded about a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnosis {
@@ -173,6 +203,10 @@ pub struct Diagnosis {
     /// Per-round critical-path reconstruction, when flight-recorder logs
     /// were supplied (see [`diagnose_with_trace`]).
     pub critical_path: Option<crate::critical_path::CriticalPath>,
+    /// Resource-level findings (memory-bound, allocation churn, core
+    /// oversubscription), when the run carried a
+    /// [`ResourceReport`](crate::profile::ResourceReport).
+    pub resources: Vec<ResourceFinding>,
     /// Human-readable tuning recommendations, most important first.
     pub recommendations: Vec<String>,
 }
@@ -201,6 +235,21 @@ pub(crate) const CONTENTION_WARN: f64 = 0.5;
 /// Ignore contention on queues that moved fewer items than this — retry
 /// rates over a handful of pushes are noise, not a bottleneck.
 pub(crate) const CONTENTION_MIN_ITEMS: u64 = 100;
+
+/// Peak memory above this fraction of a configured ledger budget means
+/// the run is operating at the edge of its memory allowance: the next
+/// buffer-count or record-size bump tips it over.
+pub(crate) const MEMORY_BOUND_FRAC: f64 = 0.85;
+
+/// A stage allocating faster than this in its steady state is churning
+/// the heap inside the hot loop — the FG discipline is to preallocate
+/// buffers up front and reuse scratch space across rounds.
+pub(crate) const ALLOC_CHURN_PER_SEC: f64 = 1_000.0;
+
+/// A thread involuntarily descheduled more often than this per second is
+/// fighting other runnable threads for a core: the OS is time-slicing
+/// where the plan assumed dedicated cores.
+pub(crate) const OVERSUBSCRIBED_SWITCH_RATE: f64 = 500.0;
 
 /// The runtime's implicit source/sink threads: real stages for timing
 /// purposes, but not candidates for "the limiting stage" (their work is
@@ -391,6 +440,7 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
     let queue_findings = queue_findings(report, series);
     let contention = contention_findings(report);
     let prefetch = prefetch_finding(report);
+    let resources = resource_findings(report);
 
     let mut recommendations = Vec::new();
     if let Some(name) = &limiting {
@@ -511,6 +561,26 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
             ));
         }
     }
+    for f in &resources {
+        match f.kind {
+            ResourceFindingKind::MemoryBound => recommendations.push(format!(
+                "{} — the run is memory-bound: raise the budget (`--mem-budget`) \
+                 or reduce the buffer count / buffer size so the working set fits",
+                f.detail
+            )),
+            ResourceFindingKind::AllocChurn => recommendations.push(format!(
+                "{} — the hot loop is churning the heap: preallocate scratch \
+                 space once per replica and reuse it across rounds",
+                f.detail
+            )),
+            ResourceFindingKind::Oversubscribed => recommendations.push(format!(
+                "{} — more runnable threads than cores: reduce `--workers`, or \
+                 pin stages to distinct cores (`--pin` / `Program::set_pinning`) \
+                 so the scheduler stops migrating them",
+                f.detail
+            )),
+        }
+    }
     let overlap_efficiency = report.overlap_efficiency();
     if limiting.is_some() && overlap_efficiency < EFFICIENCY_WARN {
         recommendations.push(format!(
@@ -535,6 +605,7 @@ pub fn diagnose(report: &Report, series: &[TimestampedSnapshot]) -> Diagnosis {
         contention,
         prefetch,
         critical_path: None,
+        resources,
         recommendations,
     }
 }
@@ -885,6 +956,84 @@ fn queue_findings(report: &Report, series: &[TimestampedSnapshot]) -> Vec<QueueF
         .collect()
 }
 
+/// Resource-level findings from the run's [`ResourceReport`]: memory
+/// pressure against the ledger budget, steady-state allocation churn
+/// (warmup-tagged and assertion-scoped counts are excluded), and
+/// involuntary-context-switch storms.  Empty when the run carried no
+/// resource data — the profiler is opt-in and degrades to silence.
+///
+/// [`ResourceReport`]: crate::profile::ResourceReport
+fn resource_findings(report: &Report) -> Vec<ResourceFinding> {
+    let Some(res) = report
+        .resources
+        .clone()
+        .or_else(|| crate::profile::ResourceReport::from_metrics(&report.metrics))
+    else {
+        return Vec::new();
+    };
+    let wall = report.wall.as_secs_f64();
+    let mut findings = Vec::new();
+    if let Some(ledger) = &res.ledger {
+        if ledger.budget_bytes > 0 {
+            // Whichever peak is larger: process RSS (everything) or the
+            // ledger's own accounting (pool buffers only).  RSS can be
+            // zero when /proc was unreadable.
+            let used = res.rss_peak_bytes.max(ledger.peak_bytes);
+            let frac = used as f64 / ledger.budget_bytes as f64;
+            if frac >= MEMORY_BOUND_FRAC {
+                findings.push(ResourceFinding {
+                    kind: ResourceFindingKind::MemoryBound,
+                    subject: "process".into(),
+                    detail: format!(
+                        "peak memory {:.1} MiB is {:.0}% of the {:.1} MiB budget",
+                        used as f64 / (1 << 20) as f64,
+                        frac * 100.0,
+                        ledger.budget_bytes as f64 / (1 << 20) as f64
+                    ),
+                });
+            }
+        }
+    }
+    if res.alloc_tracking && wall > 0.0 {
+        for a in &res.alloc {
+            // Warmup-tagged counts are first-call setup by design, and
+            // `assert/…` tags belong to explicit steady-state assertions.
+            if a.stage.starts_with("assert/") || a.stage.ends_with("/warmup") {
+                continue;
+            }
+            let rate = a.allocs as f64 / wall;
+            if rate >= ALLOC_CHURN_PER_SEC {
+                findings.push(ResourceFinding {
+                    kind: ResourceFindingKind::AllocChurn,
+                    subject: a.stage.clone(),
+                    detail: format!(
+                        "stage `{}` made {} heap allocations ({} bytes) in steady \
+                         state (~{:.0} allocs/s)",
+                        a.stage, a.allocs, a.bytes, rate
+                    ),
+                });
+            }
+        }
+    }
+    if wall > 0.0 {
+        for t in &res.threads {
+            let rate = t.invol_switches as f64 / wall;
+            if rate >= OVERSUBSCRIBED_SWITCH_RATE {
+                findings.push(ResourceFinding {
+                    kind: ResourceFindingKind::Oversubscribed,
+                    subject: t.name.clone(),
+                    detail: format!(
+                        "thread `{}` was involuntarily switched out {} times \
+                         (~{:.0}/s)",
+                        t.name, t.invol_switches, rate
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
 impl Diagnosis {
     /// Render the diagnosis as text: a stage-attribution table, the
     /// limiting stage and overlap numbers, pinned queues, and the
@@ -959,6 +1108,14 @@ impl Diagnosis {
                 c.push_parks,
                 c.pop_parks
             ));
+        }
+        for f in &self.resources {
+            let label = match f.kind {
+                ResourceFindingKind::MemoryBound => "memory-bound",
+                ResourceFindingKind::AllocChurn => "alloc churn",
+                ResourceFindingKind::Oversubscribed => "oversubscribed",
+            };
+            out.push_str(&format!("resource [{label}]: {}\n", f.detail));
         }
         if !self.recommendations.is_empty() {
             out.push_str("recommendations:\n");
@@ -1298,6 +1455,88 @@ mod tests {
         assert!((d.overlap_efficiency - 0.9).abs() < 1e-9);
         let text = d.render();
         assert!(text.contains("limiting stage: `slow`"));
+    }
+
+    #[test]
+    fn resource_findings_flag_pressure_churn_and_oversubscription() {
+        use crate::profile::{AllocResources, LedgerSnapshot, ResourceReport, ThreadResources};
+        let mut r = report();
+        r.resources = Some(ResourceReport {
+            rss_bytes: 900 << 20,
+            rss_peak_bytes: 950 << 20,
+            threads: vec![
+                ThreadResources {
+                    name: "slow".into(),
+                    utime_ns: 90_000_000,
+                    stime_ns: 1_000_000,
+                    vol_switches: 10,
+                    invol_switches: 500, // 5000/s over the 100ms wall
+                },
+                ThreadResources {
+                    name: "fast-up".into(),
+                    utime_ns: 5_000_000,
+                    stime_ns: 0,
+                    vol_switches: 3,
+                    invol_switches: 1, // 10/s: fine
+                },
+            ],
+            alloc_tracking: true,
+            alloc: vec![
+                AllocResources {
+                    stage: "slow".into(),
+                    allocs: 50_000, // 500k/s: churn
+                    frees: 50_000,
+                    bytes: 1 << 20,
+                    freed_bytes: 1 << 20,
+                },
+                AllocResources {
+                    stage: "sort/warmup".into(),
+                    allocs: 1_000_000, // warmup is setup by design: excluded
+                    frees: 0,
+                    bytes: 1 << 30,
+                    freed_bytes: 0,
+                },
+            ],
+            ledger: Some(LedgerSnapshot {
+                budget_bytes: 1024 << 20,
+                total_bytes: 800 << 20,
+                peak_bytes: 900 << 20,
+                total_buffers: 8,
+                stages: Vec::new(),
+            }),
+            ..ResourceReport::default()
+        });
+        let d = diagnose(&r, &[]);
+        let kinds: Vec<_> = d.resources.iter().map(|f| f.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ResourceFindingKind::MemoryBound,
+                ResourceFindingKind::AllocChurn,
+                ResourceFindingKind::Oversubscribed,
+            ]
+        );
+        // Only the genuinely oversubscribed thread and the churning stage
+        // are named; warmup counts never surface.
+        assert!(d.resources.iter().all(|f| f.subject != "fast-up"));
+        assert!(d.resources.iter().all(|f| !f.subject.contains("warmup")));
+        assert!(d.recommendations.iter().any(|r| r.contains("--mem-budget")));
+        assert!(d.recommendations.iter().any(|r| r.contains("preallocate")));
+        assert!(d
+            .recommendations
+            .iter()
+            .any(|r| r.contains("--workers") || r.contains("--pin")));
+        let text = d.render();
+        assert!(text.contains("resource [memory-bound]:"));
+        assert!(text.contains("resource [alloc churn]:"));
+        assert!(text.contains("resource [oversubscribed]: thread `slow`"));
+    }
+
+    #[test]
+    fn no_resource_data_means_no_resource_findings() {
+        let d = diagnose(&report(), &[]);
+        assert!(d.resources.is_empty());
+        assert!(!d.render().contains("resource ["));
     }
 
     #[test]

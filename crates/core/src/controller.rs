@@ -391,7 +391,10 @@ impl Controller {
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("fg/controller".into())
-            .spawn(move || decide_loop(registry, cfg, actuators, ring, thread_shared))
+            .spawn(move || {
+                let _reg = crate::profile::register_current_thread("controller");
+                decide_loop(registry, cfg, actuators, ring, thread_shared)
+            })
             .expect("spawn controller thread");
         Controller {
             shared,

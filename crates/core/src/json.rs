@@ -675,6 +675,11 @@ impl Report {
                 members.push(("controller".into(), log.to_json_value()));
             }
         }
+        if let Some(resources) = &self.resources {
+            if let Json::Obj(members) = &mut doc {
+                members.push(("resources".into(), resources.to_json_value()));
+            }
+        }
         doc
     }
 
@@ -743,6 +748,11 @@ impl Report {
             Some(c) => Some(crate::controller::ControllerLog::from_json_value(c)?),
             None => None,
         };
+        // Absent for runs that did not sample resources.
+        let resources = match j.get("resources") {
+            Some(r) => Some(crate::profile::ResourceReport::from_json_value(r)?),
+            None => None,
+        };
         Ok(Report {
             wall: Duration::from_nanos(field_u64(&j, "wall_ns")?),
             threads_spawned: field_u64(&j, "threads_spawned")? as usize,
@@ -751,6 +761,7 @@ impl Report {
             pipelines,
             metrics,
             controller,
+            resources,
         })
     }
 

@@ -51,18 +51,24 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the tracking allocator ([`alloc`]) implements
+// `GlobalAlloc`, an inherently `unsafe` trait, behind a module-scoped
+// allow.  Everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod affinity;
+pub mod alloc;
 pub mod analyze;
 mod buffer;
 pub mod cluster_report;
 pub mod controller;
 pub mod critical_path;
+pub mod degrade;
 mod error;
 mod json;
 pub mod metrics;
 mod observe;
+pub mod profile;
 mod program;
 #[doc(hidden)]
 pub mod qbench;
@@ -74,10 +80,14 @@ pub mod telemetry;
 pub mod trace;
 
 pub use affinity::PinMode;
+pub use alloc::{
+    assert_steady_state_alloc_free, register_tag, set_thread_tag, thread_tag_scope, with_tag,
+    FgAlloc, TagCounts, TagId,
+};
 pub use analyze::{
     diagnose, diagnose_cluster, diagnose_window, diagnose_with_trace, ClusterDiagnosis,
-    ContentionFinding, Diagnosis, QueueFinding, RankVerdict, StageDiagnosis, StageVerdict,
-    WindowDiagnosis,
+    ContentionFinding, Diagnosis, QueueFinding, RankVerdict, ResourceFinding, ResourceFindingKind,
+    StageDiagnosis, StageVerdict, WindowDiagnosis,
 };
 pub use buffer::{Buffer, PipelineId, StageId};
 pub use cluster_report::{ClusterReport, CollectiveStat, RankReport};
@@ -91,6 +101,10 @@ pub use metrics::{
     Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
 pub use observe::{CountingObserver, MetricsObserver, Observer};
+pub use profile::{
+    register_current_thread, AllocResources, LedgerSnapshot, MemoryLedger, ProfilerCfg,
+    ResourceProfiler, ResourceReport, StageLedger, StageResidency, ThreadResources,
+};
 pub use program::{run_linear, PipelineCfg, Program};
 pub use stage::{map_stage, reorder_stage, MapStage, Rounds, Stage, StageCtx};
 pub use stats::{PipelineShape, QueueDepth, Report, Span, SpanKind, StageStats};

@@ -117,6 +117,7 @@ pub struct Program {
     controller: Option<crate::controller::ControllerCfg>,
     depth_actuators: Vec<Arc<dyn crate::controller::DepthActuator>>,
     pin: Option<PinMode>,
+    ledger: Option<Arc<crate::profile::MemoryLedger>>,
 }
 
 impl Program {
@@ -135,6 +136,7 @@ impl Program {
             controller: None,
             depth_actuators: Vec::new(),
             pin: None,
+            ledger: None,
         }
     }
 
@@ -176,6 +178,18 @@ impl Program {
     /// same registry to land in the same report.
     pub fn set_metrics(&mut self, metrics: Arc<crate::metrics::MetricsRegistry>) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attach a [`MemoryLedger`](crate::profile::MemoryLedger): sources
+    /// charge the pool as they create (and retire) buffers, and every
+    /// stage charges/credits its per-stage residency row as buffers flow
+    /// through — so at any instant the ledger says which stage holds how
+    /// much of the pool, against the ledger's budget.  Share one ledger
+    /// across programs to account for a whole process.  The ledger rows
+    /// land in [`ResourceReport`](crate::profile::ResourceReport) samples
+    /// (`GET /resources`, `fgsort --profile`, the watchdog post-mortem).
+    pub fn set_memory_ledger(&mut self, ledger: Arc<crate::profile::MemoryLedger>) {
+        self.ledger = Some(ledger);
     }
 
     /// Install a [`TraceSink`](crate::trace::TraceSink): every runtime
@@ -744,6 +758,7 @@ impl Program {
             farms,
             depth_actuators: self.depth_actuators.clone(),
             pin: self.pin.clone(),
+            ledger: self.ledger.clone(),
             pipelines: self
                 .pipelines
                 .iter()

@@ -78,6 +78,7 @@ pub(crate) struct Plan {
     pub(crate) depth_actuators: Vec<Arc<dyn crate::controller::DepthActuator>>,
     pub(crate) pipelines: Vec<crate::stats::PipelineShape>,
     pub(crate) pin: Option<crate::affinity::PinMode>,
+    pub(crate) ledger: Option<Arc<crate::profile::MemoryLedger>>,
 }
 
 /// Round-robin core assigner over the plan's pin map.  Threads draw cores
@@ -132,6 +133,7 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         depth_actuators,
         pipelines,
         pin,
+        ledger,
     } = plan;
     let mut placement = CorePlacement::new(pin);
 
@@ -164,11 +166,37 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         let ring = ring_for(&task.name);
         let name = task.name.clone();
         let thread_name = format!("{program_name}/{name}");
+        let profile_name = thread_name.clone();
+        // Replicas (`sort#0`, `sort#1`, …) share one ledger row: the
+        // question the ledger answers is "how much does *sort* hold".
+        let stage_ledger = ledger
+            .as_ref()
+            .map(|l| l.stage(crate::profile::replica_base(&name)));
         let epoch = if trace { Some(start) } else { None };
         let core = placement.assign();
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_stage_thread(task, registry, epoch, observer, metrics, ring, core))
+            .spawn(move || {
+                let _reg = crate::profile::register_current_thread(profile_name.clone());
+                let exit_metrics = metrics.clone();
+                let stats = run_stage_thread(
+                    task,
+                    registry,
+                    epoch,
+                    observer,
+                    metrics,
+                    ring,
+                    core,
+                    stage_ledger,
+                );
+                // Leave a final CPU sample behind: short-lived threads can
+                // exit between profiler ticks and would otherwise vanish
+                // from the per-stage attribution.
+                if let Some(m) = &exit_metrics {
+                    crate::profile::publish_exit_sample(&profile_name, m);
+                }
+                stats
+            })
             .map_err(|e| FgError::Config(format!("failed to spawn stage thread: {e}")))?;
         handles.push(handle);
     }
@@ -178,10 +206,20 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         let ring = ring_for(&src.label);
         let sink_ids = trace_sink.clone();
         let thread_name = format!("{program_name}/{}", src.label);
+        let profile_name = thread_name.clone();
+        let pool_ledger = ledger.clone();
+        let exit_metrics = metrics.clone();
         let core = placement.assign();
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_source(src, registry, observer, ring, sink_ids, core))
+            .spawn(move || {
+                let _reg = crate::profile::register_current_thread(profile_name.clone());
+                let stats = run_source(src, registry, observer, ring, sink_ids, core, pool_ledger);
+                if let Some(m) = &exit_metrics {
+                    crate::profile::publish_exit_sample(&profile_name, m);
+                }
+                stats
+            })
             .map_err(|e| FgError::Config(format!("failed to spawn source thread: {e}")))?;
         handles.push(handle);
     }
@@ -189,10 +227,19 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         let observer = observer.clone();
         let ring = ring_for(&sink.label);
         let thread_name = format!("{program_name}/{}", sink.label);
+        let profile_name = thread_name.clone();
+        let exit_metrics = metrics.clone();
         let core = placement.assign();
         let handle = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || run_sink(sink, observer, ring, core))
+            .spawn(move || {
+                let _reg = crate::profile::register_current_thread(profile_name.clone());
+                let stats = run_sink(sink, observer, ring, core);
+                if let Some(m) = &exit_metrics {
+                    crate::profile::publish_exit_sample(&profile_name, m);
+                }
+                stats
+            })
             .map_err(|e| FgError::Config(format!("failed to spawn sink thread: {e}")))?;
         handles.push(handle);
     }
@@ -223,9 +270,14 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
         let gate2 = Arc::clone(&gate);
         let program = program_name.clone();
+        let profile_name = format!("{program_name}/watchdog");
+        let wd_ledger = ledger.clone();
         let handle = std::thread::Builder::new()
             .name(format!("{program_name}/watchdog"))
-            .spawn(move || run_watchdog(cfg, sink, registry, program, gate2))
+            .spawn(move || {
+                let _reg = crate::profile::register_current_thread(profile_name);
+                run_watchdog(cfg, sink, registry, program, gate2, wd_ledger)
+            })
             .expect("failed to spawn watchdog thread");
         (handle, gate)
     });
@@ -267,9 +319,15 @@ pub(crate) fn execute(program_name: String, plan: Plan) -> Result<Report> {
         pipelines,
         metrics: metrics.map(|m| m.snapshot()).unwrap_or_default(),
         controller: controller_log,
+        // Per-thread CPU rows are gone once the threads have joined; the
+        // meaningful final attribution is whatever a ResourceProfiler
+        // published into the metrics gauges during the run.  Entry points
+        // that ran one (fgsort --profile) fill this in.
+        resources: None,
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_stage_thread(
     task: StageTask,
     registry: Arc<Registry>,
@@ -278,6 +336,7 @@ fn run_stage_thread(
     metrics: Option<Arc<MetricsRegistry>>,
     ring: Option<Arc<SpanRing>>,
     core: Option<usize>,
+    stage_ledger: Option<Arc<crate::profile::StageLedger>>,
 ) -> StageStats {
     let core = pin_self(core);
     let StageTask {
@@ -288,8 +347,20 @@ fn run_stage_thread(
         replica_group,
         replica_index,
     } = task;
+    // When the tracking allocator serves this process, heap traffic on
+    // this thread is charged to the stage's base name.  Skipped entirely
+    // otherwise — tag slots are a bounded table, and untracked runs
+    // shouldn't consume them.
+    let _tag_scope = crate::alloc::installed().then(|| {
+        crate::alloc::thread_tag_scope(crate::alloc::register_tag(crate::profile::replica_base(
+            &name,
+        )))
+    });
     let start = Instant::now();
     let mut ctx = StageCtx::new(name.clone(), ports, shared_input, Arc::clone(&registry));
+    if let Some(l) = stage_ledger {
+        ctx.set_ledger(l);
+    }
     if let Some(group) = replica_group {
         ctx.set_replica_group(group, replica_index);
     }
@@ -367,6 +438,7 @@ fn run_source(
     ring: Option<Arc<SpanRing>>,
     trace_sink: Option<Arc<TraceSink>>,
     core: Option<usize>,
+    ledger: Option<Arc<crate::profile::MemoryLedger>>,
 ) -> StageStats {
     let start = Instant::now();
     let mut stats = StageStats {
@@ -379,10 +451,15 @@ fn run_source(
     let mut emitted = vec![0u64; set.pipes.len()];
     let mut done = vec![false; set.pipes.len()];
 
-    // Seed each pipeline's pool.
+    // Seed each pipeline's pool; the source is where pool buffers are
+    // born and retired, so it is where the ledger's process-wide total is
+    // charged and credited.
     let mut pending: VecDeque<Buffer> = VecDeque::new();
     for sp in &set.pipes {
         for _ in 0..sp.buffers {
+            if let Some(l) = &ledger {
+                l.charge_pool(sp.buffer_size as u64);
+            }
             pending.push_back(Buffer::new(sp.buffer_size, sp.pipeline));
         }
     }
@@ -410,6 +487,9 @@ fn run_source(
             }
             if let Some(pool) = &sp.pool {
                 while pool.try_grow() {
+                    if let Some(l) = &ledger {
+                        l.charge_pool(sp.buffer_size as u64);
+                    }
                     pending.push_back(Buffer::new(sp.buffer_size, sp.pipeline));
                 }
             }
@@ -454,6 +534,9 @@ fn run_source(
         // instead of re-injecting it. Only whole buffers at a round boundary
         // ever leave the pool, so in-flight data is untouched.
         if set.pipes[i].pool.as_ref().is_some_and(|p| p.try_shrink()) {
+            if let Some(l) = &ledger {
+                l.credit_pool(buf.capacity() as u64);
+            }
             continue;
         }
         if done[i] {
@@ -585,6 +668,7 @@ fn run_watchdog(
     registry: Arc<Registry>,
     program: String,
     gate: Arc<(Mutex<bool>, Condvar)>,
+    ledger: Option<Arc<crate::profile::MemoryLedger>>,
 ) {
     let poll = (cfg.timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(100));
     let mut reported = false;
@@ -633,6 +717,12 @@ fn run_watchdog(
             queues: registry.live_queue_depths(),
             turnstiles: registry.turnstiles(),
             culprit: culprit.clone(),
+            // Stalled threads are still alive, so the snapshot carries
+            // their CPU rows: a wedged run's post-mortem says who was
+            // spinning and what memory looked like at the moment of death.
+            resources: Some(crate::profile::ResourceReport::sample_now(
+                ledger.as_deref(),
+            )),
         };
         eprint!("{}", pm.render());
         if let Some(path) = &cfg.artifact {

@@ -554,6 +554,10 @@ pub struct StageCtx {
     /// End of this thread's last queue operation (ns since the trace-sink
     /// epoch); the gap to the next convey is attributed as a `Work` span.
     last_qop_end_ns: u64,
+    /// Buffer-residency row in the program's
+    /// [`MemoryLedger`](crate::profile::MemoryLedger); `None` (the
+    /// default) costs one never-taken branch per accept/convey.
+    ledger: Option<Arc<crate::profile::StageLedger>>,
     aux: Vec<u8>,
     /// Reusable scratch for [`StageCtx::accept_many`] batches.
     batch: Vec<Item>,
@@ -579,6 +583,7 @@ impl StageCtx {
             observer: None,
             ring: None,
             last_qop_end_ns: 0,
+            ledger: None,
             aux: Vec::new(),
             batch: Vec::new(),
             registry,
@@ -589,6 +594,26 @@ impl StageCtx {
     pub(crate) fn set_replica_group(&mut self, group: Arc<ReplicaGroup>, index: usize) {
         self.replica_group = Some(group);
         self.replica_index = index;
+    }
+
+    /// Attach this stage's residency row in the program's memory ledger;
+    /// accepted buffers charge it, conveyed/discarded buffers credit it.
+    pub(crate) fn set_ledger(&mut self, ledger: Arc<crate::profile::StageLedger>) {
+        self.ledger = Some(ledger);
+    }
+
+    /// Charge an accepted buffer's capacity to this stage's ledger row.
+    fn ledger_acquire(&self, bytes: usize) {
+        if let Some(l) = &self.ledger {
+            l.acquire(bytes);
+        }
+    }
+
+    /// Credit a conveyed/discarded buffer's capacity back.
+    fn ledger_release(&self, bytes: usize) {
+        if let Some(l) = &self.ledger {
+            l.release(bytes);
+        }
     }
 
     /// Attach incrementally-published stage counters (named under the
@@ -814,6 +839,7 @@ impl StageCtx {
                 match item {
                     Item::Buf(b) => {
                         self.stats.buffers_in += 1;
+                        self.ledger_acquire(b.capacity());
                         if let Some(obs) = &self.observer {
                             obs.on_accept(
                                 &self.name,
@@ -904,6 +930,7 @@ impl StageCtx {
             match popped {
                 Ok(Item::Buf(b)) => {
                     self.stats.buffers_in += 1;
+                    self.ledger_acquire(b.capacity());
                     if let Some(obs) = &self.observer {
                         obs.on_accept(&self.name, b.pipeline(), b.round(), shared.name(), t1 - t0);
                     }
@@ -979,6 +1006,7 @@ impl StageCtx {
         match popped {
             Ok(Item::Buf(b)) => {
                 self.stats.buffers_in += 1;
+                self.ledger_acquire(b.capacity());
                 if let Some(obs) = &self.observer {
                     obs.on_accept(&self.name, b.pipeline(), b.round(), input.name(), t1 - t0);
                 }
@@ -1061,6 +1089,9 @@ impl StageCtx {
         let pipeline = buf.pipeline();
         let round = buf.round();
         let tid = buf.trace_id();
+        // Credit the ledger up front: the buffer leaves this stage whether
+        // the push lands or the program is cancelled underneath it.
+        self.ledger_release(buf.capacity());
         let ordered = self.replica_group.as_ref().is_some_and(|g| g.is_ordered());
         let t0 = Instant::now();
         // The gap since this thread's last queue operation is the stage's
@@ -1178,6 +1209,7 @@ impl StageCtx {
         // emission turn: a discarded round produces nothing downstream,
         // but later rounds may only emit after it.
         let (pipeline, round, tid) = (buf.pipeline(), buf.round(), buf.trace_id());
+        self.ledger_release(buf.capacity());
         if let Some(group) = self.replica_group.clone() {
             if group.is_ordered() {
                 group.await_turn(&self.name, pipeline, round)?;

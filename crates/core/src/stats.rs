@@ -144,6 +144,10 @@ pub struct Report {
     /// The autotuning controller's decision audit log, when the program
     /// ran with a [`Controller`](crate::controller::Controller) attached.
     pub controller: Option<crate::controller::ControllerLog>,
+    /// Final resource attribution (per-thread CPU, RSS, allocator
+    /// counters, buffer ledger), when the run sampled one — see
+    /// [`ResourceReport`](crate::profile::ResourceReport).
+    pub resources: Option<crate::profile::ResourceReport>,
 }
 
 impl Report {
@@ -386,6 +390,17 @@ impl Report {
                     q.name, q.capacity, q.max_depth, fill, q.flavor
                 ));
             }
+        }
+        // The resource section: the report's own final snapshot when it
+        // has one, else whatever `resource/*` gauges a profiler published
+        // into the metrics snapshot.
+        let resources = self
+            .resources
+            .clone()
+            .or_else(|| crate::profile::ResourceReport::from_metrics(&self.metrics));
+        if let Some(resources) = resources.filter(|r| !r.is_empty()) {
+            out.push_str("\n== resources ==\n");
+            out.push_str(&resources.render());
         }
         // When the metrics carry per-peer traffic counters (a cluster
         // run's `comm/bytes/{src}->{dst}` names), render them as a matrix

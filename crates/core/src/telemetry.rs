@@ -35,6 +35,46 @@ use crate::json::{obj, Json};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::stats::Report;
 
+/// The shared sampler heartbeat: a condvar-timed loop that runs a tick on
+/// a fixed interval until stopped, where the wait doubles as the interval
+/// sleep so [`Cadence::stop`] interrupts a pending interval instead of
+/// waiting it out.  Both the telemetry [`Sampler`] and the resource
+/// profiler ([`ResourceProfiler`](crate::profile::ResourceProfiler)) run
+/// on one of these.
+pub(crate) struct Cadence {
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Cadence {
+    pub(crate) fn new() -> Cadence {
+        Cadence {
+            stop: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Run `tick` every `interval` on the calling thread until
+    /// [`Cadence::stop`]; a stop during the wait returns without a final
+    /// tick.
+    pub(crate) fn run(&self, interval: Duration, mut tick: impl FnMut()) {
+        let mut stop = self.stop.lock();
+        loop {
+            self.cv.wait_for(&mut stop, interval);
+            if *stop {
+                return;
+            }
+            tick();
+        }
+    }
+
+    /// Stop the loop, interrupting any in-progress wait.
+    pub(crate) fn stop(&self) {
+        *self.stop.lock() = true;
+        self.cv.notify_all();
+    }
+}
+
 /// One point of the telemetry time series: the registry's state at
 /// `elapsed` since the sampler started.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,8 +135,7 @@ struct SamplerShared {
     /// Snapshots evicted from the full ring (so consumers know the series
     /// is a suffix, not the whole run).
     evicted: AtomicU64,
-    stop: Mutex<bool>,
-    stop_cv: Condvar,
+    cadence: Cadence,
 }
 
 impl SamplerShared {
@@ -149,25 +188,17 @@ impl Sampler {
             },
             series: Mutex::new(Vec::new()),
             evicted: AtomicU64::new(0),
-            stop: Mutex::new(false),
-            stop_cv: Condvar::new(),
+            cadence: Cadence::new(),
         });
         let worker = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("fg-telemetry-sampler".into())
             .spawn(move || {
+                let _reg = crate::profile::register_current_thread("sampler");
                 let started = Instant::now();
-                let mut stop = worker.stop.lock();
-                loop {
-                    // Condvar wait doubles as the interval sleep, so stop()
-                    // interrupts a pending interval instead of waiting it
-                    // out.
-                    worker.stop_cv.wait_for(&mut stop, worker.cfg.interval);
-                    if *stop {
-                        return;
-                    }
-                    worker.sample(started);
-                }
+                worker
+                    .cadence
+                    .run(worker.cfg.interval, || worker.sample(started));
             })
             .expect("spawn telemetry sampler");
         Sampler {
@@ -195,8 +226,7 @@ impl Sampler {
 
     fn join(&mut self) {
         if let Some(handle) = self.handle.take() {
-            *self.shared.stop.lock() = true;
-            self.shared.stop_cv.notify_all();
+            self.shared.cadence.stop();
             let _ = handle.join();
         }
     }
@@ -244,6 +274,12 @@ pub type ReportFn = Arc<dyn Fn() -> String + Send + Sync>;
 /// * `GET /cluster` — the merged [`ClusterReport`](crate::ClusterReport)
 ///   as JSON, when a cluster source was installed with
 ///   [`TelemetryServer::bind_all`] (`404` otherwise);
+/// * `GET /resources` — a live [`ResourceReport`](crate::ResourceReport)
+///   as JSON (per-thread CPU attribution, process RSS/peak, allocator
+///   counters, and the buffer ledger when one was installed with
+///   [`TelemetryServer::bind_all`]) — sampled fresh on every request, so
+///   it works with or without a background
+///   [`ResourceProfiler`](crate::ResourceProfiler);
 /// * `GET /healthz` — liveness probe, always `200 ok`;
 /// * any other path — `404` with a body listing the routes above.
 ///
@@ -282,20 +318,23 @@ impl TelemetryServer {
         report: Option<ReportFn>,
         control: Option<Arc<crate::controller::ControlStatus>>,
     ) -> std::io::Result<Self> {
-        Self::bind_all(addr, registry, report, control, None)
+        Self::bind_all(addr, registry, report, control, None, None)
     }
 
     /// [`TelemetryServer::bind_full`] plus a cluster-report source for
-    /// `GET /cluster`.  `cluster` should return the current
+    /// `GET /cluster` and a memory ledger for `GET /resources`.
+    /// `cluster` should return the current
     /// [`ClusterReport`](crate::ClusterReport) serialized as JSON
     /// ([`ClusterReport::to_json`](crate::ClusterReport::to_json)); without
-    /// it the route answers `404`.
+    /// it the route answers `404`.  `ledger` rows are folded into every
+    /// `/resources` response when given.
     pub fn bind_all(
         addr: impl ToSocketAddrs,
         registry: Arc<MetricsRegistry>,
         report: Option<ReportFn>,
         control: Option<Arc<crate::controller::ControlStatus>>,
         cluster: Option<ReportFn>,
+        ledger: Option<Arc<crate::profile::MemoryLedger>>,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -314,6 +353,7 @@ impl TelemetryServer {
         let handle = std::thread::Builder::new()
             .name("fg-telemetry-server".into())
             .spawn(move || {
+                let _reg = crate::profile::register_current_thread("telemetry-server");
                 for conn in listener.incoming() {
                     if stop2.load(Ordering::Acquire) {
                         return;
@@ -325,6 +365,7 @@ impl TelemetryServer {
                         &report,
                         control.as_deref(),
                         cluster.as_ref(),
+                        ledger.as_deref(),
                     );
                 }
             })
@@ -360,6 +401,7 @@ fn serve_one(
     report: &ReportFn,
     control: Option<&crate::controller::ControlStatus>,
     cluster: Option<&ReportFn>,
+    ledger: Option<&crate::profile::MemoryLedger>,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let mut buf = [0u8; 1024];
@@ -410,11 +452,22 @@ fn serve_one(
                 cluster.unwrap()(),
             )
         }
+        ("GET", "/resources") => {
+            registry.counter("telemetry/scrapes").inc();
+            (
+                "200 OK",
+                "application/json; charset=utf-8",
+                crate::profile::ResourceReport::sample_now(ledger)
+                    .to_json_value()
+                    .to_string(),
+            )
+        }
         ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
         ("GET", _) => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; routes: /metrics /report /control /cluster /healthz\n".to_string(),
+            "not found; routes: /metrics /report /control /cluster /resources /healthz\n"
+                .to_string(),
         ),
         _ => (
             "405 Method Not Allowed",

@@ -873,12 +873,16 @@ pub struct Postmortem {
     pub turnstiles: Vec<TurnstilePostmortem>,
     /// Best-guess culprit task name, if the heuristic found one.
     pub culprit: Option<String>,
+    /// Resource snapshot at the moment of the stall (the threads are still
+    /// alive, so per-thread CPU rows are present) — see
+    /// [`ResourceReport`](crate::profile::ResourceReport).
+    pub resources: Option<crate::profile::ResourceReport>,
 }
 
 impl Postmortem {
     /// JSON artifact for this post-mortem.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut doc = Json::Obj(vec![
             ("program".into(), Json::Str(self.program.clone())),
             (
                 "stalled_for_ms".into(),
@@ -945,7 +949,13 @@ impl Postmortem {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        if let Some(resources) = &self.resources {
+            if let Json::Obj(members) = &mut doc {
+                members.push(("resources".into(), resources.to_json_value()));
+            }
+        }
+        doc
     }
 
     /// Human-readable report (what the watchdog prints to stderr).
@@ -999,6 +1009,12 @@ impl Postmortem {
                     "  {:<28} pipeline#{} waiting for round {}\n",
                     t.group, t.pipeline, t.next_round
                 ));
+            }
+        }
+        if let Some(resources) = self.resources.as_ref().filter(|r| !r.is_empty()) {
+            out.push_str("resources:\n");
+            for line in resources.render().lines() {
+                out.push_str(&format!("  {line}\n"));
             }
         }
         out
@@ -1305,11 +1321,17 @@ mod tests {
                 next_round: 5,
             }],
             culprit: Some("demo/wedge".into()),
+            resources: Some(crate::profile::ResourceReport {
+                rss_bytes: 1 << 20,
+                rss_peak_bytes: 1 << 20,
+                ..crate::profile::ResourceReport::default()
+            }),
         };
         let text = pm.render();
         assert!(text.contains("demo/wedge"));
         assert!(text.contains("FULL"));
         assert!(text.contains("round 5"));
+        assert!(text.contains("process rss"));
         let json = Json::parse(&pm.to_json().to_string()).unwrap();
         assert_eq!(
             json.get("culprit").and_then(Json::as_str),

@@ -1,0 +1,60 @@
+//! End-to-end resource profiler test: a real program with busy stages,
+//! sampled live by a fast-cadence profiler; the registry must end up with
+//! per-thread CPU rows for the stage threads.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fg_core::{map_stage, MetricsRegistry, PipelineCfg, ProfilerCfg, Program, Rounds};
+
+#[cfg(target_os = "linux")]
+#[test]
+fn profiler_sees_stage_threads_during_a_run() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let ledger = Arc::new(fg_core::MemoryLedger::new());
+    let profiler = fg_core::ResourceProfiler::start_with(
+        Arc::clone(&registry),
+        ProfilerCfg {
+            interval: Duration::from_millis(5),
+        },
+        Some(Arc::clone(&ledger)),
+    );
+
+    let mut prog = Program::new("profile-e2e");
+    prog.set_memory_ledger(Arc::clone(&ledger));
+    let spin = prog.add_stage(
+        "spin",
+        map_stage(|_buf, _ctx| {
+            // Busy + slow enough that several profiler ticks land mid-run.
+            std::thread::sleep(Duration::from_millis(10));
+            Ok(())
+        }),
+    );
+    prog.add_pipeline(
+        PipelineCfg::new("p", 2, 1024).rounds(Rounds::Count(10)),
+        &[spin],
+    )
+    .unwrap();
+    prog.run().unwrap();
+
+    profiler.stop();
+    let snap = registry.snapshot();
+    let thread_gauges: Vec<&str> = snap
+        .gauges
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .filter(|n| n.starts_with("resource/thread/"))
+        .collect();
+    assert!(
+        thread_gauges.iter().any(|n| n.contains("profile-e2e/spin")),
+        "no stage-thread rows; thread gauges: {thread_gauges:?}"
+    );
+    let resources = fg_core::ResourceReport::from_metrics(&snap).expect("resource gauges present");
+    assert!(resources.rss_bytes > 0);
+    assert!(resources
+        .threads
+        .iter()
+        .any(|t| t.name.contains("profile-e2e/spin")));
+    // The ledger saw the pool's buffers.
+    assert!(resources.ledger.expect("ledger rows").total_buffers > 0);
+}

@@ -141,6 +141,11 @@ fn zero_valued_gauges_keep_their_type_lines() {
     let reg = Arc::new(MetricsRegistry::new());
     reg.gauge("core/idle_gauge").set(0);
     reg.counter("core/idle_counter");
+    // The resource profiler's gauges follow the same discovery contract: a
+    // thread that never accumulated CPU (or an allocator tag that never
+    // fired) still announces its series on the first scrape.
+    reg.gauge("resource/thread/sort/utime_ns").set(0);
+    reg.gauge("resource/alloc/sort/count").set(0);
     let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
     let (_, _, body) = http_get(server.local_addr(), "/metrics");
     assert!(
@@ -153,6 +158,14 @@ fn zero_valued_gauges_keep_their_type_lines() {
         "zero counter lost its TYPE line, body:\n{body}"
     );
     assert!(body.contains("fg_core_idle_counter 0"), "body:\n{body}");
+    assert!(
+        body.contains("# TYPE fg_resource_thread_sort_utime_ns gauge"),
+        "zero resource gauge lost its TYPE line, body:\n{body}"
+    );
+    assert!(
+        body.contains("fg_resource_alloc_sort_count 0"),
+        "body:\n{body}"
+    );
 }
 
 #[test]
@@ -183,7 +196,14 @@ fn unknown_path_is_404_and_server_survives() {
     let (status, _, body) = http_get(server.local_addr(), "/nope");
     assert!(status.contains("404"), "status was {status}");
     // The 404 body tells the operator where to look instead.
-    for route in ["/metrics", "/report", "/control", "/cluster", "/healthz"] {
+    for route in [
+        "/metrics",
+        "/report",
+        "/control",
+        "/cluster",
+        "/resources",
+        "/healthz",
+    ] {
         assert!(body.contains(route), "404 body missing {route}: {body}");
     }
     // The listener keeps serving after a 404.
@@ -269,6 +289,7 @@ fn cluster_endpoint_serves_the_installed_report() {
         None,
         None,
         Some(Arc::new(move || body_src.clone())),
+        None,
     )
     .expect("bind");
     let (status, headers, body) = http_get(server.local_addr(), "/cluster");
@@ -279,4 +300,69 @@ fn cluster_endpoint_serves_the_installed_report() {
     );
     let parsed = fg_core::ClusterReport::from_json(&body).expect("cluster body parses");
     assert_eq!(parsed, cr);
+}
+
+#[test]
+fn resources_endpoint_serves_a_live_sample() {
+    let reg = populated_registry();
+    let server = TelemetryServer::bind("127.0.0.1:0", Arc::clone(&reg)).expect("bind");
+    let (status, headers, body) = http_get(server.local_addr(), "/resources");
+    assert!(status.contains("200"), "status was {status}");
+    assert_eq!(
+        headers.get("content-type").map(String::as_str),
+        Some("application/json; charset=utf-8")
+    );
+    let j = fg_core::Json::parse(&body).expect("resources body is JSON");
+    // The sample is taken live per request; without a ledger installed the
+    // member is absent, and the allocator flag reflects this binary (the
+    // test harness does not install FgAlloc).
+    assert!(j.get("ledger").is_none(), "no ledger was installed: {body}");
+    assert_eq!(
+        j.get("alloc_tracking").and_then(fg_core::Json::as_bool),
+        Some(false)
+    );
+    // Each request bumps the same scrape counter as /metrics.
+    let (_, _, metrics) = http_get(server.local_addr(), "/metrics");
+    assert!(
+        metrics.contains("fg_telemetry_scrapes 2"),
+        "body:\n{metrics}"
+    );
+}
+
+#[test]
+fn resources_endpoint_reports_the_installed_ledger() {
+    let reg = populated_registry();
+    let ledger = Arc::new(fg_core::MemoryLedger::with_budget(64 << 20));
+    ledger.stage("sort").acquire(8 << 20);
+    ledger.charge_pool(8 << 20);
+    let server = TelemetryServer::bind_all(
+        "127.0.0.1:0",
+        Arc::clone(&reg),
+        None,
+        None,
+        None,
+        Some(Arc::clone(&ledger)),
+    )
+    .expect("bind");
+    let (status, _, body) = http_get(server.local_addr(), "/resources");
+    assert!(status.contains("200"), "status was {status}");
+    let j = fg_core::Json::parse(&body).expect("resources body is JSON");
+    let l = j.get("ledger").expect("ledger member present");
+    assert_eq!(
+        l.get("budget_bytes").and_then(fg_core::Json::as_u64),
+        Some(64 << 20)
+    );
+    assert_eq!(
+        l.get("total_bytes").and_then(fg_core::Json::as_u64),
+        Some(8 << 20)
+    );
+    let stages = l.get("stages").and_then(fg_core::Json::as_arr).unwrap();
+    assert_eq!(
+        stages[0].get("stage").and_then(fg_core::Json::as_str),
+        Some("sort")
+    );
+    assert_eq!(
+        stages[0].get("bytes").and_then(fg_core::Json::as_u64),
+        Some(8 << 20)
+    );
 }

@@ -254,9 +254,15 @@ impl IoScheduler {
             fetched_cap: 8 * MAX_IO_DEPTH + 32,
         });
         let worker_shared = Arc::clone(&shared);
+        let profile_name = format!("io/{label}");
         let worker = std::thread::Builder::new()
             .name("fg-io-sched".into())
-            .spawn(move || worker_loop(&worker_shared))
+            .spawn(move || {
+                // Register with the resource profiler so read-ahead CPU
+                // shows up as its own row, attributed to this scheduler.
+                let _reg = fg_core::profile::register_current_thread(profile_name);
+                worker_loop(&worker_shared)
+            })
             .expect("spawn io scheduler thread");
         Ok(Arc::new(IoScheduler {
             shared,

@@ -55,6 +55,15 @@
 //!                              I/O read-ahead depth live; the decision
 //!                              audit log is printed after the run
 //!                              (csort/csort4)
+//!   --profile OUT              sample per-thread CPU / process RSS /
+//!                              per-stage allocation counters while the
+//!                              sort runs, print the resource report, and
+//!                              write it (JSON, `resources` member) to OUT;
+//!                              with --telemetry the same data is live on
+//!                              GET /resources
+//!   --mem-budget MIB           memory budget for the buffer-pool ledger;
+//!                              the diagnosis reports a memory-bound
+//!                              finding when peak usage approaches it
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -70,6 +79,13 @@ use fg_sort::input::{try_provision, try_provision_with_metrics};
 use fg_sort::keygen::KeyDist;
 use fg_sort::record::RecordFormat;
 use fg_sort::verify::{verify_output, Strictness};
+
+/// The tracking allocator: this binary opts in, so `--profile` can
+/// attribute heap allocations to stages (and assert the sort hot loop is
+/// allocation-free in steady state).  Without `--profile` the per-alloc
+/// overhead is a few relaxed atomic RMWs.
+#[global_allocator]
+static FG_ALLOC: fg_core::FgAlloc = fg_core::FgAlloc;
 
 #[derive(Debug, PartialEq)]
 struct Options {
@@ -94,6 +110,8 @@ struct Options {
     telemetry: Option<String>,
     autotune: bool,
     cluster: Option<String>,
+    profile: Option<String>,
+    mem_budget_mib: Option<u64>,
 }
 
 impl Default for Options {
@@ -120,6 +138,8 @@ impl Default for Options {
             telemetry: None,
             autotune: false,
             cluster: None,
+            profile: None,
+            mem_budget_mib: None,
         }
     }
 }
@@ -226,6 +246,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--telemetry" => opts.telemetry = Some(value("--telemetry")?.clone()),
             "--autotune" => opts.autotune = true,
             "--cluster" => opts.cluster = Some(value("--cluster")?.clone()),
+            "--profile" => opts.profile = Some(value("--profile")?.clone()),
+            "--mem-budget" => {
+                let mib: u64 = value("--mem-budget")?
+                    .parse()
+                    .map_err(|e| format!("--mem-budget: {e}"))?;
+                if mib == 0 {
+                    return Err("--mem-budget must be positive".into());
+                }
+                opts.mem_budget_mib = Some(mib);
+            }
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -302,6 +332,13 @@ fn build_config(opts: &Options) -> Result<SortConfig, String> {
             ..fg_core::ControllerCfg::default()
         });
     }
+    // --profile wants residency attribution; --mem-budget wants the
+    // budget check.  Either one attaches a ledger to every program.
+    if opts.profile.is_some() || opts.mem_budget_mib.is_some() {
+        cfg.ledger = Some(Arc::new(fg_core::MemoryLedger::with_budget(
+            opts.mem_budget_mib.unwrap_or(0) << 20,
+        )));
+    }
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -335,6 +372,8 @@ fn main() -> ExitCode {
             eprintln!("              [--telemetry ADDR]   (live /metrics + /report + /control + /healthz HTTP endpoint)");
             eprintln!("              [--autotune]   (closed-loop controller: live farm/pool/io-depth retuning)");
             eprintln!("              [--cluster OUT]   (dsort: per-rank registries; write merged ClusterReport JSON + diagnosis to OUT)");
+            eprintln!("              [--profile OUT]   (per-thread CPU + RSS + per-stage alloc report; JSON to OUT)");
+            eprintln!("              [--mem-budget MIB]   (buffer-pool memory budget for the ledger / diagnosis)");
             return if e == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -366,16 +405,23 @@ fn main() -> ExitCode {
     // live HTTP endpoint; dsort additionally publishes its queue and comm
     // metrics and prints a bottleneck diagnosis after the run.
     let registry = Arc::new(MetricsRegistry::new());
-    if opts.telemetry.is_some() || cfg.autotune.is_some() {
+    if opts.telemetry.is_some() || cfg.autotune.is_some() || opts.profile.is_some() {
         cfg.metrics = Some(Arc::clone(&registry));
     }
     let control = cfg.autotune.as_ref().map(|a| Arc::clone(&a.status));
     let telemetry = match &opts.telemetry {
         Some(addr) => {
-            match TelemetryServer::bind_full(addr.as_str(), Arc::clone(&registry), None, control) {
+            match TelemetryServer::bind_all(
+                addr.as_str(),
+                Arc::clone(&registry),
+                None,
+                control,
+                None,
+                cfg.ledger.clone(),
+            ) {
                 Ok(server) => {
                     println!(
-                        "telemetry: serving /metrics, /report, /control, /healthz on http://{}",
+                        "telemetry: serving /metrics, /report, /control, /resources, /healthz on http://{}",
                         server.local_addr()
                     );
                     let sampler = Sampler::start(Arc::clone(&registry), Default::default());
@@ -389,6 +435,16 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+    // The resource profiler samples per-thread CPU, process RSS, and the
+    // allocator/ledger counters into the registry on a fixed cadence.
+    let profiler = opts.profile.as_ref().map(|_| {
+        fg_core::ResourceProfiler::start_with(
+            Arc::clone(&registry),
+            fg_core::ProfilerCfg::default(),
+            cfg.ledger.clone(),
+        )
+    });
+    let run_start = std::time::Instant::now();
 
     // Metrics-instrumented disks whenever a shared registry exists (live
     // telemetry or the autotune controller, which watches prefetch rates).
@@ -475,6 +531,7 @@ fn main() -> ExitCode {
             .map_err(|e| e.to_string()),
         _ => unreachable!("validated"),
     };
+    let run_wall = run_start.elapsed();
     // Write the causal trace even when the run failed: a watchdog abort is
     // exactly when the span log is most interesting.
     if let (Some(path), Some(sink)) = (&opts.trace, &cfg.trace_sink) {
@@ -499,6 +556,36 @@ fn main() -> ExitCode {
     }
     let io: u64 = disks.iter().map(|d| d.stats().bytes_total()).sum();
     println!("disk I/O: {:.2} MiB total", io as f64 / (1 << 20) as f64);
+
+    if let Some(profiler) = profiler {
+        // stop() takes a final sample and publishes it; the registry then
+        // holds the union of everything sampled during the run, including
+        // rows for stage threads that have already exited.
+        profiler.stop();
+        let resources =
+            fg_core::ResourceReport::from_metrics(&registry.snapshot()).unwrap_or_default();
+        println!("\n== resources ==\n{}", resources.render());
+        // The end-of-run report carries the final attribution too, so its
+        // JSON has a `resources` member and the diagnosis below reads the
+        // post-stop sample instead of re-deriving one from mid-run gauges.
+        if let Some(report) = diagnosable.as_mut() {
+            report.resources = Some(resources.clone());
+        }
+        if let Some(path) = &opts.profile {
+            let doc = fg_core::Json::Obj(vec![
+                ("program".into(), fg_core::Json::Str(opts.program.clone())),
+                ("wall_s".into(), fg_core::Json::Num(run_wall.as_secs_f64())),
+                ("resources".into(), resources.to_json_value()),
+            ]);
+            match std::fs::write(path, doc.to_string()) {
+                Ok(()) => println!("resource profile: wrote {path}"),
+                Err(e) => {
+                    eprintln!("error: writing resource profile {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
 
     if let Some(ac) = &cfg.autotune {
         println!("autotune: {}", ac.status.get_json());
@@ -610,6 +697,27 @@ mod tests {
         assert!(parse_args(&args("--cluster")).is_err());
         let err = parse_args(&args("--program csort --cluster out.json")).unwrap_err();
         assert!(err.contains("--cluster"), "{err}");
+    }
+
+    #[test]
+    fn profile_and_mem_budget_flags_build_a_ledger() {
+        let o = parse_args(&args("--profile res.json --mem-budget 64 --free")).unwrap();
+        assert_eq!(o.profile.as_deref(), Some("res.json"));
+        assert_eq!(o.mem_budget_mib, Some(64));
+        let cfg = build_config(&o).unwrap();
+        let ledger = cfg.ledger.as_ref().expect("ledger attached");
+        assert_eq!(ledger.budget(), 64 << 20);
+        // --profile alone still attaches an (unbudgeted) accounting ledger.
+        let o = parse_args(&args("--profile res.json --free")).unwrap();
+        let cfg = build_config(&o).unwrap();
+        assert_eq!(cfg.ledger.as_ref().expect("ledger").budget(), 0);
+        // Neither flag: no ledger, no accounting overhead.
+        let cfg = build_config(&parse_args(&args("--free")).unwrap()).unwrap();
+        assert!(cfg.ledger.is_none());
+        // Bad values are parse errors naming the flag.
+        assert!(parse_args(&args("--profile")).is_err());
+        assert!(parse_args(&args("--mem-budget 0")).is_err());
+        assert!(parse_args(&args("--mem-budget banana")).is_err());
     }
 
     #[test]

@@ -112,6 +112,13 @@ pub struct SortConfig {
     /// explicit list at spawn, and the per-thread placement lands in each
     /// pass's report.  `None` leaves placement to the OS scheduler.
     pub pin: Option<fg_core::PinMode>,
+    /// Memory ledger shared by every FG program the sort runs (`fgsort
+    /// --profile` / `--mem-budget`): sources charge pool buffers to it as
+    /// they are created and each stage's residency is tracked as buffers
+    /// flow through, making `GET /resources` and the end-of-run resource
+    /// report answer "which stage holds the memory".  `None` skips the
+    /// accounting entirely.
+    pub ledger: Option<Arc<fg_core::MemoryLedger>>,
 }
 
 impl SortConfig {
@@ -141,6 +148,7 @@ impl SortConfig {
             metrics: None,
             trace_group: None,
             pin: None,
+            ledger: None,
         }
     }
 
@@ -187,6 +195,9 @@ impl SortConfig {
         }
         if let Some(pin) = &self.pin {
             prog.set_pinning(pin.clone());
+        }
+        if let Some(ledger) = &self.ledger {
+            prog.set_memory_ledger(Arc::clone(ledger));
         }
     }
 
